@@ -1,0 +1,140 @@
+// Shared builders and load generators for the benchmark harness.
+//
+// Every bench binary regenerates one figure/table of the paper (see
+// DESIGN.md §4 and EXPERIMENTS.md). Benchmarks measure *simulated-time*
+// protocol metrics (throughput in committed tx per simulated second,
+// latencies in simulated milliseconds); google-benchmark's wall-clock
+// numbers only reflect how long the simulation took to run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "actors/methods.hpp"
+#include "actors/basic.hpp"
+#include "common/log.hpp"
+#include "runtime/atomic.hpp"
+#include "runtime/hierarchy.hpp"
+
+namespace hc::bench {
+
+using namespace hc;  // NOLINT: bench binaries are leaf translation units
+
+inline core::SubnetParams bench_params(
+    core::ConsensusType consensus = core::ConsensusType::kPoaRoundRobin,
+    std::uint32_t period = 5, std::uint32_t threshold = 1) {
+  core::SubnetParams p;
+  p.name = "bench";
+  p.consensus = consensus;
+  p.min_validator_stake = TokenAmount::whole(5);
+  p.min_collateral = TokenAmount::whole(10);
+  p.checkpoint_period = period;
+  p.checkpoint_policy =
+      core::SignaturePolicy{core::SignaturePolicyKind::kMultiSig, threshold};
+  return p;
+}
+
+inline runtime::HierarchyConfig bench_config(
+    std::uint64_t seed,
+    core::ConsensusType root_consensus = core::ConsensusType::kPoaRoundRobin,
+    std::size_t root_validators = 3,
+    sim::Duration root_block_time = 100 * sim::kMillisecond) {
+  runtime::HierarchyConfig cfg;
+  cfg.seed = seed;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params = bench_params(root_consensus);
+  cfg.root_validators = root_validators;
+  cfg.root_engine.block_time = root_block_time;
+  cfg.root_engine.timeout_base = 4 * root_block_time;
+  return cfg;
+}
+
+inline consensus::EngineConfig subnet_engine(
+    sim::Duration block_time = 100 * sim::kMillisecond) {
+  consensus::EngineConfig e;
+  e.block_time = block_time;
+  e.timeout_base = 4 * block_time;
+  return e;
+}
+
+/// Saturating transfer load on one subnet: a pool of self-signing users
+/// paying each other round-robin. Nonces are tracked locally so messages
+/// can be pipelined beyond the chain's confirmation latency.
+class LoadGenerator {
+ public:
+  LoadGenerator(runtime::Subnet& subnet, std::size_t n_users,
+                const std::string& label)
+      : subnet_(subnet) {
+    for (std::size_t i = 0; i < n_users; ++i) {
+      keys_.push_back(crypto::KeyPair::from_label(label + "-load-" +
+                                                  std::to_string(i)));
+      addrs_.push_back(Address::key(keys_.back().public_key().to_bytes()));
+      nonces_.push_back(0);
+    }
+  }
+
+  /// Addresses that must be pre-funded inside the subnet.
+  [[nodiscard]] const std::vector<Address>& addresses() const {
+    return addrs_;
+  }
+
+  /// Submit `count` transfers (spread over the users).
+  void pump(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t u = next_user_++ % keys_.size();
+      chain::Message m;
+      m.from = addrs_[u];
+      m.to = addrs_[(u + 1) % addrs_.size()];
+      m.nonce = nonces_[u]++;
+      m.value = TokenAmount::atto(1);
+      m.gas_limit = 1u << 22;
+      m.gas_price = TokenAmount::atto(1);
+      (void)subnet_.node(0).submit_message(
+          chain::SignedMessage::sign(std::move(m), keys_[u]));
+    }
+  }
+
+  [[nodiscard]] std::size_t submitted() const { return next_user_; }
+
+ private:
+  runtime::Subnet& subnet_;
+  std::vector<crypto::KeyPair> keys_;
+  std::vector<Address> addrs_;
+  std::vector<std::uint64_t> nonces_;
+  std::size_t next_user_ = 0;
+};
+
+/// Fund a list of addresses inside `subnet` via top-down cross-msgs.
+inline bool fund_in_subnet(runtime::Hierarchy& h, runtime::Subnet& subnet,
+                           const std::vector<Address>& addrs,
+                           TokenAmount each) {
+  auto funder = h.make_user("bench-funder",
+                            each * (addrs.size() + 1) + TokenAmount::whole(10));
+  if (!funder.ok()) return false;
+  for (const auto& a : addrs) {
+    if (subnet.id.is_root()) {
+      auto r = h.call(h.root(), funder.value(), a, 0, {}, each);
+      if (!r.ok() || !r.value().ok()) return false;
+    } else {
+      auto r = h.send_cross(h.root(), funder.value(), subnet.id, a, each);
+      if (!r.ok() || !r.value().ok()) return false;
+    }
+  }
+  return h.run_until(
+      [&] {
+        for (const auto& a : addrs) {
+          if (subnet.node(0).balance(a) < each) return false;
+        }
+        return true;
+      },
+      120 * sim::kSecond);
+}
+
+/// Silence logs for the whole binary.
+struct QuietLogs {
+  QuietLogs() { Log::set_level(LogLevel::kOff); }
+};
+
+}  // namespace hc::bench

@@ -1,0 +1,99 @@
+#include "actors/basic.hpp"
+
+#include "actors/util.hpp"
+
+namespace hc::actors {
+
+Result<Bytes> AccountActor::invoke(chain::Runtime& rt,
+                                   chain::MethodNum method,
+                                   const Bytes& params) {
+  (void)rt;
+  (void)params;
+  return Error(Errc::kInvalidArgument,
+               "account actor has no method " + std::to_string(method));
+}
+
+Result<Bytes> InitActor::invoke(chain::Runtime& rt, chain::MethodNum method,
+                                const Bytes& params) {
+  if (method != init_method::kExec) {
+    return Error(Errc::kInvalidArgument, "init actor: unknown method");
+  }
+  HC_TRY(exec, decode<ExecParams>(params));
+  if (exec.code == chain::kCodeNone || exec.code == chain::kCodeInit ||
+      exec.code == chain::kCodeSca) {
+    return Error(Errc::kPermissionDenied,
+                 "cannot instantiate reserved actor code");
+  }
+  HC_TRY(addr, rt.create_actor(exec.code, std::move(exec.ctor_state)));
+  rt.emit_event("init/exec", encode(addr));
+  return encode(addr);
+}
+
+Result<Bytes> KvStoreActor::invoke(chain::Runtime& rt,
+                                   chain::MethodNum method,
+                                   const Bytes& params) {
+  HC_TRY(state, load_state<KvState>(rt));
+  HC_TRY(p, decode<KvParams>(params));
+
+  switch (method) {
+    case kv_method::kPut: {
+      KvState::Entry* entry = state.find(p.key);
+      if (entry != nullptr) {
+        if (entry->locked) {
+          return Error(Errc::kStateConflict, "key is locked");
+        }
+        entry->value = std::move(p.value);
+      } else {
+        state.entries.push_back({std::move(p.key), std::move(p.value), false});
+      }
+      HC_TRY_STATUS(save_state(rt, state));
+      return Bytes{};
+    }
+    case kv_method::kGet: {
+      const KvState::Entry* entry = state.find(p.key);
+      if (entry == nullptr) return Error(Errc::kNotFound, "no such key");
+      return entry->value;
+    }
+    case kv_method::kLock: {
+      KvState::Entry* entry = state.find(p.key);
+      if (entry == nullptr) return Error(Errc::kNotFound, "no such key");
+      if (entry->locked) {
+        return Error(Errc::kStateConflict, "key already locked");
+      }
+      entry->locked = true;
+      HC_TRY_STATUS(save_state(rt, state));
+      rt.emit_event("kv/locked", entry->key);
+      // Return the locked input value: this is the state the user ships to
+      // the other parties of an atomic execution.
+      return entry->value;
+    }
+    case kv_method::kUnlock: {
+      KvState::Entry* entry = state.find(p.key);
+      if (entry == nullptr) return Error(Errc::kNotFound, "no such key");
+      if (!entry->locked) {
+        return Error(Errc::kStateConflict, "key is not locked");
+      }
+      entry->locked = false;
+      HC_TRY_STATUS(save_state(rt, state));
+      rt.emit_event("kv/unlocked", entry->key);
+      return Bytes{};
+    }
+    case kv_method::kApplyOutput: {
+      KvState::Entry* entry = state.find(p.key);
+      if (entry == nullptr) return Error(Errc::kNotFound, "no such key");
+      if (!entry->locked) {
+        return Error(Errc::kStateConflict,
+                     "output applies only to locked keys");
+      }
+      entry->value = std::move(p.value);
+      entry->locked = false;
+      HC_TRY_STATUS(save_state(rt, state));
+      rt.emit_event("kv/output-applied", entry->key);
+      return Bytes{};
+    }
+    default:
+      return Error(Errc::kInvalidArgument, "kv actor: unknown method");
+  }
+}
+
+}  // namespace hc::actors

@@ -1,0 +1,108 @@
+// Basic system actors: Account, Init, and the KV demo application.
+#pragma once
+
+#include "actors/methods.hpp"
+#include "chain/actor.hpp"
+
+namespace hc::actors {
+
+/// Plain externally-owned account. Accepts bare transfers only; the
+/// executor handles method 0 itself, so every dispatched method is invalid.
+class AccountActor final : public chain::ActorLogic {
+ public:
+  Result<Bytes> invoke(chain::Runtime& rt, chain::MethodNum method,
+                       const Bytes& params) override;
+};
+
+/// Init actor parameters for Exec.
+struct ExecParams {
+  chain::CodeId code = 0;
+  Bytes ctor_state;  // initial serialized state for the new actor
+
+  void encode_to(Encoder& e) const { e.varint(code).bytes(ctor_state); }
+  [[nodiscard]] static Result<ExecParams> decode_from(Decoder& d) {
+    ExecParams p;
+    HC_TRY(code, d.varint());
+    HC_TRY(ctor, d.bytes());
+    p.code = code;
+    p.ctor_state = std::move(ctor);
+    return p;
+  }
+};
+
+/// The actor factory (address f01): assigns ID addresses to new actors.
+/// Spawning a subnet starts here: "peers need to deploy a new Subnet Actor"
+/// (paper §III-A) — i.e. call Exec with kCodeSubnetActor.
+class InitActor final : public chain::ActorLogic {
+ public:
+  Result<Bytes> invoke(chain::Runtime& rt, chain::MethodNum method,
+                       const Bytes& params) override;
+};
+
+/// KV app parameters.
+struct KvParams {
+  Bytes key;
+  Bytes value;  // used by kPut / kApplyOutput
+
+  void encode_to(Encoder& e) const { e.bytes(key).bytes(value); }
+  [[nodiscard]] static Result<KvParams> decode_from(Decoder& d) {
+    KvParams p;
+    HC_TRY(key, d.bytes());
+    HC_TRY(value, d.bytes());
+    p.key = std::move(key);
+    p.value = std::move(value);
+    return p;
+  }
+};
+
+/// Demo application actor: a key-value store whose keys can be locked as
+/// atomic-execution inputs (paper §IV-D "each user needs to lock, in their
+/// subnet, the state that will be used as input for the execution").
+class KvStoreActor final : public chain::ActorLogic {
+ public:
+  Result<Bytes> invoke(chain::Runtime& rt, chain::MethodNum method,
+                       const Bytes& params) override;
+};
+
+/// KV actor state, exposed for tests and the atomic-execution client.
+struct KvState {
+  struct Entry {
+    Bytes key;
+    Bytes value;
+    bool locked = false;
+
+    void encode_to(Encoder& e) const {
+      e.bytes(key).bytes(value).boolean(locked);
+    }
+    [[nodiscard]] static Result<Entry> decode_from(Decoder& d) {
+      Entry en;
+      HC_TRY(key, d.bytes());
+      HC_TRY(value, d.bytes());
+      HC_TRY(locked, d.boolean());
+      en.key = std::move(key);
+      en.value = std::move(value);
+      en.locked = locked;
+      return en;
+    }
+    bool operator==(const Entry&) const = default;
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] Entry* find(const Bytes& key) {
+    for (auto& e : entries) {
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  }
+
+  void encode_to(Encoder& e) const { e.vec(entries); }
+  [[nodiscard]] static Result<KvState> decode_from(Decoder& d) {
+    KvState s;
+    HC_TRY(entries, d.vec<Entry>());
+    s.entries = std::move(entries);
+    return s;
+  }
+  bool operator==(const KvState&) const = default;
+};
+
+}  // namespace hc::actors

@@ -1,0 +1,91 @@
+// Method numbers for the built-in actors.
+//
+// Method 0 is a bare value transfer for every actor (enforced by the
+// executor). Numbers are part of consensus and must stay stable.
+#pragma once
+
+#include "chain/message.hpp"
+
+namespace hc::actors {
+
+// ----------------------------------------------------------- Init actor
+namespace init_method {
+/// Exec(code_id, constructor_params) -> Address of the new actor.
+inline constexpr chain::MethodNum kExec = 1;
+}  // namespace init_method
+
+// ------------------------------------------------- Subnet Actor (SA)
+namespace sa_method {
+/// Join(pubkey) + value = stake: become a validator (paper §III-A).
+inline constexpr chain::MethodNum kJoin = 1;
+/// Leave(): exit the validator set, releasing stake (paper §III-C).
+inline constexpr chain::MethodNum kLeave = 2;
+/// Kill(): destroy the subnet once empty of validators (paper §III-C).
+inline constexpr chain::MethodNum kKill = 3;
+/// SubmitCheckpoint(SignedCheckpoint): validate policy, forward to SCA
+/// (paper §III-B).
+inline constexpr chain::MethodNum kSubmitCheckpoint = 4;
+/// GetInfo() -> encoded SaState (read-only convenience).
+inline constexpr chain::MethodNum kGetInfo = 10;
+}  // namespace sa_method
+
+// --------------------------------------- Subnet Coordinator Actor (SCA)
+namespace sca_method {
+/// Register(SubnetParams) + value = initial collateral; caller is the SA.
+inline constexpr chain::MethodNum kRegister = 1;
+/// AddStake() + value; caller is the SA.
+inline constexpr chain::MethodNum kAddStake = 2;
+/// ReleaseStake(amount, recipient); caller is the SA.
+inline constexpr chain::MethodNum kReleaseStake = 3;
+/// Kill(recipient): release remaining collateral; caller is the SA.
+inline constexpr chain::MethodNum kKill = 4;
+/// Fund(dest_subnet, dest_addr) + value: top-down cross-msg (paper §IV-A).
+inline constexpr chain::MethodNum kFund = 5;
+/// Release(dest_subnet, dest_addr) + value: bottom-up cross-msg, burned
+/// locally, carried by the next checkpoint (paper §IV-A).
+inline constexpr chain::MethodNum kRelease = 6;
+/// SendCross(dest_subnet, dest_addr, method, params) + value: general
+/// cross-net invocation routed like Fund/Release by direction.
+inline constexpr chain::MethodNum kSendCross = 7;
+/// CommitChildCheckpoint(SignedCheckpoint); caller is the child's SA.
+inline constexpr chain::MethodNum kCommitChildCheckpoint = 8;
+/// CutCheckpoint(): implicit, at checkpoint heights; freezes the current
+/// cross-msg window into this subnet's next checkpoint (paper Fig. 2).
+inline constexpr chain::MethodNum kCutCheckpoint = 9;
+/// ApplyTopDown(CrossMsg): implicit; executes one committed top-down msg
+/// in nonce order (paper Fig. 3 left).
+inline constexpr chain::MethodNum kApplyTopDown = 10;
+/// ApplyBottomUpBatch(nonce, CrossMsgBatch): implicit; executes an adopted
+/// bottom-up batch after content resolution (paper Fig. 3 right).
+inline constexpr chain::MethodNum kApplyBottomUp = 11;
+/// SubmitFraudProof(FraudProof): slash equivocating validators' collateral
+/// (paper §III-B).
+inline constexpr chain::MethodNum kSubmitFraudProof = 12;
+/// Save(): record a state snapshot for fund recovery (paper §III-C).
+inline constexpr chain::MethodNum kSave = 13;
+/// Recover(proof): withdraw funds stranded in a killed/inactive child by
+/// proving an account entry against a committed checkpoint (paper §III-C:
+/// "users are able to provide proof of pending funds held in the subnet").
+inline constexpr chain::MethodNum kRecover = 14;
+
+/// AtomicInit(parties, input_cids) -> exec id (paper §IV-D, Fig. 5).
+inline constexpr chain::MethodNum kAtomicInit = 20;
+/// AtomicSubmit(exec_id, output_cid); caller must be a party.
+inline constexpr chain::MethodNum kAtomicSubmit = 21;
+/// AtomicAbort(exec_id); caller must be a party.
+inline constexpr chain::MethodNum kAtomicAbort = 22;
+}  // namespace sca_method
+
+// ------------------------------------------------- demo KV application
+namespace kv_method {
+inline constexpr chain::MethodNum kPut = 1;
+inline constexpr chain::MethodNum kGet = 2;
+/// Lock(key): freeze a key as atomic-execution input (paper §IV-D).
+inline constexpr chain::MethodNum kLock = 3;
+/// Unlock(key): release without changes (abort path).
+inline constexpr chain::MethodNum kUnlock = 4;
+/// ApplyOutput(key, value): install the atomic output state and unlock.
+inline constexpr chain::MethodNum kApplyOutput = 5;
+}  // namespace kv_method
+
+}  // namespace hc::actors

@@ -1,0 +1,19 @@
+#include "actors/registry.hpp"
+
+#include <memory>
+
+#include "actors/basic.hpp"
+#include "actors/sca_actor.hpp"
+#include "actors/subnet_actor.hpp"
+
+namespace hc::actors {
+
+void install_standard_actors(chain::ActorRegistry& registry) {
+  registry.install(chain::kCodeAccount, std::make_unique<AccountActor>());
+  registry.install(chain::kCodeInit, std::make_unique<InitActor>());
+  registry.install(chain::kCodeSca, std::make_unique<ScaActor>());
+  registry.install(chain::kCodeSubnetActor, std::make_unique<SubnetActor>());
+  registry.install(chain::kCodeKvApp, std::make_unique<KvStoreActor>());
+}
+
+}  // namespace hc::actors

@@ -1,0 +1,12 @@
+// Installation of the standard actor set.
+#pragma once
+
+#include "chain/actor.hpp"
+
+namespace hc::actors {
+
+/// Install Account, Init, SCA, SubnetActor and the KV demo app into a
+/// registry. Every subnet chain runs this same actor set (paper §III-A).
+void install_standard_actors(chain::ActorRegistry& registry);
+
+}  // namespace hc::actors

@@ -1,0 +1,179 @@
+// Subnet Coordinator Actor (SCA) state.
+//
+// Exactly one SCA exists per chain (address f02). It is the system actor
+// implementing the hierarchical-consensus interface (paper §III-A): child
+// subnet registration and collateral, cross-msg routing and nonces, the
+// checkpoint window, the cross-msg registry for content resolution, fraud
+// slashing, state snapshots, and atomic-execution coordination.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/crossmsg.hpp"
+#include "core/fraud.hpp"
+#include "core/params.hpp"
+
+namespace hc::actors {
+
+/// Parent-side bookkeeping for one registered child subnet.
+struct SubnetEntry {
+  core::SubnetId id;
+  Address sa;  // the governing SA's address in this chain
+  core::SubnetStatus status = core::SubnetStatus::kActive;
+  TokenAmount collateral;
+  TokenAmount min_collateral;
+  /// Paper §II: tokens injected minus tokens withdrawn — the firewall bound.
+  TokenAmount circulating_supply;
+  /// Next nonce for top-down msgs committed toward this child (paper §IV-A:
+  /// "the SCA of the source subnet (parent) increments a nonce that is
+  /// unique to the top-down transaction directed to each of its childs").
+  std::uint64_t topdown_nonce = 0;
+  /// Committed, not-yet-garbage-collected top-down msgs for this child.
+  std::vector<core::CrossMsg> topdown_queue;
+  /// CIDs of checkpoints this child committed (newest last).
+  std::vector<Cid> checkpoints;
+  chain::Epoch last_checkpoint_epoch = -1;
+  /// Addresses that already recovered stranded funds (paper §III-C);
+  /// prevents double claims.
+  std::vector<Address> recovered;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<SubnetEntry> decode_from(Decoder& d);
+  bool operator==(const SubnetEntry&) const = default;
+};
+
+/// A bottom-up meta adopted by this SCA, awaiting batch execution.
+struct PendingBottomUp {
+  std::uint64_t nonce = 0;
+  core::CrossMsgMeta meta;
+  bool executed = false;
+
+  void encode_to(Encoder& e) const {
+    e.varint(nonce).obj(meta).boolean(executed);
+  }
+  [[nodiscard]] static Result<PendingBottomUp> decode_from(Decoder& d) {
+    PendingBottomUp p;
+    HC_TRY(nonce, d.varint());
+    HC_TRY(meta, d.obj<core::CrossMsgMeta>());
+    HC_TRY(executed, d.boolean());
+    p.nonce = nonce;
+    p.meta = std::move(meta);
+    p.executed = executed;
+    return p;
+  }
+  bool operator==(const PendingBottomUp&) const = default;
+};
+
+/// One party of an atomic execution (paper §IV-D).
+struct AtomicParty {
+  core::SubnetId subnet;
+  Address addr;
+
+  void encode_to(Encoder& e) const { e.obj(subnet).obj(addr); }
+  [[nodiscard]] static Result<AtomicParty> decode_from(Decoder& d) {
+    AtomicParty p;
+    HC_TRY(subnet, d.obj<core::SubnetId>());
+    HC_TRY(addr, d.obj<Address>());
+    p.subnet = std::move(subnet);
+    p.addr = addr;
+    return p;
+  }
+  bool operator==(const AtomicParty&) const = default;
+};
+
+enum class AtomicStatus : std::uint8_t {
+  kPending = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// Coordinator record for one atomic execution (2PC with the SCA of the
+/// least common ancestor as coordinator, paper §IV-D).
+struct AtomicExec {
+  std::uint64_t id = 0;
+  std::vector<AtomicParty> parties;
+  std::vector<Cid> input_cids;
+  AtomicStatus status = AtomicStatus::kPending;
+  /// outputs[i] = output CID submitted by parties[i] (null = not yet).
+  std::vector<Cid> outputs;
+
+  [[nodiscard]] bool all_submitted_and_equal() const;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<AtomicExec> decode_from(Decoder& d);
+  bool operator==(const AtomicExec&) const = default;
+};
+
+/// A persisted state snapshot (paper §III-C save()).
+struct StateSnapshot {
+  chain::Epoch epoch = 0;
+  Cid state_root;
+
+  void encode_to(Encoder& e) const { e.i64(epoch).obj(state_root); }
+  [[nodiscard]] static Result<StateSnapshot> decode_from(Decoder& d) {
+    StateSnapshot s;
+    HC_TRY(epoch, d.i64());
+    HC_TRY(root, d.obj<Cid>());
+    s.epoch = epoch;
+    s.state_root = root;
+    return s;
+  }
+  bool operator==(const StateSnapshot&) const = default;
+};
+
+struct ScaState {
+  /// This chain's own subnet id (root for the rootnet).
+  core::SubnetId self;
+  /// This subnet's own checkpoint period (epochs).
+  std::uint32_t checkpoint_period = 10;
+
+  // ------------------------------------------------ children (as parent)
+  std::map<Address, SubnetEntry> subnets;  // keyed by SA address
+
+  // -------------------------------------- own cross-msg window (as child)
+  /// Bottom-up msgs buffered in the current checkpoint window.
+  std::vector<core::CrossMsg> window_msgs;
+  /// Metas received from children that must be forwarded upward.
+  std::vector<core::CrossMsgMeta> forward_meta;
+  /// Child checkpoint CIDs accumulated since our last cut.
+  std::vector<core::ChildCheck> window_children;
+  /// The checkpoint frozen by the last kCutCheckpoint, awaiting signatures
+  /// and submission to the parent (paper Fig. 2's "signature window").
+  std::optional<core::Checkpoint> pending_checkpoint;
+  Cid last_own_checkpoint;
+  chain::Epoch last_own_checkpoint_epoch = -1;
+
+  /// Registry: batch CID digest bytes -> encoded CrossMsgBatch. Serves the
+  /// content-resolution protocol (paper §IV-C).
+  std::map<Bytes, Bytes> msg_registry;
+
+  // --------------------------------------------- inbound cross-msg queues
+  /// Next nonce to assign to an adopted bottom-up meta.
+  std::uint64_t bottomup_nonce = 0;
+  /// Adopted metas awaiting execution (in nonce order).
+  std::vector<PendingBottomUp> pending_bottomup;
+  /// Execution cursors.
+  std::uint64_t applied_bottomup_nonce = 0;
+  std::uint64_t applied_topdown_nonce = 0;
+
+  // --------------------------------------------------- atomic executions
+  std::uint64_t next_exec_id = 1;
+  std::map<std::uint64_t, AtomicExec> atomic_execs;
+
+  // ------------------------------------------------------------ snapshots
+  std::vector<StateSnapshot> snapshots;
+
+  [[nodiscard]] const SubnetEntry* find_subnet(const Address& sa) const;
+  [[nodiscard]] SubnetEntry* find_subnet(const Address& sa);
+  /// The direct child entry on the path toward `dest` (nullptr if none).
+  [[nodiscard]] SubnetEntry* child_toward(const core::SubnetId& dest);
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<ScaState> decode_from(Decoder& d);
+  bool operator==(const ScaState&) const = default;
+};
+
+}  // namespace hc::actors

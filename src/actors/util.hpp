@@ -1,0 +1,24 @@
+// Shared helpers for actor implementations.
+#pragma once
+
+#include "chain/actor.hpp"
+#include "common/codec.hpp"
+
+namespace hc::actors {
+
+/// Load and decode an actor's state; default-constructs on first touch
+/// (empty state bytes).
+template <typename S>
+[[nodiscard]] Result<S> load_state(chain::Runtime& rt) {
+  HC_TRY(bytes, rt.get_state());
+  if (bytes.empty()) return S{};
+  return decode<S>(bytes);
+}
+
+/// Encode and persist an actor's state.
+template <typename S>
+[[nodiscard]] Status save_state(chain::Runtime& rt, const S& state) {
+  return rt.set_state(encode(state));
+}
+
+}  // namespace hc::actors

@@ -1,0 +1,74 @@
+#include "chain/chainstore.hpp"
+
+#include "chain/executor.hpp"
+
+namespace hc::chain {
+
+ChainStore::ChainStore(Block genesis, StateTree genesis_state)
+    : state_(genesis_state), genesis_state_(std::move(genesis_state)) {
+  by_cid_.emplace(genesis.cid(), 0);
+  blocks_.push_back(std::move(genesis));
+}
+
+Block ChainStore::make_genesis(const StateTree& state,
+                               std::int64_t timestamp) {
+  Block genesis;
+  genesis.header.miner = kSystemAddr;
+  genesis.header.height = 0;
+  genesis.header.parent = Cid();
+  genesis.header.state_root = state.flush();
+  genesis.header.msgs_root = genesis.compute_msgs_root();
+  genesis.header.timestamp = timestamp;
+  return genesis;
+}
+
+Status ChainStore::append(Block block, StateTree new_state) {
+  if (block.header.parent != head().cid()) {
+    return Error(Errc::kStateConflict, "block does not extend current head");
+  }
+  if (block.header.height != height() + 1) {
+    return Error(Errc::kStateConflict,
+                 "expected height " + std::to_string(height() + 1) + ", got " +
+                     std::to_string(block.header.height));
+  }
+  if (block.header.msgs_root != block.compute_msgs_root()) {
+    return Error(Errc::kInvalidArgument, "message root mismatch");
+  }
+  if (block.header.state_root != new_state.flush()) {
+    return Error(Errc::kInvalidArgument, "state root mismatch");
+  }
+  by_cid_.emplace(block.cid(), blocks_.size());
+  blocks_.push_back(std::move(block));
+  state_ = std::move(new_state);
+  return ok_status();
+}
+
+const Block* ChainStore::block_at(Epoch height) const {
+  if (height < 0 || static_cast<std::size_t>(height) >= blocks_.size()) {
+    return nullptr;
+  }
+  return &blocks_[static_cast<std::size_t>(height)];
+}
+
+Result<StateTree> ChainStore::state_at(Epoch height,
+                                       const Executor& exec) const {
+  if (height < 0 || static_cast<std::size_t>(height) >= blocks_.size()) {
+    return Error(Errc::kOutOfRange, "no block at requested height");
+  }
+  StateTree tree = genesis_state_.snapshot();
+  for (Epoch h = 1; h <= height; ++h) {
+    (void)exec.apply_block(tree, blocks_[static_cast<std::size_t>(h)]);
+  }
+  if (tree.flush() != blocks_[static_cast<std::size_t>(height)]
+                          .header.state_root) {
+    return Error(Errc::kInternal, "replay diverged from recorded state root");
+  }
+  return tree;
+}
+
+const Block* ChainStore::block_by_cid(const Cid& cid) const {
+  auto it = by_cid_.find(cid);
+  return it == by_cid_.end() ? nullptr : &blocks_[it->second];
+}
+
+}  // namespace hc::chain

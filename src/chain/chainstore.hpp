@@ -1,0 +1,54 @@
+// Chain store: the canonical block sequence of one subnet plus the state at
+// head. Validates linkage (parent CID, height, message root, state root) on
+// append, so a corrupted or equivocating block cannot silently enter the
+// store.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/state.hpp"
+
+namespace hc::chain {
+
+class ChainStore {
+ public:
+  /// Start a chain from a genesis block + matching state.
+  ChainStore(Block genesis, StateTree genesis_state);
+
+  /// Build a conventional genesis for the given initial state.
+  [[nodiscard]] static Block make_genesis(const StateTree& state,
+                                          std::int64_t timestamp);
+
+  [[nodiscard]] const Block& head() const { return blocks_.back(); }
+  [[nodiscard]] Epoch height() const { return head().header.height; }
+  [[nodiscard]] const StateTree& state() const { return state_; }
+  [[nodiscard]] std::size_t length() const { return blocks_.size(); }
+
+  /// Append a block whose execution produced `new_state`. Validates:
+  /// parent == head CID, height == head+1, msgs_root, state_root.
+  Status append(Block block, StateTree new_state);
+
+  [[nodiscard]] const Block* block_at(Epoch height) const;
+  [[nodiscard]] const Block* block_by_cid(const Cid& cid) const;
+
+  /// Reconstruct the state as of `height` by replaying from genesis
+  /// (deterministic; used for historic proofs and audits). Fails when the
+  /// height is out of range or replay does not reproduce the recorded
+  /// state root.
+  [[nodiscard]] Result<StateTree> state_at(Epoch height,
+                                           const class Executor& exec) const;
+
+  /// All blocks, genesis first (read-only view for audits/benches).
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  std::vector<Block> blocks_;
+  std::unordered_map<Cid, std::size_t> by_cid_;
+  StateTree state_;
+  StateTree genesis_state_;
+};
+
+}  // namespace hc::chain

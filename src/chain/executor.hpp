@@ -1,0 +1,69 @@
+// Message executor: the VM.
+//
+// Applies messages to a StateTree with gas metering, nonce/funds checks,
+// revert-on-failure semantics and synchronous internal sends. Cross-net
+// messages enter through apply_implicit(): they carry no signature, pay no
+// fee, and — uniquely — may *mint* when sent from the system address, which
+// is how top-down funds materialize inside a child subnet (paper §IV-A:
+// "flowing messages trigger the minting of new funds in destination
+// subnets").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/actor.hpp"
+#include "chain/block.hpp"
+#include "chain/gas.hpp"
+#include "chain/message.hpp"
+#include "chain/receipt.hpp"
+#include "chain/state.hpp"
+
+namespace hc::chain {
+
+/// Per-block execution context.
+struct ExecutionContext {
+  Epoch height = 0;
+  Address miner;
+  std::int64_t timestamp = 0;
+};
+
+class Executor {
+ public:
+  Executor(const ActorRegistry& registry, GasSchedule schedule)
+      : registry_(registry), schedule_(schedule) {}
+
+  /// Apply a user-signed message: signature, nonce and fee enforcement.
+  Receipt apply(StateTree& tree, const SignedMessage& sm,
+                const ExecutionContext& ctx) const;
+
+  /// Apply a protocol-injected message (cross-msg / reward). No signature,
+  /// no nonce, no fee; minting allowed from kSystemAddr.
+  Receipt apply_implicit(StateTree& tree, const Message& msg,
+                         const ExecutionContext& ctx) const;
+
+  /// Apply all messages of a block in order (cross-msgs first, mirroring
+  /// their protocol-assigned total order; then user messages). Returns one
+  /// receipt per message in that order.
+  std::vector<Receipt> apply_block(StateTree& tree, const Block& block) const;
+
+  [[nodiscard]] const GasSchedule& schedule() const { return schedule_; }
+
+  /// Internal invocation path shared by top-level apply and nested sends.
+  /// Exposed for the Runtime implementation; not part of the public API.
+  Result<Bytes> invoke_inner(StateTree& tree, const Message& msg,
+                             const ExecutionContext& ctx, GasMeter& meter,
+                             const Address& origin,
+                             std::vector<ActorEvent>& events, int depth) const;
+
+ private:
+  /// Shared invocation path once envelope checks passed.
+  Receipt invoke_message(StateTree& tree, const Message& msg,
+                         const ExecutionContext& ctx, GasMeter& meter,
+                         bool implicit) const;
+
+  const ActorRegistry& registry_;
+  GasSchedule schedule_;
+};
+
+}  // namespace hc::chain

@@ -1,0 +1,55 @@
+// Gas schedule and metering.
+//
+// Gas serves two roles here, both needed by the paper's economics: it makes
+// execution cost measurable (subnet miners "are rewarded with fees for the
+// transactions executed in the subnet", §II) and it bounds the work a single
+// message can consume (the DDoS concern of §IV-B).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+
+namespace hc::chain {
+
+using Gas = std::uint64_t;
+
+struct GasSchedule {
+  Gas message_base = 1000;        // flat cost of including a message
+  Gas per_param_byte = 3;         // message payload size cost
+  Gas method_invocation = 500;    // dispatching into actor logic
+  Gas storage_read = 100;         // actor state read
+  Gas storage_write_base = 300;   // actor state write
+  Gas storage_per_byte = 2;       // bytes written
+  Gas transfer = 200;             // balance mutation
+  Gas actor_creation = 5000;      // Init actor instantiating a new actor
+  Gas signature_check = 800;      // envelope validation
+  Gas internal_send = 400;        // actor-to-actor call overhead
+};
+
+/// Tracks gas consumed against a limit.
+class GasMeter {
+ public:
+  GasMeter(Gas limit, const GasSchedule& schedule)
+      : limit_(limit), schedule_(schedule) {}
+
+  /// Consume `amount`; fails with kExhausted when the limit is crossed.
+  [[nodiscard]] Status charge(Gas amount) {
+    used_ += amount;
+    if (used_ > limit_) {
+      return Error(Errc::kExhausted, "out of gas");
+    }
+    return ok_status();
+  }
+
+  [[nodiscard]] Gas used() const { return used_ < limit_ ? used_ : limit_; }
+  [[nodiscard]] Gas limit() const { return limit_; }
+  [[nodiscard]] const GasSchedule& schedule() const { return schedule_; }
+
+ private:
+  Gas limit_;
+  GasSchedule schedule_;
+  Gas used_ = 0;
+};
+
+}  // namespace hc::chain

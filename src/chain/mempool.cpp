@@ -1,0 +1,60 @@
+#include "chain/mempool.hpp"
+
+namespace hc::chain {
+
+Status Mempool::add(SignedMessage msg) {
+  if (!msg.verify()) {
+    return Error(Errc::kInvalidSignature, "mempool rejects unsigned message");
+  }
+  auto& per_sender = pending_[msg.message.from];
+  const std::uint64_t nonce = msg.message.nonce;
+  if (per_sender.contains(nonce)) {
+    return Error(Errc::kAlreadyExists,
+                 "duplicate nonce " + std::to_string(nonce));
+  }
+  per_sender.emplace(nonce, std::move(msg));
+  return ok_status();
+}
+
+std::vector<SignedMessage> Mempool::select(
+    std::size_t max,
+    const std::function<std::uint64_t(const Address&)>& next_nonce) const {
+  std::vector<SignedMessage> out;
+  for (const auto& [sender, msgs] : pending_) {
+    std::uint64_t expected = next_nonce(sender);
+    for (auto it = msgs.find(expected); it != msgs.end(); ++it) {
+      if (it->first != expected) break;  // nonce gap: stop this sender
+      if (out.size() >= max) return out;
+      out.push_back(it->second);
+      ++expected;
+    }
+  }
+  return out;
+}
+
+void Mempool::remove_included(const std::vector<SignedMessage>& included) {
+  for (const auto& sm : included) {
+    auto it = pending_.find(sm.message.from);
+    if (it == pending_.end()) continue;
+    it->second.erase(sm.message.nonce);
+    if (it->second.empty()) pending_.erase(it);
+  }
+}
+
+void Mempool::prune_stale(
+    const std::function<std::uint64_t(const Address&)>& next_nonce) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const std::uint64_t expected = next_nonce(it->first);
+    auto& msgs = it->second;
+    msgs.erase(msgs.begin(), msgs.lower_bound(expected));
+    it = msgs.empty() ? pending_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t Mempool::size() const {
+  std::size_t n = 0;
+  for (const auto& [sender, msgs] : pending_) n += msgs.size();
+  return n;
+}
+
+}  // namespace hc::chain

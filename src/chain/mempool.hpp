@@ -1,0 +1,46 @@
+// Mempool: pending user messages awaiting inclusion.
+//
+// Each subnet instantiates its own mempool (paper §III-A). Selection is
+// deterministic: per-sender nonce order, senders in address order — so all
+// honest proposers holding the same pool contents build the same block.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "chain/message.hpp"
+#include "common/result.hpp"
+
+namespace hc::chain {
+
+class Mempool {
+ public:
+  /// Add a message. Rejects invalid signatures and (sender, nonce)
+  /// duplicates. No balance check — that happens at execution.
+  Status add(SignedMessage msg);
+
+  /// Select up to `max` messages for a block, nonce-ordered per sender
+  /// starting at each sender's `next_nonce` (from chain state).
+  [[nodiscard]] std::vector<SignedMessage> select(
+      std::size_t max,
+      const std::function<std::uint64_t(const Address&)>& next_nonce) const;
+
+  /// Drop messages included in a committed block (by sender+nonce).
+  void remove_included(const std::vector<SignedMessage>& included);
+
+  /// Drop every message whose nonce is below the sender's next nonce.
+  void prune_stale(
+      const std::function<std::uint64_t(const Address&)>& next_nonce);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  // sender -> (nonce -> message); ordered for deterministic iteration.
+  std::map<Address, std::map<std::uint64_t, SignedMessage>> pending_;
+};
+
+}  // namespace hc::chain

@@ -1,0 +1,57 @@
+// Execution receipts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "chain/gas.hpp"
+
+namespace hc::chain {
+
+/// Message execution outcome. Values are stable (serialized in receipts).
+enum class ExitCode : std::uint8_t {
+  kOk = 0,
+  kSysInsufficientFunds = 1,
+  kSysInvalidNonce = 2,
+  kSysInvalidMethod = 3,
+  kSysInvalidReceiver = 4,
+  kSysOutOfGas = 5,
+  kSysInvalidSignature = 6,
+  kActorError = 10,  // actor logic returned an operational error
+};
+
+[[nodiscard]] constexpr bool success(ExitCode c) { return c == ExitCode::kOk; }
+
+/// An event emitted by an actor during execution. The node layer watches
+/// these to learn about SCA state changes (new top-down msgs, committed
+/// checkpoints, atomic-execution transitions) without re-reading state.
+struct ActorEvent {
+  std::string kind;
+  Bytes payload;
+
+  void encode_to(Encoder& e) const { e.str(kind).bytes(payload); }
+  [[nodiscard]] static Result<ActorEvent> decode_from(Decoder& d) {
+    ActorEvent ev;
+    HC_TRY(kind, d.str());
+    HC_TRY(payload, d.bytes());
+    ev.kind = std::move(kind);
+    ev.payload = std::move(payload);
+    return ev;
+  }
+  bool operator==(const ActorEvent&) const = default;
+};
+
+struct Receipt {
+  ExitCode exit = ExitCode::kOk;
+  Bytes ret;             // actor return payload
+  Gas gas_used = 0;
+  std::string error;     // human-readable failure context (not consensus)
+  std::vector<ActorEvent> events;
+
+  [[nodiscard]] bool ok() const { return success(exit); }
+};
+
+}  // namespace hc::chain

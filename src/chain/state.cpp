@@ -1,0 +1,86 @@
+#include "chain/state.hpp"
+
+namespace hc::chain {
+
+const ActorEntry* StateTree::get(const Address& addr) const {
+  auto it = actors_.find(addr);
+  return it == actors_.end() ? nullptr : &it->second;
+}
+
+void StateTree::set(const Address& addr, ActorEntry entry) {
+  actors_[addr] = std::move(entry);
+}
+
+ActorEntry& StateTree::get_or_create(const Address& addr) {
+  return actors_[addr];
+}
+
+void StateTree::remove(const Address& addr) { actors_.erase(addr); }
+
+TokenAmount StateTree::total_balance() const {
+  TokenAmount total;
+  for (const auto& [addr, entry] : actors_) total += entry.balance;
+  return total;
+}
+
+void StateTree::encode_to(Encoder& e) const {
+  e.varint(actors_.size());
+  for (const auto& [addr, entry] : actors_) {
+    e.obj(addr).obj(entry);
+  }
+}
+
+Result<StateTree> StateTree::decode_from(Decoder& d) {
+  StateTree t;
+  HC_TRY(count, d.varint());
+  if (count > (1u << 22)) {
+    return Error(Errc::kDecodeError, "state tree too large");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    HC_TRY(addr, d.obj<Address>());
+    HC_TRY(entry, d.obj<ActorEntry>());
+    t.actors_.emplace(addr, std::move(entry));
+  }
+  return t;
+}
+
+Bytes StateTree::leaf_bytes(const Address& addr, const ActorEntry& entry) {
+  Encoder e;
+  e.obj(addr).obj(entry);
+  return std::move(e).take();
+}
+
+Cid StateTree::flush() const {
+  std::vector<Bytes> leaves;
+  leaves.reserve(actors_.size());
+  for (const auto& [addr, entry] : actors_) {
+    leaves.push_back(leaf_bytes(addr, entry));
+  }
+  return Cid(CidCodec::kStateRoot, crypto::MerkleTree::root_of(leaves));
+}
+
+Result<crypto::MerkleProof> StateTree::prove(const Address& addr) const {
+  std::vector<Bytes> leaves;
+  leaves.reserve(actors_.size());
+  std::size_t index = actors_.size();
+  std::size_t i = 0;
+  for (const auto& [a, entry] : actors_) {
+    if (a == addr) index = i;
+    leaves.push_back(leaf_bytes(a, entry));
+    ++i;
+  }
+  if (index == actors_.size()) {
+    return Error(Errc::kNotFound, "no actor at " + addr.to_string());
+  }
+  return crypto::MerkleTree(leaves).prove(index);
+}
+
+bool StateTree::verify_entry(const Cid& root, const Address& addr,
+                             const ActorEntry& entry,
+                             const crypto::MerkleProof& proof) {
+  if (root.codec() != CidCodec::kStateRoot) return false;
+  return crypto::MerkleTree::verify(root.digest(), leaf_bytes(addr, entry),
+                                    proof);
+}
+
+}  // namespace hc::chain

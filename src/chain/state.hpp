@@ -1,0 +1,119 @@
+// The state tree: every actor's balance, nonce, code and serialized state.
+//
+// Deterministically committable: flush() canonically encodes the (ordered)
+// actor map and returns its CID, which block headers carry as state_root.
+// Snapshots support the executor's revert-on-failure semantics and the
+// paper's SCA `save()` function (§III-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/address.hpp"
+#include "common/cid.hpp"
+#include "common/codec.hpp"
+#include "common/token.hpp"
+#include "crypto/merkle.hpp"
+
+namespace hc::chain {
+
+/// Identifies which actor logic governs an address.
+using CodeId = std::uint64_t;
+
+constexpr CodeId kCodeNone = 0;
+constexpr CodeId kCodeAccount = 1;
+constexpr CodeId kCodeInit = 2;
+constexpr CodeId kCodeSca = 3;          // Subnet Coordinator Actor
+constexpr CodeId kCodeSubnetActor = 4;  // user-deployed Subnet Actor (SA)
+constexpr CodeId kCodeKvApp = 10;       // demo application actor
+
+/// Well-known addresses (mirroring Filecoin's reserved actor ids).
+inline const Address kSystemAddr = Address::id(0);   // protocol itself
+inline const Address kInitAddr = Address::id(1);     // actor factory
+inline const Address kScaAddr = Address::id(2);      // subnet coordinator
+inline const Address kRewardAddr = Address::id(98);  // fee sink for miners
+inline const Address kBurnAddr = Address::id(99);    // burnt-funds sink
+
+struct ActorEntry {
+  CodeId code = kCodeNone;
+  TokenAmount balance;
+  std::uint64_t nonce = 0;  // meaningful for account actors
+  Bytes state;              // actor-specific serialized state
+
+  void encode_to(Encoder& e) const {
+    e.varint(code).obj(balance).varint(nonce).bytes(state);
+  }
+  [[nodiscard]] static Result<ActorEntry> decode_from(Decoder& d) {
+    ActorEntry a;
+    HC_TRY(code, d.varint());
+    HC_TRY(balance, d.obj<TokenAmount>());
+    HC_TRY(nonce, d.varint());
+    HC_TRY(state, d.bytes());
+    a.code = code;
+    a.balance = balance;
+    a.nonce = nonce;
+    a.state = std::move(state);
+    return a;
+  }
+  bool operator==(const ActorEntry&) const = default;
+};
+
+class StateTree {
+ public:
+  /// Look up an actor; nullptr when absent. The pointer is invalidated by
+  /// any mutation of the tree.
+  [[nodiscard]] const ActorEntry* get(const Address& addr) const;
+
+  /// True when an actor exists at `addr`.
+  [[nodiscard]] bool has(const Address& addr) const { return get(addr) != nullptr; }
+
+  /// Create or overwrite an actor entry.
+  void set(const Address& addr, ActorEntry entry);
+
+  /// Mutable access, creating a default (empty, kCodeNone) entry if absent.
+  [[nodiscard]] ActorEntry& get_or_create(const Address& addr);
+
+  /// Delete an actor (used when killing subnets' SAs is modeled).
+  void remove(const Address& addr);
+
+  /// Total token supply held across all actors (conservation checks).
+  [[nodiscard]] TokenAmount total_balance() const;
+
+  /// Canonical commitment of the whole tree: the Merkle root over the
+  /// per-actor leaves (address order). Merkle-based so that individual
+  /// actor entries can be proven against a committed state root — the
+  /// foundation of §III-C fund recovery from dead subnets.
+  [[nodiscard]] Cid flush() const;
+
+  /// The canonical leaf bytes for one actor (what proofs verify against).
+  [[nodiscard]] static Bytes leaf_bytes(const Address& addr,
+                                        const ActorEntry& entry);
+
+  /// Inclusion proof for the actor at `addr` against flush(). Fails with
+  /// kNotFound when the actor does not exist.
+  [[nodiscard]] Result<crypto::MerkleProof> prove(const Address& addr) const;
+
+  /// Verify that (addr, entry) is part of the state committed by `root`.
+  [[nodiscard]] static bool verify_entry(const Cid& root, const Address& addr,
+                                         const ActorEntry& entry,
+                                         const crypto::MerkleProof& proof);
+
+  /// Deep-copy snapshot / revert, for failed-message rollback.
+  [[nodiscard]] StateTree snapshot() const { return *this; }
+  void revert_to(StateTree snapshot) { actors_ = std::move(snapshot.actors_); }
+
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+
+  /// Iterate in canonical (address) order.
+  [[nodiscard]] auto begin() const { return actors_.begin(); }
+  [[nodiscard]] auto end() const { return actors_.end(); }
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<StateTree> decode_from(Decoder& d);
+
+ private:
+  std::map<Address, ActorEntry> actors_;
+};
+
+}  // namespace hc::chain

@@ -1,0 +1,55 @@
+#include "common/address.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace hc {
+
+std::string Address::to_string() const {
+  switch (kind_) {
+    case Kind::kInvalid:
+      return "<invalid>";
+    case Kind::kId:
+      return "f0" + std::to_string(id_);
+    case Kind::kKey:
+      return "f1" + hc::to_hex(BytesView(key_hash_.data(), 6));
+  }
+  return "<invalid>";
+}
+
+void Address::encode_to(Encoder& e) const {
+  e.u8(static_cast<std::uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kInvalid:
+      break;
+    case Kind::kId:
+      e.varint(id_);
+      break;
+    case Kind::kKey:
+      e.raw(digest_view(key_hash_));
+      break;
+  }
+}
+
+Result<Address> Address::decode_from(Decoder& d) {
+  HC_TRY(kind, d.u8());
+  Address a;
+  switch (static_cast<Kind>(kind)) {
+    case Kind::kInvalid:
+      return a;
+    case Kind::kId: {
+      HC_TRY(id, d.varint());
+      return Address::id(id);
+    }
+    case Kind::kKey: {
+      HC_TRY(raw, d.raw(32));
+      a.kind_ = Kind::kKey;
+      std::copy(raw.begin(), raw.end(), a.key_hash_.begin());
+      return a;
+    }
+  }
+  return Error(Errc::kDecodeError, "unknown address kind");
+}
+
+}  // namespace hc

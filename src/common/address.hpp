@@ -1,0 +1,86 @@
+// Account/actor addresses.
+//
+// Two address classes, mirroring Filecoin's scheme:
+//   - ID addresses ("f0<n>"): compact sequential ids assigned by the Init
+//     actor; used for system actors and as the canonical on-chain identity.
+//   - Key addresses ("f1<hex>"): hash of a public key; used by externally
+//     owned accounts before/while an ID is assigned.
+//
+// Addresses are *subnet-local*: the same Address may exist in many subnets
+// with unrelated state. Cross-net message routing pairs an Address with a
+// SubnetId (see core/subnet_id.hpp).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/codec.hpp"
+#include "common/hash.hpp"
+
+namespace hc {
+
+class Address {
+ public:
+  enum class Kind : std::uint8_t { kInvalid = 0, kId = 1, kKey = 2 };
+
+  /// Invalid/empty address.
+  Address() = default;
+
+  /// ID address f0<id>.
+  [[nodiscard]] static Address id(std::uint64_t actor_id) {
+    Address a;
+    a.kind_ = Kind::kId;
+    a.id_ = actor_id;
+    return a;
+  }
+
+  /// Key address from a public key (f1<hash>).
+  [[nodiscard]] static Address key(BytesView pubkey) {
+    Address a;
+    a.kind_ = Kind::kKey;
+    a.key_hash_ = Sha256::hash(pubkey);
+    a.id_ = 0;
+    return a;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool valid() const { return kind_ != Kind::kInvalid; }
+  [[nodiscard]] bool is_id() const { return kind_ == Kind::kId; }
+
+  /// Actor id; only meaningful for ID addresses.
+  [[nodiscard]] std::uint64_t actor_id() const { return id_; }
+
+  /// Public-key hash; only meaningful for key addresses.
+  [[nodiscard]] const Digest& key_hash() const { return key_hash_; }
+
+  /// "f065" or "f1a3b4…" or "<invalid>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<Address> decode_from(Decoder& d);
+
+ private:
+  Kind kind_ = Kind::kInvalid;
+  std::uint64_t id_ = 0;
+  Digest key_hash_{};
+};
+
+}  // namespace hc
+
+template <>
+struct std::hash<hc::Address> {
+  std::size_t operator()(const hc::Address& a) const noexcept {
+    if (a.kind() == hc::Address::Kind::kId) {
+      return std::hash<std::uint64_t>{}(a.actor_id()) ^ 0x9e3779b97f4a7c15ull;
+    }
+    std::size_t h = static_cast<std::size_t>(a.kind());
+    for (int i = 0; i < 8; ++i) {
+      h = (h << 8) | a.key_hash()[static_cast<std::size_t>(i)];
+    }
+    return h;
+  }
+};

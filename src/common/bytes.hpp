@@ -1,0 +1,41 @@
+// Byte-buffer vocabulary type and hex helpers.
+//
+// `Bytes` is the universal wire/content representation in the library: every
+// encoded message, block, checkpoint and actor-state blob is a `Bytes` value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hc {
+
+/// Owned byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes (read-only).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex (two chars per byte, no prefix).
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Decode a hex string (with or without "0x" prefix). Returns std::nullopt on
+/// malformed input (odd length or non-hex character).
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Convert a string literal/value to bytes (no terminator).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Concatenate any number of byte views into a fresh buffer.
+[[nodiscard]] Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Constant-time equality (length leak only); used for digest comparison.
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace hc

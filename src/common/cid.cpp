@@ -1,0 +1,33 @@
+#include "common/cid.hpp"
+
+#include <algorithm>
+
+namespace hc {
+
+bool Cid::is_null() const {
+  return codec_ == CidCodec::kRaw &&
+         std::all_of(digest_.begin(), digest_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Cid::to_string() const {
+  std::string hex = hc::to_hex(BytesView(digest_.data(), 4));
+  return "cid:" + std::to_string(static_cast<int>(codec_)) + ":" + hex + "…";
+}
+
+std::string Cid::to_hex() const {
+  return hc::to_hex(digest_view(digest_));
+}
+
+Result<Cid> Cid::decode_from(Decoder& d) {
+  HC_TRY(codec, d.u8());
+  if (codec > static_cast<std::uint8_t>(CidCodec::kActorState)) {
+    return Error(Errc::kDecodeError, "unknown CID codec");
+  }
+  HC_TRY(raw, d.raw(32));
+  Digest digest;
+  std::copy(raw.begin(), raw.end(), digest.begin());
+  return Cid(static_cast<CidCodec>(codec), digest);
+}
+
+}  // namespace hc

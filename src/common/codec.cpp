@@ -1,0 +1,152 @@
+#include "common/codec.hpp"
+
+namespace hc {
+
+Encoder& Encoder::u8(std::uint8_t v) {
+  buf_.push_back(v);
+  return *this;
+}
+
+Encoder& Encoder::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+Encoder& Encoder::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+Encoder& Encoder::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+Encoder& Encoder::i64(std::int64_t v) {
+  return u64(static_cast<std::uint64_t>(v));
+}
+
+Encoder& Encoder::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+Encoder& Encoder::boolean(bool v) { return u8(v ? 1 : 0); }
+
+Encoder& Encoder::bytes(BytesView v) {
+  varint(v.size());
+  return raw(v);
+}
+
+Encoder& Encoder::str(std::string_view v) {
+  varint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  return *this;
+}
+
+Encoder& Encoder::raw(BytesView v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  return *this;
+}
+
+Status Decoder::need(std::size_t n) {
+  if (data_.size() - pos_ < n) {
+    return Error(Errc::kDecodeError, "unexpected end of input");
+  }
+  return ok_status();
+}
+
+Result<std::uint8_t> Decoder::u8() {
+  HC_TRY_STATUS(need(1));
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> Decoder::u16() {
+  HC_TRY_STATUS(need(2));
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> Decoder::u32() {
+  HC_TRY_STATUS(need(4));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> Decoder::u64() {
+  HC_TRY_STATUS(need(8));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> Decoder::i64() {
+  HC_TRY(v, u64());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<std::uint64_t> Decoder::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    HC_TRY_STATUS(need(1));
+    const std::uint8_t b = data_[pos_++];
+    if (shift == 63 && (b & 0x7e) != 0) {
+      return Error(Errc::kDecodeError, "varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      // Canonicality: reject non-minimal encodings (a zero final group
+      // after a continuation), so every value has exactly one encoding —
+      // required for content addressing to be injective.
+      if (shift > 0 && b == 0) {
+        return Error(Errc::kDecodeError, "non-minimal varint");
+      }
+      break;
+    }
+    shift += 7;
+    if (shift > 63) return Error(Errc::kDecodeError, "varint too long");
+  }
+  return v;
+}
+
+Result<bool> Decoder::boolean() {
+  HC_TRY(v, u8());
+  if (v > 1) return Error(Errc::kDecodeError, "invalid boolean");
+  return v == 1;
+}
+
+Result<Bytes> Decoder::bytes() {
+  HC_TRY(len, varint());
+  if (len > remaining()) return Error(Errc::kDecodeError, "bytes overrun");
+  return raw(static_cast<std::size_t>(len));
+}
+
+Result<std::string> Decoder::str() {
+  HC_TRY(b, bytes());
+  return std::string(b.begin(), b.end());
+}
+
+Result<Bytes> Decoder::raw(std::size_t n) {
+  HC_TRY_STATUS(need(n));
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace hc

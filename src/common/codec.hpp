@@ -1,0 +1,142 @@
+// Canonical binary codec.
+//
+// Every hashed or signed structure in the library (messages, blocks,
+// checkpoints, actor state) is serialized with this codec so that equal
+// values always produce identical bytes (a requirement for content
+// addressing — see cid.hpp). The format is a compact deterministic TLV-free
+// encoding: fixed-width big-endian integers for ordering-sensitive fields,
+// LEB128 varints for counts, and length-prefixed byte strings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace hc {
+
+/// Append-only encoder. Methods return *this to allow chaining.
+class Encoder {
+ public:
+  Encoder& u8(std::uint8_t v);
+  Encoder& u16(std::uint16_t v);   // big-endian
+  Encoder& u32(std::uint32_t v);   // big-endian
+  Encoder& u64(std::uint64_t v);   // big-endian
+  Encoder& i64(std::int64_t v);    // zig-zag free: two's complement BE
+  Encoder& varint(std::uint64_t v);  // LEB128
+  Encoder& boolean(bool v);
+  Encoder& bytes(BytesView v);     // varint length + raw
+  Encoder& str(std::string_view v);
+
+  /// Raw append with NO length prefix (for fixed-size digests etc.).
+  Encoder& raw(BytesView v);
+
+  /// Encode any type that provides `void encode_to(Encoder&) const`.
+  template <typename T>
+  Encoder& obj(const T& v) {
+    v.encode_to(*this);
+    return *this;
+  }
+
+  /// Encode a vector of encodable objects (varint count + items).
+  template <typename T>
+  Encoder& vec(const std::vector<T>& items) {
+    varint(items.size());
+    for (const auto& item : items) obj(item);
+    return *this;
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes&& take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a byte view.
+class Decoder {
+ public:
+  explicit Decoder(BytesView data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<std::int64_t> i64();
+  [[nodiscard]] Result<std::uint64_t> varint();
+  [[nodiscard]] Result<bool> boolean();
+  [[nodiscard]] Result<Bytes> bytes();
+  [[nodiscard]] Result<std::string> str();
+
+  /// Read exactly `n` raw bytes (no length prefix).
+  [[nodiscard]] Result<Bytes> raw(std::size_t n);
+
+  /// Decode a T via its static `decode_from(Decoder&) -> Result<T>`.
+  template <typename T>
+  [[nodiscard]] Result<T> obj() {
+    return T::decode_from(*this);
+  }
+
+  /// Decode a vector of T (varint count + items). `max` guards against
+  /// maliciously huge counts.
+  template <typename T>
+  [[nodiscard]] Result<std::vector<T>> vec(std::size_t max = 1u << 20) {
+    HC_TRY(count, varint());
+    if (count > max) return Error(Errc::kDecodeError, "vector too large");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      HC_TRY(item, obj<T>());
+      out.push_back(std::move(item));
+    }
+    return out;
+  }
+
+  /// True when all input has been consumed.
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] Status need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Encode a bare integer as a varint blob (event payloads, ids).
+[[nodiscard]] inline Bytes encode_varint(std::uint64_t v) {
+  Encoder e;
+  e.varint(v);
+  return std::move(e).take();
+}
+
+/// Decode a bare varint blob.
+[[nodiscard]] inline Result<std::uint64_t> decode_varint(BytesView data) {
+  Decoder d(data);
+  HC_TRY(v, d.varint());
+  if (!d.done()) return Error(Errc::kDecodeError, "trailing bytes");
+  return v;
+}
+
+/// Encode a single encodable object to bytes.
+template <typename T>
+[[nodiscard]] Bytes encode(const T& v) {
+  Encoder e;
+  e.obj(v);
+  return std::move(e).take();
+}
+
+/// Decode a single object, requiring the input to be fully consumed.
+template <typename T>
+[[nodiscard]] Result<T> decode(BytesView data) {
+  Decoder d(data);
+  HC_TRY(v, d.obj<T>());
+  if (!d.done()) return Error(Errc::kDecodeError, "trailing bytes");
+  return v;
+}
+
+}  // namespace hc

@@ -1,0 +1,34 @@
+#include "common/errors.hpp"
+
+namespace hc {
+
+std::string_view errc_name(Errc code) {
+  switch (code) {
+    case Errc::kOk: return "kOk";
+    case Errc::kInvalidArgument: return "kInvalidArgument";
+    case Errc::kNotFound: return "kNotFound";
+    case Errc::kAlreadyExists: return "kAlreadyExists";
+    case Errc::kOutOfRange: return "kOutOfRange";
+    case Errc::kDecodeError: return "kDecodeError";
+    case Errc::kInsufficientFunds: return "kInsufficientFunds";
+    case Errc::kPermissionDenied: return "kPermissionDenied";
+    case Errc::kInvalidSignature: return "kInvalidSignature";
+    case Errc::kInvalidNonce: return "kInvalidNonce";
+    case Errc::kStateConflict: return "kStateConflict";
+    case Errc::kUnavailable: return "kUnavailable";
+    case Errc::kTimeout: return "kTimeout";
+    case Errc::kAborted: return "kAborted";
+    case Errc::kExhausted: return "kExhausted";
+    case Errc::kInternal: return "kInternal";
+  }
+  return "kUnknown";
+}
+
+std::string Error::to_string() const {
+  std::string out(errc_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace hc

@@ -1,0 +1,57 @@
+// Error vocabulary for operational (recoverable) failures.
+//
+// Programming errors (contract violations) use assertions/exceptions;
+// operational errors — malformed input, insufficient funds, unknown subnet —
+// travel through Result<T> (see result.hpp) carrying an Error value.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hc {
+
+/// Coarse error categories shared across all modules.
+enum class Errc {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kDecodeError,
+  kInsufficientFunds,
+  kPermissionDenied,
+  kInvalidSignature,
+  kInvalidNonce,
+  kStateConflict,
+  kUnavailable,       // e.g., inactive subnet, network partition
+  kTimeout,
+  kAborted,           // e.g., atomic execution aborted
+  kExhausted,         // e.g., out of gas
+  kInternal,
+};
+
+/// Human-readable name for an error category.
+[[nodiscard]] std::string_view errc_name(Errc code);
+
+/// An error: category plus a contextual message.
+class Error {
+ public:
+  Error(Errc code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] Errc code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "kNotFound: subnet /root/f0101 is not registered"
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Errc code_;
+  std::string message_;
+};
+
+}  // namespace hc

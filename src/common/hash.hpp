@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// Lives in `common` (rather than `crypto`) because content identifiers —
+// the backbone of the whole system — are hash-derived, and every module
+// depends on them. Higher-level primitives (HMAC, signatures, Merkle trees)
+// live in `crypto`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace hc {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input.
+  Sha256& update(BytesView data);
+
+  /// Finalize and return the digest. The hasher must not be reused after.
+  [[nodiscard]] Digest finalize();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(BytesView data);
+
+  /// One-shot over the concatenation of several views.
+  [[nodiscard]] static Digest hash_all(std::initializer_list<BytesView> parts);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_len_ = 0;   // bytes absorbed
+  std::size_t buffer_len_ = 0;    // bytes pending in buffer_
+};
+
+/// View of a digest as bytes.
+[[nodiscard]] inline BytesView digest_view(const Digest& d) {
+  return BytesView(d.data(), d.size());
+}
+
+}  // namespace hc

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace hc {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "OFF";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, std::string_view msg) {
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace hc

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded and deterministic, so the logger is
+// deliberately simple: a process-global level and sink. Tests set the level
+// to kOff; examples raise it to kInfo to narrate protocol runs.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hc {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// Replace the output sink (default: stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view msg);
+
+  [[nodiscard]] static bool enabled(LogLevel level) {
+    return level <= Log::level() && Log::level() != LogLevel::kOff;
+  }
+};
+
+/// Stream-style log statement builder:
+///   LogLine(LogLevel::kInfo) << "subnet " << id << " spawned";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (Log::enabled(level_)) Log::write(level_, out_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Log::enabled(level_)) out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace hc

@@ -1,0 +1,112 @@
+// Result<T>: value-or-Error, the library's return type for operations that
+// can fail for operational reasons (C++23 std::expected is unavailable under
+// the C++20 target, so we provide the minimal subset we need).
+//
+// Usage:
+//   Result<Block> r = decode_block(bytes);
+//   if (!r) return r.error();
+//   use(r.value());
+//
+// The HC_TRY macro unwraps a Result or early-returns its error, mirroring
+// Rust's `?`. It is the single (justified) macro in the library: there is no
+// non-macro way to express early return in the caller's frame.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/errors.hpp"
+
+namespace hc {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return error;`.
+  Result(T value) : v_(std::move(value)) {}            // NOLINT
+  Result(Error error) : v_(std::move(error)) {}        // NOLINT
+  Result(Errc code, std::string message)
+      : v_(Error(code, std::move(message))) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok() && "Result::error() on value");
+    return std::get<Error>(v_);
+  }
+
+  /// Value or a fallback if this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result specialization for operations with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : err_(std::move(error)) {}  // NOLINT
+  Result(Errc code, std::string message)
+      : err_(Error(code, std::move(message))) {}
+
+  [[nodiscard]] bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok() && "Result::error() on success");
+    return *err_;
+  }
+
+  [[nodiscard]] static Result success() { return {}; }
+
+ private:
+  std::optional<Error> err_;
+};
+
+using Status = Result<void>;
+
+/// Convenience constructor for success statuses.
+[[nodiscard]] inline Status ok_status() { return Status::success(); }
+
+/// Drop a Result's payload, keeping only success/failure.
+template <typename T>
+[[nodiscard]] Status to_status(const Result<T>& r) {
+  if (r.ok()) return ok_status();
+  return r.error();
+}
+
+}  // namespace hc
+
+// Unwrap a Result<T> into `var` or early-return the error.
+#define HC_TRY(var, expr)                      \
+  auto var##_result_ = (expr);                 \
+  if (!var##_result_) return var##_result_.error(); \
+  auto var = std::move(var##_result_).value()
+
+// Propagate a Status-producing expression's error.
+#define HC_TRY_STATUS(expr)                    \
+  do {                                         \
+    auto status_ = (expr);                     \
+    if (!status_) return status_.error();      \
+  } while (false)

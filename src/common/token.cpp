@@ -1,0 +1,102 @@
+#include "common/token.hpp"
+
+namespace hc {
+
+namespace {
+
+constexpr __int128 kInt128Max =
+    (static_cast<__int128>(1) << 126) - 1 + (static_cast<__int128>(1) << 126);
+constexpr __int128 kInt128Min = -kInt128Max - 1;
+
+}  // namespace
+
+std::string TokenAmount::to_string() const {
+  __int128 v = v_;
+  const bool neg = v < 0;
+  if (neg) v = -v;
+  const __int128 whole = v / kAttoPerToken;
+  const __int128 frac = v % kAttoPerToken;
+
+  auto u128_to_string = [](__int128 x) {
+    if (x == 0) return std::string("0");
+    std::string s;
+    while (x > 0) {
+      s.push_back(static_cast<char>('0' + static_cast<int>(x % 10)));
+      x /= 10;
+    }
+    return std::string(s.rbegin(), s.rend());
+  };
+
+  std::string out = neg ? "-" : "";
+  out += u128_to_string(whole);
+  if (frac != 0) {
+    std::string f = u128_to_string(frac);
+    f.insert(f.begin(), 18 - f.size(), '0');
+    // Trim trailing zeros for readability.
+    while (!f.empty() && f.back() == '0') f.pop_back();
+    out += "." + f;
+  }
+  out += " tok";
+  return out;
+}
+
+TokenAmount& TokenAmount::operator+=(TokenAmount rhs) {
+  if (rhs.v_ > 0 && v_ > kInt128Max - rhs.v_) {
+    throw std::overflow_error("TokenAmount overflow in +");
+  }
+  if (rhs.v_ < 0 && v_ < kInt128Min - rhs.v_) {
+    throw std::overflow_error("TokenAmount underflow in +");
+  }
+  v_ += rhs.v_;
+  return *this;
+}
+
+TokenAmount& TokenAmount::operator-=(TokenAmount rhs) {
+  if (rhs.v_ < 0 && v_ > kInt128Max + rhs.v_) {
+    throw std::overflow_error("TokenAmount overflow in -");
+  }
+  if (rhs.v_ > 0 && v_ < kInt128Min + rhs.v_) {
+    throw std::overflow_error("TokenAmount underflow in -");
+  }
+  v_ -= rhs.v_;
+  return *this;
+}
+
+TokenAmount operator*(TokenAmount a, std::uint64_t k) {
+  if (k == 0 || a.v_ == 0) return TokenAmount();
+  const __int128 limit = (a.v_ > 0 ? kInt128Max : kInt128Min) / static_cast<__int128>(k);
+  if ((a.v_ > 0 && a.v_ > limit) || (a.v_ < 0 && a.v_ < limit)) {
+    throw std::overflow_error("TokenAmount overflow in *");
+  }
+  return TokenAmount(a.v_ * static_cast<__int128>(k));
+}
+
+void TokenAmount::encode_to(Encoder& e) const {
+  // Sign byte + magnitude as two big-endian u64 halves.
+  const bool neg = v_ < 0;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-v_)
+                              : static_cast<unsigned __int128>(v_);
+  e.u8(neg ? 1 : 0);
+  e.u64(static_cast<std::uint64_t>(mag >> 64));
+  e.u64(static_cast<std::uint64_t>(mag));
+}
+
+Result<TokenAmount> TokenAmount::decode_from(Decoder& d) {
+  HC_TRY(sign, d.u8());
+  if (sign > 1) return Error(Errc::kDecodeError, "bad token sign byte");
+  HC_TRY(hi, d.u64());
+  HC_TRY(lo, d.u64());
+  unsigned __int128 mag =
+      (static_cast<unsigned __int128>(hi) << 64) | lo;
+  if (mag > static_cast<unsigned __int128>(kInt128Max)) {
+    return Error(Errc::kDecodeError, "token magnitude overflow");
+  }
+  if (sign == 1 && mag == 0) {
+    // Canonicality: zero has exactly one encoding (positive).
+    return Error(Errc::kDecodeError, "non-canonical negative zero");
+  }
+  __int128 v = static_cast<__int128>(mag);
+  return TokenAmount::atto(sign == 1 ? -v : v);
+}
+
+}  // namespace hc

@@ -1,0 +1,74 @@
+// TokenAmount: checked 128-bit fixed-point token arithmetic.
+//
+// Amounts are held in "atto" units (10^-18 of a whole token), matching
+// Filecoin's attoFIL. All arithmetic is overflow-checked: supply accounting
+// is the foundation of the paper's firewall property (§II), so silent
+// wraparound would be a correctness disaster. Amounts may be transiently
+// negative only inside accounting deltas; the chain layer enforces
+// non-negative balances.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/codec.hpp"
+
+namespace hc {
+
+class TokenAmount {
+ public:
+  /// Zero tokens.
+  constexpr TokenAmount() = default;
+
+  /// From raw atto units.
+  [[nodiscard]] static constexpr TokenAmount atto(__int128 v) {
+    return TokenAmount(v);
+  }
+
+  /// From whole tokens (10^18 atto each).
+  [[nodiscard]] static constexpr TokenAmount whole(std::int64_t tokens) {
+    return TokenAmount(static_cast<__int128>(tokens) * kAttoPerToken);
+  }
+
+  [[nodiscard]] constexpr __int128 raw() const { return v_; }
+  [[nodiscard]] constexpr bool is_zero() const { return v_ == 0; }
+  [[nodiscard]] constexpr bool negative() const { return v_ < 0; }
+
+  /// Whole-token part (truncated toward zero), e.g. for display.
+  [[nodiscard]] constexpr std::int64_t whole_part() const {
+    return static_cast<std::int64_t>(v_ / kAttoPerToken);
+  }
+
+  /// "12.000000000000000345 tok" style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  TokenAmount& operator+=(TokenAmount rhs);
+  TokenAmount& operator-=(TokenAmount rhs);
+  [[nodiscard]] friend TokenAmount operator+(TokenAmount a, TokenAmount b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend TokenAmount operator-(TokenAmount a, TokenAmount b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] TokenAmount operator-() const { return TokenAmount(-v_); }
+
+  /// Scalar multiply (gas pricing). Throws std::overflow_error on overflow.
+  friend TokenAmount operator*(TokenAmount a, std::uint64_t k);
+
+  friend constexpr auto operator<=>(TokenAmount, TokenAmount) = default;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<TokenAmount> decode_from(Decoder& d);
+
+  static constexpr __int128 kAttoPerToken = static_cast<__int128>(1000000000ull) * 1000000000ull;
+
+ private:
+  explicit constexpr TokenAmount(__int128 v) : v_(v) {}
+  __int128 v_ = 0;
+};
+
+}  // namespace hc

@@ -1,0 +1,40 @@
+#include "consensus/engine.hpp"
+
+#include "consensus/lottery.hpp"
+#include "consensus/poa.hpp"
+#include "consensus/rrbft.hpp"
+#include "consensus/tendermint.hpp"
+
+namespace hc::consensus {
+
+std::uint64_t ValidatorSet::total_power() const {
+  std::uint64_t total = 0;
+  for (const auto& m : members_) total += m.power;
+  return total;
+}
+
+std::optional<std::size_t> ValidatorSet::index_of(
+    const crypto::PublicKey& key) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].key == key) return i;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Engine> make_engine(core::ConsensusType type,
+                                    EngineContext context,
+                                    EngineConfig config) {
+  switch (type) {
+    case core::ConsensusType::kPoaRoundRobin:
+      return std::make_unique<PoaRoundRobin>(std::move(context), config);
+    case core::ConsensusType::kPowerLottery:
+      return std::make_unique<PowerLottery>(std::move(context), config);
+    case core::ConsensusType::kTendermint:
+      return std::make_unique<Tendermint>(std::move(context), config);
+    case core::ConsensusType::kRoundRobinBft:
+      return std::make_unique<RoundRobinBft>(std::move(context), config);
+  }
+  return nullptr;
+}
+
+}  // namespace hc::consensus

@@ -1,0 +1,130 @@
+// Pluggable consensus engines.
+//
+// Paper §II: "Subnets can run a consensus algorithm of their choosing to
+// validate blocks"; §VI names Tendermint and MirBFT as integration targets
+// next to Filecoin's Expected Consensus. Every engine drives the same
+// BlockSource interface (assemble / validate / commit), so the subnet node
+// is agnostic to the protocol it runs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chain/block.hpp"
+#include "core/params.hpp"
+#include "crypto/schnorr.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hc::consensus {
+
+/// One member of a subnet's validator set.
+struct Validator {
+  crypto::PublicKey key;
+  std::uint64_t power = 1;  // voting/mining power (stake-derived)
+
+  [[nodiscard]] Address address() const {
+    return Address::key(key.to_bytes());
+  }
+};
+
+class ValidatorSet {
+ public:
+  ValidatorSet() = default;
+  explicit ValidatorSet(std::vector<Validator> members)
+      : members_(std::move(members)) {}
+
+  [[nodiscard]] const std::vector<Validator>& members() const {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] std::uint64_t total_power() const;
+
+  /// Index of a key in the set; nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      const crypto::PublicKey& key) const;
+
+  /// Count-based BFT quorum: 2f+1 where f = (n-1)/3.
+  [[nodiscard]] std::size_t quorum() const {
+    return size() == 0 ? 0 : 2 * ((size() - 1) / 3) + 1;
+  }
+  /// Maximum tolerable Byzantine members.
+  [[nodiscard]] std::size_t max_faulty() const {
+    return size() == 0 ? 0 : (size() - 1) / 3;
+  }
+
+ private:
+  std::vector<Validator> members_;
+};
+
+/// Node-side callbacks an engine drives. The engine owns WHEN blocks happen;
+/// the BlockSource owns WHAT is in them and what they do to state.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+
+  /// Assemble a candidate block extending the current head.
+  [[nodiscard]] virtual chain::Block build_block(const Address& miner) = 0;
+
+  /// Validate a proposed block against the current head/state (without
+  /// committing). Implementations must be side-effect free.
+  [[nodiscard]] virtual Status validate_block(const chain::Block& block) = 0;
+
+  /// Irreversibly append a block. `proof` is the consensus commitment
+  /// (leader signature, quorum certificate, ...) recorded in the header.
+  virtual void commit_block(chain::Block block, Bytes proof) = 0;
+
+  [[nodiscard]] virtual chain::Epoch head_height() const = 0;
+  [[nodiscard]] virtual Cid head_cid() const = 0;
+
+  /// Historical access, used by catch-up sync for recovering validators.
+  [[nodiscard]] virtual std::optional<chain::Block> block_at(
+      chain::Epoch height) const = 0;
+  /// The consensus proof recorded when `height` was committed.
+  [[nodiscard]] virtual Bytes proof_at(chain::Epoch height) const = 0;
+};
+
+struct EngineConfig {
+  sim::Duration block_time = sim::kSecond;
+  /// Base timeout for leader-failure detection (BFT engines).
+  sim::Duration timeout_base = 2 * sim::kSecond;
+};
+
+/// Everything an engine needs from its environment.
+struct EngineContext {
+  sim::Scheduler* scheduler = nullptr;
+  net::Network* network = nullptr;
+  net::NodeId node = 0;
+  std::string topic;  // consensus pubsub topic (subnet topic + "/consensus")
+  crypto::KeyPair key = crypto::KeyPair::from_label("unset");
+  ValidatorSet validators;
+  BlockSource* source = nullptr;
+  std::uint64_t rng_seed = 0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Begin participating (schedules timers, subscribes handled by node).
+  virtual void start() = 0;
+  /// Stop producing/voting (a crashed or stopped validator).
+  virtual void stop() = 0;
+  /// Deliver a consensus wire message published on the consensus topic.
+  virtual void on_message(net::NodeId from, const Bytes& payload) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Blocks needing `n` confirmations before being final; 0 = instant
+  /// finality (BFT engines). Used by benches reporting time-to-finality.
+  [[nodiscard]] virtual int finality_depth() const { return 0; }
+};
+
+/// Factory covering every ConsensusType a subnet can choose (paper §II).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(core::ConsensusType type,
+                                                  EngineContext context,
+                                                  EngineConfig config);
+
+}  // namespace hc::consensus

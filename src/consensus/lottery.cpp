@@ -1,0 +1,155 @@
+#include "consensus/lottery.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hc::consensus {
+
+namespace {
+
+/// Draw the raw 64-bit ticket for one validator.
+std::uint64_t raw_ticket(const Cid& prev, chain::Epoch height,
+                         const crypto::PublicKey& key) {
+  Encoder e;
+  e.str("hc/lottery").obj(prev).i64(height).obj(key);
+  const Digest d = Sha256::hash(e.data());
+  std::uint64_t t = 0;
+  for (int i = 0; i < 8; ++i) t = (t << 8) | d[static_cast<std::size_t>(i)];
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::size_t> PowerLottery::rank_validators(
+    const ValidatorSet& validators, const Cid& prev, chain::Epoch height) {
+  const auto& members = validators.members();
+  std::vector<std::uint64_t> tickets(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    tickets[i] = raw_ticket(prev, height, members[i].key);
+  }
+  std::vector<std::size_t> order(members.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Effective ticket is ticket/power: compare as exact rationals in 128-bit
+  // (t_a / p_a < t_b / p_b  <=>  t_a * p_b < t_b * p_a). Higher power =>
+  // proportionally smaller effective ticket => leads more often.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const unsigned __int128 lhs =
+        static_cast<unsigned __int128>(tickets[a]) * members[b].power;
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(tickets[b]) * members[a].power;
+    if (lhs != rhs) return lhs < rhs;
+    return a < b;  // stable total order
+  });
+  return order;
+}
+
+PowerLottery::PowerLottery(EngineContext context, EngineConfig config)
+    : ctx_(std::move(context)), cfg_(config) {}
+
+void PowerLottery::start() {
+  running_ = true;
+  slot_start_ = ctx_.scheduler->now();
+  slot_height_ = ctx_.source->head_height() + 1;
+  // Poll at half-block granularity: drives both leading and fallbacks.
+  timer_ = ctx_.scheduler->schedule(cfg_.block_time, [this] { tick(); });
+}
+
+void PowerLottery::stop() {
+  running_ = false;
+  ctx_.scheduler->cancel(timer_);
+}
+
+void PowerLottery::tick() {
+  if (!running_) return;
+  maybe_propose();
+  timer_ =
+      ctx_.scheduler->schedule(cfg_.block_time / 4, [this] { tick(); });
+}
+
+void PowerLottery::maybe_propose() {
+  const chain::Epoch next = ctx_.source->head_height() + 1;
+  if (next != slot_height_) {
+    slot_height_ = next;
+    slot_start_ = ctx_.scheduler->now();
+  }
+  if (proposed_height_ >= next) return;
+
+  const auto order =
+      rank_validators(ctx_.validators, ctx_.source->head_cid(), next);
+  const auto my_index = ctx_.validators.index_of(ctx_.key.public_key());
+  if (!my_index.has_value()) return;
+  const auto rank_it = std::find(order.begin(), order.end(), *my_index);
+  const std::size_t rank =
+      static_cast<std::size_t>(rank_it - order.begin());
+
+  // Rank 0 proposes after one block time; rank r steps in a full extra
+  // block time later per rank, so gossip latency cannot race the expected
+  // leader into a fork.
+  const sim::Time due =
+      slot_start_ +
+      static_cast<sim::Duration>(rank + 1) * cfg_.block_time;
+  if (ctx_.scheduler->now() < due) return;
+
+  proposed_height_ = next;
+  chain::Block block =
+      ctx_.source->build_block(Address::key(ctx_.key.public_key().to_bytes()));
+  // The ticket records the claimed rank for verification.
+  Encoder ticket;
+  ticket.varint(rank);
+  block.header.ticket = ticket.data();
+  block.header.msgs_root = block.compute_msgs_root();
+
+  WireMsg msg = WireMsg::make(WireKind::kBlock, next, 0, block.cid(),
+                              encode(block), ctx_.key);
+  ctx_.network->publish(ctx_.node, ctx_.topic, encode(msg));
+  ctx_.source->commit_block(std::move(block), encode(msg.signature));
+  try_commit_pending();
+}
+
+void PowerLottery::on_message(net::NodeId from, const Bytes& payload) {
+  (void)from;
+  if (!running_) return;
+  auto decoded = decode<WireMsg>(payload);
+  if (!decoded || decoded.value().kind != WireKind::kBlock) return;
+  WireMsg msg = std::move(decoded).value();
+  if (!msg.verify()) return;
+  auto block_r = decode<chain::Block>(msg.block);
+  if (!block_r || block_r.value().cid() != msg.block_cid) return;
+  chain::Block block = std::move(block_r).value();
+
+  // The miner must be a validator and hold the rank claimed in the ticket.
+  const auto idx = ctx_.validators.index_of(msg.sender);
+  if (!idx.has_value()) return;
+  if (block.header.miner != Address::key(msg.sender.to_bytes())) return;
+  if (msg.height <= ctx_.source->head_height()) return;
+
+  pending_[msg.height] = std::move(block);
+  try_commit_pending();
+}
+
+void PowerLottery::try_commit_pending() {
+  for (;;) {
+    const chain::Epoch next = ctx_.source->head_height() + 1;
+    auto it = pending_.find(next);
+    if (it == pending_.end()) break;
+    chain::Block block = std::move(it->second);
+    pending_.erase(it);
+    if (block.header.parent != ctx_.source->head_cid()) continue;
+    // Verify the claimed lottery rank against the deterministic draw.
+    const auto order =
+        rank_validators(ctx_.validators, block.header.parent, next);
+    Decoder d(block.header.ticket);
+    auto rank = d.varint();
+    if (!rank || rank.value() >= order.size()) continue;
+    const auto& claimed =
+        ctx_.validators.members()[order[static_cast<std::size_t>(
+            rank.value())]];
+    if (block.header.miner != claimed.address()) continue;
+    if (!ctx_.source->validate_block(block)) continue;
+    ctx_.source->commit_block(std::move(block), {});
+  }
+  const chain::Epoch head = ctx_.source->head_height();
+  std::erase_if(pending_, [&](const auto& kv) { return kv.first <= head; });
+}
+
+}  // namespace hc::consensus

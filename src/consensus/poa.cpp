@@ -1,0 +1,140 @@
+#include "consensus/poa.hpp"
+
+#include "common/log.hpp"
+
+namespace hc::consensus {
+
+PoaRoundRobin::PoaRoundRobin(EngineContext context, EngineConfig config)
+    : ctx_(std::move(context)), cfg_(config) {}
+
+const Validator& PoaRoundRobin::leader(chain::Epoch height) const {
+  const auto& members = ctx_.validators.members();
+  return members[static_cast<std::size_t>(height) % members.size()];
+}
+
+void PoaRoundRobin::start() {
+  running_ = true;
+  timer_ = ctx_.scheduler->schedule(cfg_.block_time, [this] { tick(); });
+}
+
+void PoaRoundRobin::stop() {
+  running_ = false;
+  ctx_.scheduler->cancel(timer_);
+}
+
+void PoaRoundRobin::tick() {
+  if (!running_) return;
+  // Stall detection: if the chain has not advanced for a few ticks and it
+  // is not our turn, ask peers whether we are behind.
+  if (ctx_.source->head_height() == last_seen_head_) {
+    if (++stalled_ticks_ >= 3) {
+      stalled_ticks_ = 0;
+      request_catch_up();
+    }
+  } else {
+    last_seen_head_ = ctx_.source->head_height();
+    stalled_ticks_ = 0;
+  }
+  const chain::Epoch next = ctx_.source->head_height() + 1;
+  if (next > last_produced_ &&
+      leader(next).key == ctx_.key.public_key()) {
+    last_produced_ = next;
+    chain::Block block = ctx_.source->build_block(
+        Address::key(ctx_.key.public_key().to_bytes()));
+    const Cid cid = block.cid();
+    WireMsg msg = WireMsg::make(WireKind::kBlock, next, 0, cid,
+                                encode(block), ctx_.key);
+    ctx_.network->publish(ctx_.node, ctx_.topic, encode(msg));
+    // The leader commits its own block directly.
+    ctx_.source->commit_block(std::move(block), encode(msg.signature));
+    try_commit_pending();
+  }
+  timer_ = ctx_.scheduler->schedule(cfg_.block_time, [this] { tick(); });
+}
+
+void PoaRoundRobin::on_message(net::NodeId from, const Bytes& payload) {
+  (void)from;
+  if (!running_) return;
+  auto decoded = decode<WireMsg>(payload);
+  if (!decoded) return;
+  WireMsg msg = std::move(decoded).value();
+  if (!msg.verify()) return;
+
+  if (msg.kind == WireKind::kAck) {
+    // Catch-up request: a peer (validator or observer) is missing blocks
+    // from msg.height on.
+    serve_catch_up(msg.height);
+    return;
+  }
+  if (msg.kind != WireKind::kBlock) return;
+
+  // Authority: either signed by THE leader for that height, or a relayed
+  // catch-up copy carrying the leader's original signature in `extra`.
+  const bool from_leader = leader(msg.height).key == msg.sender;
+  if (!from_leader) {
+    auto relayed = decode<crypto::Signature>(msg.extra);
+    if (!relayed) return;
+    const Bytes payload_signed = WireMsg::signing_payload(
+        WireKind::kBlock, msg.height, 0, msg.block_cid);
+    if (!crypto::verify(leader(msg.height).key, payload_signed,
+                        relayed.value())) {
+      return;
+    }
+  }
+  auto block = decode<chain::Block>(msg.block);
+  if (!block || block.value().cid() != msg.block_cid) return;
+  if (msg.height <= ctx_.source->head_height()) return;  // already have it
+  const Bytes proof =
+      from_leader ? encode(msg.signature) : msg.extra;
+  pending_[msg.height] = PendingBlock{std::move(block).value(), proof};
+  if (msg.height > ctx_.source->head_height() + 1 &&
+      !pending_.contains(ctx_.source->head_height() + 1)) {
+    request_catch_up();
+  }
+  try_commit_pending();
+}
+
+void PoaRoundRobin::request_catch_up() {
+  ctx_.network->publish(
+      ctx_.node, ctx_.topic,
+      encode(WireMsg::make(WireKind::kAck, ctx_.source->head_height() + 1, 0,
+                           Cid(), {}, ctx_.key)));
+}
+
+void PoaRoundRobin::serve_catch_up(chain::Epoch from) {
+  constexpr chain::Epoch kMaxServe = 16;
+  const chain::Epoch to =
+      std::min(ctx_.source->head_height(), from + kMaxServe - 1);
+  for (chain::Epoch h = from; h <= to; ++h) {
+    auto block = ctx_.source->block_at(h);
+    if (!block.has_value()) continue;
+    WireMsg relay = WireMsg::make(WireKind::kBlock, h, 0, block->cid(),
+                                  encode(*block), ctx_.key);
+    relay.extra = ctx_.source->proof_at(h);
+    ctx_.network->publish(ctx_.node, ctx_.topic, encode(relay));
+  }
+}
+
+void PoaRoundRobin::try_commit_pending() {
+  for (;;) {
+    const chain::Epoch next = ctx_.source->head_height() + 1;
+    auto it = pending_.find(next);
+    if (it == pending_.end()) break;
+    PendingBlock pb = std::move(it->second);
+    pending_.erase(it);
+    if (pb.block.header.parent != ctx_.source->head_cid()) continue;
+    if (Status ok = ctx_.source->validate_block(pb.block); !ok) {
+      LogLine(LogLevel::kWarn)
+          << "poa: rejecting block at height " << pb.block.header.height
+          << ": " << ok.error().to_string();
+      continue;
+    }
+    ctx_.source->commit_block(std::move(pb.block), std::move(pb.proof));
+  }
+  // Garbage-collect stale buffered blocks.
+  const chain::Epoch head = ctx_.source->head_height();
+  std::erase_if(pending_,
+                [&](const auto& kv) { return kv.first <= head; });
+}
+
+}  // namespace hc::consensus

@@ -1,0 +1,56 @@
+// Proof-of-Authority round-robin consensus.
+//
+// The simplest subnet engine: a fixed validator set takes turns producing
+// one block per block_time; followers validate the leader's signature and
+// commit immediately (instant finality, no fault tolerance to a silent
+// leader — the chain stalls until the leader returns, which the failure-
+// injection tests exercise). This is the engine the paper's low-latency
+// use cases (§I "new use cases ... highly-customized environments") map to.
+#pragma once
+
+#include <map>
+
+#include "consensus/engine.hpp"
+#include "consensus/wire.hpp"
+
+namespace hc::consensus {
+
+class PoaRoundRobin final : public Engine {
+ public:
+  PoaRoundRobin(EngineContext context, EngineConfig config);
+
+  void start() override;
+  void stop() override;
+  void on_message(net::NodeId from, const Bytes& payload) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "poa-round-robin";
+  }
+
+ private:
+  /// Leader for a given height.
+  [[nodiscard]] const Validator& leader(chain::Epoch height) const;
+  void tick();
+  void try_commit_pending();
+  /// Ask peers for blocks starting at head+1 (recovering validator).
+  void request_catch_up();
+  /// Serve a catch-up request for heights >= `from`.
+  void serve_catch_up(chain::Epoch from);
+
+  struct PendingBlock {
+    chain::Block block;
+    Bytes proof;  // the height leader's signature
+  };
+
+  EngineContext ctx_;
+  EngineConfig cfg_;
+  bool running_ = false;
+  sim::EventId timer_ = 0;
+  chain::Epoch last_produced_ = 0;
+  /// Out-of-order blocks buffered by height (gossip may reorder).
+  std::map<chain::Epoch, PendingBlock> pending_;
+  /// Stall detection for catch-up requests.
+  chain::Epoch last_seen_head_ = 0;
+  int stalled_ticks_ = 0;
+};
+
+}  // namespace hc::consensus

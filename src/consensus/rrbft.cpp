@@ -1,0 +1,129 @@
+#include "consensus/rrbft.hpp"
+
+namespace hc::consensus {
+
+RoundRobinBft::RoundRobinBft(EngineContext context, EngineConfig config)
+    : ctx_(std::move(context)), cfg_(config) {}
+
+const Validator& RoundRobinBft::leader(chain::Epoch height,
+                                       std::uint32_t round) const {
+  const auto& members = ctx_.validators.members();
+  return members[(static_cast<std::size_t>(height) + round) % members.size()];
+}
+
+void RoundRobinBft::start() {
+  running_ = true;
+  new_height();
+}
+
+void RoundRobinBft::stop() {
+  running_ = false;
+  ++timer_epoch_;
+}
+
+void RoundRobinBft::new_height() {
+  height_ = ctx_.source->head_height() + 1;
+  proposals_.clear();
+  acks_.clear();
+  std::vector<WireMsg> replay;
+  replay.swap(future_);
+  start_round(0);
+  for (auto& m : replay) handle(std::move(m));
+}
+
+void RoundRobinBft::start_round(std::uint32_t round) {
+  if (!running_) return;
+  round_ = round;
+  acked_this_round_ = false;
+  const std::uint64_t epoch = ++timer_epoch_;
+
+  if (leader(height_, round).key == ctx_.key.public_key()) {
+    // Pace block production: leaders wait out the block time before
+    // proposing (round > 0 backups fire immediately — they are already
+    // late).
+    const sim::Duration delay = round == 0 ? cfg_.block_time : 0;
+    ctx_.scheduler->schedule(delay, [this, epoch, round] {
+      if (!running_ || timer_epoch_ != epoch) return;
+      chain::Block block = ctx_.source->build_block(
+          Address::key(ctx_.key.public_key().to_bytes()));
+      broadcast(WireMsg::make(WireKind::kProposal, height_, round,
+                              block.cid(), encode(block), ctx_.key));
+    });
+  }
+  // Leader-failure timeout.
+  const sim::Duration timeout =
+      cfg_.block_time + cfg_.timeout_base +
+      static_cast<sim::Duration>(round) * (cfg_.timeout_base / 2);
+  ctx_.scheduler->schedule(timeout, [this, epoch, round] {
+    if (!running_ || timer_epoch_ != epoch) return;
+    if (round == round_) start_round(round + 1);
+  });
+}
+
+void RoundRobinBft::broadcast(WireMsg msg) {
+  ctx_.network->publish(ctx_.node, ctx_.topic, encode(msg));
+  handle(std::move(msg));
+}
+
+void RoundRobinBft::on_message(net::NodeId from, const Bytes& payload) {
+  (void)from;
+  if (!running_) return;
+  auto decoded = decode<WireMsg>(payload);
+  if (!decoded) return;
+  handle(std::move(decoded).value());
+}
+
+void RoundRobinBft::handle(WireMsg msg) {
+  if (!msg.verify()) return;
+  if (msg.height < height_) return;
+  if (msg.height > height_) {
+    if (future_.size() < 4096) future_.push_back(std::move(msg));
+    return;
+  }
+  if (msg.kind == WireKind::kProposal) {
+    if (!(leader(height_, msg.round).key == msg.sender)) return;
+    auto block = decode<chain::Block>(msg.block);
+    if (!block || block.value().cid() != msg.block_cid) return;
+    proposals_[msg.round] = std::move(block).value();
+    if (msg.round == round_ && !acked_this_round_ &&
+        ctx_.validators.index_of(ctx_.key.public_key()).has_value() &&
+        ctx_.source->validate_block(proposals_[msg.round]).ok()) {
+      acked_this_round_ = true;
+      broadcast(WireMsg::make(WireKind::kAck, height_, msg.round,
+                              msg.block_cid, {}, ctx_.key));
+    }
+    return;
+  }
+  if (msg.kind == WireKind::kAck) {
+    const auto idx = ctx_.validators.index_of(msg.sender);
+    if (!idx.has_value()) return;
+    acks_[msg.round][msg.block_cid].emplace(*idx, msg.signature);
+    maybe_commit(msg.round, msg.block_cid);
+  }
+}
+
+void RoundRobinBft::maybe_commit(std::uint32_t round, const Cid& cid) {
+  const auto rit = acks_.find(round);
+  if (rit == acks_.end()) return;
+  const auto cit = rit->second.find(cid);
+  if (cit == rit->second.end()) return;
+  if (cit->second.size() < ctx_.validators.quorum()) return;
+
+  auto pit = proposals_.find(round);
+  if (pit == proposals_.end() || pit->second.cid() != cid) return;
+  chain::Block block = pit->second;
+  if (block.header.parent != ctx_.source->head_cid()) return;
+
+  QuorumCert cert;
+  cert.height = height_;
+  cert.round = round;
+  cert.block_cid = cid;
+  for (const auto& [index, sig] : cit->second) {
+    cert.signers.push_back(ctx_.validators.members()[index].key);
+    cert.signatures.push_back(sig);
+  }
+  ctx_.source->commit_block(std::move(block), encode(cert));
+  new_height();
+}
+
+}  // namespace hc::consensus

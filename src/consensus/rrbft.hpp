@@ -1,0 +1,54 @@
+// Rotating-leader BFT with single-round acknowledgements (MirBFT stand-in).
+//
+// Paper §VI names MirBFT as a planned subnet consensus. This engine stands
+// in for a leader-rotating, high-throughput BFT: the height's leader
+// proposes a batch; validators broadcast signed ACKs; everyone commits on a
+// 2f+1 ACK quorum, whose signatures form the block's quorum certificate.
+// On leader silence the round counter advances to a backup leader. Compared
+// to Tendermint it trades the locking machinery (and thus some liveness
+// edge cases under equivocating leaders) for one fewer voting phase —
+// the E7 consensus-comparison bench quantifies that tradeoff.
+#pragma once
+
+#include <map>
+
+#include "consensus/engine.hpp"
+#include "consensus/wire.hpp"
+
+namespace hc::consensus {
+
+class RoundRobinBft final : public Engine {
+ public:
+  RoundRobinBft(EngineContext context, EngineConfig config);
+
+  void start() override;
+  void stop() override;
+  void on_message(net::NodeId from, const Bytes& payload) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "round-robin-bft";
+  }
+
+ private:
+  using VoteSet = std::map<std::size_t, crypto::Signature>;
+
+  [[nodiscard]] const Validator& leader(chain::Epoch height,
+                                        std::uint32_t round) const;
+  void new_height();
+  void start_round(std::uint32_t round);
+  void broadcast(WireMsg msg);
+  void handle(WireMsg msg);
+  void maybe_commit(std::uint32_t round, const Cid& cid);
+
+  EngineContext ctx_;
+  EngineConfig cfg_;
+  bool running_ = false;
+  chain::Epoch height_ = 0;
+  std::uint32_t round_ = 0;
+  std::uint64_t timer_epoch_ = 0;
+  bool acked_this_round_ = false;
+  std::map<std::uint32_t, chain::Block> proposals_;
+  std::map<std::uint32_t, std::map<Cid, VoteSet>> acks_;
+  std::vector<WireMsg> future_;
+};
+
+}  // namespace hc::consensus

@@ -1,0 +1,279 @@
+#include "consensus/tendermint.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hc::consensus {
+
+Tendermint::Tendermint(EngineContext context, EngineConfig config)
+    : ctx_(std::move(context)), cfg_(config) {}
+
+const Validator& Tendermint::proposer(chain::Epoch height,
+                                      std::uint32_t round) const {
+  const auto& members = ctx_.validators.members();
+  return members[(static_cast<std::size_t>(height) + round) % members.size()];
+}
+
+sim::Duration Tendermint::timeout_for(std::uint32_t round) const {
+  return cfg_.timeout_base +
+         static_cast<sim::Duration>(round) * (cfg_.timeout_base / 2);
+}
+
+void Tendermint::start() {
+  running_ = true;
+  new_height();
+}
+
+void Tendermint::stop() {
+  running_ = false;
+  ++timer_epoch_;
+}
+
+void Tendermint::new_height() {
+  height_ = ctx_.source->head_height() + 1;
+  proposals_.clear();
+  prevotes_.clear();
+  precommits_.clear();
+  locked_block_.reset();
+  locked_round_ = -1;
+  // Replay buffered future-height messages after the state reset.
+  std::vector<WireMsg> replay;
+  replay.swap(future_);
+  start_round(0);
+  for (auto& m : replay) handle(std::move(m));
+}
+
+void Tendermint::start_round(std::uint32_t round) {
+  if (!running_) return;
+  round_ = round;
+  step_ = Step::kPropose;
+  prevoted_this_round_ = false;
+  precommitted_this_round_ = false;
+  if (round > 0) ++rounds_skipped_;
+  const std::uint64_t epoch = ++timer_epoch_;
+
+  if (i_am(proposer(height_, round))) {
+    // Pace block production to the configured block time (round-0 only;
+    // backup rounds are already late). Scheduling also bounds recursion:
+    // commit -> new height -> proposal never nests inside a vote handler.
+    const sim::Duration delay = round == 0 ? cfg_.block_time : 0;
+    const chain::Epoch height = height_;
+    ctx_.scheduler->schedule(delay, [this, epoch, round, height] {
+      if (!running_ || timer_epoch_ != epoch || height != height_) return;
+      chain::Block block =
+          locked_block_.has_value()
+              ? *locked_block_
+              : ctx_.source->build_block(
+                    Address::key(ctx_.key.public_key().to_bytes()));
+      broadcast(WireMsg::make(WireKind::kProposal, height_, round,
+                              block.cid(), encode(block), ctx_.key));
+    });
+  }
+  // Propose timeout: prevote nil if no (acceptable) proposal arrived.
+  ctx_.scheduler->schedule(cfg_.block_time + timeout_for(round),
+                           [this, epoch, round] {
+    if (!running_ || timer_epoch_ != epoch) return;
+    if (step_ == Step::kPropose) do_prevote(round);
+  });
+}
+
+void Tendermint::broadcast(WireMsg msg) {
+  ctx_.network->publish(ctx_.node, ctx_.topic, encode(msg));
+  handle(std::move(msg));  // gossip does not self-deliver
+}
+
+void Tendermint::on_message(net::NodeId from, const Bytes& payload) {
+  (void)from;
+  if (!running_) return;
+  auto decoded = decode<WireMsg>(payload);
+  if (!decoded) return;
+  handle(std::move(decoded).value());
+}
+
+void Tendermint::handle(WireMsg msg) {
+  if (!msg.verify()) return;
+  if (msg.kind == WireKind::kBlock) {
+    on_committed_block(std::move(msg));
+    return;
+  }
+  if (msg.height < height_) return;  // stale
+  if (msg.height > height_) {
+    if (future_.size() < 4096) future_.push_back(std::move(msg));
+    return;
+  }
+  switch (msg.kind) {
+    case WireKind::kProposal:
+      on_proposal(std::move(msg));
+      break;
+    case WireKind::kPrevote:
+      on_prevote(msg);
+      break;
+    case WireKind::kPrecommit:
+      on_precommit(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void Tendermint::on_proposal(WireMsg msg) {
+  // Only the legitimate proposer for (height, round) is accepted.
+  if (!(proposer(height_, msg.round).key == msg.sender)) return;
+  auto block = decode<chain::Block>(msg.block);
+  if (!block || block.value().cid() != msg.block_cid) return;
+  proposals_[msg.round] = std::move(block).value();
+  if (msg.round == round_ && step_ == Step::kPropose) {
+    do_prevote(msg.round);
+  }
+}
+
+void Tendermint::do_prevote(std::uint32_t round) {
+  if (prevoted_this_round_ || round != round_) return;
+  prevoted_this_round_ = true;
+  step_ = Step::kPrevote;
+
+  Cid vote;  // nil by default
+  auto it = proposals_.find(round);
+  if (it != proposals_.end()) {
+    const chain::Block& proposal = it->second;
+    const bool lock_allows =
+        !locked_block_.has_value() ||
+        locked_block_->cid() == proposal.cid();
+    if (lock_allows && ctx_.source->validate_block(proposal).ok()) {
+      vote = proposal.cid();
+    }
+  }
+  broadcast(WireMsg::make(WireKind::kPrevote, height_, round, vote, {},
+                          ctx_.key));
+
+  // Prevote timeout: precommit nil if no polka materializes.
+  const std::uint64_t epoch = timer_epoch_;
+  ctx_.scheduler->schedule(timeout_for(round), [this, epoch, round] {
+    if (!running_ || timer_epoch_ != epoch) return;
+    if (step_ == Step::kPrevote && round == round_) {
+      do_precommit(round, Cid());
+    }
+  });
+}
+
+void Tendermint::on_prevote(const WireMsg& msg) {
+  const auto idx = ctx_.validators.index_of(msg.sender);
+  if (!idx.has_value()) return;
+  VoteSet& set = prevotes_[msg.round][msg.block_cid];
+  if (!set.emplace(*idx, msg.signature).second) return;  // duplicate
+
+  if (msg.round != round_ || step_ != Step::kPrevote) return;
+  const std::size_t quorum = ctx_.validators.quorum();
+  // Polka on a block: lock and precommit it.
+  if (!msg.block_cid.is_null() &&
+      count_votes(prevotes_, msg.round, msg.block_cid) >= quorum) {
+    auto it = proposals_.find(msg.round);
+    if (it != proposals_.end() && it->second.cid() == msg.block_cid) {
+      locked_block_ = it->second;
+      locked_round_ = msg.round;
+      do_precommit(msg.round, msg.block_cid);
+      return;
+    }
+  }
+  // Polka on nil: precommit nil.
+  if (msg.block_cid.is_null() &&
+      count_votes(prevotes_, msg.round, Cid()) >= quorum) {
+    do_precommit(msg.round, Cid());
+  }
+}
+
+void Tendermint::do_precommit(std::uint32_t round, const Cid& cid) {
+  if (precommitted_this_round_ || round != round_) return;
+  precommitted_this_round_ = true;
+  step_ = Step::kPrecommit;
+  broadcast(
+      WireMsg::make(WireKind::kPrecommit, height_, round, cid, {}, ctx_.key));
+
+  // Precommit timeout: move to the next round if nothing commits.
+  const std::uint64_t epoch = timer_epoch_;
+  ctx_.scheduler->schedule(timeout_for(round), [this, epoch, round] {
+    if (!running_ || timer_epoch_ != epoch) return;
+    if (round == round_) start_round(round + 1);
+  });
+}
+
+void Tendermint::on_precommit(const WireMsg& msg) {
+  const auto idx = ctx_.validators.index_of(msg.sender);
+  if (!idx.has_value()) return;
+  VoteSet& set = precommits_[msg.round][msg.block_cid];
+  if (!set.emplace(*idx, msg.signature).second) return;
+
+  const std::size_t quorum = ctx_.validators.quorum();
+  if (!msg.block_cid.is_null() &&
+      count_votes(precommits_, msg.round, msg.block_cid) >= quorum) {
+    try_commit(msg.round, msg.block_cid);
+    return;
+  }
+  if (msg.block_cid.is_null() && msg.round == round_ &&
+      count_votes(precommits_, msg.round, Cid()) >= quorum) {
+    start_round(msg.round + 1);
+  }
+}
+
+void Tendermint::try_commit(std::uint32_t round, const Cid& cid) {
+  auto it = proposals_.find(round);
+  if (it == proposals_.end() || it->second.cid() != cid) {
+    // We saw the quorum but miss the block; a kBlock catch-up broadcast
+    // from a committing peer will bring it.
+    return;
+  }
+  chain::Block block = it->second;
+  if (block.header.parent != ctx_.source->head_cid()) return;
+
+  // Assemble the commit certificate from the precommit signatures.
+  QuorumCert cert;
+  cert.height = height_;
+  cert.round = round;
+  cert.block_cid = cid;
+  for (const auto& [index, sig] : precommits_[round][cid]) {
+    cert.signers.push_back(ctx_.validators.members()[index].key);
+    cert.signatures.push_back(sig);
+  }
+  const Bytes proof = encode(cert);
+  ctx_.source->commit_block(block, proof);
+
+  // Catch-up broadcast for lagging peers.
+  WireMsg announce = WireMsg::make(WireKind::kBlock, cert.height, round, cid,
+                                   encode(block), ctx_.key);
+  announce.extra = proof;
+  ctx_.network->publish(ctx_.node, ctx_.topic, encode(announce));
+
+  new_height();
+}
+
+void Tendermint::on_committed_block(WireMsg msg) {
+  if (msg.height != ctx_.source->head_height() + 1) return;
+  auto cert_r = decode<QuorumCert>(msg.extra);
+  if (!cert_r) return;
+  const QuorumCert cert = std::move(cert_r).value();
+  if (cert.block_cid != msg.block_cid || cert.height != msg.height) return;
+  // Every signer must be a validator.
+  for (const auto& key : cert.signers) {
+    if (!ctx_.validators.index_of(key).has_value()) return;
+  }
+  if (!cert.verify(WireKind::kPrecommit, ctx_.validators.quorum())) return;
+  auto block_r = decode<chain::Block>(msg.block);
+  if (!block_r || block_r.value().cid() != msg.block_cid) return;
+  chain::Block block = std::move(block_r).value();
+  if (block.header.parent != ctx_.source->head_cid()) return;
+  if (!ctx_.source->validate_block(block).ok()) return;
+  ctx_.source->commit_block(std::move(block), msg.extra);
+  new_height();
+}
+
+std::size_t Tendermint::count_votes(
+    const std::map<std::uint32_t, std::map<Cid, VoteSet>>& votes,
+    std::uint32_t round, const Cid& cid) const {
+  auto rit = votes.find(round);
+  if (rit == votes.end()) return 0;
+  auto cit = rit->second.find(cid);
+  return cit == rit->second.end() ? 0 : cit->second.size();
+}
+
+}  // namespace hc::consensus

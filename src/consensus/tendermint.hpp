@@ -1,0 +1,89 @@
+// Tendermint-style BFT consensus (propose / prevote / precommit).
+//
+// Paper §VI lists Tendermint as an integration target for subnets. This is
+// a faithful (if compact) implementation of the 3-phase algorithm: rotating
+// proposers per round, 2f+1 polka locking, nil-votes on timeout, and commit
+// certificates (quorum certs) recorded as the block's consensus proof —
+// which doubles as the light-client evidence a subnet can cite in its
+// checkpoints (§II). Safe with up to f = (n-1)/3 Byzantine validators;
+// liveness requires partial synchrony (timeouts grow with round number).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "consensus/engine.hpp"
+#include "consensus/wire.hpp"
+
+namespace hc::consensus {
+
+class Tendermint final : public Engine {
+ public:
+  Tendermint(EngineContext context, EngineConfig config);
+
+  void start() override;
+  void stop() override;
+  void on_message(net::NodeId from, const Bytes& payload) override;
+  [[nodiscard]] std::string_view name() const override { return "tendermint"; }
+
+  /// Rounds this node has burned waiting for silent/faulty proposers —
+  /// visible to benches measuring liveness under faults.
+  [[nodiscard]] std::uint64_t rounds_skipped() const {
+    return rounds_skipped_;
+  }
+
+ private:
+  enum class Step { kPropose, kPrevote, kPrecommit };
+
+  /// Vote bookkeeping for one (round, cid): validator index -> signature.
+  using VoteSet = std::map<std::size_t, crypto::Signature>;
+
+  [[nodiscard]] const Validator& proposer(chain::Epoch height,
+                                          std::uint32_t round) const;
+  [[nodiscard]] bool i_am(const Validator& v) const {
+    return v.key == ctx_.key.public_key();
+  }
+  [[nodiscard]] sim::Duration timeout_for(std::uint32_t round) const;
+
+  void new_height();
+  void start_round(std::uint32_t round);
+  void broadcast(WireMsg msg);
+  void handle(WireMsg msg);
+
+  void on_proposal(WireMsg msg);
+  void on_prevote(const WireMsg& msg);
+  void on_precommit(const WireMsg& msg);
+  void on_committed_block(WireMsg msg);
+
+  void do_prevote(std::uint32_t round);
+  void do_precommit(std::uint32_t round, const Cid& cid);
+  void try_commit(std::uint32_t round, const Cid& cid);
+
+  [[nodiscard]] std::size_t count_votes(
+      const std::map<std::uint32_t, std::map<Cid, VoteSet>>& votes,
+      std::uint32_t round, const Cid& cid) const;
+
+  EngineContext ctx_;
+  EngineConfig cfg_;
+  bool running_ = false;
+
+  chain::Epoch height_ = 0;
+  std::uint32_t round_ = 0;
+  Step step_ = Step::kPropose;
+  std::uint64_t timer_epoch_ = 0;  // invalidates stale timeout callbacks
+
+  std::map<std::uint32_t, chain::Block> proposals_;  // by round
+  std::map<std::uint32_t, std::map<Cid, VoteSet>> prevotes_;
+  std::map<std::uint32_t, std::map<Cid, VoteSet>> precommits_;
+  std::optional<chain::Block> locked_block_;
+  std::int64_t locked_round_ = -1;
+  bool prevoted_this_round_ = false;
+  bool precommitted_this_round_ = false;
+
+  /// Messages for future heights, replayed after commit.
+  std::vector<WireMsg> future_;
+  std::uint64_t rounds_skipped_ = 0;
+};
+
+}  // namespace hc::consensus

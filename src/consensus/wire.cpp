@@ -1,0 +1,97 @@
+#include "crypto/sigcache.hpp"
+#include "consensus/wire.hpp"
+
+#include <set>
+
+namespace hc::consensus {
+
+Bytes WireMsg::signing_payload(WireKind kind, chain::Epoch height,
+                               std::uint32_t round, const Cid& cid) {
+  Encoder e;
+  e.str("hc/consensus-vote");
+  e.u8(static_cast<std::uint8_t>(kind)).i64(height).u32(round).obj(cid);
+  return std::move(e).take();
+}
+
+WireMsg WireMsg::make(WireKind kind, chain::Epoch height, std::uint32_t round,
+                      const Cid& cid, Bytes block,
+                      const crypto::KeyPair& key) {
+  WireMsg m;
+  m.kind = kind;
+  m.height = height;
+  m.round = round;
+  m.block_cid = cid;
+  m.block = std::move(block);
+  m.sender = key.public_key();
+  m.signature = key.sign(signing_payload(kind, height, round, cid));
+  return m;
+}
+
+bool WireMsg::verify() const {
+  return crypto::verify_cached(
+      sender, signing_payload(kind, height, round, block_cid), signature);
+}
+
+void WireMsg::encode_to(Encoder& e) const {
+  e.u8(static_cast<std::uint8_t>(kind)).i64(height).u32(round);
+  e.obj(block_cid).bytes(block).bytes(extra).obj(sender).obj(signature);
+}
+
+Result<WireMsg> WireMsg::decode_from(Decoder& d) {
+  WireMsg m;
+  HC_TRY(kind, d.u8());
+  if (kind > 4) return Error(Errc::kDecodeError, "bad wire kind");
+  HC_TRY(height, d.i64());
+  HC_TRY(round, d.u32());
+  HC_TRY(cid, d.obj<Cid>());
+  HC_TRY(block, d.bytes());
+  HC_TRY(extra, d.bytes());
+  HC_TRY(sender, d.obj<crypto::PublicKey>());
+  HC_TRY(sig, d.obj<crypto::Signature>());
+  m.kind = static_cast<WireKind>(kind);
+  m.height = height;
+  m.round = round;
+  m.block_cid = cid;
+  m.block = std::move(block);
+  m.extra = std::move(extra);
+  m.sender = sender;
+  m.signature = sig;
+  return m;
+}
+
+bool QuorumCert::verify(WireKind vote_kind, std::size_t quorum) const {
+  if (signers.size() != signatures.size()) return false;
+  const Bytes payload =
+      WireMsg::signing_payload(vote_kind, height, round, block_cid);
+  std::set<Bytes> seen;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < signers.size(); ++i) {
+    if (!seen.insert(signers[i].to_bytes()).second) return false;
+    if (!crypto::verify_cached(signers[i], payload, signatures[i])) {
+      return false;
+    }
+    ++valid;
+  }
+  return valid >= quorum;
+}
+
+void QuorumCert::encode_to(Encoder& e) const {
+  e.i64(height).u32(round).obj(block_cid).vec(signers).vec(signatures);
+}
+
+Result<QuorumCert> QuorumCert::decode_from(Decoder& d) {
+  QuorumCert q;
+  HC_TRY(height, d.i64());
+  HC_TRY(round, d.u32());
+  HC_TRY(cid, d.obj<Cid>());
+  HC_TRY(signers, d.vec<crypto::PublicKey>());
+  HC_TRY(sigs, d.vec<crypto::Signature>());
+  q.height = height;
+  q.round = round;
+  q.block_cid = cid;
+  q.signers = std::move(signers);
+  q.signatures = std::move(sigs);
+  return q;
+}
+
+}  // namespace hc::consensus

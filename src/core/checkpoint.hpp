@@ -1,0 +1,85 @@
+// Checkpoints: the anchor of subnet security and the carrier of bottom-up
+// cross-msgs.
+//
+// Paper §III-B: "Checkpoints include the following data:
+// ⟨s, proof, prev, children, crossMeta⟩" — source subnet, CID of the latest
+// committed subnet block, pointer to the previous checkpoint, the tree of
+// child checkpoints aggregated this period, and the CrossMsgMeta tree.
+// Checkpoints are signed under the subnet's SA-defined signature policy
+// (single signer / multi-signature / threshold) and committed to the parent
+// chain, recursively propagating to the rootnet.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.hpp"
+#include "core/crossmsg.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace hc::core {
+
+/// A child subnet's checkpoint CIDs aggregated into this checkpoint.
+struct ChildCheck {
+  SubnetId subnet;
+  std::vector<Cid> checkpoints;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<ChildCheck> decode_from(Decoder& d);
+  bool operator==(const ChildCheck&) const = default;
+};
+
+struct Checkpoint {
+  SubnetId source;           // s
+  chain::Epoch epoch = 0;    // subnet height this checkpoint commits
+  Cid proof;                 // CID of the latest committed subnet block
+  Cid prev;                  // CID of the previous checkpoint (null = first)
+  std::vector<ChildCheck> children;
+  std::vector<CrossMsgMeta> cross_meta;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<Checkpoint> decode_from(Decoder& d);
+  [[nodiscard]] Cid cid() const;
+  bool operator==(const Checkpoint&) const = default;
+
+  /// Total bottom-up value leaving this subnet in this checkpoint.
+  [[nodiscard]] TokenAmount outgoing_value() const;
+};
+
+/// One validator's signature over a checkpoint CID digest.
+struct CheckpointSignature {
+  crypto::PublicKey signer;
+  crypto::Signature signature;
+
+  void encode_to(Encoder& e) const { e.obj(signer).obj(signature); }
+  [[nodiscard]] static Result<CheckpointSignature> decode_from(Decoder& d) {
+    CheckpointSignature cs;
+    HC_TRY(signer, d.obj<crypto::PublicKey>());
+    HC_TRY(sig, d.obj<crypto::Signature>());
+    cs.signer = signer;
+    cs.signature = sig;
+    return cs;
+  }
+  bool operator==(const CheckpointSignature&) const = default;
+};
+
+/// Checkpoint plus its policy proof (the signature set).
+struct SignedCheckpoint {
+  Checkpoint checkpoint;
+  std::vector<CheckpointSignature> signatures;
+
+  /// The byte string validators sign: the checkpoint CID digest.
+  [[nodiscard]] static Bytes signing_payload(const Checkpoint& cp);
+
+  /// Append `key`'s signature.
+  void add_signature(const crypto::KeyPair& key);
+
+  /// Verify every attached signature against the payload (membership /
+  /// threshold checks are the SignaturePolicy's job — see policy.hpp).
+  [[nodiscard]] bool signatures_valid() const;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<SignedCheckpoint> decode_from(Decoder& d);
+  bool operator==(const SignedCheckpoint&) const = default;
+};
+
+}  // namespace hc::core

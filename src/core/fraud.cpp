@@ -1,0 +1,41 @@
+#include "core/fraud.hpp"
+
+#include <algorithm>
+
+namespace hc::core {
+
+Result<std::vector<crypto::PublicKey>> FraudProof::guilty_signers() const {
+  const Checkpoint& a = first.checkpoint;
+  const Checkpoint& b = second.checkpoint;
+  if (a.source != b.source) {
+    return Error(Errc::kInvalidArgument,
+                 "checkpoints target different subnets");
+  }
+  if (a.epoch != b.epoch) {
+    return Error(Errc::kInvalidArgument,
+                 "checkpoints target different epochs");
+  }
+  if (a.cid() == b.cid()) {
+    return Error(Errc::kInvalidArgument,
+                 "checkpoints are identical: no equivocation");
+  }
+  if (!first.signatures_valid() || !second.signatures_valid()) {
+    return Error(Errc::kInvalidSignature, "fraud proof carries bad signatures");
+  }
+  std::vector<crypto::PublicKey> guilty;
+  for (const auto& sa : first.signatures) {
+    const bool also_in_second =
+        std::any_of(second.signatures.begin(), second.signatures.end(),
+                    [&](const CheckpointSignature& sb) {
+                      return sb.signer == sa.signer;
+                    });
+    if (also_in_second) guilty.push_back(sa.signer);
+  }
+  if (guilty.empty()) {
+    return Error(Errc::kInvalidArgument,
+                 "no overlapping signer: not attributable equivocation");
+  }
+  return guilty;
+}
+
+}  // namespace hc::core

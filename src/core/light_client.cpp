@@ -1,0 +1,41 @@
+#include "core/light_client.hpp"
+
+namespace hc::core {
+
+LightClient::LightClient(SubnetId subnet, SignaturePolicy policy,
+                         std::vector<crypto::PublicKey> validators,
+                         std::uint32_t checkpoint_period)
+    : subnet_(std::move(subnet)),
+      policy_(policy),
+      validators_(std::move(validators)),
+      period_(checkpoint_period) {}
+
+Status LightClient::advance(const SignedCheckpoint& sc) {
+  const Checkpoint& cp = sc.checkpoint;
+  if (cp.source != subnet_) {
+    return Error(Errc::kInvalidArgument,
+                 "checkpoint is for a different subnet");
+  }
+  if (cp.epoch <= latest_epoch_) {
+    return Error(Errc::kStateConflict, "checkpoint epoch is not newer");
+  }
+  if (period_ > 0 && cp.epoch % period_ != 0) {
+    return Error(Errc::kInvalidArgument,
+                 "checkpoint epoch not aligned to the subnet period");
+  }
+  if (cp.prev != latest_cid_) {
+    return Error(Errc::kStateConflict,
+                 "checkpoint does not extend the accepted chain");
+  }
+  HC_TRY_STATUS(policy_.verify(sc, validators_));
+
+  latest_epoch_ = cp.epoch;
+  latest_cid_ = cp.cid();
+  accepted_.insert(latest_cid_);
+  for (const auto& meta : cp.cross_meta) {
+    committed_batches_.insert(meta.msgs_cid);
+  }
+  return ok_status();
+}
+
+}  // namespace hc::core

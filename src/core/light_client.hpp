@@ -1,0 +1,64 @@
+// Light-client verification of a subnet's checkpoint chain.
+//
+// Paper §II: checkpoints "should include enough information that any client
+// receiving it is able to verify the correctness of the subnet consensus"
+// — light clients are nodes "that do not synchronize and retain a full copy
+// of the blockchain". A LightClient holds only the subnet's registration
+// facts (validator keys, signature policy, checkpoint period — all readable
+// from the parent chain's SA) and verifies checkpoints as they arrive:
+// prev-linkage, epoch progression/alignment, and the policy proof. It can
+// then answer whether a given cross-msg batch CID was committed — exactly
+// what a user needs to trust an incoming bottom-up payment without running
+// the source subnet.
+#pragma once
+
+#include <set>
+
+#include "core/checkpoint.hpp"
+#include "core/policy.hpp"
+
+namespace hc::core {
+
+class LightClient {
+ public:
+  LightClient(SubnetId subnet, SignaturePolicy policy,
+              std::vector<crypto::PublicKey> validators,
+              std::uint32_t checkpoint_period);
+
+  /// Verify `sc` as the next checkpoint of the tracked subnet and accept
+  /// it. Rejections leave the client state unchanged.
+  [[nodiscard]] Status advance(const SignedCheckpoint& sc);
+
+  /// Update the validator set (after observing SA membership changes on
+  /// the parent chain).
+  void set_validators(std::vector<crypto::PublicKey> validators) {
+    validators_ = std::move(validators);
+  }
+
+  /// True when an accepted checkpoint committed this cross-msg batch.
+  [[nodiscard]] bool batch_committed(const Cid& msgs_cid) const {
+    return committed_batches_.contains(msgs_cid);
+  }
+  /// True when this checkpoint CID is part of the accepted chain.
+  [[nodiscard]] bool checkpoint_accepted(const Cid& cid) const {
+    return accepted_.contains(cid);
+  }
+
+  [[nodiscard]] chain::Epoch latest_epoch() const { return latest_epoch_; }
+  [[nodiscard]] const Cid& latest_cid() const { return latest_cid_; }
+  [[nodiscard]] std::size_t accepted_count() const {
+    return accepted_.size();
+  }
+
+ private:
+  SubnetId subnet_;
+  SignaturePolicy policy_;
+  std::vector<crypto::PublicKey> validators_;
+  std::uint32_t period_;
+  chain::Epoch latest_epoch_ = -1;
+  Cid latest_cid_;
+  std::set<Cid> accepted_;
+  std::set<Cid> committed_batches_;
+};
+
+}  // namespace hc::core

@@ -1,0 +1,71 @@
+#include "core/subnet_id.hpp"
+
+#include <cassert>
+
+namespace hc::core {
+
+SubnetId SubnetId::child(const Address& sa) const {
+  assert(sa.valid() && "child subnet requires a valid SA address");
+  SubnetId c = *this;
+  c.path_.push_back(sa);
+  return c;
+}
+
+std::optional<SubnetId> SubnetId::parent() const {
+  if (path_.empty()) return std::nullopt;
+  SubnetId p = *this;
+  p.path_.pop_back();
+  return p;
+}
+
+bool SubnetId::is_prefix_of(const SubnetId& other) const {
+  if (path_.size() > other.path_.size()) return false;
+  return std::equal(path_.begin(), path_.end(), other.path_.begin());
+}
+
+SubnetId SubnetId::common_ancestor(const SubnetId& a, const SubnetId& b) {
+  SubnetId out;
+  const std::size_t limit = std::min(a.path_.size(), b.path_.size());
+  for (std::size_t i = 0; i < limit && a.path_[i] == b.path_[i]; ++i) {
+    out.path_.push_back(a.path_[i]);
+  }
+  return out;
+}
+
+SubnetId SubnetId::down_toward(const SubnetId& dest) const {
+  assert(is_prefix_of(dest) && *this != dest &&
+         "down_toward requires a strict descendant");
+  SubnetId next = *this;
+  next.path_.push_back(dest.path_[path_.size()]);
+  return next;
+}
+
+std::string SubnetId::to_string() const {
+  std::string out = "/root";
+  for (const auto& a : path_) {
+    out += "/";
+    out += a.to_string();
+  }
+  return out;
+}
+
+void SubnetId::encode_to(Encoder& e) const {
+  e.varint(path_.size());
+  for (const auto& a : path_) e.obj(a);
+}
+
+Result<SubnetId> SubnetId::decode_from(Decoder& d) {
+  HC_TRY(count, d.varint());
+  if (count > 64) return Error(Errc::kDecodeError, "subnet path too deep");
+  SubnetId id;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    HC_TRY(addr, d.obj<Address>());
+    if (!addr.valid()) {
+      return Error(Errc::kDecodeError, "invalid address in subnet path");
+    }
+    id.path_.push_back(addr);
+  }
+  return id;
+}
+
+}  // namespace hc::core

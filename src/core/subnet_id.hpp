@@ -1,0 +1,87 @@
+// Hierarchical subnet identifiers.
+//
+// Paper §III-A: "Subnets are identified with a unique ID that is inferred
+// deterministically from the ID of its ancestor and from the ID of the SA
+// that governs its operation. This deterministic naming enables the
+// discovery of and interaction with subnets from any other point in the
+// hierarchy without the need of a discovery service."
+//
+// An id is the rootnet marker plus the path of Subnet Actor addresses, e.g.
+// "/root/f0100/f0102". The routing helpers (common ancestor, next hop down)
+// implement the path decomposition used by cross-net messages (§IV-A).
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/address.hpp"
+#include "common/codec.hpp"
+
+namespace hc::core {
+
+class SubnetId {
+ public:
+  /// The rootnet id "/root".
+  SubnetId() = default;
+
+  /// The rootnet.
+  [[nodiscard]] static SubnetId root() { return SubnetId(); }
+
+  /// The child of this subnet governed by SA at `sa`.
+  [[nodiscard]] SubnetId child(const Address& sa) const;
+
+  /// Parent id; nullopt for the rootnet.
+  [[nodiscard]] std::optional<SubnetId> parent() const;
+
+  [[nodiscard]] bool is_root() const { return path_.empty(); }
+
+  /// Number of edges from the root (root = 0).
+  [[nodiscard]] std::size_t depth() const { return path_.size(); }
+
+  /// SA address governing this subnet in its parent; invalid for root.
+  [[nodiscard]] Address actor() const {
+    return path_.empty() ? Address() : path_.back();
+  }
+
+  /// True when `this` is an ancestor of (or equal to) `other`.
+  [[nodiscard]] bool is_prefix_of(const SubnetId& other) const;
+
+  /// Deepest subnet that is an ancestor of (or equal to) both.
+  [[nodiscard]] static SubnetId common_ancestor(const SubnetId& a,
+                                                const SubnetId& b);
+
+  /// For a destination below this subnet: the immediate child on the path
+  /// toward `dest`. Precondition: is_prefix_of(dest) && *this != dest.
+  [[nodiscard]] SubnetId down_toward(const SubnetId& dest) const;
+
+  /// "/root/f0100/f0102".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Pubsub topic for this subnet's traffic.
+  [[nodiscard]] std::string topic() const { return "hc" + to_string(); }
+
+  [[nodiscard]] const std::vector<Address>& path() const { return path_; }
+
+  friend auto operator<=>(const SubnetId&, const SubnetId&) = default;
+
+  void encode_to(Encoder& e) const;
+  [[nodiscard]] static Result<SubnetId> decode_from(Decoder& d);
+
+ private:
+  std::vector<Address> path_;
+};
+
+}  // namespace hc::core
+
+template <>
+struct std::hash<hc::core::SubnetId> {
+  std::size_t operator()(const hc::core::SubnetId& id) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (const auto& a : id.path()) {
+      h = (h ^ std::hash<hc::Address>{}(a)) * 0x100000001b3ull;
+    }
+    return h;
+  }
+};

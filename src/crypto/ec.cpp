@@ -1,0 +1,248 @@
+#include "crypto/ec.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace hc::crypto {
+
+namespace {
+
+// p = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE FFFFFC2F
+const U256 kP = U256::from_limbs_be(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull,
+                                    0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFEFFFFFC2Full);
+// n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141
+const U256 kN = U256::from_limbs_be(0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFEull,
+                                    0xBAAEDCE6AF48A03Bull, 0xBFD25E8CD0364141ull);
+// 2^256 mod p = 2^32 + 977
+const U256 kPComplement = U256(0x1000003D1ull);
+
+const U256 kGx = U256::from_limbs_be(0x79BE667EF9DCBBACull, 0x55A06295CE870B07ull,
+                                     0x029BFCDB2DCE28D9ull, 0x59F2815B16F81798ull);
+const U256 kGy = U256::from_limbs_be(0x483ADA7726A3C465ull, 0x5DA4FBFC0E1108A8ull,
+                                     0xFD17B448A6855419ull, 0x9C47D08FFB10D4B8ull);
+
+// Reduce a 512-bit value mod p using 2^256 ≡ 2^32 + 977 (mod p).
+U256 reduce512_p(const WideProduct& w) {
+  // First fold: result = lo + hi * (2^32 + 977). hi*(2^32+977) < 2^289, so
+  // express it as another Wide via mul_wide and fold again.
+  WideProduct f1 = mul_wide(w.hi, kPComplement);
+  U256 acc = w.lo;
+  std::uint64_t carry = acc.add_with_carry(f1.lo);
+  // Remaining high part: f1.hi (tiny, < 2^33) plus the carry.
+  U256 high = f1.hi;
+  high.add_with_carry(U256(carry));
+  // Second fold: high * (2^32 + 977) fits comfortably in 256 bits.
+  WideProduct f2 = mul_wide(high, kPComplement);
+  assert(f2.hi.is_zero());
+  carry = acc.add_with_carry(f2.lo);
+  if (carry != 0) {
+    // acc overflowed 2^256: add the complement once more.
+    acc.add_with_carry(kPComplement);
+  }
+  while (acc >= kP) acc.sub_with_borrow(kP);
+  return acc;
+}
+
+}  // namespace
+
+namespace fp {
+
+const U256& P() { return kP; }
+
+U256 reduce(const U256& a) {
+  U256 r = a;
+  while (r >= kP) r.sub_with_borrow(kP);
+  return r;
+}
+
+U256 add(const U256& a, const U256& b) {
+  U256 r = a;
+  const std::uint64_t carry = r.add_with_carry(b);
+  if (carry != 0) r.add_with_carry(kPComplement);
+  while (r >= kP) r.sub_with_borrow(kP);
+  return r;
+}
+
+U256 sub(const U256& a, const U256& b) {
+  U256 r = a;
+  if (r.sub_with_borrow(b) != 0) r.add_with_carry(kP);
+  return r;
+}
+
+U256 mul(const U256& a, const U256& b) {
+  return reduce512_p(mul_wide(a, b));
+}
+
+U256 sqr(const U256& a) { return mul(a, a); }
+
+U256 pow(const U256& a, const U256& e) {
+  U256 result(1);
+  const int top = e.top_bit();
+  for (int i = top; i >= 0; --i) {
+    result = sqr(result);
+    if (e.bit(i)) result = mul(result, a);
+  }
+  return result;
+}
+
+U256 inv(const U256& a) {
+  assert(!a.is_zero() && "field inverse of zero");
+  U256 exp = kP;
+  exp.sub_with_borrow(U256(2));
+  return pow(a, exp);
+}
+
+}  // namespace fp
+
+namespace fn {
+
+const U256& N() { return kN; }
+
+U256 reduce(const U256& a) {
+  U256 r = a;
+  while (r >= kN) r.sub_with_borrow(kN);
+  return r;
+}
+
+U256 add(const U256& a, const U256& b) {
+  U256 r = a;
+  const std::uint64_t carry = r.add_with_carry(b);
+  if (carry != 0) {
+    // r + 2^256 ≡ r + (2^256 - n) (mod n); 2^256 - n < n so one addition
+    // plus a conditional subtract suffices.
+    U256 comp;  // 2^256 - n
+    comp.sub_with_borrow(kN);
+    r.add_with_carry(comp);
+  }
+  while (r >= kN) r.sub_with_borrow(kN);
+  return r;
+}
+
+U256 sub(const U256& a, const U256& b) {
+  U256 r = a;
+  if (r.sub_with_borrow(b) != 0) r.add_with_carry(kN);
+  return r;
+}
+
+U256 mul(const U256& a, const U256& b) {
+  // Shift-add: mod-n multiplications are rare (a handful per signature), so
+  // the simple O(256)-addition loop is fine here.
+  U256 acc;
+  const U256 aa = reduce(a);
+  const int top = b.top_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = add(acc, acc);
+    if (b.bit(i)) acc = add(acc, aa);
+  }
+  return acc;
+}
+
+}  // namespace fn
+
+Point Point::from_affine(const U256& x, const U256& y) {
+  return Point(x, y, U256(1));
+}
+
+const Point& Point::generator() {
+  static const Point g = Point::from_affine(kGx, kGy);
+  return g;
+}
+
+Point Point::doubled() const {
+  if (is_infinity() || y_.is_zero()) return Point();
+  // dbl-2007-bl formulas for a = 0.
+  const U256 a = fp::sqr(x_);                       // X^2
+  const U256 b = fp::sqr(y_);                       // Y^2
+  const U256 c = fp::sqr(b);                        // B^2
+  U256 d = fp::sub(fp::sqr(fp::add(x_, b)), fp::add(a, c));
+  d = fp::add(d, d);                                // 2*((X+B)^2 - A - C)
+  const U256 e = fp::add(fp::add(a, a), a);         // 3*A
+  const U256 f = fp::sqr(e);
+  const U256 x3 = fp::sub(f, fp::add(d, d));
+  U256 c8 = fp::add(c, c);
+  c8 = fp::add(c8, c8);
+  c8 = fp::add(c8, c8);
+  const U256 y3 = fp::sub(fp::mul(e, fp::sub(d, x3)), c8);
+  const U256 z3 = fp::mul(fp::add(y_, y_), z_);
+  return Point(x3, y3, z3);
+}
+
+Point Point::add(const Point& other) const {
+  if (is_infinity()) return other;
+  if (other.is_infinity()) return *this;
+  const U256 z1z1 = fp::sqr(z_);
+  const U256 z2z2 = fp::sqr(other.z_);
+  const U256 u1 = fp::mul(x_, z2z2);
+  const U256 u2 = fp::mul(other.x_, z1z1);
+  const U256 s1 = fp::mul(y_, fp::mul(z2z2, other.z_));
+  const U256 s2 = fp::mul(other.y_, fp::mul(z1z1, z_));
+  const U256 h = fp::sub(u2, u1);
+  const U256 r = fp::sub(s2, s1);
+  if (h.is_zero()) {
+    if (r.is_zero()) return doubled();
+    return Point();  // P + (-P) = infinity
+  }
+  const U256 h2 = fp::sqr(h);
+  const U256 h3 = fp::mul(h2, h);
+  const U256 u1h2 = fp::mul(u1, h2);
+  U256 x3 = fp::sub(fp::sqr(r), h3);
+  x3 = fp::sub(x3, fp::add(u1h2, u1h2));
+  const U256 y3 = fp::sub(fp::mul(r, fp::sub(u1h2, x3)), fp::mul(s1, h3));
+  const U256 z3 = fp::mul(h, fp::mul(z_, other.z_));
+  return Point(x3, y3, z3);
+}
+
+Point Point::mul(const U256& k) const {
+  Point acc;  // infinity
+  const int top = k.top_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = acc.doubled();
+    if (k.bit(i)) acc = acc.add(*this);
+  }
+  return acc;
+}
+
+Point Point::mul_generator(const U256& k) {
+  // gpow[i] = 2^i * G, computed once.
+  static const std::array<Point, 256> gpow = [] {
+    std::array<Point, 256> table{};
+    table[0] = generator();
+    for (std::size_t i = 1; i < 256; ++i) {
+      table[i] = table[i - 1].doubled();
+    }
+    return table;
+  }();
+  Point acc;  // infinity
+  const int top = k.top_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (k.bit(i)) acc = acc.add(gpow[static_cast<std::size_t>(i)]);
+  }
+  return acc;
+}
+
+std::optional<Point::Affine> Point::to_affine() const {
+  if (is_infinity()) return std::nullopt;
+  const U256 zinv = fp::inv(z_);
+  const U256 zinv2 = fp::sqr(zinv);
+  return Affine{fp::mul(x_, zinv2), fp::mul(y_, fp::mul(zinv2, zinv))};
+}
+
+bool Point::is_on_curve(const U256& x, const U256& y) {
+  const U256 lhs = fp::sqr(y);
+  const U256 rhs = fp::add(fp::mul(fp::sqr(x), x), U256(7));
+  return lhs == rhs;
+}
+
+bool Point::equals(const Point& other) const {
+  if (is_infinity() || other.is_infinity()) {
+    return is_infinity() == other.is_infinity();
+  }
+  // X1/Z1^2 == X2/Z2^2  <=>  X1*Z2^2 == X2*Z1^2 (and same for Y with cubes).
+  const U256 z1z1 = fp::sqr(z_);
+  const U256 z2z2 = fp::sqr(other.z_);
+  if (fp::mul(x_, z2z2) != fp::mul(other.x_, z1z1)) return false;
+  return fp::mul(y_, fp::mul(z2z2, other.z_)) ==
+         fp::mul(other.y_, fp::mul(z1z1, z_));
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,88 @@
+// secp256k1 elliptic-curve arithmetic: y^2 = x^3 + 7 over F_p.
+//
+// Field multiplication uses the fast reduction enabled by the special prime
+// p = 2^256 - 2^32 - 977; scalar arithmetic mod the group order n uses a
+// generic (slower, rarely called) shift-add reduction. Points are tracked in
+// Jacobian coordinates to avoid per-operation field inversions.
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace hc::crypto {
+
+/// Field arithmetic modulo the secp256k1 prime p.
+namespace fp {
+/// The field prime p = 2^256 - 2^32 - 977.
+[[nodiscard]] const U256& P();
+[[nodiscard]] U256 add(const U256& a, const U256& b);
+[[nodiscard]] U256 sub(const U256& a, const U256& b);
+[[nodiscard]] U256 mul(const U256& a, const U256& b);
+[[nodiscard]] U256 sqr(const U256& a);
+/// a^e mod p (square-and-multiply).
+[[nodiscard]] U256 pow(const U256& a, const U256& e);
+/// Multiplicative inverse via Fermat (a != 0).
+[[nodiscard]] U256 inv(const U256& a);
+/// Reduce an arbitrary 256-bit value into [0, p).
+[[nodiscard]] U256 reduce(const U256& a);
+}  // namespace fp
+
+/// Scalar arithmetic modulo the group order n.
+namespace fn {
+/// The group order n.
+[[nodiscard]] const U256& N();
+[[nodiscard]] U256 add(const U256& a, const U256& b);
+[[nodiscard]] U256 sub(const U256& a, const U256& b);
+[[nodiscard]] U256 mul(const U256& a, const U256& b);
+/// Reduce an arbitrary 256-bit value into [0, n).
+[[nodiscard]] U256 reduce(const U256& a);
+}  // namespace fn
+
+/// A curve point in Jacobian coordinates (X/Z^2, Y/Z^3); Z == 0 encodes the
+/// point at infinity.
+class Point {
+ public:
+  /// Point at infinity.
+  Point() : x_(), y_(U256(1)), z_() {}
+
+  /// From affine coordinates (assumed on-curve; see is_on_curve()).
+  [[nodiscard]] static Point from_affine(const U256& x, const U256& y);
+
+  /// The generator G.
+  [[nodiscard]] static const Point& generator();
+
+  [[nodiscard]] bool is_infinity() const { return z_.is_zero(); }
+
+  [[nodiscard]] Point doubled() const;
+  [[nodiscard]] Point add(const Point& other) const;
+  /// Scalar multiplication k * this (double-and-add, MSB first).
+  [[nodiscard]] Point mul(const U256& k) const;
+
+  /// k * G using a precomputed table of G's doublings (~3x faster than the
+  /// generic mul; signing and the s*G term of verification are hot paths —
+  /// consensus engines sign every vote).
+  [[nodiscard]] static Point mul_generator(const U256& k);
+
+  /// Affine coordinates; nullopt for infinity. Costs one field inversion.
+  struct Affine {
+    U256 x;
+    U256 y;
+  };
+  [[nodiscard]] std::optional<Affine> to_affine() const;
+
+  /// Verify the affine point satisfies the curve equation.
+  [[nodiscard]] static bool is_on_curve(const U256& x, const U256& y);
+
+  /// Equality as group elements (cross-multiplied, no inversion).
+  [[nodiscard]] bool equals(const Point& other) const;
+
+ private:
+  Point(const U256& x, const U256& y, const U256& z) : x_(x), y_(y), z_(z) {}
+
+  U256 x_;
+  U256 y_;
+  U256 z_;
+};
+
+}  // namespace hc::crypto

@@ -1,0 +1,72 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+namespace hc::crypto {
+
+namespace {
+
+Digest hash_leaf(BytesView content) {
+  const std::uint8_t prefix = 0x00;
+  return Sha256::hash_all({BytesView(&prefix, 1), content});
+}
+
+Digest hash_node(const Digest& left, const Digest& right) {
+  const std::uint8_t prefix = 0x01;
+  return Sha256::hash_all(
+      {BytesView(&prefix, 1), digest_view(left), digest_view(right)});
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) return;
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(hash_node(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  assert(index < leaf_count_ && "Merkle proof index out of range");
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back({level[sibling], /*sibling_on_left=*/pos % 2 == 1});
+    }
+    // Promoted odd nodes keep their digest; their position halves too.
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& root, BytesView leaf_content,
+                        const MerkleProof& proof) {
+  Digest acc = hash_leaf(leaf_content);
+  for (const auto& step : proof) {
+    acc = step.sibling_on_left ? hash_node(step.sibling, acc)
+                               : hash_node(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+Digest MerkleTree::root_of(const std::vector<Bytes>& leaves) {
+  return MerkleTree(leaves).root();
+}
+
+}  // namespace hc::crypto

@@ -1,0 +1,66 @@
+// Binary Merkle trees over SHA-256.
+//
+// Used for block message roots and checkpoint batch commitments. Leaves are
+// domain-separated from interior nodes (0x00 / 0x01 prefixes) to prevent
+// second-preimage splicing attacks. Odd layers promote the last node
+// unchanged (no duplication, avoiding the CVE-2012-2459-style ambiguity).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/hash.hpp"
+
+namespace hc::crypto {
+
+/// An inclusion proof: sibling digests from leaf to root, with direction.
+struct MerkleStep {
+  Digest sibling;
+  bool sibling_on_left = false;
+
+  void encode_to(Encoder& e) const {
+    e.raw(digest_view(sibling)).boolean(sibling_on_left);
+  }
+  [[nodiscard]] static Result<MerkleStep> decode_from(Decoder& d) {
+    MerkleStep s;
+    HC_TRY(raw, d.raw(32));
+    std::copy(raw.begin(), raw.end(), s.sibling.begin());
+    HC_TRY(left, d.boolean());
+    s.sibling_on_left = left;
+    return s;
+  }
+  bool operator==(const MerkleStep&) const = default;
+};
+using MerkleProof = std::vector<MerkleStep>;
+
+class MerkleTree {
+ public:
+  /// Build a tree over the given leaf contents (hashed internally).
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  /// Root digest; the all-zero digest for an empty tree.
+  [[nodiscard]] const Digest& root() const { return root_; }
+
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for leaf at `index` (must be < leaf_count()).
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  /// Verify that `leaf_content` is at some position under `root`.
+  [[nodiscard]] static bool verify(const Digest& root, BytesView leaf_content,
+                                   const MerkleProof& proof);
+
+  /// Convenience: root over leaves without keeping the tree.
+  [[nodiscard]] static Digest root_of(const std::vector<Bytes>& leaves);
+
+ private:
+  // levels_[0] = leaf digests, levels_.back() = {root} (absent when empty).
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_{};
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace hc::crypto

@@ -1,0 +1,104 @@
+#include "crypto/schnorr.hpp"
+
+#include <cassert>
+
+namespace hc::crypto {
+
+Digest tagged_hash(std::string_view tag, std::initializer_list<BytesView> parts) {
+  const Digest tag_hash = Sha256::hash(to_bytes(tag));
+  Sha256 h;
+  h.update(digest_view(tag_hash));
+  h.update(digest_view(tag_hash));
+  for (const auto& p : parts) h.update(p);
+  return h.finalize();
+}
+
+Bytes PublicKey::to_bytes() const {
+  Bytes out = x_.to_be_bytes();
+  append(out, y_.to_be_bytes());
+  return out;
+}
+
+Result<PublicKey> PublicKey::from_bytes(BytesView bytes) {
+  if (bytes.size() != 64) {
+    return Error(Errc::kDecodeError, "public key must be 64 bytes");
+  }
+  PublicKey pk(U256::from_be_bytes(bytes.subspan(0, 32)),
+               U256::from_be_bytes(bytes.subspan(32, 32)));
+  if (!pk.valid()) {
+    return Error(Errc::kDecodeError, "public key not on curve");
+  }
+  return pk;
+}
+
+Result<PublicKey> PublicKey::decode_from(Decoder& d) {
+  HC_TRY(raw, d.raw(64));
+  return from_bytes(raw);
+}
+
+Bytes Signature::to_bytes() const {
+  Bytes out = rx_.to_be_bytes();
+  append(out, ry_.to_be_bytes());
+  append(out, s_.to_be_bytes());
+  return out;
+}
+
+Result<Signature> Signature::from_bytes(BytesView bytes) {
+  if (bytes.size() != 96) {
+    return Error(Errc::kDecodeError, "signature must be 96 bytes");
+  }
+  return Signature(U256::from_be_bytes(bytes.subspan(0, 32)),
+                   U256::from_be_bytes(bytes.subspan(32, 32)),
+                   U256::from_be_bytes(bytes.subspan(64, 32)));
+}
+
+Result<Signature> Signature::decode_from(Decoder& d) {
+  HC_TRY(raw, d.raw(96));
+  return from_bytes(raw);
+}
+
+KeyPair KeyPair::from_seed(BytesView seed) {
+  U256 d = fn::reduce(U256::from_digest(tagged_hash("hc/keygen", {seed})));
+  if (d.is_zero()) d = U256(1);  // negligible probability; keep total
+  const Point p = Point::mul_generator(d);
+  const auto affine = p.to_affine();
+  assert(affine.has_value());
+  return KeyPair(d, PublicKey(affine->x, affine->y));
+}
+
+KeyPair KeyPair::from_label(std::string_view label) {
+  return from_seed(to_bytes(label));
+}
+
+Signature KeyPair::sign(BytesView message) const {
+  const Bytes d_bytes = secret_.to_be_bytes();
+  U256 k = fn::reduce(
+      U256::from_digest(tagged_hash("hc/nonce", {d_bytes, message})));
+  if (k.is_zero()) k = U256(1);
+  const Point r_point = Point::mul_generator(k);
+  const auto r = r_point.to_affine();
+  assert(r.has_value());
+  const Bytes r_bytes = concat({r->x.to_be_bytes(), r->y.to_be_bytes()});
+  const Bytes p_bytes = pub_.to_bytes();
+  const U256 e = fn::reduce(
+      U256::from_digest(tagged_hash("hc/chal", {r_bytes, p_bytes, message})));
+  const U256 s = fn::add(k, fn::mul(e, secret_));
+  return Signature(r->x, r->y, s);
+}
+
+bool verify(const PublicKey& pub, BytesView message, const Signature& sig) {
+  if (!pub.valid()) return false;
+  if (!Point::is_on_curve(sig.rx(), sig.ry())) return false;
+  if (sig.s() >= fn::N()) return false;
+  const Bytes r_bytes = concat({sig.rx().to_be_bytes(), sig.ry().to_be_bytes()});
+  const Bytes p_bytes = pub.to_bytes();
+  const U256 e = fn::reduce(
+      U256::from_digest(tagged_hash("hc/chal", {r_bytes, p_bytes, message})));
+  // s*G == R + e*P
+  const Point lhs = Point::mul_generator(sig.s());
+  const Point rhs = Point::from_affine(sig.rx(), sig.ry())
+                        .add(Point::from_affine(pub.x(), pub.y()).mul(e));
+  return lhs.equals(rhs);
+}
+
+}  // namespace hc::crypto

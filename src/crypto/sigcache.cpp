@@ -1,0 +1,49 @@
+#include "crypto/sigcache.hpp"
+
+#include "common/hash.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace hc::crypto {
+
+SigCache& SigCache::instance() {
+  static SigCache cache;
+  return cache;
+}
+
+std::uint64_t SigCache::key(BytesView payload, BytesView pubkey,
+                            BytesView signature) {
+  const Digest d = Sha256::hash_all({payload, pubkey, signature});
+  std::uint64_t k = 0;
+  for (int i = 0; i < 8; ++i) k = (k << 8) | d[static_cast<std::size_t>(i)];
+  return k;
+}
+
+bool SigCache::lookup(std::uint64_t key, bool& result) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  result = it->second;
+  return true;
+}
+
+void SigCache::store(std::uint64_t key, bool result) {
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  entries_.emplace(key, result);
+}
+
+bool verify_cached(const PublicKey& pub, BytesView message,
+                   const Signature& sig) {
+  const Bytes pk = pub.to_bytes();
+  const Bytes sg = sig.to_bytes();
+  const std::uint64_t key = SigCache::key(message, pk, sg);
+  bool result = false;
+  if (SigCache::instance().lookup(key, result)) return result;
+  result = verify(pub, message, sig);
+  SigCache::instance().store(key, result);
+  return result;
+}
+
+}  // namespace hc::crypto

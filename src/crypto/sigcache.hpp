@@ -1,0 +1,49 @@
+// Signature verification cache.
+//
+// The same (message, key, signature) triple is verified many times across a
+// system: every validator checks every gossiped message, and blocks are
+// re-executed at proposal, validation and commit. Like Bitcoin's and
+// go-ethereum's sigcache, we memoize verification outcomes keyed by a hash
+// of the triple. Single-threaded by design (the simulator is
+// single-threaded); bounded by clearing at capacity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+
+namespace hc::crypto {
+
+class SigCache {
+ public:
+  /// Process-wide instance.
+  [[nodiscard]] static SigCache& instance();
+
+  /// Compute the cache key for a (payload, pubkey, signature) triple.
+  [[nodiscard]] static std::uint64_t key(BytesView payload, BytesView pubkey,
+                                         BytesView signature);
+
+  /// Lookup; returns true and sets `result` when present.
+  [[nodiscard]] bool lookup(std::uint64_t key, bool& result) const;
+
+  /// Record an outcome.
+  void store(std::uint64_t key, bool result);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 1u << 20;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::unordered_map<std::uint64_t, bool> entries_;
+};
+
+/// Cached variant of crypto::verify for hot paths.
+class PublicKey;
+class Signature;
+[[nodiscard]] bool verify_cached(const PublicKey& pub, BytesView message,
+                                 const Signature& sig);
+
+}  // namespace hc::crypto

@@ -1,0 +1,203 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace hc::net {
+
+Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
+                 std::uint64_t seed, GossipConfig config)
+    : scheduler_(scheduler),
+      latency_(std::move(latency)),
+      rng_(seed),
+      config_(config) {}
+
+NodeId Network::add_node() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back();
+  partition_group_.push_back(-1);
+  return id;
+}
+
+void Network::set_direct_handler(NodeId node, DirectHandler handler) {
+  nodes_.at(node).on_direct = std::move(handler);
+}
+
+void Network::set_topic_handler(NodeId node, TopicHandler handler) {
+  nodes_.at(node).on_topic = std::move(handler);
+}
+
+bool Network::can_reach(NodeId from, NodeId to) const {
+  if (nodes_[from].down || nodes_[to].down) return false;
+  if (!partitioned_) return true;
+  return partition_group_[from] == partition_group_[to];
+}
+
+bool Network::faulted(NodeId from, NodeId to) {
+  if (!can_reach(from, to)) return true;
+  return drop_rate_ > 0.0 && rng_.chance(drop_rate_);
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  if (faulted(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const sim::Duration delay = latency_.sample(from, to, rng_);
+  auto shared = std::make_shared<Bytes>(std::move(payload));
+  scheduler_.schedule(delay, [this, from, to, shared] {
+    Node& node = nodes_[to];
+    if (node.down || !node.on_direct) return;
+    ++stats_.messages_delivered;
+    node.on_direct(from, *shared);
+  });
+}
+
+void Network::subscribe(NodeId node, const std::string& topic) {
+  auto& t = topics_[topic];
+  if (std::find(t.subscribers.begin(), t.subscribers.end(), node) !=
+      t.subscribers.end()) {
+    return;
+  }
+  t.subscribers.push_back(node);
+  rebuild_meshes(topic);
+}
+
+void Network::unsubscribe(NodeId node, const std::string& topic) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  auto& subs = it->second.subscribers;
+  subs.erase(std::remove(subs.begin(), subs.end(), node), subs.end());
+  nodes_[node].mesh.erase(topic);
+  rebuild_meshes(topic);
+}
+
+bool Network::subscribed(NodeId node, const std::string& topic) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return false;
+  const auto& subs = it->second.subscribers;
+  return std::find(subs.begin(), subs.end(), node) != subs.end();
+}
+
+void Network::rebuild_meshes(const std::string& topic) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  const auto& subs = it->second.subscribers;
+  for (NodeId member : subs) {
+    auto& mesh = nodes_[member].mesh[topic];
+    mesh.clear();
+    if (subs.size() <= 1) continue;
+    if (subs.size() - 1 <= config_.mesh_degree) {
+      // Small topic: full mesh.
+      for (NodeId peer : subs) {
+        if (peer != member) mesh.push_back(peer);
+      }
+      continue;
+    }
+    // Sample mesh_degree distinct peers.
+    std::unordered_set<NodeId> chosen;
+    while (chosen.size() < config_.mesh_degree) {
+      const NodeId peer =
+          subs[static_cast<std::size_t>(rng_.uniform(subs.size()))];
+      if (peer != member) chosen.insert(peer);
+    }
+    mesh.assign(chosen.begin(), chosen.end());
+  }
+}
+
+void Network::publish(NodeId from, const std::string& topic, Bytes payload) {
+  assert(from < nodes_.size());
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || it->second.subscribers.empty()) return;
+  if (nodes_[from].down) return;
+
+  const std::uint64_t msg_id = next_msg_seq_++;
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  nodes_[from].seen.insert(msg_id);  // don't deliver to self later
+
+  // Initial push: to the publisher's mesh if subscribed, otherwise to a
+  // random sample of subscribers (a boundary node publishing into a foreign
+  // subnet's topic contacts peers it learned via the DHT/discovery — here a
+  // uniform sample stands in for that).
+  std::vector<NodeId> targets;
+  if (auto mit = nodes_[from].mesh.find(topic); mit != nodes_[from].mesh.end() &&
+                                                !mit->second.empty()) {
+    targets = mit->second;
+  } else {
+    const auto& subs = it->second.subscribers;
+    const std::size_t want = std::min(config_.mesh_degree, subs.size());
+    std::unordered_set<NodeId> chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < want && guard++ < 64 * want) {
+      const NodeId peer =
+          subs[static_cast<std::size_t>(rng_.uniform(subs.size()))];
+      if (peer != from) chosen.insert(peer);
+    }
+    targets.assign(chosen.begin(), chosen.end());
+  }
+  for (NodeId peer : targets) {
+    gossip_deliver(from, peer, topic, shared, from, msg_id,
+                   config_.max_hops);
+  }
+}
+
+void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
+                             std::shared_ptr<const Bytes> payload,
+                             NodeId origin, std::uint64_t msg_id,
+                             int hops_left) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload->size();
+  if (faulted(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const sim::Duration delay = latency_.sample(from, to, rng_);
+  scheduler_.schedule(delay, [this, to, topic, payload, origin, msg_id,
+                              hops_left] {
+    Node& node = nodes_[to];
+    if (node.down) return;
+    if (!node.seen.insert(msg_id).second) {
+      ++stats_.gossip_duplicates;
+      return;
+    }
+    if (node.on_topic) {
+      ++stats_.messages_delivered;
+      node.on_topic(origin, topic, *payload);
+    }
+    if (hops_left <= 0) return;
+    if (auto mit = node.mesh.find(topic); mit != node.mesh.end()) {
+      for (NodeId peer : mit->second) {
+        if (peer == origin) continue;
+        gossip_deliver(to, peer, topic, payload, origin, msg_id,
+                       hops_left - 1);
+      }
+    }
+  });
+}
+
+void Network::set_node_down(NodeId node, bool down) {
+  nodes_.at(node).down = down;
+}
+
+bool Network::node_down(NodeId node) const { return nodes_.at(node).down; }
+
+void Network::set_partition(const std::vector<std::vector<NodeId>>& groups) {
+  std::fill(partition_group_.begin(), partition_group_.end(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId n : groups[g]) {
+      partition_group_.at(n) = static_cast<int>(g);
+    }
+  }
+  partitioned_ = true;
+}
+
+void Network::heal_partition() {
+  partitioned_ = false;
+  std::fill(partition_group_.begin(), partition_group_.end(), -1);
+}
+
+}  // namespace hc::net

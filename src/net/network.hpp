@@ -1,0 +1,142 @@
+// Simulated P2P network: gossip pubsub + point-to-point delivery.
+//
+// Substitution for libp2p/gossipsub (see DESIGN.md §2). Every subnet owns a
+// pubsub topic named by its SubnetId (paper §III-A: "a new attack-resilient
+// pubsub topic that peers use as the transport layer"); checkpoints, blocks,
+// consensus votes and the content-resolution protocol all travel through
+// here. The gossip layer is a real mesh — messages propagate hop by hop with
+// per-hop sampled latency and dedup — so delivery times scale O(log n) in
+// subscriber count like the deployed system, instead of being a magic
+// broadcast.
+//
+// Fault injection: per-message drop probability, node crash/down flags and
+// named partitions; used by the failure-injection tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "sim/latency.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hc::net {
+
+using sim::NodeId;
+
+/// Tuning knobs for the gossip mesh.
+struct GossipConfig {
+  /// Mesh degree: peers a node eagerly forwards to per topic.
+  std::size_t mesh_degree = 6;
+  /// Hop budget: messages stop propagating after this many hops.
+  int max_hops = 16;
+};
+
+class Network {
+ public:
+  using DirectHandler =
+      std::function<void(NodeId from, const Bytes& payload)>;
+  using TopicHandler = std::function<void(NodeId from, const std::string& topic,
+                                          const Bytes& payload)>;
+
+  Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
+          std::uint64_t seed, GossipConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a new node; returns its dense id.
+  NodeId add_node();
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Install the handler invoked for point-to-point messages.
+  void set_direct_handler(NodeId node, DirectHandler handler);
+  /// Install the handler invoked for pubsub deliveries.
+  void set_topic_handler(NodeId node, TopicHandler handler);
+
+  /// Point-to-point send with sampled latency (may drop under faults).
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  /// Topic membership. Subscribing re-wires the topic's gossip meshes.
+  void subscribe(NodeId node, const std::string& topic);
+  void unsubscribe(NodeId node, const std::string& topic);
+  [[nodiscard]] bool subscribed(NodeId node, const std::string& topic) const;
+
+  /// Publish into a topic. The publisher needs no subscription (boundary
+  /// nodes publish into sibling subnets during content resolution).
+  /// Delivery reaches subscribers via gossip hops; the publisher itself is
+  /// NOT delivered its own message.
+  void publish(NodeId from, const std::string& topic, Bytes payload);
+
+  // -------------------------------------------------------------- faults
+
+  /// Drop each transmission independently with probability p.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+
+  /// Mark a node down: it neither receives nor emits anything.
+  void set_node_down(NodeId node, bool down);
+  [[nodiscard]] bool node_down(NodeId node) const;
+
+  /// Split nodes into isolated groups; messages only flow within a group.
+  /// Nodes absent from every group stay fully connected to each other.
+  void set_partition(const std::vector<std::vector<NodeId>>& groups);
+  void heal_partition();
+
+  // --------------------------------------------------------------- stats
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;       // transmissions attempted
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t messages_delivered = 0;  // handler invocations
+    std::uint64_t messages_dropped = 0;    // lost to faults
+    std::uint64_t gossip_duplicates = 0;   // dedup hits at receivers
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct Node {
+    DirectHandler on_direct;
+    TopicHandler on_topic;
+    bool down = false;
+    // Per-topic set of seen gossip message ids (dedup).
+    std::unordered_set<std::uint64_t> seen;
+    // Mesh peers per topic.
+    std::unordered_map<std::string, std::vector<NodeId>> mesh;
+  };
+
+  struct Topic {
+    std::vector<NodeId> subscribers;
+  };
+
+  [[nodiscard]] bool can_reach(NodeId from, NodeId to) const;
+  [[nodiscard]] bool faulted(NodeId from, NodeId to);
+  void rebuild_meshes(const std::string& topic);
+  void gossip_deliver(NodeId from, NodeId to, const std::string& topic,
+                      std::shared_ptr<const Bytes> payload, NodeId origin,
+                      std::uint64_t msg_id, int hops_left);
+
+  sim::Scheduler& scheduler_;
+  sim::LatencyModel latency_;
+  sim::Rng rng_;
+  GossipConfig config_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, Topic> topics_;
+  double drop_rate_ = 0.0;
+  // partition_group_[node] = group id; -1 = unpartitioned.
+  std::vector<int> partition_group_;
+  bool partitioned_ = false;
+  std::uint64_t next_msg_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hc::net

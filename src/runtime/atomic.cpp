@@ -1,0 +1,170 @@
+#include "runtime/atomic.hpp"
+
+#include "actors/basic.hpp"
+#include "actors/methods.hpp"
+
+namespace hc::runtime {
+
+AtomicExecution::AtomicExecution(Hierarchy& hierarchy, Subnet& coordinator,
+                                 std::vector<AtomicPartySpec> parties,
+                                 ComputeFn compute)
+    : hierarchy_(hierarchy),
+      coordinator_(coordinator),
+      parties_(std::move(parties)),
+      compute_(std::move(compute)) {}
+
+Status AtomicExecution::lock_inputs() {
+  inputs_.clear();
+  input_cids_.clear();
+  for (auto& party : parties_) {
+    actors::KvParams p{party.key, {}};
+    HC_TRY(receipt, hierarchy_.call(*party.home, party.user, party.app,
+                                    actors::kv_method::kLock, encode(p),
+                                    TokenAmount()));
+    if (!receipt.ok()) {
+      return Error(Errc::kStateConflict, "input lock failed: " + receipt.error);
+    }
+    // kLock returns the locked input value: this is the state the party
+    // ships to its peers.
+    inputs_.push_back(receipt.ret);
+    input_cids_.push_back(Cid::of(CidCodec::kActorState, receipt.ret));
+  }
+  return ok_status();
+}
+
+Result<Cid> AtomicExecution::compute_output() {
+  if (inputs_.size() != parties_.size()) {
+    return Error(Errc::kStateConflict, "inputs not locked yet");
+  }
+  // The off-chain exchange (paper Fig. 5 "collect the pending inputs from
+  // other subnets"): in this client all parties are driven by the same
+  // process, so the exchange is the identity; the content-addressed input
+  // CIDs recorded at init() are what makes forged inputs detectable.
+  outputs_ = compute_(inputs_);
+  if (outputs_.size() != parties_.size()) {
+    return Error(Errc::kInvalidArgument,
+                 "compute function returned wrong arity");
+  }
+  Encoder e;
+  e.varint(outputs_.size());
+  for (const auto& o : outputs_) e.bytes(o);
+  output_cid_ = Cid::of(CidCodec::kActorState, e.data());
+  return output_cid_;
+}
+
+Result<chain::Receipt> AtomicExecution::send_to_coordinator(
+    std::size_t index, chain::MethodNum method, Bytes params) {
+  AtomicPartySpec& party = parties_.at(index);
+  if (party.home == &coordinator_) {
+    return hierarchy_.call(coordinator_, party.user, chain::kScaAddr, method,
+                           std::move(params), TokenAmount());
+  }
+  return hierarchy_.send_cross(*party.home, party.user, coordinator_.id,
+                               chain::kScaAddr, TokenAmount(), method,
+                               std::move(params));
+}
+
+Result<std::uint64_t> AtomicExecution::init(sim::Duration timeout) {
+  actors::AtomicInitParams p;
+  for (const auto& party : parties_) {
+    p.parties.push_back(
+        actors::AtomicParty{party.home->id, party.user.addr});
+  }
+  p.input_cids = input_cids_;
+  const std::uint64_t before = coordinator_.node(0).sca_state().next_exec_id;
+  HC_TRY(receipt, send_to_coordinator(0, actors::sca_method::kAtomicInit,
+                                      encode(p)));
+  if (!receipt.ok()) {
+    return Error(Errc::kInternal, "atomic init failed: " + receipt.error);
+  }
+  // Cross-net inits land asynchronously: wait for the exec to appear.
+  const bool appeared = hierarchy_.run_until(
+      [&] {
+        return coordinator_.node(0).sca_state().next_exec_id > before;
+      },
+      timeout);
+  if (!appeared) {
+    return Error(Errc::kTimeout, "atomic execution did not start");
+  }
+  // Ours is the exec created with id == before (ids are sequential).
+  exec_id_ = before;
+  return exec_id_;
+}
+
+Status AtomicExecution::submit(std::size_t index) {
+  actors::AtomicSubmitParams p{exec_id_, output_cid_};
+  HC_TRY(receipt, send_to_coordinator(index, actors::sca_method::kAtomicSubmit,
+                                      encode(p)));
+  if (!receipt.ok()) {
+    return Error(Errc::kInternal, "submit failed: " + receipt.error);
+  }
+  return ok_status();
+}
+
+Status AtomicExecution::abort(std::size_t index) {
+  actors::AtomicAbortParams p{exec_id_};
+  HC_TRY(receipt, send_to_coordinator(index, actors::sca_method::kAtomicAbort,
+                                      encode(p)));
+  if (!receipt.ok()) {
+    return Error(Errc::kInternal, "abort failed: " + receipt.error);
+  }
+  return ok_status();
+}
+
+Result<actors::AtomicStatus> AtomicExecution::await_decision(
+    sim::Duration timeout) {
+  actors::AtomicStatus status = actors::AtomicStatus::kPending;
+  const bool decided = hierarchy_.run_until(
+      [&] {
+        const auto sca = coordinator_.node(0).sca_state();
+        auto it = sca.atomic_execs.find(exec_id_);
+        if (it == sca.atomic_execs.end()) return false;
+        status = it->second.status;
+        return status != actors::AtomicStatus::kPending;
+      },
+      timeout);
+  if (!decided) {
+    return Error(Errc::kTimeout, "coordinator did not decide in time");
+  }
+  return status;
+}
+
+Status AtomicExecution::finalize(actors::AtomicStatus decision) {
+  for (std::size_t i = 0; i < parties_.size(); ++i) {
+    AtomicPartySpec& party = parties_[i];
+    if (decision == actors::AtomicStatus::kCommitted) {
+      actors::KvParams p{party.key, outputs_.at(i)};
+      HC_TRY(receipt, hierarchy_.call(*party.home, party.user, party.app,
+                                      actors::kv_method::kApplyOutput,
+                                      encode(p), TokenAmount()));
+      if (!receipt.ok()) {
+        return Error(Errc::kInternal, "apply-output failed: " + receipt.error);
+      }
+    } else {
+      actors::KvParams p{party.key, {}};
+      HC_TRY(receipt, hierarchy_.call(*party.home, party.user, party.app,
+                                      actors::kv_method::kUnlock, encode(p),
+                                      TokenAmount()));
+      if (!receipt.ok()) {
+        return Error(Errc::kInternal, "unlock failed: " + receipt.error);
+      }
+    }
+  }
+  return ok_status();
+}
+
+Result<actors::AtomicStatus> AtomicExecution::run() {
+  HC_TRY_STATUS(lock_inputs());
+  HC_TRY(cid, compute_output());
+  (void)cid;
+  HC_TRY(id, init());
+  (void)id;
+  for (std::size_t i = 0; i < parties_.size(); ++i) {
+    HC_TRY_STATUS(submit(i));
+  }
+  HC_TRY(decision, await_decision());
+  HC_TRY_STATUS(finalize(decision));
+  return decision;
+}
+
+}  // namespace hc::runtime

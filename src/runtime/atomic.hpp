@@ -1,0 +1,93 @@
+// Client-side orchestration of cross-net atomic executions (paper §IV-D,
+// Fig. 5).
+//
+// The protocol is a 2PC with the SCA of an agreed coordinator subnet
+// (generally the least common ancestor) as coordinator:
+//   1. every party locks its input state in its own subnet (KV actor lock),
+//   2. parties exchange the locked inputs off-chain (modeled over the
+//      content-resolution pubsub),
+//   3. each party computes the common output state locally,
+//   4. each party submits the output CID to the coordinator SCA
+//      (cross-net when the party lives in another subnet),
+//   5. the SCA commits when all outputs match — or aborts on mismatch or
+//      an explicit ABORT — and notifies party subnets via cross-msgs,
+//   6. parties apply the output (or unlock unchanged) in their subnets.
+//
+// AtomicExecution drives steps 1-6 for KV-actor state; each step is a
+// separate method so examples can narrate and tests can interleave faults.
+#pragma once
+
+#include "runtime/hierarchy.hpp"
+
+namespace hc::runtime {
+
+/// One party of an atomic execution.
+struct AtomicPartySpec {
+  Subnet* home = nullptr;
+  User user;
+  Address app;  // KV actor address in `home`
+  Bytes key;    // the KV key contributed as input state
+};
+
+class AtomicExecution {
+ public:
+  /// `compute` maps the vector of locked input values (party order) to the
+  /// per-party output values; it must be deterministic — every party runs
+  /// it locally and the SCA only commits when the resulting output states
+  /// coincide (Fig. 5 "checks if they all match").
+  using ComputeFn =
+      std::function<std::vector<Bytes>(const std::vector<Bytes>&)>;
+
+  AtomicExecution(Hierarchy& hierarchy, Subnet& coordinator,
+                  std::vector<AtomicPartySpec> parties, ComputeFn compute);
+
+  /// Step 1: lock every party's input; records the input values and CIDs.
+  Status lock_inputs();
+
+  /// Steps 2-3: exchange inputs (off-chain) and compute the output state.
+  /// Returns the common output CID.
+  Result<Cid> compute_output();
+
+  /// Step 4a: initiator starts the execution at the coordinator SCA.
+  /// Returns the execution id.
+  Result<std::uint64_t> init(sim::Duration timeout = 120 * sim::kSecond);
+
+  /// Step 4b: party `index` submits the output CID to the coordinator.
+  Status submit(std::size_t index);
+
+  /// A party aborts instead of submitting (Fig. 5 "at any point").
+  Status abort(std::size_t index);
+
+  /// Step 5: wait for the coordinator's decision.
+  Result<actors::AtomicStatus> await_decision(
+      sim::Duration timeout = 180 * sim::kSecond);
+
+  /// Step 6: apply outputs (commit) or unlock inputs (abort) everywhere.
+  Status finalize(actors::AtomicStatus decision);
+
+  /// Convenience: run the whole happy path.
+  Result<actors::AtomicStatus> run();
+
+  [[nodiscard]] std::uint64_t exec_id() const { return exec_id_; }
+  [[nodiscard]] const std::vector<Bytes>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Bytes>& outputs() const { return outputs_; }
+
+ private:
+  /// Send an SCA atomic method from party `index` — directly when the
+  /// party lives in the coordinator subnet, cross-net otherwise.
+  Result<chain::Receipt> send_to_coordinator(std::size_t index,
+                                             chain::MethodNum method,
+                                             Bytes params);
+
+  Hierarchy& hierarchy_;
+  Subnet& coordinator_;
+  std::vector<AtomicPartySpec> parties_;
+  ComputeFn compute_;
+  std::vector<Bytes> inputs_;
+  std::vector<Cid> input_cids_;
+  std::vector<Bytes> outputs_;
+  Cid output_cid_;
+  std::uint64_t exec_id_ = 0;
+};
+
+}  // namespace hc::runtime

@@ -1,0 +1,334 @@
+#include "runtime/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "actors/basic.hpp"
+#include "actors/methods.hpp"
+#include "actors/registry.hpp"
+#include "common/log.hpp"
+
+namespace hc::runtime {
+
+namespace {
+
+/// Genesis state shared by every chain: Init actor + SCA.
+chain::StateTree base_genesis(const core::SubnetId& self,
+                              std::uint32_t checkpoint_period) {
+  chain::StateTree tree;
+  chain::ActorEntry init;
+  init.code = chain::kCodeInit;
+  init.nonce = 100;
+  tree.set(chain::kInitAddr, init);
+  chain::ActorEntry sca;
+  sca.code = chain::kCodeSca;
+  sca.state = actors::make_sca_ctor_state(self, checkpoint_period);
+  tree.set(chain::kScaAddr, sca);
+  return tree;
+}
+
+consensus::ValidatorSet make_validator_set(
+    const std::vector<crypto::KeyPair>& keys) {
+  std::vector<consensus::Validator> members;
+  members.reserve(keys.size());
+  for (const auto& k : keys) {
+    members.push_back(consensus::Validator{k.public_key(), 1});
+  }
+  return consensus::ValidatorSet(std::move(members));
+}
+
+}  // namespace
+
+Hierarchy::Hierarchy(HierarchyConfig config)
+    : config_(std::move(config)),
+      network_(scheduler_, config_.latency, config_.seed, config_.gossip),
+      faucet_(crypto::KeyPair::from_label("hc/faucet")) {
+  actors::install_standard_actors(registry_);
+
+  auto root = std::make_unique<Subnet>();
+  root->id = core::SubnetId::root();
+  root->params = config_.root_params;
+  for (std::size_t i = 0; i < config_.root_validators; ++i) {
+    root->validator_keys.push_back(
+        crypto::KeyPair::from_label("root-val-" + std::to_string(i)));
+  }
+
+  chain::StateTree genesis =
+      base_genesis(root->id, config_.root_params.checkpoint_period);
+  chain::ActorEntry faucet_entry;
+  faucet_entry.code = chain::kCodeAccount;
+  faucet_entry.balance = config_.faucet_balance;
+  genesis.set(Address::key(faucet_.public_key().to_bytes()), faucet_entry);
+  // Root validators get small gas allowances.
+  for (const auto& k : root->validator_keys) {
+    chain::ActorEntry v;
+    v.code = chain::kCodeAccount;
+    v.balance = TokenAmount::whole(1000);
+    genesis.set(Address::key(k.public_key().to_bytes()), v);
+  }
+
+  const auto validators = make_validator_set(root->validator_keys);
+  for (const auto& k : root->validator_keys) {
+    NodeConfig nc;
+    nc.subnet = root->id;
+    nc.params = config_.root_params;
+    nc.engine = config_.root_engine;
+    root->nodes.push_back(std::make_unique<SubnetNode>(
+        scheduler_, network_, registry_, nc, k, validators,
+        genesis.snapshot()));
+  }
+  for (auto& n : root->nodes) n->start();
+  root_ = root.get();
+  subnets_.push_back(std::move(root));
+}
+
+Hierarchy::~Hierarchy() {
+  for (auto& s : subnets_) {
+    for (auto& n : s->nodes) n->stop();
+  }
+}
+
+void Hierarchy::run_for(sim::Duration d) {
+  scheduler_.run_until(scheduler_.now() + d);
+}
+
+bool Hierarchy::run_until(const std::function<bool()>& pred,
+                          sim::Duration max, sim::Duration step) {
+  const sim::Time deadline = scheduler_.now() + max;
+  for (;;) {
+    if (pred()) return true;
+    if (scheduler_.now() >= deadline) return false;
+    scheduler_.run_until(std::min(scheduler_.now() + step, deadline));
+  }
+}
+
+Result<User> Hierarchy::make_user(const std::string& label, TokenAmount funds,
+                                  sim::Duration timeout) {
+  User user;
+  user.key = crypto::KeyPair::from_label(label + "#" +
+                                         std::to_string(label_counter_++));
+  user.addr = Address::key(user.key.public_key().to_bytes());
+
+  User faucet_user{faucet_, Address::key(faucet_.public_key().to_bytes())};
+  chain::Message m;
+  m.from = faucet_user.addr;
+  m.to = user.addr;
+  m.nonce = root_->node(0).account_nonce(faucet_user.addr);
+  m.value = funds;
+  m.gas_limit = 1u << 22;
+  m.gas_price = TokenAmount::atto(1);
+  HC_TRY_STATUS(root_->node(0).submit_message(
+      chain::SignedMessage::sign(std::move(m), faucet_)));
+  const bool funded = run_until(
+      [&] { return root_->node(0).balance(user.addr) >= funds; }, timeout);
+  if (!funded) {
+    return Error(Errc::kTimeout, "user funding did not land");
+  }
+  return user;
+}
+
+Status Hierarchy::submit(Subnet& subnet, const User& user, const Address& to,
+                         chain::MethodNum method, Bytes params,
+                         TokenAmount value) {
+  chain::Message m;
+  m.from = user.addr;
+  m.to = to;
+  m.nonce = subnet.node(0).account_nonce(user.addr);
+  m.value = value;
+  m.method = method;
+  m.params = std::move(params);
+  m.gas_limit = 1u << 26;
+  m.gas_price = TokenAmount::atto(1);
+  return subnet.node(0).submit_message(
+      chain::SignedMessage::sign(std::move(m), user.key));
+}
+
+Result<chain::Receipt> Hierarchy::call(Subnet& subnet, const User& user,
+                                       const Address& to,
+                                       chain::MethodNum method, Bytes params,
+                                       TokenAmount value,
+                                       sim::Duration timeout) {
+  const std::uint64_t nonce = subnet.node(0).account_nonce(user.addr);
+  chain::Message m;
+  m.from = user.addr;
+  m.to = to;
+  m.nonce = nonce;
+  m.value = value;
+  m.method = method;
+  m.params = std::move(params);
+  m.gas_limit = 1u << 26;
+  m.gas_price = TokenAmount::atto(1);
+  const auto sm = chain::SignedMessage::sign(std::move(m), user.key);
+  HC_TRY_STATUS(subnet.node(0).submit_message(sm));
+
+  // Wait until the account nonce passes ours, then locate the receipt.
+  const bool included = run_until(
+      [&] { return subnet.node(0).account_nonce(user.addr) > nonce; },
+      timeout);
+  if (!included) {
+    return Error(Errc::kTimeout, "message was not included in time");
+  }
+  // Find the receipt by scanning recent blocks for our message.
+  const auto& store = subnet.node(0).chain();
+  for (chain::Epoch h = store.height(); h >= 1; --h) {
+    const auto* block = store.block_at(h);
+    if (block == nullptr) break;
+    for (std::size_t i = 0; i < block->messages.size(); ++i) {
+      if (block->messages[i] == sm) {
+        const auto* receipts = subnet.node(0).receipts_at(h);
+        if (receipts == nullptr) {
+          return Error(Errc::kNotFound, "receipts pruned");
+        }
+        return (*receipts)[block->cross_messages.size() + i];
+      }
+    }
+  }
+  return Error(Errc::kNotFound, "included message not found in chain");
+}
+
+Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
+                                        const std::string& name,
+                                        core::SubnetParams params,
+                                        std::size_t n_validators,
+                                        TokenAmount stake_each,
+                                        consensus::EngineConfig engine,
+                                        sim::Duration timeout) {
+  if (n_validators == 0) {
+    return Error(Errc::kInvalidArgument, "subnet needs validators");
+  }
+  if (!parent.id.is_root()) {
+    // Validators of a nested subnet need funds on the parent chain, which
+    // themselves arrive via cross-net funding from the root.
+  }
+
+  // 1. Create and fund validator identities on the PARENT chain.
+  std::vector<crypto::KeyPair> keys;
+  std::vector<User> users;
+  for (std::size_t i = 0; i < n_validators; ++i) {
+    keys.push_back(crypto::KeyPair::from_label(
+        name + "-val-" + std::to_string(i) + "#" +
+        std::to_string(label_counter_++)));
+    users.push_back(User{keys.back(),
+                         Address::key(keys.back().public_key().to_bytes())});
+  }
+  const TokenAmount validator_funds =
+      stake_each + TokenAmount::whole(100);  // stake + gas headroom
+  for (const auto& u : users) {
+    if (parent.id.is_root()) {
+      User faucet_user{faucet_,
+                       Address::key(faucet_.public_key().to_bytes())};
+      chain::Message m;
+      m.from = faucet_user.addr;
+      m.to = u.addr;
+      m.nonce = root_->node(0).account_nonce(faucet_user.addr);
+      m.value = validator_funds;
+      m.gas_limit = 1u << 22;
+      m.gas_price = TokenAmount::atto(1);
+      HC_TRY_STATUS(root_->node(0).submit_message(
+          chain::SignedMessage::sign(std::move(m), faucet_)));
+      if (!run_until([&] {
+            return root_->node(0).balance(u.addr) >= validator_funds;
+          }, timeout)) {
+        return Error(Errc::kTimeout, "validator funding did not land");
+      }
+    } else {
+      // Route funds from the root faucet down to the parent subnet.
+      HC_TRY(faucet_user, make_user(name + "-route", validator_funds +
+                                                         TokenAmount::whole(1),
+                                    timeout));
+      HC_TRY(receipt,
+             send_cross(*root_, faucet_user, parent.id, u.addr,
+                        validator_funds));
+      if (!receipt.ok()) {
+        return Error(Errc::kInternal, "cross-net funding failed: " +
+                                          receipt.error);
+      }
+      if (!run_until([&] {
+            return parent.node(0).balance(u.addr) >= validator_funds;
+          }, timeout)) {
+        return Error(Errc::kTimeout, "cross-net validator funding stalled");
+      }
+    }
+  }
+
+  // 2. Deploy the SA through the parent's Init actor (paper §III-A).
+  actors::ExecParams exec;
+  exec.code = chain::kCodeSubnetActor;
+  exec.ctor_state = actors::make_sa_ctor_state(params);
+  HC_TRY(deploy_receipt,
+         call(parent, users[0], chain::kInitAddr, actors::init_method::kExec,
+              encode(exec), TokenAmount(), timeout));
+  if (!deploy_receipt.ok()) {
+    return Error(Errc::kInternal, "SA deploy failed: " + deploy_receipt.error);
+  }
+  HC_TRY(sa_addr, decode<Address>(deploy_receipt.ret));
+
+  // 3. Validators join with stake; the SA registers with the SCA once the
+  //    collateral threshold is crossed (paper §III-B).
+  for (std::size_t i = 0; i < n_validators; ++i) {
+    HC_TRY(join_receipt,
+           call(parent, users[i], sa_addr, actors::sa_method::kJoin,
+                encode(actors::JoinParams{keys[i].public_key()}), stake_each,
+                timeout));
+    if (!join_receipt.ok()) {
+      return Error(Errc::kInternal, "join failed: " + join_receipt.error);
+    }
+  }
+  const bool registered = run_until(
+      [&] {
+        const auto sa = parent.node(0).sa_state(sa_addr);
+        return sa.has_value() && sa->registered;
+      },
+      timeout);
+  if (!registered) {
+    return Error(Errc::kTimeout,
+                 "subnet did not register (insufficient collateral?)");
+  }
+
+  // 4. Boot the child chain: one node per validator, each holding a parent
+  //    view on a distinct parent node (paper §II: child nodes run full
+  //    nodes on the parent subnet).
+  auto child = std::make_unique<Subnet>();
+  child->id = parent.id.child(sa_addr);
+  child->sa = sa_addr;
+  child->params = params;
+  child->parent = &parent;
+  child->validator_keys = keys;
+
+  chain::StateTree genesis =
+      base_genesis(child->id, params.checkpoint_period);
+  const auto validators = make_validator_set(keys);
+  for (std::size_t i = 0; i < n_validators; ++i) {
+    NodeConfig nc;
+    nc.subnet = child->id;
+    nc.params = params;
+    nc.engine = engine;
+    nc.sa_in_parent = sa_addr;
+    auto node = std::make_unique<SubnetNode>(scheduler_, network_, registry_,
+                                             nc, keys[i], validators,
+                                             genesis.snapshot());
+    node->attach_parent(&parent.node(i % parent.size()));
+    child->nodes.push_back(std::move(node));
+  }
+  for (auto& n : child->nodes) n->start();
+
+  Subnet* out = child.get();
+  subnets_.push_back(std::move(child));
+  return out;
+}
+
+Result<chain::Receipt> Hierarchy::send_cross(Subnet& from, const User& user,
+                                             const core::SubnetId& dest,
+                                             const Address& to,
+                                             TokenAmount value,
+                                             chain::MethodNum method,
+                                             Bytes inner_params) {
+  actors::CrossParams p;
+  p.dest = dest;
+  p.to = to;
+  p.method = method;
+  p.inner_params = std::move(inner_params);
+  return call(from, user, chain::kScaAddr, actors::sca_method::kSendCross,
+              encode(p), value);
+}
+
+}  // namespace hc::runtime

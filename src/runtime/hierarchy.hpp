@@ -1,0 +1,132 @@
+// Hierarchy: end-to-end orchestration of a hierarchical-consensus system.
+//
+// This is the library's top-level API (what Fig. 1 depicts): boot a rootnet,
+// spawn subnets at any point of the tree (deploy SA -> validators join ->
+// SA registers with the parent SCA -> child chain boots), and drive
+// cross-net operations. All nodes share one discrete-event scheduler and
+// one simulated network, so runs are reproducible.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/node.hpp"
+
+namespace hc::runtime {
+
+struct HierarchyConfig {
+  std::uint64_t seed = 1;
+  sim::LatencyModel latency = sim::LatencyModel::lan();
+  net::GossipConfig gossip;
+
+  /// Rootnet parameters (consensus type; checkpoint fields unused at root).
+  core::SubnetParams root_params;
+  std::size_t root_validators = 4;
+  consensus::EngineConfig root_engine;
+
+  /// Genesis balance of the faucet account used to fund users/validators.
+  TokenAmount faucet_balance = TokenAmount::whole(1000000000);
+};
+
+/// A spawned subnet (or the rootnet): its nodes and identity.
+class Subnet {
+ public:
+  core::SubnetId id;
+  Address sa;  // SA address in the parent chain; invalid for root
+  core::SubnetParams params;
+  Subnet* parent = nullptr;
+  std::vector<crypto::KeyPair> validator_keys;
+  std::vector<std::unique_ptr<SubnetNode>> nodes;
+
+  [[nodiscard]] SubnetNode& node(std::size_t i = 0) { return *nodes.at(i); }
+  [[nodiscard]] const SubnetNode& node(std::size_t i = 0) const {
+    return *nodes.at(i);
+  }
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+};
+
+/// A user identity with per-subnet nonce tracking handled by the caller
+/// through Hierarchy::call (nonces are read from chain state).
+struct User {
+  crypto::KeyPair key = crypto::KeyPair::from_label("unset");
+  Address addr;
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(HierarchyConfig config);
+  ~Hierarchy();
+
+  Hierarchy(const Hierarchy&) = delete;
+  Hierarchy& operator=(const Hierarchy&) = delete;
+
+  [[nodiscard]] Subnet& root() { return *root_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+
+  /// Advance simulated time.
+  void run_for(sim::Duration d);
+
+  /// Run until `pred` holds or `max` elapses; returns whether it held.
+  bool run_until(const std::function<bool()>& pred, sim::Duration max,
+                 sim::Duration step = 50 * sim::kMillisecond);
+
+  /// Create a user identity and fund it on the rootnet from the faucet.
+  Result<User> make_user(const std::string& label, TokenAmount funds,
+                         sim::Duration timeout = 30 * sim::kSecond);
+
+  /// Submit a signed call from `user` on `subnet` (auto nonce/gas) and wait
+  /// for inclusion. Returns the execution receipt.
+  Result<chain::Receipt> call(Subnet& subnet, const User& user,
+                              const Address& to, chain::MethodNum method,
+                              Bytes params, TokenAmount value,
+                              sim::Duration timeout = 60 * sim::kSecond);
+
+  /// Fire-and-forget variant of call (no waiting).
+  Status submit(Subnet& subnet, const User& user, const Address& to,
+                chain::MethodNum method, Bytes params, TokenAmount value);
+
+  /// Spawn a child subnet of `parent`: deploys the SA, funds fresh
+  /// validators on the parent chain, joins them with `stake_each`, waits
+  /// for SCA registration, then boots the child chain's nodes.
+  Result<Subnet*> spawn_subnet(Subnet& parent, const std::string& name,
+                               core::SubnetParams params,
+                               std::size_t n_validators,
+                               TokenAmount stake_each,
+                               consensus::EngineConfig engine = {},
+                               sim::Duration timeout = 120 * sim::kSecond);
+
+  /// Cross-net value transfer / invocation from `user` on `from`, routed
+  /// per paper §IV-A (top-down, bottom-up, or path). Returns once the SCA
+  /// of `from` accepted the message (delivery is asynchronous).
+  Result<chain::Receipt> send_cross(Subnet& from, const User& user,
+                                    const core::SubnetId& dest,
+                                    const Address& to, TokenAmount value,
+                                    chain::MethodNum method = 0,
+                                    Bytes inner_params = {});
+
+  /// All subnets spawned so far (including root), tree order.
+  [[nodiscard]] const std::vector<std::unique_ptr<Subnet>>& subnets() const {
+    return subnets_;
+  }
+
+  /// The registry shared by every chain in the hierarchy.
+  [[nodiscard]] const chain::ActorRegistry& registry() const {
+    return registry_;
+  }
+
+ private:
+
+  HierarchyConfig config_;
+  sim::Scheduler scheduler_;
+  net::Network network_;
+  chain::ActorRegistry registry_;
+  crypto::KeyPair faucet_;
+  std::vector<std::unique_ptr<Subnet>> subnets_;
+  Subnet* root_ = nullptr;
+  std::uint64_t label_counter_ = 0;
+};
+
+}  // namespace hc::runtime

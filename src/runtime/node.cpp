@@ -1,0 +1,587 @@
+#include "crypto/sigcache.hpp"
+#include "runtime/node.hpp"
+
+#include <algorithm>
+
+#include "actors/methods.hpp"
+#include "common/log.hpp"
+
+namespace hc::runtime {
+
+namespace {
+
+Bytes registry_key(const Cid& cid) {
+  return Bytes(cid.digest().begin(), cid.digest().end());
+}
+
+}  // namespace
+
+SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
+                       const chain::ActorRegistry& registry,
+                       NodeConfig config, crypto::KeyPair key,
+                       consensus::ValidatorSet validators,
+                       chain::StateTree genesis_state)
+    : scheduler_(scheduler),
+      network_(network),
+      registry_(registry),
+      config_(std::move(config)),
+      key_(std::move(key)),
+      validators_(std::move(validators)),
+      net_id_(network.add_node()),
+      executor_(registry_, chain::GasSchedule{}) {
+  chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
+  store_ = std::make_unique<chain::ChainStore>(std::move(genesis),
+                                               std::move(genesis_state));
+
+  consensus::EngineContext ectx;
+  ectx.scheduler = &scheduler_;
+  ectx.network = &network_;
+  ectx.node = net_id_;
+  ectx.topic = Topics::consensus(config_.subnet);
+  ectx.key = key_;
+  ectx.validators = validators_;
+  ectx.source = this;
+  engine_ =
+      consensus::make_engine(config_.params.consensus, std::move(ectx),
+                             config_.engine);
+
+  network_.subscribe(net_id_, Topics::msgs(config_.subnet));
+  network_.subscribe(net_id_, Topics::consensus(config_.subnet));
+  network_.subscribe(net_id_, Topics::signatures(config_.subnet));
+  network_.subscribe(net_id_, Topics::resolve(config_.subnet));
+  network_.set_topic_handler(
+      net_id_, [this](net::NodeId from, const std::string& topic,
+                      const Bytes& payload) {
+        if (topic == Topics::consensus(config_.subnet)) {
+          engine_->on_message(from, payload);
+        } else if (topic == Topics::msgs(config_.subnet)) {
+          handle_msgs_topic(payload);
+        } else if (topic == Topics::signatures(config_.subnet)) {
+          handle_sigs_topic(payload);
+        } else if (topic == Topics::resolve(config_.subnet)) {
+          handle_resolve_topic(payload);
+        }
+      });
+}
+
+SubnetNode::~SubnetNode() = default;
+
+void SubnetNode::start() {
+  running_ = true;
+  // Non-validators run the engine too: they never produce or vote (the
+  // engines check set membership) but follow and validate committed blocks.
+  engine_->start();
+}
+
+void SubnetNode::stop() {
+  running_ = false;
+  engine_->stop();
+}
+
+bool SubnetNode::is_validator() const {
+  return validators_.index_of(key_.public_key()).has_value();
+}
+
+Status SubnetNode::submit_message(chain::SignedMessage msg) {
+  const Bytes wire = encode(msg);
+  HC_TRY_STATUS(mempool_.add(std::move(msg)));
+  network_.publish(net_id_, Topics::msgs(config_.subnet), wire);
+  return ok_status();
+}
+
+TokenAmount SubnetNode::balance(const Address& addr) const {
+  const auto* entry = store_->state().get(addr);
+  return entry == nullptr ? TokenAmount() : entry->balance;
+}
+
+std::uint64_t SubnetNode::account_nonce(const Address& addr) const {
+  const auto* entry = store_->state().get(addr);
+  return entry == nullptr ? 0 : entry->nonce;
+}
+
+actors::ScaState SubnetNode::sca_state() const {
+  const auto* entry = store_->state().get(chain::kScaAddr);
+  if (entry == nullptr || entry->state.empty()) return {};
+  auto decoded = decode<actors::ScaState>(entry->state);
+  return decoded.ok() ? std::move(decoded).value() : actors::ScaState{};
+}
+
+std::optional<actors::SaState> SubnetNode::sa_state(const Address& sa) const {
+  const auto* entry = store_->state().get(sa);
+  if (entry == nullptr || entry->code != chain::kCodeSubnetActor) {
+    return std::nullopt;
+  }
+  auto decoded = decode<actors::SaState>(entry->state);
+  if (!decoded) return std::nullopt;
+  return std::move(decoded).value();
+}
+
+const std::vector<chain::Receipt>* SubnetNode::receipts_at(
+    chain::Epoch height) const {
+  auto it = receipts_.find(height);
+  return it == receipts_.end() ? nullptr : &it->second;
+}
+
+std::optional<chain::Block> SubnetNode::block_at(chain::Epoch height) const {
+  const auto* b = store_->block_at(height);
+  if (b == nullptr) return std::nullopt;
+  return *b;
+}
+
+Bytes SubnetNode::proof_at(chain::Epoch height) const {
+  if (height < 1) return {};
+  const auto idx = static_cast<std::size_t>(height - 1);
+  return idx < proofs_.size() ? proofs_[idx] : Bytes{};
+}
+
+// --------------------------------------------------------------- building
+
+std::vector<chain::Message> SubnetNode::gather_cross_messages() {
+  std::vector<chain::Message> out;
+  const chain::Epoch next = store_->height() + 1;
+  const actors::ScaState my_sca = sca_state();
+
+  // 1. Checkpoint cut at period boundaries (paper Fig. 2): freeze the
+  //    window and open the signature window.
+  if (!config_.subnet.is_root() && config_.params.checkpoint_period > 0 &&
+      next % config_.params.checkpoint_period == 0 &&
+      next > my_sca.last_own_checkpoint_epoch) {
+    actors::CutParams cut;
+    cut.epoch = next;
+    cut.proof = store_->head().cid();
+    chain::Message m;
+    m.from = chain::kSystemAddr;
+    m.to = chain::kScaAddr;
+    m.method = actors::sca_method::kCutCheckpoint;
+    m.params = encode(cut);
+    out.push_back(std::move(m));
+  }
+
+  // 2. Top-down msgs committed by the parent, in nonce order (paper Fig. 3
+  //    left: the pool syncs with the parent SCA's state).
+  if (parent_ != nullptr) {
+    const actors::ScaState parent_sca = parent_->sca_state();
+    const auto* entry = parent_sca.find_subnet(config_.sa_in_parent);
+    if (entry != nullptr) {
+      std::uint64_t expected = my_sca.applied_topdown_nonce;
+      for (const auto& cross : entry->topdown_queue) {
+        if (out.size() >= config_.max_cross_msgs_per_block) break;
+        if (cross.nonce < expected) continue;
+        if (cross.nonce != expected) break;  // queue is nonce-ordered
+        chain::Message m;
+        m.from = chain::kSystemAddr;
+        m.to = chain::kScaAddr;
+        m.method = actors::sca_method::kApplyTopDown;
+        m.params = encode(cross);
+        m.value = cross.msg.value;  // minted into the subnet (paper §IV-A)
+        out.push_back(std::move(m));
+        ++expected;
+      }
+    }
+  }
+
+  // 3. Adopted bottom-up batches whose content has been resolved, strictly
+  //    in adoption-nonce order (paper Fig. 3 right).
+  std::uint64_t expected_bu = my_sca.applied_bottomup_nonce;
+  for (const auto& pending : my_sca.pending_bottomup) {
+    if (out.size() >= config_.max_cross_msgs_per_block) break;
+    if (pending.executed || pending.nonce < expected_bu) continue;
+    if (pending.nonce != expected_bu) break;
+    auto content = resolved_.get(pending.meta.msgs_cid);
+    if (!content.has_value()) break;  // unresolved: order must not be broken
+    auto batch = decode<core::CrossMsgBatch>(*content);
+    if (!batch) break;
+    actors::ApplyBottomUpParams params;
+    params.nonce = pending.nonce;
+    params.batch = std::move(batch).value();
+    chain::Message m;
+    m.from = chain::kSystemAddr;
+    m.to = chain::kScaAddr;
+    m.method = actors::sca_method::kApplyBottomUp;
+    m.params = encode(params);
+    out.push_back(std::move(m));
+    ++expected_bu;
+  }
+  return out;
+}
+
+chain::Block SubnetNode::build_block(const Address& miner) {
+  chain::Block block;
+  block.header.miner = miner;
+  block.header.height = store_->height() + 1;
+  block.header.parent = store_->head().cid();
+  block.header.timestamp = scheduler_.now();
+
+  block.cross_messages = gather_cross_messages();
+  block.messages = mempool_.select(
+      config_.max_user_msgs_per_block,
+      [this](const Address& a) { return account_nonce(a); });
+
+  chain::StateTree tree = store_->state().snapshot();
+  (void)executor_.apply_block(tree, block);
+  block.header.state_root = tree.flush();
+  block.header.msgs_root = block.compute_msgs_root();
+  return block;
+}
+
+Status SubnetNode::validate_cross_messages(const chain::Block& block) {
+  const actors::ScaState my_sca = sca_state();
+  std::uint64_t expected_td = my_sca.applied_topdown_nonce;
+  std::uint64_t expected_bu = my_sca.applied_bottomup_nonce;
+  bool cut_seen = false;
+
+  // Parent view for authenticating top-down msgs.
+  const actors::SubnetEntry* parent_entry = nullptr;
+  actors::ScaState parent_sca;
+  if (parent_ != nullptr) {
+    parent_sca = parent_->sca_state();
+    parent_entry = parent_sca.find_subnet(config_.sa_in_parent);
+  }
+
+  for (const auto& m : block.cross_messages) {
+    if (m.from != chain::kSystemAddr || m.to != chain::kScaAddr) {
+      return Error(Errc::kInvalidArgument,
+                   "implicit message with non-system envelope");
+    }
+    switch (m.method) {
+      case actors::sca_method::kCutCheckpoint: {
+        if (cut_seen) {
+          return Error(Errc::kInvalidArgument, "duplicate checkpoint cut");
+        }
+        cut_seen = true;
+        HC_TRY(cut, decode<actors::CutParams>(m.params));
+        if (config_.params.checkpoint_period == 0 ||
+            block.header.height % config_.params.checkpoint_period != 0 ||
+            cut.epoch != block.header.height) {
+          return Error(Errc::kInvalidArgument, "cut at wrong epoch");
+        }
+        if (cut.proof != block.header.parent) {
+          return Error(Errc::kInvalidArgument, "cut proof mismatch");
+        }
+        break;
+      }
+      case actors::sca_method::kApplyTopDown: {
+        HC_TRY(cross, decode<core::CrossMsg>(m.params));
+        if (cross.nonce != expected_td) {
+          return Error(Errc::kInvalidNonce, "top-down out of order");
+        }
+        // Authenticity: the message must exist verbatim in the parent
+        // SCA's committed queue — a Byzantine proposer cannot mint.
+        if (parent_entry == nullptr) {
+          return Error(Errc::kUnavailable, "no parent view to verify against");
+        }
+        const auto it = std::find_if(
+            parent_entry->topdown_queue.begin(),
+            parent_entry->topdown_queue.end(),
+            [&](const core::CrossMsg& q) { return q.nonce == cross.nonce; });
+        if (it == parent_entry->topdown_queue.end()) {
+          return Error(Errc::kUnavailable,
+                       "top-down msg not (yet) visible in parent state");
+        }
+        if (!(*it == cross)) {
+          return Error(Errc::kInvalidArgument, "forged top-down msg");
+        }
+        if (m.value != cross.msg.value) {
+          return Error(Errc::kInvalidArgument, "top-down mint mismatch");
+        }
+        ++expected_td;
+        break;
+      }
+      case actors::sca_method::kApplyBottomUp: {
+        HC_TRY(params, decode<actors::ApplyBottomUpParams>(m.params));
+        if (params.nonce != expected_bu) {
+          return Error(Errc::kInvalidNonce, "bottom-up out of order");
+        }
+        const auto it = std::find_if(
+            my_sca.pending_bottomup.begin(), my_sca.pending_bottomup.end(),
+            [&](const actors::PendingBottomUp& p) {
+              return p.nonce == params.nonce;
+            });
+        if (it == my_sca.pending_bottomup.end()) {
+          return Error(Errc::kNotFound, "bottom-up nonce not adopted");
+        }
+        if (params.batch.cid() != it->meta.msgs_cid) {
+          return Error(Errc::kInvalidArgument, "bottom-up batch forged");
+        }
+        // Side benefit: blocks disseminate batch content to validators
+        // that missed both push and pull.
+        (void)resolved_.put_verified(it->meta.msgs_cid, encode(params.batch));
+        ++expected_bu;
+        break;
+      }
+      default:
+        return Error(Errc::kInvalidArgument, "unexpected implicit method");
+    }
+  }
+  return ok_status();
+}
+
+Status SubnetNode::validate_block(const chain::Block& block) {
+  if (block.header.height != store_->height() + 1) {
+    return Error(Errc::kStateConflict, "height does not extend head");
+  }
+  if (block.header.parent != store_->head().cid()) {
+    return Error(Errc::kStateConflict, "parent does not match head");
+  }
+  if (block.header.msgs_root != block.compute_msgs_root()) {
+    return Error(Errc::kInvalidArgument, "msgs root mismatch");
+  }
+  HC_TRY_STATUS(validate_cross_messages(block));
+  for (const auto& sm : block.messages) {
+    if (!sm.verify()) {
+      return Error(Errc::kInvalidSignature, "unsigned user message in block");
+    }
+  }
+  chain::StateTree tree = store_->state().snapshot();
+  (void)executor_.apply_block(tree, block);
+  if (tree.flush() != block.header.state_root) {
+    return Error(Errc::kInvalidArgument, "state root mismatch");
+  }
+  return ok_status();
+}
+
+void SubnetNode::commit_block(chain::Block block, Bytes proof) {
+  chain::StateTree tree = store_->state().snapshot();
+  std::vector<chain::Receipt> receipts = executor_.apply_block(tree, block);
+  const chain::Epoch height = block.header.height;
+  const chain::Block committed = block;  // keep for after_commit
+  if (Status ok = store_->append(std::move(block), std::move(tree)); !ok) {
+    LogLine(LogLevel::kError) << config_.subnet.to_string()
+                              << ": commit failed: " << ok.error().to_string();
+    return;
+  }
+  proofs_.resize(static_cast<std::size_t>(height));
+  proofs_[static_cast<std::size_t>(height - 1)] = std::move(proof);
+
+  mempool_.remove_included(committed.messages);
+  mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
+
+  ++stats_.blocks_committed;
+  const std::size_t n_cross = committed.cross_messages.size();
+  for (std::size_t i = 0; i < receipts.size(); ++i) {
+    if (!receipts[i].ok()) continue;
+    if (i < n_cross) {
+      ++stats_.cross_msgs_executed;
+    } else {
+      ++stats_.user_msgs_executed;
+    }
+  }
+
+  receipts_[height] = receipts;
+  if (receipts_.size() > 64) receipts_.erase(receipts_.begin());
+
+  after_commit(committed, receipts);
+}
+
+// ------------------------------------------------------------ post-commit
+
+void SubnetNode::after_commit(const chain::Block& block,
+                              const std::vector<chain::Receipt>& receipts) {
+  if (!running_) return;
+  // Detect a freshly cut checkpoint: sign it and push its batches.
+  for (const auto& receipt : receipts) {
+    for (const auto& event : receipt.events) {
+      if (event.kind != "sca/checkpoint-cut") continue;
+      auto cp_r = decode<core::Checkpoint>(event.payload);
+      if (!cp_r) continue;
+      const core::Checkpoint cp = std::move(cp_r).value();
+      ++stats_.checkpoints_cut;
+      cut_checkpoints_[cp.epoch] = cp;
+      if (is_validator()) {
+        // Paper Fig. 2: a signature window opens for the cut checkpoint.
+        SigShare share;
+        share.epoch = cp.epoch;
+        share.checkpoint_cid = cp.cid();
+        share.signer = key_.public_key();
+        share.signature =
+            key_.sign(core::SignedCheckpoint::signing_payload(cp));
+        sig_shares_[cp.epoch][share.signer.to_bytes()] = share;
+        network_.publish(net_id_, Topics::signatures(config_.subnet),
+                         encode(share));
+      }
+      if (config_.push_resolution) push_own_batches(cp);
+    }
+  }
+  request_missing_batches();
+  maybe_submit_checkpoint();
+  (void)block;
+}
+
+void SubnetNode::push_own_batches(const core::Checkpoint& cp) {
+  const actors::ScaState my_sca = sca_state();
+  for (const auto& meta : cp.cross_meta) {
+    if (!(meta.from == config_.subnet)) continue;  // children push their own
+    auto it = my_sca.msg_registry.find(registry_key(meta.msgs_cid));
+    if (it == my_sca.msg_registry.end()) continue;
+    ResolutionMsg push;
+    push.kind = ResolutionKind::kPush;
+    push.cid = meta.msgs_cid;
+    push.content = it->second;
+    network_.publish(net_id_, Topics::resolve(meta.to), encode(push));
+    ++stats_.pushes_sent;
+  }
+}
+
+void SubnetNode::request_missing_batches() {
+  const actors::ScaState my_sca = sca_state();
+  for (const auto& pending : my_sca.pending_bottomup) {
+    if (pending.executed) continue;
+    if (resolved_.has(pending.meta.msgs_cid)) continue;
+    ResolutionMsg pull;
+    pull.kind = ResolutionKind::kPull;
+    pull.cid = pending.meta.msgs_cid;
+    pull.reply_to = config_.subnet;
+    network_.publish(net_id_, Topics::resolve(pending.meta.from),
+                     encode(pull));
+    ++stats_.pulls_sent;
+  }
+}
+
+void SubnetNode::maybe_submit_checkpoint() {
+  if (parent_ == nullptr || !is_validator()) return;
+
+  // Prune checkpoints the parent SA has accepted, then pick the EARLIEST
+  // outstanding one (prev-linkage forces in-order acceptance).
+  const auto sa = parent_->sa_state(config_.sa_in_parent);
+  if (!sa.has_value()) return;
+  while (!cut_checkpoints_.empty() &&
+         cut_checkpoints_.begin()->first <= sa->last_checkpoint_epoch) {
+    submit_attempt_height_.erase(cut_checkpoints_.begin()->first);
+    sig_shares_.erase(cut_checkpoints_.begin()->first);
+    cut_checkpoints_.erase(cut_checkpoints_.begin());
+  }
+  if (cut_checkpoints_.empty()) return;
+  const core::Checkpoint& cp = cut_checkpoints_.begin()->second;
+
+  // Designated submitter rotates per checkpoint; if acceptance stalls
+  // (partition, crashed submitter), the designation rotates onward every
+  // further period of silence so some live validator eventually retries.
+  const auto my_index = validators_.index_of(key_.public_key());
+  if (!my_index.has_value()) return;
+  const chain::Epoch head = store_->height();
+  const std::uint64_t periods_waited = static_cast<std::uint64_t>(
+      std::max<chain::Epoch>(0, head - cp.epoch)) /
+      std::max<std::uint32_t>(1, config_.params.checkpoint_period);
+  const std::size_t designated =
+      (static_cast<std::size_t>(cp.epoch /
+                                config_.params.checkpoint_period) +
+       periods_waited) %
+      validators_.size();
+  if (*my_index != designated) return;
+
+  // Rate-limit re-submissions: one attempt per checkpoint period.
+  auto attempt_it = submit_attempt_height_.find(cp.epoch);
+  if (attempt_it != submit_attempt_height_.end() &&
+      head - attempt_it->second <
+          static_cast<chain::Epoch>(config_.params.checkpoint_period)) {
+    return;
+  }
+
+  // Collect this epoch's signature shares for exactly this checkpoint CID,
+  // restricted to signers the SA currently registers (the validator set in
+  // the SA changes on leave/slash; stale signers would fail its policy).
+  const Cid cid = cp.cid();
+  const auto sa_keys = sa->validator_keys();
+  core::SignedCheckpoint sc;
+  sc.checkpoint = cp;
+  auto shares_it = sig_shares_.find(cp.epoch);
+  if (shares_it != sig_shares_.end()) {
+    for (const auto& [signer_bytes, share] : shares_it->second) {
+      if (share.checkpoint_cid != cid) continue;
+      const bool registered =
+          std::find(sa_keys.begin(), sa_keys.end(), share.signer) !=
+          sa_keys.end();
+      if (!registered) continue;
+      sc.signatures.push_back(
+          core::CheckpointSignature{share.signer, share.signature});
+    }
+  }
+  const std::uint32_t required =
+      config_.params.checkpoint_policy.kind ==
+              core::SignaturePolicyKind::kSingle
+          ? 1
+          : config_.params.checkpoint_policy.threshold;
+  if (sc.signatures.size() < required) return;
+
+  // Submit to the SA on the parent chain, paid from this validator's
+  // parent-chain account (paper §III-B: "checkpoints from /root/A/B are
+  // committed to the SA B of the subnet chain /root/A").
+  chain::Message m;
+  m.from = address();
+  m.to = config_.sa_in_parent;
+  m.nonce = parent_->account_nonce(address());
+  m.method = actors::sa_method::kSubmitCheckpoint;
+  m.params = encode(sc);
+  m.gas_limit = 1u << 26;
+  m.gas_price = TokenAmount::atto(1);
+  auto signed_msg = chain::SignedMessage::sign(std::move(m), key_);
+  network_.publish(net_id_, Topics::msgs(*config_.subnet.parent()),
+                   encode(signed_msg));
+  submit_attempt_height_[cp.epoch] = head;
+  ++stats_.checkpoints_submitted;
+}
+
+// ---------------------------------------------------------------- topics
+
+void SubnetNode::handle_msgs_topic(const Bytes& payload) {
+  auto msg = decode<chain::SignedMessage>(payload);
+  if (!msg) return;
+  (void)mempool_.add(std::move(msg).value());
+}
+
+void SubnetNode::handle_sigs_topic(const Bytes& payload) {
+  auto share_r = decode<SigShare>(payload);
+  if (!share_r) return;
+  SigShare share = std::move(share_r).value();
+  if (!validators_.index_of(share.signer).has_value()) return;
+  // Verify against our own deterministic record of that epoch's cut.
+  auto cut_it = cut_checkpoints_.find(share.epoch);
+  if (cut_it == cut_checkpoints_.end()) return;
+  const core::Checkpoint& cp = cut_it->second;
+  if (cp.cid() != share.checkpoint_cid) return;
+  if (!crypto::verify_cached(share.signer,
+                             core::SignedCheckpoint::signing_payload(cp),
+                             share.signature)) {
+    return;
+  }
+  sig_shares_[share.epoch][share.signer.to_bytes()] = share;
+  if (sig_shares_.size() > 64) sig_shares_.erase(sig_shares_.begin());
+  maybe_submit_checkpoint();
+}
+
+void SubnetNode::handle_resolve_topic(const Bytes& payload) {
+  auto msg_r = decode<ResolutionMsg>(payload);
+  if (!msg_r) return;
+  ResolutionMsg msg = std::move(msg_r).value();
+  switch (msg.kind) {
+    case ResolutionKind::kPush:
+    case ResolutionKind::kResolve: {
+      // Self-authenticating: only content hashing to the CID is stored.
+      (void)resolved_.put_verified(msg.cid, std::move(msg.content));
+      break;
+    }
+    case ResolutionKind::kPull: {
+      // Serve from the on-chain registry (paper §IV-C) or local cache.
+      Bytes content;
+      const actors::ScaState my_sca = sca_state();
+      auto it = my_sca.msg_registry.find(registry_key(msg.cid));
+      if (it != my_sca.msg_registry.end()) {
+        content = it->second;
+      } else if (auto cached = resolved_.get(msg.cid); cached.has_value()) {
+        content = std::move(*cached);
+      } else {
+        return;
+      }
+      ResolutionMsg resolve;
+      resolve.kind = ResolutionKind::kResolve;
+      resolve.cid = msg.cid;
+      resolve.content = std::move(content);
+      network_.publish(net_id_, Topics::resolve(msg.reply_to),
+                       encode(resolve));
+      ++stats_.resolves_served;
+      break;
+    }
+  }
+}
+
+}  // namespace hc::runtime

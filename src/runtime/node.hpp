@@ -1,0 +1,188 @@
+// SubnetNode: a full node / validator of one subnet.
+//
+// Owns the subnet's chain, state, mempool and cross-msg pool; runs the
+// subnet's chosen consensus engine; performs checkpointing duty (cut, sign,
+// submit to the parent SA); serves and consumes the content-resolution
+// protocol; and — per paper §II ("child subnet nodes also run full nodes on
+// the parent subnet") — holds a trusted read view of a parent node, which
+// the cross-msg pool polls for committed top-down messages.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "actors/sca_actor.hpp"
+#include "actors/subnet_actor.hpp"
+#include "chain/chainstore.hpp"
+#include "chain/executor.hpp"
+#include "chain/mempool.hpp"
+#include "consensus/engine.hpp"
+#include "core/params.hpp"
+#include "runtime/resolution.hpp"
+#include "storage/store.hpp"
+
+namespace hc::runtime {
+
+struct NodeConfig {
+  core::SubnetId subnet;
+  core::SubnetParams params;
+  consensus::EngineConfig engine;
+  std::size_t max_user_msgs_per_block = 500;
+  std::size_t max_cross_msgs_per_block = 200;
+  /// Push batches to destination subnets when checkpoints are cut
+  /// (paper §IV-C push approach). Pull always remains available.
+  bool push_resolution = true;
+  /// Address of this subnet's SA in the parent chain (invalid for root).
+  Address sa_in_parent;
+};
+
+/// Counters exposed for benches and tests.
+struct NodeStats {
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t user_msgs_executed = 0;
+  std::uint64_t cross_msgs_executed = 0;
+  std::uint64_t checkpoints_cut = 0;
+  std::uint64_t checkpoints_submitted = 0;
+  std::uint64_t pulls_sent = 0;
+  std::uint64_t pushes_sent = 0;
+  std::uint64_t resolves_served = 0;
+};
+
+class SubnetNode final : public consensus::BlockSource {
+ public:
+  SubnetNode(sim::Scheduler& scheduler, net::Network& network,
+             const chain::ActorRegistry& registry, NodeConfig config,
+             crypto::KeyPair key, consensus::ValidatorSet validators,
+             chain::StateTree genesis_state);
+  ~SubnetNode() override;
+
+  SubnetNode(const SubnetNode&) = delete;
+  SubnetNode& operator=(const SubnetNode&) = delete;
+
+  /// Wire the trusted parent view (must outlive this node). Root: none.
+  void attach_parent(SubnetNode* parent) { parent_ = parent; }
+
+  void start();
+  void stop();
+
+  // ----------------------------------------------------------- client API
+  /// Inject a signed message locally and gossip it to the subnet.
+  Status submit_message(chain::SignedMessage msg);
+
+  [[nodiscard]] const chain::ChainStore& chain() const { return *store_; }
+  [[nodiscard]] const chain::StateTree& state() const {
+    return store_->state();
+  }
+  [[nodiscard]] TokenAmount balance(const Address& addr) const;
+  /// Account nonce for building messages.
+  [[nodiscard]] std::uint64_t account_nonce(const Address& addr) const;
+  /// Decoded SCA state of this subnet chain.
+  [[nodiscard]] actors::ScaState sca_state() const;
+  /// Decoded SA state of a child subnet (SA lives on THIS chain).
+  [[nodiscard]] std::optional<actors::SaState> sa_state(
+      const Address& sa) const;
+
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] const core::SubnetId& subnet() const {
+    return config_.subnet;
+  }
+  [[nodiscard]] net::NodeId net_id() const { return net_id_; }
+  [[nodiscard]] const crypto::KeyPair& key() const { return key_; }
+  [[nodiscard]] Address address() const {
+    return Address::key(key_.public_key().to_bytes());
+  }
+  [[nodiscard]] storage::ContentStore& content_store() { return resolved_; }
+
+  /// Adjust the block-size ceiling (benches model per-chain capacity).
+  void set_max_user_msgs_per_block(std::size_t n) {
+    config_.max_user_msgs_per_block = n;
+  }
+
+  /// Toggle the push leg of content resolution (paper §IV-C); pull always
+  /// remains available. Benches compare the two approaches.
+  void set_push_resolution(bool enabled) {
+    config_.push_resolution = enabled;
+  }
+
+  /// Receipts of the block committed at `height` (local execution record).
+  [[nodiscard]] const std::vector<chain::Receipt>* receipts_at(
+      chain::Epoch height) const;
+
+  /// Historic state reconstruction (replay from genesis); used to build
+  /// §III-C recovery proofs against checkpointed state roots.
+  [[nodiscard]] Result<chain::StateTree> state_at(chain::Epoch height) const {
+    return store_->state_at(height, executor_);
+  }
+
+  // ------------------------------------------------- BlockSource interface
+  [[nodiscard]] chain::Block build_block(const Address& miner) override;
+  [[nodiscard]] Status validate_block(const chain::Block& block) override;
+  void commit_block(chain::Block block, Bytes proof) override;
+  [[nodiscard]] chain::Epoch head_height() const override {
+    return store_->height();
+  }
+  [[nodiscard]] Cid head_cid() const override { return store_->head().cid(); }
+  [[nodiscard]] std::optional<chain::Block> block_at(
+      chain::Epoch height) const override;
+  [[nodiscard]] Bytes proof_at(chain::Epoch height) const override;
+
+ private:
+  /// Collect the implicit cross-msg section for the next block (top-down
+  /// from the parent view, resolved bottom-up batches, checkpoint cut).
+  [[nodiscard]] std::vector<chain::Message> gather_cross_messages();
+
+  /// Validate the implicit section of a proposed block against the parent
+  /// view and local SCA state.
+  [[nodiscard]] Status validate_cross_messages(const chain::Block& block);
+
+  /// Post-commit duties: signing freshly cut checkpoints, pushing batches,
+  /// requesting pulls for unresolved metas, submitting quorum checkpoints.
+  void after_commit(const chain::Block& block,
+                    const std::vector<chain::Receipt>& receipts);
+
+  void handle_msgs_topic(const Bytes& payload);
+  void handle_sigs_topic(const Bytes& payload);
+  void handle_resolve_topic(const Bytes& payload);
+
+  void maybe_submit_checkpoint();
+  void push_own_batches(const core::Checkpoint& cp);
+  void request_missing_batches();
+
+  [[nodiscard]] bool is_validator() const;
+
+  sim::Scheduler& scheduler_;
+  net::Network& network_;
+  const chain::ActorRegistry& registry_;
+  NodeConfig config_;
+  crypto::KeyPair key_;
+  consensus::ValidatorSet validators_;
+  net::NodeId net_id_;
+
+  std::unique_ptr<chain::ChainStore> store_;
+  chain::Mempool mempool_;
+  chain::Executor executor_;
+  std::unique_ptr<consensus::Engine> engine_;
+  SubnetNode* parent_ = nullptr;
+
+  /// Resolved cross-msg batches (local cache + registry mirror).
+  storage::ContentStore resolved_;
+  /// Proofs and receipts per height (height-1 indexed like blocks).
+  std::vector<Bytes> proofs_;
+  std::map<chain::Epoch, std::vector<chain::Receipt>> receipts_;
+
+  /// Signature shares collected for pending checkpoints: epoch -> signer
+  /// pubkey bytes -> share.
+  std::map<chain::Epoch, std::map<Bytes, SigShare>> sig_shares_;
+  /// Checkpoints cut by this chain that the parent SA has not (yet)
+  /// accepted; rebuilt deterministically from block events on catch-up.
+  std::map<chain::Epoch, core::Checkpoint> cut_checkpoints_;
+  /// Submission retry state: height of the last attempt per epoch.
+  std::map<chain::Epoch, chain::Epoch> submit_attempt_height_;
+
+  NodeStats stats_;
+  bool running_ = false;
+};
+
+}  // namespace hc::runtime

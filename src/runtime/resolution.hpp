@@ -1,0 +1,90 @@
+// Content-resolution protocol messages (paper §IV-C, Fig. 4).
+//
+// Checkpoints carry only the CIDs of cross-msg batches; the raw messages
+// are resolved over per-subnet pubsub topics:
+//   - push:    proactively publish a batch into the destination subnet
+//   - pull:    ask the source subnet for the batch behind a CID
+//   - resolve: answer a pull by publishing the batch into the requester
+// Content addressing makes responses self-authenticating: receivers verify
+// hash(content) == cid before accepting (storage::ContentStore::put_verified).
+#pragma once
+
+#include "chain/block.hpp"
+#include "common/cid.hpp"
+#include "common/codec.hpp"
+#include "core/subnet_id.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace hc::runtime {
+
+enum class ResolutionKind : std::uint8_t {
+  kPush = 0,
+  kPull = 1,
+  kResolve = 2,
+};
+
+struct ResolutionMsg {
+  ResolutionKind kind = ResolutionKind::kPush;
+  Cid cid;
+  Bytes content;            // batch bytes (push/resolve); empty for pull
+  core::SubnetId reply_to;  // pull only: where to publish the resolve
+
+  void encode_to(Encoder& e) const {
+    e.u8(static_cast<std::uint8_t>(kind)).obj(cid).bytes(content).obj(reply_to);
+  }
+  [[nodiscard]] static Result<ResolutionMsg> decode_from(Decoder& d) {
+    ResolutionMsg m;
+    HC_TRY(kind, d.u8());
+    if (kind > 2) return Error(Errc::kDecodeError, "bad resolution kind");
+    HC_TRY(cid, d.obj<Cid>());
+    HC_TRY(content, d.bytes());
+    HC_TRY(reply, d.obj<core::SubnetId>());
+    m.kind = static_cast<ResolutionKind>(kind);
+    m.cid = cid;
+    m.content = std::move(content);
+    m.reply_to = std::move(reply);
+    return m;
+  }
+};
+
+/// Topic naming scheme shared by all nodes.
+struct Topics {
+  [[nodiscard]] static std::string msgs(const core::SubnetId& id) {
+    return id.topic() + "/msgs";
+  }
+  [[nodiscard]] static std::string consensus(const core::SubnetId& id) {
+    return id.topic() + "/consensus";
+  }
+  [[nodiscard]] static std::string signatures(const core::SubnetId& id) {
+    return id.topic() + "/sigs";
+  }
+  [[nodiscard]] static std::string resolve(const core::SubnetId& id) {
+    return id.topic() + "/resolve";
+  }
+};
+
+/// A gossiped checkpoint signature share (paper Fig. 2's signature window).
+struct SigShare {
+  chain::Epoch epoch = 0;
+  Cid checkpoint_cid;
+  crypto::PublicKey signer;
+  crypto::Signature signature;
+
+  void encode_to(Encoder& e) const {
+    e.i64(epoch).obj(checkpoint_cid).obj(signer).obj(signature);
+  }
+  [[nodiscard]] static Result<SigShare> decode_from(Decoder& d) {
+    SigShare s;
+    HC_TRY(epoch, d.i64());
+    HC_TRY(cid, d.obj<Cid>());
+    HC_TRY(signer, d.obj<crypto::PublicKey>());
+    HC_TRY(sig, d.obj<crypto::Signature>());
+    s.epoch = epoch;
+    s.checkpoint_cid = cid;
+    s.signer = signer;
+    s.signature = sig;
+    return s;
+  }
+};
+
+}  // namespace hc::runtime

@@ -1,0 +1,26 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol timing (block periods, network latency, checkpoint windows)
+// is expressed in simulated time, decoupled from wall-clock time, so runs
+// are exactly reproducible and large hierarchies can be simulated faster
+// than real time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hc::sim {
+
+/// A point in simulated time, in microseconds since simulation start.
+using Time = std::int64_t;
+/// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// "12.345s" style rendering for logs and bench output.
+[[nodiscard]] std::string format_time(Time t);
+
+}  // namespace hc::sim

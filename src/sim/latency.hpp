@@ -1,0 +1,52 @@
+// Link latency models for the simulated network.
+//
+// The paper's deployment target is a planetary P2P network (libp2p over
+// WAN); the model here reproduces its relevant characteristics: a base
+// propagation delay, jitter, and optional per-link overrides (e.g. to give
+// a co-located subnet LAN-class latency while the rootnet sees WAN-class).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/clock.hpp"
+#include "sim/rng.hpp"
+
+namespace hc::sim {
+
+/// Node identity within a simulation (dense small integers).
+using NodeId = std::uint32_t;
+
+class LatencyModel {
+ public:
+  /// Uniform jittered latency: base ± jitter for every pair.
+  LatencyModel(Duration base, Duration jitter) : base_(base), jitter_(jitter) {}
+
+  /// WAN default: 80ms ± 40ms, roughly public-internet gossip hops.
+  [[nodiscard]] static LatencyModel wan() {
+    return LatencyModel(80 * kMillisecond, 40 * kMillisecond);
+  }
+  /// LAN default: 1ms ± 0.5ms, co-located subnet validators.
+  [[nodiscard]] static LatencyModel lan() {
+    return LatencyModel(kMillisecond, kMillisecond / 2);
+  }
+
+  /// Override the delay between a specific (unordered) node pair.
+  void set_pair(NodeId a, NodeId b, Duration base, Duration jitter);
+
+  /// Sample a delivery delay for a concrete transmission.
+  [[nodiscard]] Duration sample(NodeId from, NodeId to, Rng& rng) const;
+
+ private:
+  struct Link {
+    Duration base;
+    Duration jitter;
+  };
+  [[nodiscard]] static std::uint64_t pair_key(NodeId a, NodeId b);
+
+  Duration base_;
+  Duration jitter_;
+  std::unordered_map<std::uint64_t, Link> overrides_;
+};
+
+}  // namespace hc::sim

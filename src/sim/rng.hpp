@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// std::mt19937 would work, but its state is bulky and the distributions in
+// <random> are not guaranteed to produce identical sequences across standard
+// library implementations. Simulation reproducibility is a hard requirement
+// (deterministic-replay property tests depend on it), so we implement the
+// generator and the distributions we need ourselves.
+#pragma once
+
+#include <cstdint>
+
+namespace hc::sim {
+
+class Rng {
+ public:
+  /// Seeded via splitmix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  [[nodiscard]] std::uint64_t next();
+
+  /// Uniform in [0, bound) (bound > 0), unbiased via rejection.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double real();
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Fork an independent child stream (stable given call order).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hc::sim

@@ -1,0 +1,62 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace hc::sim {
+
+EventId Scheduler::schedule(Duration delay, Callback fn) {
+  assert(delay >= 0 && "cannot schedule in the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Scheduler::schedule_at(Time when, Callback fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Scheduler::cancel(EventId id) { callbacks_.erase(id); }
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (step()) ++ran;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+std::size_t Scheduler::run_all() {
+  std::size_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::string format_time(Time t) {
+  const double secs = static_cast<double>(t) / static_cast<double>(kSecond);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", secs);
+  return buf;
+}
+
+}  // namespace hc::sim

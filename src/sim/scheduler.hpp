@@ -1,0 +1,73 @@
+// Discrete-event scheduler: the heartbeat of the whole simulation.
+//
+// Every asynchronous action in the system — a gossip hop, a block proposal
+// timer, a consensus timeout, a checkpoint window — is an event scheduled
+// here. Events at the same timestamp run in schedule order (stable FIFO),
+// which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace hc::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` from now (delay >= 0; 0 = "next tick",
+  /// still asynchronous). Returns an id usable with cancel().
+  EventId schedule(Duration delay, Callback fn);
+
+  /// Schedule at an absolute time (>= now()).
+  EventId schedule_at(Time when, Callback fn);
+
+  /// Cancel a pending event. Safe to call for already-fired ids (no-op).
+  void cancel(EventId id);
+
+  /// Run events until the queue is empty or `deadline` is passed; the clock
+  /// stops at the earlier of the two. Returns the number of events run.
+  std::size_t run_until(Time deadline);
+
+  /// Run until the queue drains completely.
+  std::size_t run_all();
+
+  /// Run exactly one event if present; returns false when idle.
+  bool step();
+
+  /// Pending event count (cancelled events may still be counted).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-break: schedule order
+    EventId id;
+    // Ordered as a min-heap via operator> in the priority_queue.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Callbacks keyed by id; erased on fire/cancel. Cancellation leaves the
+  // heap entry in place and simply drops the callback.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace hc::sim

@@ -1,0 +1,45 @@
+#include "storage/store.hpp"
+
+namespace hc::storage {
+
+Cid ContentStore::put(CidCodec codec, Bytes content) {
+  const Cid cid = Cid::of(codec, content);
+  auto [it, inserted] = blobs_.emplace(cid, std::move(content));
+  if (inserted) total_bytes_ += it->second.size();
+  return cid;
+}
+
+Status ContentStore::put_verified(const Cid& expected, Bytes content) {
+  const Cid actual = Cid::of(expected.codec(), content);
+  if (actual != expected) {
+    return Error(Errc::kInvalidArgument,
+                 "content does not match CID " + expected.to_string());
+  }
+  auto [it, inserted] = blobs_.emplace(actual, std::move(content));
+  if (inserted) total_bytes_ += it->second.size();
+  return ok_status();
+}
+
+bool ContentStore::has(const Cid& cid) const { return blobs_.contains(cid); }
+
+std::optional<Bytes> ContentStore::get(const Cid& cid) const {
+  auto it = blobs_.find(cid);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::put(const Bytes& key, Bytes value) {
+  entries_[key] = std::move(value);
+}
+
+std::optional<Bytes> KvStore::get(const Bytes& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::has(const Bytes& key) const { return entries_.contains(key); }
+
+void KvStore::erase(const Bytes& key) { entries_.erase(key); }
+
+}  // namespace hc::storage

@@ -1,0 +1,60 @@
+// Content-addressable and key-value storage.
+//
+// The CAS backs the paper's content-resolution registry (§IV-C: "the subnet
+// SCA ... keeps a registry with all CIDs for CrossMsgMetas propagated (i.e.,
+// a content-addressable key-value store)"), block/checkpoint stores, and
+// the atomic-execution state exchange.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/cid.hpp"
+#include "common/result.hpp"
+
+namespace hc::storage {
+
+/// In-memory content-addressable store: the key IS the content's CID, so
+/// integrity is verified structurally on put.
+class ContentStore {
+ public:
+  /// Store content under its computed CID; returns that CID. Idempotent.
+  Cid put(CidCodec codec, Bytes content);
+
+  /// Store content that must match a known CID (resolution responses).
+  /// Fails with kInvalidArgument when the bytes do not hash to `expected`.
+  Status put_verified(const Cid& expected, Bytes content);
+
+  [[nodiscard]] bool has(const Cid& cid) const;
+  [[nodiscard]] std::optional<Bytes> get(const Cid& cid) const;
+
+  [[nodiscard]] std::size_t size() const { return blobs_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::unordered_map<Cid, Bytes> blobs_;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Simple byte-keyed KV store with string-namespaced views.
+class KvStore {
+ public:
+  void put(const Bytes& key, Bytes value);
+  [[nodiscard]] std::optional<Bytes> get(const Bytes& key) const;
+  [[nodiscard]] bool has(const Bytes& key) const;
+  void erase(const Bytes& key);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct BytesHash {
+    std::size_t operator()(const Bytes& b) const noexcept {
+      std::size_t h = 1469598103934665603ull;
+      for (std::uint8_t c : b) h = (h ^ c) * 1099511628211ull;
+      return h;
+    }
+  };
+  std::unordered_map<Bytes, Bytes, BytesHash> entries_;
+};
+
+}  // namespace hc::storage

@@ -1,0 +1,504 @@
+// Unit tests for the chain substrate: messages, blocks, state tree,
+// mempool, chain store, and the executor/VM (gas, nonces, reverts,
+// internal sends, minting rules).
+#include <gtest/gtest.h>
+
+#include "chain/actor.hpp"
+#include "chain/block.hpp"
+#include "chain/chainstore.hpp"
+#include "chain/executor.hpp"
+#include "chain/mempool.hpp"
+#include "chain/message.hpp"
+#include "chain/state.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace hc::chain {
+namespace {
+
+constexpr CodeId kCounterCode = 50;
+constexpr MethodNum kIncrement = 1;
+constexpr MethodNum kFail = 2;
+constexpr MethodNum kIncrementViaPeer = 3;
+constexpr MethodNum kBurnGas = 4;
+constexpr MethodNum kEmit = 5;
+constexpr MethodNum kRecurse = 6;
+
+/// Minimal stateful actor used to exercise the VM: a u64 counter.
+class CounterActor final : public ActorLogic {
+ public:
+  Result<Bytes> invoke(Runtime& rt, MethodNum method,
+                       const Bytes& params) override {
+    switch (method) {
+      case kIncrement: {
+        HC_TRY(state, rt.get_state());
+        std::uint64_t count = 0;
+        if (!state.empty()) {
+          Decoder d(state);
+          HC_TRY(c, d.varint());
+          count = c;
+        }
+        ++count;
+        Encoder e;
+        e.varint(count);
+        HC_TRY_STATUS(rt.set_state(e.data()));
+        Encoder ret;
+        ret.varint(count);
+        return std::move(ret).take();
+      }
+      case kFail: {
+        // Mutate state, then fail: the mutation must be rolled back.
+        HC_TRY_STATUS(rt.set_state(to_bytes("garbage")));
+        return Error(Errc::kInvalidArgument, "intentional failure");
+      }
+      case kIncrementViaPeer: {
+        // params = encoded peer address; forwards an increment.
+        Decoder d(params);
+        HC_TRY(peer, d.obj<Address>());
+        return rt.send(peer, kIncrement, {}, TokenAmount());
+      }
+      case kBurnGas: {
+        HC_TRY_STATUS(rt.charge_gas(1000000));
+        return Bytes{};
+      }
+      case kEmit: {
+        rt.emit_event("test/event", to_bytes("payload"));
+        return Bytes{};
+      }
+      case kRecurse: {
+        // Infinite self-recursion: the VM's call-depth guard must stop it.
+        return rt.send(rt.self(), kRecurse, {}, TokenAmount());
+      }
+      default:
+        return Error(Errc::kInvalidArgument, "unknown method");
+    }
+  }
+};
+
+struct ChainFixture : ::testing::Test {
+  ActorRegistry registry;
+  GasSchedule schedule;
+  crypto::KeyPair alice = crypto::KeyPair::from_label("alice");
+  crypto::KeyPair bob = crypto::KeyPair::from_label("bob");
+  Address alice_addr = Address::key(alice.public_key().to_bytes());
+  Address bob_addr = Address::key(bob.public_key().to_bytes());
+  StateTree tree;
+  ExecutionContext ctx;
+
+  ChainFixture() {
+    registry.install(kCounterCode, std::make_unique<CounterActor>());
+    ActorEntry account;
+    account.code = kCodeAccount;
+    account.balance = TokenAmount::whole(100);
+    tree.set(alice_addr, account);
+    ActorEntry counter;
+    counter.code = kCounterCode;
+    tree.set(Address::id(200), counter);
+    ctx.height = 5;
+    ctx.miner = Address::id(300);
+  }
+
+  Executor make_executor() { return Executor(registry, schedule); }
+
+  SignedMessage make_msg(MethodNum method, Bytes params, TokenAmount value,
+                         std::uint64_t nonce, const Address& to) {
+    Message m;
+    m.from = alice_addr;
+    m.to = to;
+    m.nonce = nonce;
+    m.value = value;
+    m.method = method;
+    m.params = std::move(params);
+    m.gas_limit = 1u << 20;
+    m.gas_price = TokenAmount::atto(1);
+    return SignedMessage::sign(std::move(m), alice);
+  }
+};
+
+// ------------------------------------------------------------ encoding
+
+TEST(MessageCodec, RoundTrip) {
+  Message m;
+  m.from = Address::id(5);
+  m.to = Address::id(6);
+  m.nonce = 9;
+  m.value = TokenAmount::whole(2);
+  m.method = 3;
+  m.params = to_bytes("params");
+  m.gas_limit = 777;
+  m.gas_price = TokenAmount::atto(42);
+  auto out = decode<Message>(encode(m));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), m);
+  EXPECT_EQ(out.value().cid(), m.cid());
+}
+
+TEST(MessageCodec, SignedRoundTripAndVerify) {
+  const auto kp = crypto::KeyPair::from_label("signer");
+  Message m;
+  m.from = Address::key(kp.public_key().to_bytes());
+  m.to = Address::id(7);
+  auto sm = SignedMessage::sign(m, kp);
+  EXPECT_TRUE(sm.verify());
+  auto out = decode<SignedMessage>(encode(sm));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().verify());
+}
+
+TEST(MessageCodec, VerifyCatchesFromSpoofing) {
+  const auto kp = crypto::KeyPair::from_label("signer");
+  Message m;
+  m.from = Address::id(123);  // not derived from the key
+  auto sm = SignedMessage::sign(m, kp);
+  EXPECT_FALSE(sm.verify());
+}
+
+TEST(BlockCodec, RoundTripWithBothMessageKinds) {
+  const auto kp = crypto::KeyPair::from_label("k");
+  Block b;
+  b.header.miner = Address::id(1);
+  b.header.height = 3;
+  b.header.ticket = to_bytes("ticket");
+  Message user;
+  user.from = Address::key(kp.public_key().to_bytes());
+  b.messages.push_back(SignedMessage::sign(user, kp));
+  Message cross;
+  cross.from = kSystemAddr;
+  cross.value = TokenAmount::whole(1);
+  b.cross_messages.push_back(cross);
+  b.header.msgs_root = b.compute_msgs_root();
+  auto out = decode<Block>(encode(b));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), b);
+}
+
+// ------------------------------------------------------------ state tree
+
+TEST(StateTreeOps, FlushIsDeterministicAndOrderIndependent) {
+  StateTree a;
+  StateTree b;
+  ActorEntry e1{kCodeAccount, TokenAmount::whole(1), 0, {}};
+  ActorEntry e2{kCodeAccount, TokenAmount::whole(2), 0, {}};
+  a.set(Address::id(1), e1);
+  a.set(Address::id(2), e2);
+  b.set(Address::id(2), e2);  // reversed insertion order
+  b.set(Address::id(1), e1);
+  EXPECT_EQ(a.flush(), b.flush());
+}
+
+TEST(StateTreeOps, FlushChangesWithState) {
+  StateTree t;
+  t.set(Address::id(1), ActorEntry{kCodeAccount, TokenAmount::whole(1), 0, {}});
+  const Cid before = t.flush();
+  t.get_or_create(Address::id(1)).balance += TokenAmount::atto(1);
+  EXPECT_NE(before, t.flush());
+}
+
+TEST(StateTreeOps, SnapshotRevert) {
+  StateTree t;
+  t.set(Address::id(1), ActorEntry{kCodeAccount, TokenAmount::whole(5), 0, {}});
+  StateTree snap = t.snapshot();
+  t.get_or_create(Address::id(1)).balance = TokenAmount();
+  t.set(Address::id(2), ActorEntry{});
+  t.revert_to(std::move(snap));
+  EXPECT_EQ(t.get(Address::id(1))->balance, TokenAmount::whole(5));
+  EXPECT_FALSE(t.has(Address::id(2)));
+}
+
+TEST(StateTreeOps, TotalBalanceSums) {
+  StateTree t;
+  t.set(Address::id(1), ActorEntry{kCodeAccount, TokenAmount::whole(3), 0, {}});
+  t.set(Address::id(2), ActorEntry{kCodeAccount, TokenAmount::whole(4), 0, {}});
+  EXPECT_EQ(t.total_balance(), TokenAmount::whole(7));
+}
+
+TEST(StateTreeOps, CodecRoundTrip) {
+  StateTree t;
+  t.set(Address::id(1),
+        ActorEntry{kCodeSca, TokenAmount::whole(9), 2, to_bytes("s")});
+  auto out = decode<StateTree>(encode(t));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().flush(), t.flush());
+}
+
+// ------------------------------------------------------------ executor
+
+TEST_F(ChainFixture, BareTransferMovesValue) {
+  auto exec = make_executor();
+  auto sm = make_msg(0, {}, TokenAmount::whole(10), 0, bob_addr);
+  Receipt r = exec.apply(tree, sm, ctx);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(tree.get(bob_addr)->balance, TokenAmount::whole(10));
+  EXPECT_EQ(tree.get(bob_addr)->code, kCodeAccount);  // auto-created
+  EXPECT_GT(r.gas_used, 0u);
+}
+
+TEST_F(ChainFixture, FeesFlowToMiner) {
+  auto exec = make_executor();
+  const TokenAmount before = tree.get(alice_addr)->balance;
+  auto sm = make_msg(0, {}, TokenAmount::whole(1), 0, bob_addr);
+  Receipt r = exec.apply(tree, sm, ctx);
+  ASSERT_TRUE(r.ok());
+  const TokenAmount fee = TokenAmount::atto(1) * r.gas_used;
+  EXPECT_EQ(tree.get(ctx.miner)->balance, fee);
+  EXPECT_EQ(tree.get(alice_addr)->balance,
+            before - TokenAmount::whole(1) - fee);
+}
+
+TEST_F(ChainFixture, ActorMethodMutatesState) {
+  auto exec = make_executor();
+  auto sm = make_msg(kIncrement, {}, TokenAmount(), 0, Address::id(200));
+  Receipt r = exec.apply(tree, sm, ctx);
+  ASSERT_TRUE(r.ok()) << r.error;
+  Decoder d(r.ret);
+  EXPECT_EQ(d.varint().value(), 1u);
+  // Second call increments again.
+  auto sm2 = make_msg(kIncrement, {}, TokenAmount(), 1, Address::id(200));
+  Receipt r2 = exec.apply(tree, sm2, ctx);
+  ASSERT_TRUE(r2.ok());
+  Decoder d2(r2.ret);
+  EXPECT_EQ(d2.varint().value(), 2u);
+}
+
+TEST_F(ChainFixture, FailedActorCallRollsBackState) {
+  auto exec = make_executor();
+  auto sm = make_msg(kFail, {}, TokenAmount(), 0, Address::id(200));
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kActorError);
+  EXPECT_TRUE(tree.get(Address::id(200))->state.empty());  // rolled back
+  // Nonce advanced and fee charged despite the failure.
+  EXPECT_EQ(tree.get(alice_addr)->nonce, 1u);
+  EXPECT_GT(r.gas_used, 0u);
+}
+
+TEST_F(ChainFixture, WrongNonceRejected) {
+  auto exec = make_executor();
+  auto sm = make_msg(0, {}, TokenAmount::whole(1), 7, bob_addr);
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kSysInvalidNonce);
+  EXPECT_EQ(tree.get(alice_addr)->nonce, 0u);  // unchanged
+}
+
+TEST_F(ChainFixture, UnknownSenderRejected) {
+  auto exec = make_executor();
+  Message m;
+  m.from = bob_addr;  // bob has no account yet
+  m.to = alice_addr;
+  m.gas_limit = 1u << 20;
+  auto sm = SignedMessage::sign(m, bob);
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kSysInsufficientFunds);
+}
+
+TEST_F(ChainFixture, InsufficientValueReverts) {
+  auto exec = make_executor();
+  auto sm = make_msg(0, {}, TokenAmount::whole(1000), 0, bob_addr);
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kSysInsufficientFunds);
+  EXPECT_FALSE(tree.has(bob_addr));
+  // Nonce still advanced (message was chargeable).
+  EXPECT_EQ(tree.get(alice_addr)->nonce, 1u);
+}
+
+TEST_F(ChainFixture, OutOfGasReverts) {
+  auto exec = make_executor();
+  Message m;
+  m.from = alice_addr;
+  m.to = Address::id(200);
+  m.method = kBurnGas;
+  m.gas_limit = 5000;  // below kBurnGas's 1M charge
+  m.gas_price = TokenAmount::atto(1);
+  auto sm = SignedMessage::sign(m, alice);
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kSysOutOfGas);
+  EXPECT_EQ(r.gas_used, 5000u);  // capped at limit
+}
+
+TEST_F(ChainFixture, TamperedSignatureRejected) {
+  auto exec = make_executor();
+  auto sm = make_msg(0, {}, TokenAmount::whole(1), 0, bob_addr);
+  sm.message.value = TokenAmount::whole(50);  // tamper after signing
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kSysInvalidSignature);
+}
+
+TEST_F(ChainFixture, InternalSendReachesPeerActor) {
+  auto exec = make_executor();
+  // Deploy a second counter and call it through the first.
+  ActorEntry counter;
+  counter.code = kCounterCode;
+  tree.set(Address::id(201), counter);
+  Encoder params;
+  params.obj(Address::id(201));
+  auto sm = make_msg(kIncrementViaPeer, params.data(), TokenAmount(), 0,
+                     Address::id(200));
+  Receipt r = exec.apply(tree, sm, ctx);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(tree.get(Address::id(201))->state.empty());
+  EXPECT_TRUE(tree.get(Address::id(200))->state.empty());
+}
+
+TEST_F(ChainFixture, RecursionBombHitsDepthGuard) {
+  auto exec = make_executor();
+  auto sm = make_msg(kRecurse, {}, TokenAmount(), 0, Address::id(200));
+  Receipt r = exec.apply(tree, sm, ctx);
+  EXPECT_FALSE(r.ok());
+  // The guard fires before gas runs out here; either way the message must
+  // fail cleanly and roll back.
+  EXPECT_TRUE(tree.get(Address::id(200))->state.empty());
+}
+
+TEST_F(ChainFixture, EventsSurfaceInReceipt) {
+  auto exec = make_executor();
+  auto sm = make_msg(kEmit, {}, TokenAmount(), 0, Address::id(200));
+  Receipt r = exec.apply(tree, sm, ctx);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].kind, "test/event");
+}
+
+TEST_F(ChainFixture, ImplicitMessageMintsFromSystem) {
+  auto exec = make_executor();
+  const TokenAmount before = tree.total_balance();
+  Message mint;
+  mint.from = kSystemAddr;
+  mint.to = bob_addr;
+  mint.value = TokenAmount::whole(7);
+  Receipt r = exec.apply_implicit(tree, mint, ctx);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(tree.get(bob_addr)->balance, TokenAmount::whole(7));
+  EXPECT_EQ(tree.total_balance(), before + TokenAmount::whole(7));
+}
+
+TEST_F(ChainFixture, ImplicitFromNonSystemCannotMint) {
+  auto exec = make_executor();
+  Message m;
+  m.from = bob_addr;  // no funds
+  m.to = alice_addr;
+  m.value = TokenAmount::whole(1);
+  Receipt r = exec.apply_implicit(tree, m, ctx);
+  EXPECT_EQ(r.exit, ExitCode::kSysInsufficientFunds);
+}
+
+TEST_F(ChainFixture, ValueConservedByUserMessages) {
+  auto exec = make_executor();
+  const TokenAmount before = tree.total_balance();
+  auto sm = make_msg(0, {}, TokenAmount::whole(3), 0, bob_addr);
+  (void)exec.apply(tree, sm, ctx);
+  EXPECT_EQ(tree.total_balance(), before);  // fees move, nothing minted
+}
+
+// ------------------------------------------------------------ mempool
+
+TEST_F(ChainFixture, MempoolNonceOrderedSelection) {
+  Mempool pool;
+  // Insert out of order.
+  ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), 2, bob_addr)).ok());
+  ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), 0, bob_addr)).ok());
+  ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), 1, bob_addr)).ok());
+  auto picked = pool.select(10, [](const Address&) { return 0; });
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0].message.nonce, 0u);
+  EXPECT_EQ(picked[1].message.nonce, 1u);
+  EXPECT_EQ(picked[2].message.nonce, 2u);
+}
+
+TEST_F(ChainFixture, MempoolStopsAtNonceGap) {
+  Mempool pool;
+  ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), 0, bob_addr)).ok());
+  ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), 2, bob_addr)).ok());
+  auto picked = pool.select(10, [](const Address&) { return 0; });
+  EXPECT_EQ(picked.size(), 1u);
+}
+
+TEST_F(ChainFixture, MempoolRejectsDuplicatesAndBadSignatures) {
+  Mempool pool;
+  auto sm = make_msg(0, {}, TokenAmount(), 0, bob_addr);
+  ASSERT_TRUE(pool.add(sm).ok());
+  EXPECT_EQ(pool.add(sm).error().code(), Errc::kAlreadyExists);
+  auto bad = make_msg(0, {}, TokenAmount(), 1, bob_addr);
+  bad.message.value = TokenAmount::whole(9);
+  EXPECT_EQ(pool.add(bad).error().code(), Errc::kInvalidSignature);
+}
+
+TEST_F(ChainFixture, MempoolRemoveIncludedAndPrune) {
+  Mempool pool;
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), n, bob_addr)).ok());
+  }
+  auto picked = pool.select(2, [](const Address&) { return 0; });
+  pool.remove_included(picked);
+  EXPECT_EQ(pool.size(), 3u);
+  pool.prune_stale([](const Address&) { return 4; });
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST_F(ChainFixture, MempoolSelectRespectsChainNonce) {
+  Mempool pool;
+  for (std::uint64_t n = 0; n < 3; ++n) {
+    ASSERT_TRUE(pool.add(make_msg(0, {}, TokenAmount(), n, bob_addr)).ok());
+  }
+  // Chain says alice's next nonce is 1: nonce-0 message is stale.
+  auto picked = pool.select(10, [](const Address&) { return 1; });
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].message.nonce, 1u);
+}
+
+// ------------------------------------------------------------ chainstore
+
+TEST_F(ChainFixture, ChainStoreAppendsValidatedBlocks) {
+  auto exec = make_executor();
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore store(genesis, tree.snapshot());
+
+  StateTree next = store.state().snapshot();
+  Block b1;
+  b1.header.miner = ctx.miner;
+  b1.header.height = 1;
+  b1.header.parent = genesis.cid();
+  b1.messages.push_back(make_msg(0, {}, TokenAmount::whole(1), 0, bob_addr));
+  for (auto& r : exec.apply_block(next, b1)) {
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+  b1.header.state_root = next.flush();
+  b1.header.msgs_root = b1.compute_msgs_root();
+  ASSERT_TRUE(store.append(b1, std::move(next)).ok());
+  EXPECT_EQ(store.height(), 1);
+  EXPECT_EQ(store.state().get(bob_addr)->balance, TokenAmount::whole(1));
+  EXPECT_NE(store.block_by_cid(b1.cid()), nullptr);
+  EXPECT_EQ(store.block_at(1)->cid(), b1.cid());
+}
+
+TEST_F(ChainFixture, ChainStoreRejectsBadLinkage) {
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore store(genesis, tree.snapshot());
+
+  Block bad;
+  bad.header.height = 1;
+  bad.header.parent = Cid::of(CidCodec::kBlock, to_bytes("other chain"));
+  bad.header.msgs_root = bad.compute_msgs_root();
+  bad.header.state_root = tree.flush();
+  EXPECT_EQ(store.append(bad, tree.snapshot()).error().code(),
+            Errc::kStateConflict);
+
+  Block wrong_height;
+  wrong_height.header.height = 5;
+  wrong_height.header.parent = genesis.cid();
+  wrong_height.header.msgs_root = wrong_height.compute_msgs_root();
+  wrong_height.header.state_root = tree.flush();
+  EXPECT_FALSE(store.append(wrong_height, tree.snapshot()).ok());
+}
+
+TEST_F(ChainFixture, ChainStoreRejectsStateRootMismatch) {
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore store(genesis, tree.snapshot());
+  Block b1;
+  b1.header.height = 1;
+  b1.header.parent = genesis.cid();
+  b1.header.msgs_root = b1.compute_msgs_root();
+  b1.header.state_root = Cid::of(CidCodec::kStateRoot, to_bytes("lie"));
+  EXPECT_EQ(store.append(b1, tree.snapshot()).error().code(),
+            Errc::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hc::chain

@@ -1,0 +1,359 @@
+// Unit tests for the paper-vocabulary types: subnet IDs and routing,
+// cross-msgs, checkpoints, signature policies and fraud proofs.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/crossmsg.hpp"
+#include "core/fraud.hpp"
+#include "core/params.hpp"
+#include "core/policy.hpp"
+#include "core/subnet_id.hpp"
+
+namespace hc::core {
+namespace {
+
+const Address kSaA = Address::id(100);
+const Address kSaB = Address::id(101);
+const Address kSaC = Address::id(102);
+
+// ------------------------------------------------------------ subnet ids
+
+TEST(SubnetIdOps, RootProperties) {
+  const SubnetId root = SubnetId::root();
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.depth(), 0u);
+  EXPECT_EQ(root.to_string(), "/root");
+  EXPECT_FALSE(root.parent().has_value());
+  EXPECT_FALSE(root.actor().valid());
+}
+
+TEST(SubnetIdOps, ChildAndParent) {
+  const SubnetId a = SubnetId::root().child(kSaA);
+  const SubnetId ab = a.child(kSaB);
+  EXPECT_EQ(a.to_string(), "/root/f0100");
+  EXPECT_EQ(ab.to_string(), "/root/f0100/f0101");
+  EXPECT_EQ(ab.depth(), 2u);
+  EXPECT_EQ(*ab.parent(), a);
+  EXPECT_EQ(*a.parent(), SubnetId::root());
+  EXPECT_EQ(ab.actor(), kSaB);
+}
+
+TEST(SubnetIdOps, DeterministicNaming) {
+  // Same ancestor + same SA id => same subnet id (paper §III-A).
+  EXPECT_EQ(SubnetId::root().child(kSaA), SubnetId::root().child(kSaA));
+  EXPECT_NE(SubnetId::root().child(kSaA), SubnetId::root().child(kSaB));
+}
+
+TEST(SubnetIdOps, PrefixRelation) {
+  const SubnetId a = SubnetId::root().child(kSaA);
+  const SubnetId ab = a.child(kSaB);
+  const SubnetId c = SubnetId::root().child(kSaC);
+  EXPECT_TRUE(SubnetId::root().is_prefix_of(ab));
+  EXPECT_TRUE(a.is_prefix_of(ab));
+  EXPECT_TRUE(ab.is_prefix_of(ab));
+  EXPECT_FALSE(ab.is_prefix_of(a));
+  EXPECT_FALSE(c.is_prefix_of(ab));
+}
+
+TEST(SubnetIdOps, CommonAncestor) {
+  const SubnetId a = SubnetId::root().child(kSaA);
+  const SubnetId ab = a.child(kSaB);
+  const SubnetId ac = a.child(kSaC);
+  const SubnetId c = SubnetId::root().child(kSaC);
+  EXPECT_EQ(SubnetId::common_ancestor(ab, ac), a);
+  EXPECT_EQ(SubnetId::common_ancestor(ab, c), SubnetId::root());
+  EXPECT_EQ(SubnetId::common_ancestor(ab, ab), ab);
+  EXPECT_EQ(SubnetId::common_ancestor(a, ab), a);
+}
+
+TEST(SubnetIdOps, DownToward) {
+  const SubnetId a = SubnetId::root().child(kSaA);
+  const SubnetId ab = a.child(kSaB);
+  EXPECT_EQ(SubnetId::root().down_toward(ab), a);
+  EXPECT_EQ(a.down_toward(ab), ab);
+}
+
+TEST(SubnetIdOps, TopicNaming) {
+  EXPECT_EQ(SubnetId::root().topic(), "hc/root");
+  EXPECT_EQ(SubnetId::root().child(kSaA).topic(), "hc/root/f0100");
+}
+
+TEST(SubnetIdOps, CodecRoundTrip) {
+  const SubnetId ab = SubnetId::root().child(kSaA).child(kSaB);
+  auto out = decode<SubnetId>(encode(ab));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), ab);
+  auto root = decode<SubnetId>(encode(SubnetId::root()));
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().is_root());
+}
+
+TEST(SubnetIdOps, HashUsable) {
+  std::hash<SubnetId> h;
+  EXPECT_NE(h(SubnetId::root().child(kSaA)), h(SubnetId::root().child(kSaB)));
+}
+
+// ------------------------------------------------------------ cross msgs
+
+TEST(CrossMsgOps, KindClassification) {
+  const SubnetId a = SubnetId::root().child(kSaA);
+  const SubnetId ab = a.child(kSaB);
+  const SubnetId c = SubnetId::root().child(kSaC);
+
+  CrossMsg m;
+  m.from_subnet = SubnetId::root();
+  m.to_subnet = ab;
+  EXPECT_EQ(m.kind(), CrossMsgKind::kTopDown);
+
+  m.from_subnet = ab;
+  m.to_subnet = SubnetId::root();
+  EXPECT_EQ(m.kind(), CrossMsgKind::kBottomUp);
+
+  m.from_subnet = ab;
+  m.to_subnet = c;
+  EXPECT_EQ(m.kind(), CrossMsgKind::kPath);
+}
+
+TEST(CrossMsgOps, BatchCidIsContentAddressed) {
+  CrossMsg m;
+  m.from_subnet = SubnetId::root();
+  m.to_subnet = SubnetId::root().child(kSaA);
+  m.msg.value = TokenAmount::whole(4);
+  CrossMsgBatch batch;
+  batch.msgs.push_back(m);
+  const Cid cid1 = batch.cid();
+  batch.msgs[0].nonce = 7;
+  EXPECT_NE(batch.cid(), cid1);
+  EXPECT_EQ(batch.total_value(), TokenAmount::whole(4));
+}
+
+TEST(CrossMsgOps, MetaCodecRoundTrip) {
+  CrossMsgMeta meta;
+  meta.from = SubnetId::root().child(kSaA);
+  meta.to = SubnetId::root();
+  meta.nonce = 3;
+  meta.msgs_cid = Cid::of(CidCodec::kCrossMsgs, to_bytes("batch"));
+  meta.msg_count = 12;
+  meta.value = TokenAmount::whole(9);
+  auto out = decode<CrossMsgMeta>(encode(meta));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), meta);
+}
+
+TEST(CrossMsgOps, CrossMsgCodecRoundTrip) {
+  CrossMsg m;
+  m.from_subnet = SubnetId::root().child(kSaA);
+  m.to_subnet = SubnetId::root().child(kSaC);
+  m.msg.from = Address::id(5);
+  m.msg.to = Address::id(6);
+  m.msg.value = TokenAmount::whole(2);
+  m.nonce = 44;
+  auto out = decode<CrossMsg>(encode(m));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), m);
+}
+
+// ------------------------------------------------------------ checkpoints
+
+Checkpoint make_checkpoint(chain::Epoch epoch) {
+  Checkpoint cp;
+  cp.source = SubnetId::root().child(kSaA);
+  cp.epoch = epoch;
+  cp.proof = Cid::of(CidCodec::kBlock, to_bytes("block@" + std::to_string(epoch)));
+  return cp;
+}
+
+TEST(CheckpointOps, CidChangesWithContent) {
+  Checkpoint a = make_checkpoint(10);
+  Checkpoint b = make_checkpoint(10);
+  EXPECT_EQ(a.cid(), b.cid());
+  b.cross_meta.push_back(CrossMsgMeta{});
+  EXPECT_NE(a.cid(), b.cid());
+}
+
+TEST(CheckpointOps, PrevLinkage) {
+  Checkpoint first = make_checkpoint(10);
+  EXPECT_TRUE(first.prev.is_null());
+  Checkpoint second = make_checkpoint(20);
+  second.prev = first.cid();
+  EXPECT_EQ(second.prev, first.cid());
+}
+
+TEST(CheckpointOps, SignAndVerifySignatures) {
+  const auto v0 = crypto::KeyPair::from_label("val-0");
+  const auto v1 = crypto::KeyPair::from_label("val-1");
+  SignedCheckpoint sc;
+  sc.checkpoint = make_checkpoint(10);
+  sc.add_signature(v0);
+  sc.add_signature(v1);
+  EXPECT_TRUE(sc.signatures_valid());
+  // Tampering with content invalidates all signatures.
+  sc.checkpoint.epoch = 11;
+  EXPECT_FALSE(sc.signatures_valid());
+}
+
+TEST(CheckpointOps, CodecRoundTripFull) {
+  SignedCheckpoint sc;
+  sc.checkpoint = make_checkpoint(30);
+  sc.checkpoint.children.push_back(
+      ChildCheck{SubnetId::root().child(kSaA).child(kSaB),
+                 {Cid::of(CidCodec::kCheckpoint, to_bytes("child"))}});
+  CrossMsgMeta meta;
+  meta.from = sc.checkpoint.source;
+  meta.to = SubnetId::root();
+  meta.value = TokenAmount::whole(5);
+  sc.checkpoint.cross_meta.push_back(meta);
+  sc.add_signature(crypto::KeyPair::from_label("val-0"));
+  auto out = decode<SignedCheckpoint>(encode(sc));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), sc);
+  EXPECT_EQ(out.value().checkpoint.outgoing_value(), TokenAmount::whole(5));
+}
+
+// ------------------------------------------------------------ policies
+
+struct PolicyFixture : ::testing::Test {
+  std::vector<crypto::KeyPair> keys;
+  std::vector<crypto::PublicKey> validators;
+
+  PolicyFixture() {
+    for (int i = 0; i < 4; ++i) {
+      keys.push_back(crypto::KeyPair::from_label("val-" + std::to_string(i)));
+      validators.push_back(keys.back().public_key());
+    }
+  }
+
+  SignedCheckpoint signed_by(std::initializer_list<int> signers) {
+    SignedCheckpoint sc;
+    sc.checkpoint = make_checkpoint(10);
+    for (int i : signers) sc.add_signature(keys[static_cast<std::size_t>(i)]);
+    return sc;
+  }
+};
+
+TEST_F(PolicyFixture, SinglePolicyAcceptsAnyValidator) {
+  SignaturePolicy p{SignaturePolicyKind::kSingle, 1};
+  EXPECT_TRUE(p.verify(signed_by({2}), validators).ok());
+  EXPECT_FALSE(p.verify(signed_by({}), validators).ok());
+}
+
+TEST_F(PolicyFixture, MultiSigThresholdEnforced) {
+  SignaturePolicy p{SignaturePolicyKind::kMultiSig, 3};
+  EXPECT_FALSE(p.verify(signed_by({0, 1}), validators).ok());
+  EXPECT_TRUE(p.verify(signed_by({0, 1, 2}), validators).ok());
+  EXPECT_TRUE(p.verify(signed_by({0, 1, 2, 3}), validators).ok());
+}
+
+TEST_F(PolicyFixture, RejectsNonValidatorSigner) {
+  SignaturePolicy p{SignaturePolicyKind::kMultiSig, 1};
+  SignedCheckpoint sc;
+  sc.checkpoint = make_checkpoint(10);
+  sc.add_signature(crypto::KeyPair::from_label("outsider"));
+  EXPECT_EQ(p.verify(sc, validators).error().code(), Errc::kPermissionDenied);
+}
+
+TEST_F(PolicyFixture, RejectsDuplicateSigner) {
+  SignaturePolicy p{SignaturePolicyKind::kMultiSig, 2};
+  SignedCheckpoint sc;
+  sc.checkpoint = make_checkpoint(10);
+  sc.add_signature(keys[0]);
+  sc.add_signature(keys[0]);  // same signer twice must not reach threshold
+  EXPECT_FALSE(p.verify(sc, validators).ok());
+}
+
+TEST_F(PolicyFixture, RejectsForgedSignature) {
+  SignaturePolicy p{SignaturePolicyKind::kMultiSig, 1};
+  SignedCheckpoint sc = signed_by({0});
+  sc.checkpoint.epoch = 99;  // invalidates signature
+  EXPECT_EQ(p.verify(sc, validators).error().code(), Errc::kInvalidSignature);
+}
+
+TEST_F(PolicyFixture, QuorumHelpers) {
+  EXPECT_EQ(SignaturePolicy::bft_quorum(4).threshold, 3u);
+  EXPECT_EQ(SignaturePolicy::bft_quorum(7).threshold, 5u);
+  EXPECT_EQ(SignaturePolicy::bft_quorum(10).threshold, 7u);
+  EXPECT_EQ(SignaturePolicy::majority(4).threshold, 3u);
+  EXPECT_EQ(SignaturePolicy::majority(5).threshold, 3u);
+}
+
+TEST_F(PolicyFixture, CompactProofSizes) {
+  SignaturePolicy multi{SignaturePolicyKind::kMultiSig, 3};
+  SignaturePolicy thresh{SignaturePolicyKind::kThreshold, 3};
+  // Aggregates are much smaller than signature vectors.
+  EXPECT_LT(thresh.compact_proof_size(10), multi.compact_proof_size(10));
+  EXPECT_EQ(multi.compact_proof_size(2), 2 * (96 + 64));
+}
+
+// ------------------------------------------------------------ fraud
+
+TEST_F(PolicyFixture, FraudProofIdentifiesEquivocators) {
+  SignedCheckpoint a = signed_by({0, 1, 2});
+  SignedCheckpoint b;
+  b.checkpoint = make_checkpoint(10);
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork!"));
+  b.add_signature(keys[1]);
+  b.add_signature(keys[3]);
+
+  FraudProof fp{a, b};
+  auto guilty = fp.guilty_signers();
+  ASSERT_TRUE(guilty.ok()) << guilty.error().to_string();
+  ASSERT_EQ(guilty.value().size(), 1u);
+  EXPECT_EQ(guilty.value()[0], validators[1]);  // only val-1 signed both
+}
+
+TEST_F(PolicyFixture, FraudProofRejectsIdenticalCheckpoints) {
+  SignedCheckpoint a = signed_by({0});
+  FraudProof fp{a, a};
+  EXPECT_FALSE(fp.guilty_signers().ok());
+}
+
+TEST_F(PolicyFixture, FraudProofRejectsDifferentEpochs) {
+  SignedCheckpoint a = signed_by({0});
+  SignedCheckpoint b;
+  b.checkpoint = make_checkpoint(20);
+  b.add_signature(keys[0]);
+  FraudProof fp{a, b};
+  EXPECT_FALSE(fp.guilty_signers().ok());
+}
+
+TEST_F(PolicyFixture, FraudProofRejectsNoOverlap) {
+  SignedCheckpoint a = signed_by({0});
+  SignedCheckpoint b;
+  b.checkpoint = make_checkpoint(10);
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork"));
+  b.add_signature(keys[1]);
+  FraudProof fp{a, b};
+  EXPECT_FALSE(fp.guilty_signers().ok());
+}
+
+TEST_F(PolicyFixture, FraudProofRejectsForgedSignatures) {
+  SignedCheckpoint a = signed_by({0});
+  SignedCheckpoint b = signed_by({0});
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork"));
+  // b's signature was made before the fork edit: invalid now.
+  FraudProof fp{a, b};
+  EXPECT_EQ(fp.guilty_signers().error().code(), Errc::kInvalidSignature);
+}
+
+// ------------------------------------------------------------ params
+
+TEST(Params, CodecRoundTrip) {
+  SubnetParams p;
+  p.name = "gaming-subnet";
+  p.consensus = ConsensusType::kTendermint;
+  p.min_validator_stake = TokenAmount::whole(10);
+  p.min_collateral = TokenAmount::whole(50);
+  p.checkpoint_period = 25;
+  p.checkpoint_policy = SignaturePolicy::bft_quorum(4);
+  auto out = decode<SubnetParams>(encode(p));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), p);
+}
+
+TEST(Params, ConsensusNames) {
+  EXPECT_EQ(consensus_name(ConsensusType::kTendermint), "tendermint");
+  EXPECT_EQ(consensus_name(ConsensusType::kPowerLottery), "power-lottery");
+}
+
+}  // namespace
+}  // namespace hc::core

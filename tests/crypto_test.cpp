@@ -1,0 +1,303 @@
+// Unit tests for the crypto module: U256 arithmetic, secp256k1 curve ops,
+// Schnorr signatures and Merkle trees.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/ec.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/u256.hpp"
+
+namespace hc::crypto {
+namespace {
+
+// ---------------------------------------------------------------- U256
+
+TEST(U256, BytesRoundTrip) {
+  const auto bytes = *from_hex(
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  const U256 v = U256::from_be_bytes(bytes);
+  EXPECT_EQ(v.to_be_bytes(), bytes);
+  EXPECT_EQ(v.to_hex(),
+            "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256, AddCarryPropagation) {
+  U256 max = U256::from_limbs_be(~0ull, ~0ull, ~0ull, ~0ull);
+  EXPECT_EQ(max.add_with_carry(U256(1)), 1u);  // wraps to zero with carry
+  EXPECT_TRUE(max.is_zero());
+}
+
+TEST(U256, SubBorrowPropagation) {
+  U256 zero;
+  EXPECT_EQ(zero.sub_with_borrow(U256(1)), 1u);
+  EXPECT_EQ(zero, U256::from_limbs_be(~0ull, ~0ull, ~0ull, ~0ull));
+}
+
+TEST(U256, Comparison) {
+  const U256 small(5);
+  const U256 big = U256::from_limbs_be(1, 0, 0, 0);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, U256(5));
+}
+
+TEST(U256, TopBitAndBit) {
+  EXPECT_EQ(U256().top_bit(), -1);
+  EXPECT_EQ(U256(1).top_bit(), 0);
+  EXPECT_EQ(U256(0x80).top_bit(), 7);
+  const U256 high = U256::from_limbs_be(0x8000000000000000ull, 0, 0, 0);
+  EXPECT_EQ(high.top_bit(), 255);
+  EXPECT_TRUE(high.bit(255));
+  EXPECT_FALSE(high.bit(254));
+}
+
+TEST(U256, MulWideSmall) {
+  auto w = mul_wide(U256(7), U256(6));
+  EXPECT_EQ(w.lo, U256(42));
+  EXPECT_TRUE(w.hi.is_zero());
+}
+
+TEST(U256, MulWideFull) {
+  // (2^256 - 1)^2 = 2^512 - 2^257 + 1 → lo = 1, hi = 2^256 - 2 (i.e. ...fffe)
+  const U256 max = U256::from_limbs_be(~0ull, ~0ull, ~0ull, ~0ull);
+  auto w = mul_wide(max, max);
+  EXPECT_EQ(w.lo, U256(1));
+  EXPECT_EQ(w.hi, U256::from_limbs_be(~0ull, ~0ull, ~0ull, ~0ull - 1));
+}
+
+// ---------------------------------------------------------------- field
+
+TEST(Field, AddSubInverse) {
+  const U256 a(12345);
+  const U256 b(67890);
+  EXPECT_EQ(fp::sub(fp::add(a, b), b), a);
+  EXPECT_EQ(fp::sub(a, a), U256());
+  // Wraparound: (p - 1) + 2 == 1 (mod p)
+  U256 pm1 = fp::P();
+  pm1.sub_with_borrow(U256(1));
+  EXPECT_EQ(fp::add(pm1, U256(2)), U256(1));
+}
+
+TEST(Field, MulMatchesRepeatedAdd) {
+  const U256 a(0xdeadbeef);
+  U256 sum;
+  for (int i = 0; i < 1000; ++i) sum = fp::add(sum, a);
+  EXPECT_EQ(fp::mul(a, U256(1000)), sum);
+}
+
+TEST(Field, FermatInverse) {
+  for (std::uint64_t v : {1ull, 2ull, 977ull, 0xffffffffull}) {
+    const U256 a(v);
+    EXPECT_EQ(fp::mul(a, fp::inv(a)), U256(1)) << v;
+  }
+}
+
+TEST(Field, PowBasics) {
+  EXPECT_EQ(fp::pow(U256(2), U256(10)), U256(1024));
+  EXPECT_EQ(fp::pow(U256(5), U256(0)), U256(1));
+  // Fermat: a^(p-1) == 1 (mod p)
+  U256 pm1 = fp::P();
+  pm1.sub_with_borrow(U256(1));
+  EXPECT_EQ(fp::pow(U256(7), pm1), U256(1));
+}
+
+TEST(Scalar, AddMulBasics) {
+  const U256 a(1000);
+  const U256 b(2000);
+  EXPECT_EQ(fn::add(a, b), U256(3000));
+  EXPECT_EQ(fn::mul(a, b), U256(2000000));
+  // n - 1 + 2 == 1 (mod n)
+  U256 nm1 = fn::N();
+  nm1.sub_with_borrow(U256(1));
+  EXPECT_EQ(fn::add(nm1, U256(2)), U256(1));
+  EXPECT_EQ(fn::sub(U256(1), U256(2)), nm1);
+}
+
+// ---------------------------------------------------------------- curve
+
+TEST(Curve, GeneratorOnCurve) {
+  const auto g = Point::generator().to_affine();
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(Point::is_on_curve(g->x, g->y));
+}
+
+TEST(Curve, KnownScalarMultiple) {
+  // 2*G, standard secp256k1 test vector.
+  const auto p2 = Point::generator().mul(U256(2)).to_affine();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(p2->y.to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Curve, DoubleEqualsAdd) {
+  const Point& g = Point::generator();
+  EXPECT_TRUE(g.doubled().equals(g.add(g)));
+  EXPECT_TRUE(g.mul(U256(3)).equals(g.doubled().add(g)));
+}
+
+TEST(Curve, MulDistributes) {
+  const Point& g = Point::generator();
+  // (a + b)G == aG + bG
+  const U256 a(123456789);
+  const U256 b(987654321);
+  EXPECT_TRUE(g.mul(fn::add(a, b)).equals(g.mul(a).add(g.mul(b))));
+}
+
+TEST(Curve, OrderAnnihilates) {
+  EXPECT_TRUE(Point::generator().mul(fn::N()).is_infinity());
+}
+
+TEST(Curve, InfinityIsIdentity) {
+  const Point inf;
+  const Point& g = Point::generator();
+  EXPECT_TRUE(inf.add(g).equals(g));
+  EXPECT_TRUE(g.add(inf).equals(g));
+  EXPECT_TRUE(inf.is_infinity());
+  EXPECT_TRUE(inf.doubled().is_infinity());
+}
+
+TEST(Curve, AddInverseGivesInfinity) {
+  const Point& g = Point::generator();
+  const auto ga = g.to_affine();
+  ASSERT_TRUE(ga.has_value());
+  const Point neg_g = Point::from_affine(ga->x, fp::sub(U256(), ga->y));
+  EXPECT_TRUE(g.add(neg_g).is_infinity());
+}
+
+// ---------------------------------------------------------------- schnorr
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::from_label("validator-0");
+  const Bytes msg = to_bytes("checkpoint for /root/f0101 at epoch 42");
+  const Signature sig = kp.sign(msg);
+  EXPECT_TRUE(verify(kp.public_key(), msg, sig));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  const KeyPair kp = KeyPair::from_label("validator-0");
+  const Signature sig = kp.sign(to_bytes("message A"));
+  EXPECT_FALSE(verify(kp.public_key(), to_bytes("message B"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  const KeyPair alice = KeyPair::from_label("alice");
+  const KeyPair bob = KeyPair::from_label("bob");
+  const Bytes msg = to_bytes("message");
+  EXPECT_FALSE(verify(bob.public_key(), msg, alice.sign(msg)));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  const KeyPair kp = KeyPair::from_label("validator-1");
+  const Bytes msg = to_bytes("message");
+  const Signature sig = kp.sign(msg);
+  Bytes raw = sig.to_bytes();
+  raw[95] ^= 1;  // flip a bit in s
+  auto tampered = Signature::from_bytes(raw);
+  ASSERT_TRUE(tampered.ok());
+  EXPECT_FALSE(verify(kp.public_key(), msg, tampered.value()));
+}
+
+TEST(Schnorr, DeterministicSigning) {
+  const KeyPair kp = KeyPair::from_label("validator-2");
+  const Bytes msg = to_bytes("message");
+  EXPECT_EQ(kp.sign(msg), kp.sign(msg));
+}
+
+TEST(Schnorr, DistinctSeedsDistinctKeys) {
+  EXPECT_NE(KeyPair::from_label("a").public_key(),
+            KeyPair::from_label("b").public_key());
+}
+
+TEST(Schnorr, PublicKeySerializationRoundTrip) {
+  const KeyPair kp = KeyPair::from_label("serialize-me");
+  auto pk = PublicKey::from_bytes(kp.public_key().to_bytes());
+  ASSERT_TRUE(pk.ok());
+  EXPECT_EQ(pk.value(), kp.public_key());
+}
+
+TEST(Schnorr, PublicKeyRejectsOffCurvePoint) {
+  Bytes junk(64, 0x42);
+  EXPECT_FALSE(PublicKey::from_bytes(junk).ok());
+}
+
+TEST(Schnorr, SignatureRejectsBadLength) {
+  EXPECT_FALSE(Signature::from_bytes(Bytes(95, 0)).ok());
+}
+
+TEST(Schnorr, TaggedHashDomainSeparation) {
+  const Bytes m = to_bytes("same input");
+  EXPECT_NE(tagged_hash("tag-a", {m}), tagged_hash("tag-b", {m}));
+}
+
+// ---------------------------------------------------------------- merkle
+
+std::vector<Bytes> make_leaves(int n) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(to_bytes("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree t({});
+  EXPECT_EQ(t.root(), Digest{});
+  EXPECT_EQ(t.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree t(leaves);
+  const auto proof = t.prove(0);
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(MerkleTree::verify(t.root(), leaves[0], proof));
+}
+
+TEST(Merkle, RootChangesWithContent) {
+  EXPECT_NE(MerkleTree::root_of(make_leaves(4)),
+            MerkleTree::root_of(make_leaves(5)));
+  auto leaves = make_leaves(4);
+  const Digest before = MerkleTree::root_of(leaves);
+  leaves[2][0] ^= 1;
+  EXPECT_NE(before, MerkleTree::root_of(leaves));
+}
+
+TEST(Merkle, LeafVsNodeDomainSeparation) {
+  // A single leaf whose content equals an interior-node preimage must not
+  // produce the same root as the two-leaf tree.
+  const auto two = make_leaves(2);
+  MerkleTree t2(two);
+  // Reconstruct what the interior preimage would look like as a leaf.
+  Bytes fake;
+  fake.push_back(0x01);
+  MerkleTree t1({fake});
+  EXPECT_NE(t1.root(), t2.root());
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleProofSweep, AllLeavesProvable) {
+  const int n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+  for (int i = 0; i < n; ++i) {
+    const auto proof = t.prove(static_cast<std::size_t>(i));
+    EXPECT_TRUE(MerkleTree::verify(t.root(), leaves[static_cast<std::size_t>(i)],
+                                   proof))
+        << "n=" << n << " i=" << i;
+    // Proof must not verify a different leaf.
+    EXPECT_FALSE(
+        MerkleTree::verify(t.root(), to_bytes("not-a-leaf"), proof));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           33, 64, 100));
+
+}  // namespace
+}  // namespace hc::crypto

@@ -1,0 +1,213 @@
+// Deep-hierarchy scenarios: path messages whose least common ancestor is
+// NOT the root, checkpoint aggregation across levels (child checkpoints
+// embedded in the parent's own checkpoints), and atomic executions
+// coordinated by a mid-level subnet.
+//
+// Topology used throughout:
+//          /root
+//            └── mid
+//                 ├── left
+//                 └── right
+#include <gtest/gtest.h>
+
+#include "actors/basic.hpp"
+#include "actors/methods.hpp"
+#include "runtime/atomic.hpp"
+
+namespace hc::runtime {
+namespace {
+
+core::SubnetParams subnet_params() {
+  core::SubnetParams p;
+  p.name = "deep";
+  p.consensus = core::ConsensusType::kPoaRoundRobin;
+  p.min_validator_stake = TokenAmount::whole(5);
+  p.min_collateral = TokenAmount::whole(10);
+  p.checkpoint_period = 5;
+  p.checkpoint_policy =
+      core::SignaturePolicy{core::SignaturePolicyKind::kMultiSig, 1};
+  return p;
+}
+
+struct DeepFixture : ::testing::Test {
+  Hierarchy h{[] {
+    HierarchyConfig cfg;
+    cfg.seed = 31;
+    cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+    cfg.root_params = subnet_params();
+    cfg.root_validators = 3;
+    cfg.root_engine.block_time = 100 * sim::kMillisecond;
+    return cfg;
+  }()};
+  Subnet* mid = nullptr;
+  Subnet* left = nullptr;
+  Subnet* right = nullptr;
+  User alice;
+
+  void SetUp() override {
+    consensus::EngineConfig fast;
+    fast.block_time = 100 * sim::kMillisecond;
+    fast.timeout_base = 300 * sim::kMillisecond;
+    auto m = h.spawn_subnet(h.root(), "mid", subnet_params(), 3,
+                            TokenAmount::whole(5), fast);
+    ASSERT_TRUE(m.ok()) << m.error().to_string();
+    mid = m.value();
+    auto l = h.spawn_subnet(*mid, "left", subnet_params(), 3,
+                            TokenAmount::whole(5), fast);
+    ASSERT_TRUE(l.ok()) << l.error().to_string();
+    left = l.value();
+    auto r = h.spawn_subnet(*mid, "right", subnet_params(), 3,
+                            TokenAmount::whole(5), fast);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    right = r.value();
+
+    auto a = h.make_user("deep-alice", TokenAmount::whole(2000));
+    ASSERT_TRUE(a.ok());
+    alice = a.value();
+    // Fund alice in `left` (via two-hop top-down from the root).
+    ASSERT_TRUE(h.send_cross(h.root(), alice, left->id, alice.addr,
+                             TokenAmount::whole(60))
+                    .ok());
+    ASSERT_TRUE(h.run_until(
+        [&] {
+          return left->node(0).balance(alice.addr) == TokenAmount::whole(60);
+        },
+        120 * sim::kSecond));
+  }
+};
+
+TEST_F(DeepFixture, PathMessageTurnsAtNonRootLca) {
+  // left -> right: LCA is `mid`, NOT the root. The message must go
+  // bottom-up one hop (left -> mid via checkpoint), turn around at mid's
+  // SCA, and go top-down one hop (mid -> right) — without the rootnet
+  // ever seeing a cross-msg.
+  const auto root_bu_before =
+      h.root().node(0).sca_state().bottomup_nonce;
+
+  User sink{crypto::KeyPair::from_label("deep-sink"),
+            Address::key(crypto::KeyPair::from_label("deep-sink")
+                             .public_key()
+                             .to_bytes())};
+  auto r = h.send_cross(*left, alice, right->id, sink.addr,
+                        TokenAmount::whole(11));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok()) << r.value().error;
+
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return right->node(0).balance(sink.addr) == TokenAmount::whole(11);
+      },
+      180 * sim::kSecond));
+
+  // The root's SCA never adopted a bottom-up meta for this transfer.
+  EXPECT_EQ(h.root().node(0).sca_state().bottomup_nonce, root_bu_before);
+  // Mid's books: left lost 11, right gained 11.
+  const auto mid_sca = mid->node(0).sca_state();
+  EXPECT_EQ(mid_sca.subnets.at(left->sa).circulating_supply,
+            TokenAmount::whole(49));
+  EXPECT_EQ(mid_sca.subnets.at(right->sa).circulating_supply,
+            TokenAmount::whole(11));
+}
+
+TEST_F(DeepFixture, ChildCheckpointsAggregateIntoParentCheckpoints) {
+  // Paper §III-B / Fig. 2: mid's checkpoints must carry the `children`
+  // tree referencing left's and right's checkpoint CIDs, propagating them
+  // to the root.
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto mid_sca = mid->node(0).sca_state();
+        auto lit = mid_sca.subnets.find(left->sa);
+        auto rit = mid_sca.subnets.find(right->sa);
+        return lit != mid_sca.subnets.end() &&
+               !lit->second.checkpoints.empty() &&
+               rit != mid_sca.subnets.end() &&
+               !rit->second.checkpoints.empty();
+      },
+      120 * sim::kSecond));
+
+  // Find a mid checkpoint (committed at the root) whose children tree
+  // includes the grandchildren.
+  bool saw_grandchild_aggregation = false;
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto& store = h.root().node(0).chain();
+        for (chain::Epoch hh = 1; hh <= store.height(); ++hh) {
+          const auto* receipts = h.root().node(0).receipts_at(hh);
+          if (receipts == nullptr) continue;
+          for (const auto& rc : *receipts) {
+            for (const auto& ev : rc.events) {
+              if (ev.kind != "sca/checkpoint-committed") continue;
+              auto cp = decode<core::Checkpoint>(ev.payload);
+              if (!cp.ok() || cp.value().source != mid->id) continue;
+              for (const auto& child_check : cp.value().children) {
+                if (child_check.subnet == left->id ||
+                    child_check.subnet == right->id) {
+                  saw_grandchild_aggregation = true;
+                }
+              }
+            }
+          }
+        }
+        return saw_grandchild_aggregation;
+      },
+      120 * sim::kSecond));
+  EXPECT_TRUE(saw_grandchild_aggregation);
+}
+
+TEST_F(DeepFixture, AtomicExecutionCoordinatedByMidLevelSubnet) {
+  // Paper §IV-D: "Generally, subnets will choose the closest common parent
+  // as the execution subnet". Parties in left and right coordinate through
+  // MID's SCA, not the root's.
+  // Fund a second user in `right`.
+  auto bob_r = h.make_user("deep-bob", TokenAmount::whole(500));
+  ASSERT_TRUE(bob_r.ok());
+  User bob = bob_r.value();
+  ASSERT_TRUE(h.send_cross(h.root(), bob, right->id, bob.addr,
+                           TokenAmount::whole(60))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] { return !right->node(0).balance(bob.addr).is_zero(); },
+      120 * sim::kSecond));
+
+  // Deploy KV apps in both leaves.
+  auto deploy = [&](Subnet& s, const User& u, const char* val) {
+    actors::ExecParams exec;
+    exec.code = chain::kCodeKvApp;
+    auto dep = h.call(s, u, chain::kInitAddr, actors::init_method::kExec,
+                      encode(exec), TokenAmount());
+    EXPECT_TRUE(dep.ok() && dep.value().ok());
+    const Address app = decode<Address>(dep.value().ret).value();
+    actors::KvParams put{to_bytes("item"), to_bytes(val)};
+    EXPECT_TRUE(h.call(s, u, app, actors::kv_method::kPut, encode(put),
+                       TokenAmount())
+                    .ok());
+    return app;
+  };
+  const Address app_l = deploy(*left, alice, "left-item");
+  const Address app_r = deploy(*right, bob, "right-item");
+
+  AtomicExecution swap(
+      h, *mid,
+      {AtomicPartySpec{left, alice, app_l, to_bytes("item")},
+       AtomicPartySpec{right, bob, app_r, to_bytes("item")}},
+      [](const std::vector<Bytes>& in) {
+        return std::vector<Bytes>{in[1], in[0]};
+      });
+  auto decision = swap.run();
+  ASSERT_TRUE(decision.ok()) << decision.error().to_string();
+  EXPECT_EQ(decision.value(), actors::AtomicStatus::kCommitted);
+
+  // The execution record lives in MID's SCA; the root never saw it.
+  EXPECT_FALSE(mid->node(0).sca_state().atomic_execs.empty());
+  EXPECT_TRUE(h.root().node(0).sca_state().atomic_execs.empty());
+
+  // And the swap actually happened.
+  actors::KvParams get{to_bytes("item"), {}};
+  auto gl = h.call(*left, alice, app_l, actors::kv_method::kGet, encode(get),
+                   TokenAmount());
+  ASSERT_TRUE(gl.ok() && gl.value().ok());
+  EXPECT_EQ(gl.value().ret, to_bytes("right-item"));
+}
+
+}  // namespace
+}  // namespace hc::runtime

@@ -1,0 +1,126 @@
+// Full cross-net round-trips parameterized over every consensus engine and
+// every checkpoint signature policy: a subnet running <engine> with
+// <policy> receives top-down funds and releases them bottom-up through its
+// checkpoints. This is the broadest single compatibility statement in the
+// suite: any engine × policy combination must interoperate with the
+// hierarchy machinery.
+#include <gtest/gtest.h>
+
+#include "runtime/hierarchy.hpp"
+
+namespace hc::runtime {
+namespace {
+
+struct SweepCase {
+  core::ConsensusType consensus;
+  core::SignaturePolicyKind policy;
+};
+
+class FullStackSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FullStackSweep, FundAndReleaseRoundTrip) {
+  const SweepCase param = GetParam();
+
+  HierarchyConfig cfg;
+  cfg.seed = 88 + static_cast<std::uint64_t>(param.consensus) * 10 +
+             static_cast<std::uint64_t>(param.policy);
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params.consensus = core::ConsensusType::kPoaRoundRobin;
+  cfg.root_params.min_validator_stake = TokenAmount::whole(5);
+  cfg.root_params.min_collateral = TokenAmount::whole(10);
+  cfg.root_params.checkpoint_period = 5;
+  cfg.root_validators = 3;
+  cfg.root_engine.block_time = 100 * sim::kMillisecond;
+  Hierarchy h(cfg);
+
+  core::SubnetParams params = cfg.root_params;
+  params.consensus = param.consensus;
+  const std::size_t n_validators = 4;
+  params.checkpoint_policy = core::SignaturePolicy{
+      param.policy,
+      param.policy == core::SignaturePolicyKind::kSingle
+          ? 1
+          : static_cast<std::uint32_t>(
+                core::SignaturePolicy::bft_quorum(n_validators).threshold)};
+
+  consensus::EngineConfig engine;
+  engine.block_time = 100 * sim::kMillisecond;
+  engine.timeout_base = 400 * sim::kMillisecond;
+  auto c = h.spawn_subnet(h.root(), "sweep", params, n_validators,
+                          TokenAmount::whole(5), engine);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  Subnet* child = c.value();
+
+  auto alice = h.make_user("sweep-alice", TokenAmount::whole(500));
+  ASSERT_TRUE(alice.ok());
+  auto fund = h.send_cross(h.root(), alice.value(), child->id,
+                           alice.value().addr, TokenAmount::whole(30));
+  ASSERT_TRUE(fund.ok());
+  ASSERT_TRUE(fund.value().ok()) << fund.value().error;
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return child->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(30);
+      },
+      120 * sim::kSecond))
+      << "top-down funding stalled on "
+      << core::consensus_name(param.consensus);
+
+  User sink{crypto::KeyPair::from_label("sweep-sink"),
+            Address::key(crypto::KeyPair::from_label("sweep-sink")
+                             .public_key()
+                             .to_bytes())};
+  auto release = h.send_cross(*child, alice.value(), core::SubnetId::root(),
+                              sink.addr, TokenAmount::whole(9));
+  ASSERT_TRUE(release.ok());
+  ASSERT_TRUE(release.value().ok()) << release.value().error;
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).balance(sink.addr) == TokenAmount::whole(9);
+      },
+      300 * sim::kSecond))
+      << "bottom-up release stalled on "
+      << core::consensus_name(param.consensus) << " with policy "
+      << static_cast<int>(param.policy);
+
+  // Supply books balance at the root.
+  EXPECT_EQ(h.root()
+                .node(0)
+                .sca_state()
+                .subnets.at(child->sa)
+                .circulating_supply,
+            TokenAmount::whole(21));
+}
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name(core::consensus_name(info.param.consensus));
+  std::erase(name, '-');
+  switch (info.param.policy) {
+    case core::SignaturePolicyKind::kSingle: name += "Single"; break;
+    case core::SignaturePolicyKind::kMultiSig: name += "Multi"; break;
+    case core::SignaturePolicyKind::kThreshold: name += "Threshold"; break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, FullStackSweep,
+    ::testing::Values(
+        // Every engine with the BFT-quorum multisig policy...
+        SweepCase{core::ConsensusType::kPoaRoundRobin,
+                  core::SignaturePolicyKind::kMultiSig},
+        SweepCase{core::ConsensusType::kPowerLottery,
+                  core::SignaturePolicyKind::kMultiSig},
+        SweepCase{core::ConsensusType::kTendermint,
+                  core::SignaturePolicyKind::kMultiSig},
+        SweepCase{core::ConsensusType::kRoundRobinBft,
+                  core::SignaturePolicyKind::kMultiSig},
+        // ...and the PoA engine with the other two policy kinds.
+        SweepCase{core::ConsensusType::kPoaRoundRobin,
+                  core::SignaturePolicyKind::kSingle},
+        SweepCase{core::ConsensusType::kPoaRoundRobin,
+                  core::SignaturePolicyKind::kThreshold}),
+    case_name);
+
+}  // namespace
+}  // namespace hc::runtime

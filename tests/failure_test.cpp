@@ -1,0 +1,273 @@
+// Failure-injection tests over the full stack: gossip loss, validator
+// crashes during checkpoint duty, network partitions mid-transfer, and the
+// paper's §IV-B failed-cross-msg revert path.
+#include <gtest/gtest.h>
+
+#include "actors/basic.hpp"
+#include "actors/methods.hpp"
+#include "runtime/hierarchy.hpp"
+
+namespace hc::runtime {
+namespace {
+
+core::SubnetParams subnet_params(std::uint32_t threshold = 1) {
+  core::SubnetParams p;
+  p.name = "fail";
+  p.consensus = core::ConsensusType::kPoaRoundRobin;
+  p.min_validator_stake = TokenAmount::whole(5);
+  p.min_collateral = TokenAmount::whole(10);
+  p.checkpoint_period = 5;
+  p.checkpoint_policy =
+      core::SignaturePolicy{core::SignaturePolicyKind::kMultiSig, threshold};
+  return p;
+}
+
+HierarchyConfig fast_config(std::uint64_t seed = 21) {
+  HierarchyConfig cfg;
+  cfg.seed = seed;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params = subnet_params();
+  cfg.root_validators = 3;
+  cfg.root_engine.block_time = 100 * sim::kMillisecond;
+  return cfg;
+}
+
+consensus::EngineConfig fast_engine() {
+  consensus::EngineConfig e;
+  e.block_time = 100 * sim::kMillisecond;
+  e.timeout_base = 300 * sim::kMillisecond;
+  return e;
+}
+
+struct FailureFixture : ::testing::Test {
+  Hierarchy h{fast_config()};
+  Subnet* child = nullptr;
+  User alice;
+
+  void SetUp() override {
+    auto c = h.spawn_subnet(h.root(), "f-child", subnet_params(), 3,
+                            TokenAmount::whole(5), fast_engine());
+    ASSERT_TRUE(c.ok()) << c.error().to_string();
+    child = c.value();
+    auto a = h.make_user("f-alice", TokenAmount::whole(1000));
+    ASSERT_TRUE(a.ok());
+    alice = a.value();
+  }
+
+  void fund_and_wait(TokenAmount amount) {
+    auto r = h.send_cross(h.root(), alice, child->id, alice.addr, amount);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(h.run_until(
+        [&] { return child->node(0).balance(alice.addr) >= amount; },
+        60 * sim::kSecond));
+  }
+};
+
+// -------------------------------------------------------------- loss
+
+TEST_F(FailureFixture, CrossNetFlowsSurviveGossipLoss) {
+  h.network().set_drop_rate(0.10);
+  fund_and_wait(TokenAmount::whole(20));
+
+  User sink{crypto::KeyPair::from_label("l-sink"),
+            Address::key(
+                crypto::KeyPair::from_label("l-sink").public_key().to_bytes())};
+  auto r = h.send_cross(*child, alice, core::SubnetId::root(), sink.addr,
+                        TokenAmount::whole(6));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok()) << r.value().error;
+  // Checkpoint submission, resolution pulls etc. all retry through blocks;
+  // the transfer must settle despite 10% loss on every link.
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).balance(sink.addr) == TokenAmount::whole(6);
+      },
+      300 * sim::kSecond));
+}
+
+// ---------------------------------------------------- validator crashes
+
+TEST_F(FailureFixture, CheckpointsContinueWhenNonSubmitterCrashes) {
+  fund_and_wait(TokenAmount::whole(10));
+  // Crash one subnet validator (node 2; node 0 stays as API endpoint).
+  child->node(2).stop();
+  h.network().set_node_down(child->node(2).net_id(), true);
+
+  // PoA stalls on the crashed leader's slots? No: leader rotation includes
+  // node 2, so the chain halts at its slot... unless it recovers. Bring it
+  // back after 3 seconds to model a crash-recover cycle.
+  h.run_for(3 * sim::kSecond);
+  h.network().set_node_down(child->node(2).net_id(), false);
+  child->node(2).start();
+
+  const auto before =
+      h.root().node(0).sca_state().subnets.at(child->sa).checkpoints.size();
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return h.root()
+                   .node(0)
+                   .sca_state()
+                   .subnets.at(child->sa)
+                   .checkpoints.size() > before;
+      },
+      120 * sim::kSecond));
+}
+
+TEST_F(FailureFixture, BftSubnetCheckpointsDespiteCrashedValidator) {
+  // A 4-validator Tendermint subnet tolerates one crash outright.
+  auto c = h.spawn_subnet(h.root(), "bft-child", [] {
+    auto p = subnet_params(/*threshold=*/2);
+    p.consensus = core::ConsensusType::kTendermint;
+    return p;
+  }(), 4, TokenAmount::whole(5), fast_engine());
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  Subnet* bft = c.value();
+
+  bft->node(3).stop();
+  h.network().set_node_down(bft->node(3).net_id(), true);
+
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto sca = h.root().node(0).sca_state();
+        auto it = sca.subnets.find(bft->sa);
+        return it != sca.subnets.end() && !it->second.checkpoints.empty();
+      },
+      180 * sim::kSecond));
+}
+
+// -------------------------------------------------------------- partition
+
+TEST_F(FailureFixture, TransferResumesAfterPartition) {
+  fund_and_wait(TokenAmount::whole(20));
+
+  // Partition the child subnet's validators away from the root validators:
+  // checkpoints cannot be submitted.
+  std::vector<net::NodeId> child_nodes;
+  std::vector<net::NodeId> root_nodes;
+  for (std::size_t i = 0; i < child->size(); ++i) {
+    child_nodes.push_back(child->node(i).net_id());
+  }
+  for (std::size_t i = 0; i < h.root().size(); ++i) {
+    root_nodes.push_back(h.root().node(i).net_id());
+  }
+  h.network().set_partition({child_nodes, root_nodes});
+
+  User sink{crypto::KeyPair::from_label("p-sink"),
+            Address::key(
+                crypto::KeyPair::from_label("p-sink").public_key().to_bytes())};
+  auto r = h.send_cross(*child, alice, core::SubnetId::root(), sink.addr,
+                        TokenAmount::whole(4));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok());
+
+  // While partitioned, the release burns in the child but never reaches
+  // the root.
+  h.run_for(10 * sim::kSecond);
+  EXPECT_TRUE(h.root().node(0).balance(sink.addr).is_zero());
+  EXPECT_EQ(child->node(0).balance(chain::kBurnAddr), TokenAmount::whole(4));
+
+  // Heal: the designated submitter retries pending checkpoints.
+  h.network().heal_partition();
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).balance(sink.addr) == TokenAmount::whole(4);
+      },
+      180 * sim::kSecond));
+}
+
+// ------------------------------------------------------------- reverts
+
+TEST_F(FailureFixture, FailedCrossMsgRefundsViaRevert) {
+  fund_and_wait(TokenAmount::whole(20));
+
+  // A cross-net call whose inner execution MUST fail at the destination:
+  // calling a method on the SCA that does not exist.
+  const TokenAmount alice_child_before = child->node(0).balance(alice.addr);
+  auto r = h.send_cross(*child, alice, core::SubnetId::root(),
+                        chain::kInitAddr, TokenAmount::whole(5),
+                        /*method=*/12345, encode_varint(1));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok()) << r.value().error;
+
+  // Paper §IV-B: the failure triggers a revert cross-msg from the failing
+  // subnet back to the source, returning the funds.
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        // Refund arrives back to alice inside the child.
+        return child->node(0).balance(alice.addr) >=
+               alice_child_before - TokenAmount::whole(1);  // minus gas
+      },
+      300 * sim::kSecond));
+  // Root-side supply restored: failed transfer did not leak supply.
+  const auto sca = h.root().node(0).sca_state();
+  EXPECT_EQ(sca.subnets.at(child->sa).circulating_supply,
+            TokenAmount::whole(20));
+}
+
+TEST_F(FailureFixture, TopDownToUnknownSubnetFailsCleanly) {
+  // Funding an unregistered subnet is rejected synchronously at the SCA.
+  actors::CrossParams p;
+  p.dest = core::SubnetId::root().child(Address::id(7777));
+  p.to = alice.addr;
+  auto r = h.call(h.root(), alice, chain::kScaAddr,
+                  actors::sca_method::kFund, encode(p), TokenAmount::whole(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().ok());
+  // Value refunded (only gas was lost).
+  EXPECT_GT(h.root().node(0).balance(alice.addr),
+            TokenAmount::whole(990));
+}
+
+// ----------------------------------------------------- inactive subnets
+
+TEST_F(FailureFixture, InactiveSubnetCannotCheckpointUntilRestaked) {
+  fund_and_wait(TokenAmount::whole(10));
+  // All but one validator leave: collateral 5 < 10 -> inactive.
+  for (std::size_t i = 1; i < child->validator_keys.size(); ++i) {
+    User v{child->validator_keys[i],
+           Address::key(child->validator_keys[i].public_key().to_bytes())};
+    auto r = h.call(h.root(), v, child->sa, actors::sa_method::kLeave, {},
+                    TokenAmount());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok()) << r.value().error;
+  }
+  ASSERT_EQ(h.root().node(0).sca_state().subnets.at(child->sa).status,
+            core::SubnetStatus::kInactive);
+
+  // Checkpoints stop being accepted while inactive.
+  const auto checkpoints_before =
+      h.root().node(0).sca_state().subnets.at(child->sa).checkpoints.size();
+  h.run_for(10 * sim::kSecond);
+  EXPECT_EQ(h.root().node(0).sca_state().subnets.at(child->sa).checkpoints
+                .size(),
+            checkpoints_before);
+
+  // Re-stake: validator 1 rejoins, reactivating the subnet (§III-B: "users
+  // of the subnet need to put up additional collateral").
+  User v1{child->validator_keys[1],
+          Address::key(child->validator_keys[1].public_key().to_bytes())};
+  auto rejoin = h.call(
+      h.root(), v1, child->sa, actors::sa_method::kJoin,
+      encode(actors::JoinParams{child->validator_keys[1].public_key()}),
+      TokenAmount::whole(5));
+  ASSERT_TRUE(rejoin.ok());
+  ASSERT_TRUE(rejoin.value().ok()) << rejoin.value().error;
+  EXPECT_EQ(h.root().node(0).sca_state().subnets.at(child->sa).status,
+            core::SubnetStatus::kActive);
+
+  // NOTE: the consensus validator set is static per spawn (see README
+  // "known simplifications"), so the subnet keeps producing blocks with
+  // its original set; what inactive-ness governs is hierarchy interaction.
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        return h.root()
+                   .node(0)
+                   .sca_state()
+                   .subnets.at(child->sa)
+                   .checkpoints.size() > checkpoints_before;
+      },
+      120 * sim::kSecond));
+}
+
+}  // namespace
+}  // namespace hc::runtime

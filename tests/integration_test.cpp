@@ -1,0 +1,486 @@
+// Full-stack integration tests: hierarchies of subnets over the simulated
+// network, exercising the complete paper pipeline — spawn, top-down funding,
+// bottom-up release via checkpoints, path messages with content resolution,
+// checkpoint aggregation, and supply conservation.
+#include <gtest/gtest.h>
+
+#include "actors/basic.hpp"
+#include "actors/methods.hpp"
+#include "runtime/hierarchy.hpp"
+
+namespace hc::runtime {
+namespace {
+
+core::SubnetParams subnet_params(core::ConsensusType consensus,
+                                 std::uint32_t period = 5,
+                                 std::uint32_t threshold = 1) {
+  core::SubnetParams p;
+  p.name = "subnet";
+  p.consensus = consensus;
+  p.min_validator_stake = TokenAmount::whole(5);
+  p.min_collateral = TokenAmount::whole(10);
+  p.checkpoint_period = period;
+  p.checkpoint_policy =
+      core::SignaturePolicy{core::SignaturePolicyKind::kMultiSig, threshold};
+  return p;
+}
+
+HierarchyConfig fast_config() {
+  HierarchyConfig cfg;
+  cfg.seed = 42;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params = subnet_params(core::ConsensusType::kPoaRoundRobin);
+  cfg.root_validators = 3;
+  cfg.root_engine.block_time = 200 * sim::kMillisecond;
+  return cfg;
+}
+
+consensus::EngineConfig fast_engine() {
+  consensus::EngineConfig e;
+  e.block_time = 100 * sim::kMillisecond;
+  e.timeout_base = 300 * sim::kMillisecond;
+  return e;
+}
+
+struct IntegrationFixture : ::testing::Test {
+  Hierarchy h{fast_config()};
+
+  Subnet* spawn(Subnet& parent, const std::string& name,
+                core::ConsensusType consensus =
+                    core::ConsensusType::kPoaRoundRobin,
+                std::size_t validators = 3, std::uint32_t period = 5) {
+    auto r = h.spawn_subnet(parent, name,
+                            subnet_params(consensus, period,
+                                          /*threshold=*/1),
+                            validators, TokenAmount::whole(5), fast_engine());
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+    return r.ok() ? r.value() : nullptr;
+  }
+};
+
+// --------------------------------------------------------------- rootnet
+
+TEST_F(IntegrationFixture, RootnetProcessesTransfers) {
+  auto alice = h.make_user("alice", TokenAmount::whole(100));
+  ASSERT_TRUE(alice.ok()) << alice.error().to_string();
+  auto bob = h.make_user("bob", TokenAmount::whole(1));
+  ASSERT_TRUE(bob.ok());
+
+  auto receipt = h.call(h.root(), alice.value(), bob.value().addr, 0, {},
+                        TokenAmount::whole(10));
+  ASSERT_TRUE(receipt.ok()) << receipt.error().to_string();
+  EXPECT_TRUE(receipt.value().ok());
+  EXPECT_EQ(h.root().node(0).balance(bob.value().addr),
+            TokenAmount::whole(11));
+  // All root nodes converge to the same state.
+  h.run_for(2 * sim::kSecond);
+  for (std::size_t i = 0; i < h.root().size(); ++i) {
+    EXPECT_EQ(h.root().node(i).balance(bob.value().addr),
+              TokenAmount::whole(11));
+  }
+}
+
+// ---------------------------------------------------------------- spawning
+
+TEST_F(IntegrationFixture, SpawnRegistersAndBootsChild) {
+  Subnet* child = spawn(h.root(), "child-a");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->id.to_string(), "/root/" + child->sa.to_string());
+
+  // The SCA tracks the child as active with the full collateral.
+  const auto sca = h.root().node(0).sca_state();
+  ASSERT_EQ(sca.subnets.size(), 1u);
+  const auto& entry = sca.subnets.begin()->second;
+  EXPECT_EQ(entry.status, core::SubnetStatus::kActive);
+  EXPECT_EQ(entry.collateral, TokenAmount::whole(15));  // 3 x 5
+
+  // The child chain produces blocks.
+  ASSERT_TRUE(h.run_until(
+      [&] { return child->node(0).chain().height() >= 5; },
+      20 * sim::kSecond));
+}
+
+TEST_F(IntegrationFixture, SubnetsRunHeterogeneousConsensus) {
+  Subnet* poa = spawn(h.root(), "poa-net", core::ConsensusType::kPoaRoundRobin);
+  Subnet* bft = spawn(h.root(), "bft-net", core::ConsensusType::kTendermint,
+                      4);
+  ASSERT_NE(poa, nullptr);
+  ASSERT_NE(bft, nullptr);
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return poa->node(0).chain().height() >= 5 &&
+               bft->node(0).chain().height() >= 3;
+      },
+      60 * sim::kSecond));
+}
+
+// ---------------------------------------------------------------- top-down
+
+TEST_F(IntegrationFixture, TopDownFundingMintsInChild) {
+  Subnet* child = spawn(h.root(), "child-a");
+  ASSERT_NE(child, nullptr);
+  auto alice = h.make_user("alice", TokenAmount::whole(100));
+  ASSERT_TRUE(alice.ok());
+  auto receipt = h.send_cross(h.root(), alice.value(), child->id,
+                              alice.value().addr, TokenAmount::whole(20));
+  ASSERT_TRUE(receipt.ok()) << receipt.error().to_string();
+  ASSERT_TRUE(receipt.value().ok()) << receipt.value().error;
+
+  // The child's cross-msg pool picks the committed msg up and applies it.
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return child->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(20);
+      },
+      30 * sim::kSecond));
+  // Supply accounting: the root SCA records the injection.
+  const auto sca = h.root().node(0).sca_state();
+  EXPECT_EQ(sca.subnets.begin()->second.circulating_supply,
+            TokenAmount::whole(20));
+}
+
+TEST_F(IntegrationFixture, InsideSubnetTransfersWork) {
+  Subnet* child = spawn(h.root(), "child-a");
+  ASSERT_NE(child, nullptr);
+  auto alice = h.make_user("alice", TokenAmount::whole(100));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(
+      h.send_cross(h.root(), alice.value(), child->id, alice.value().addr,
+                   TokenAmount::whole(20))
+          .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return !child->node(0).balance(alice.value().addr).is_zero();
+      },
+      30 * sim::kSecond));
+
+  // Alice transacts inside the subnet without touching the root.
+  const auto root_height_before = h.root().node(0).chain().height();
+  User carol{crypto::KeyPair::from_label("carol"),
+             Address::key(crypto::KeyPair::from_label("carol")
+                              .public_key()
+                              .to_bytes())};
+  auto receipt = h.call(*child, alice.value(), carol.addr, 0, {},
+                        TokenAmount::whole(3));
+  ASSERT_TRUE(receipt.ok()) << receipt.error().to_string();
+  EXPECT_TRUE(receipt.value().ok());
+  EXPECT_EQ(child->node(0).balance(carol.addr), TokenAmount::whole(3));
+  (void)root_height_before;
+}
+
+// --------------------------------------------------------------- bottom-up
+
+TEST_F(IntegrationFixture, BottomUpReleaseViaCheckpoints) {
+  Subnet* child = spawn(h.root(), "child-a");
+  ASSERT_NE(child, nullptr);
+  auto alice = h.make_user("alice", TokenAmount::whole(100));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), child->id,
+                           alice.value().addr, TokenAmount::whole(20))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return child->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(20);
+      },
+      30 * sim::kSecond));
+
+  // Release 8 back to a fresh root account, bottom-up.
+  User dave{crypto::KeyPair::from_label("dave"),
+            Address::key(
+                crypto::KeyPair::from_label("dave").public_key().to_bytes())};
+  auto receipt =
+      h.send_cross(*child, alice.value(), core::SubnetId::root(), dave.addr,
+                   TokenAmount::whole(8));
+  ASSERT_TRUE(receipt.ok()) << receipt.error().to_string();
+  ASSERT_TRUE(receipt.value().ok()) << receipt.value().error;
+
+  // The release burns in the child immediately.
+  EXPECT_EQ(child->node(0).balance(chain::kBurnAddr), TokenAmount::whole(8));
+
+  // ... and lands at the root after checkpoint propagation + resolution.
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).balance(dave.addr) == TokenAmount::whole(8);
+      },
+      90 * sim::kSecond));
+
+  // Firewall accounting: supply dropped by the withdrawn amount.
+  const auto sca = h.root().node(0).sca_state();
+  EXPECT_EQ(sca.subnets.begin()->second.circulating_supply,
+            TokenAmount::whole(12));
+  // The checkpoint chain is recorded for the child.
+  EXPECT_GE(sca.subnets.begin()->second.checkpoints.size(), 1u);
+}
+
+TEST_F(IntegrationFixture, CheckpointsKeepFlowingWithoutTraffic) {
+  Subnet* child = spawn(h.root(), "quiet-child");
+  ASSERT_NE(child, nullptr);
+  // Even with no cross-msgs, periodic checkpoints anchor the child chain
+  // in the parent (paper §II: security anchoring is unconditional).
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto sca = h.root().node(0).sca_state();
+        return !sca.subnets.empty() &&
+               sca.subnets.begin()->second.checkpoints.size() >= 3;
+      },
+      120 * sim::kSecond));
+  // prev-linkage: SA accepted them in order.
+  const auto sa = h.root().node(0).sa_state(child->sa);
+  ASSERT_TRUE(sa.has_value());
+  EXPECT_GE(sa->last_checkpoint_epoch, 15);
+}
+
+// ------------------------------------------------------------ path & depth
+
+TEST_F(IntegrationFixture, PathMessageBetweenSiblings) {
+  Subnet* a = spawn(h.root(), "sub-a");
+  Subnet* b = spawn(h.root(), "sub-b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  auto alice = h.make_user("alice", TokenAmount::whole(100));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), a->id,
+                           alice.value().addr, TokenAmount::whole(30))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return a->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(30);
+      },
+      30 * sim::kSecond));
+
+  // Path msg /root/a -> /root/b: bottom-up to root, then top-down to b.
+  User eve{crypto::KeyPair::from_label("eve"),
+           Address::key(
+               crypto::KeyPair::from_label("eve").public_key().to_bytes())};
+  auto receipt = h.send_cross(*a, alice.value(), b->id, eve.addr,
+                              TokenAmount::whole(9));
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(receipt.value().ok()) << receipt.value().error;
+
+  ASSERT_TRUE(h.run_until(
+      [&] { return b->node(0).balance(eve.addr) == TokenAmount::whole(9); },
+      120 * sim::kSecond));
+
+  // Supply: a lost 9, b gained 9.
+  const auto sca = h.root().node(0).sca_state();
+  EXPECT_EQ(sca.subnets.at(a->sa).circulating_supply, TokenAmount::whole(21));
+  EXPECT_EQ(sca.subnets.at(b->sa).circulating_supply, TokenAmount::whole(9));
+}
+
+TEST_F(IntegrationFixture, GrandchildTopDownAndBottomUp) {
+  Subnet* child = spawn(h.root(), "mid");
+  ASSERT_NE(child, nullptr);
+  Subnet* grand = spawn(*child, "leaf");
+  ASSERT_NE(grand, nullptr);
+  EXPECT_EQ(grand->id.depth(), 2u);
+
+  auto alice = h.make_user("alice", TokenAmount::whole(200));
+  ASSERT_TRUE(alice.ok());
+  // Fund the grandchild directly from the root (multi-hop top-down).
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), grand->id,
+                           alice.value().addr, TokenAmount::whole(25))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return grand->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(25);
+      },
+      60 * sim::kSecond));
+
+  // Withdraw from the grandchild all the way to the root (two checkpoint
+  // hops: leaf -> mid, then mid -> root).
+  User frank{crypto::KeyPair::from_label("frank"),
+             Address::key(crypto::KeyPair::from_label("frank")
+                              .public_key()
+                              .to_bytes())};
+  auto receipt = h.send_cross(*grand, alice.value(), core::SubnetId::root(),
+                              frank.addr, TokenAmount::whole(7));
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(receipt.value().ok()) << receipt.value().error;
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).balance(frank.addr) == TokenAmount::whole(7);
+      },
+      180 * sim::kSecond));
+}
+
+// ------------------------------------------------------------ conservation
+
+TEST_F(IntegrationFixture, TokensConservedAcrossHierarchy) {
+  Subnet* a = spawn(h.root(), "sub-a");
+  ASSERT_NE(a, nullptr);
+  auto alice = h.make_user("alice", TokenAmount::whole(100));
+  ASSERT_TRUE(alice.ok());
+
+  const TokenAmount root_total_before =
+      h.root().node(0).state().total_balance();
+
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), a->id,
+                           alice.value().addr, TokenAmount::whole(40))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return a->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(40);
+      },
+      30 * sim::kSecond));
+
+  // Root conservation: funding locks tokens in the SCA, nothing vanishes.
+  EXPECT_EQ(h.root().node(0).state().total_balance(), root_total_before);
+  // Child minted exactly the injected amount (fees circulate internally).
+  EXPECT_EQ(a->node(0).state().total_balance(), TokenAmount::whole(40));
+
+  // Round-trip: release everything back; after settlement, child supply
+  // returns to zero and root total is still conserved.
+  auto receipt = h.send_cross(*a, alice.value(), core::SubnetId::root(),
+                              alice.value().addr, TokenAmount::whole(39));
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto sca = h.root().node(0).sca_state();
+        return sca.subnets.at(a->sa).circulating_supply ==
+               TokenAmount::whole(1);
+      },
+      120 * sim::kSecond));
+  EXPECT_EQ(h.root().node(0).state().total_balance(), root_total_before);
+}
+
+TEST_F(IntegrationFixture, MidLevelSubnetFundsItsOwnChildDirectly) {
+  // Top-down from a NON-root subnet: /root/mid funds /root/mid/leaf without
+  // the message ever touching the rootnet's cross-msg machinery.
+  Subnet* mid = spawn(h.root(), "mid2");
+  ASSERT_NE(mid, nullptr);
+  Subnet* leaf = spawn(*mid, "leaf2");
+  ASSERT_NE(leaf, nullptr);
+
+  auto alice = h.make_user("alice", TokenAmount::whole(200));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), mid->id,
+                           alice.value().addr, TokenAmount::whole(50))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return mid->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(50);
+      },
+      60 * sim::kSecond));
+
+  // Direct hop: mid -> leaf.
+  auto r = h.send_cross(*mid, alice.value(), leaf->id, alice.value().addr,
+                        TokenAmount::whole(12));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok()) << r.value().error;
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return leaf->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(12);
+      },
+      60 * sim::kSecond));
+  // Supply accounting lives in MID's SCA (it is the leaf's parent).
+  const auto mid_sca = mid->node(0).sca_state();
+  EXPECT_EQ(mid_sca.subnets.at(leaf->sa).circulating_supply,
+            TokenAmount::whole(12));
+}
+
+TEST_F(IntegrationFixture, GeneralCrossNetMethodInvocation) {
+  // §IV-A is not only about payments: invoke a KV actor's Put in another
+  // subnet through the cross-net machinery.
+  Subnet* child = spawn(h.root(), "app-net");
+  ASSERT_NE(child, nullptr);
+  auto alice = h.make_user("alice", TokenAmount::whole(200));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), child->id,
+                           alice.value().addr, TokenAmount::whole(50))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] { return !child->node(0).balance(alice.value().addr).is_zero(); },
+      60 * sim::kSecond));
+
+  // Deploy a KV app inside the child.
+  actors::ExecParams exec;
+  exec.code = chain::kCodeKvApp;
+  auto dep = h.call(*child, alice.value(), chain::kInitAddr,
+                    actors::init_method::kExec, encode(exec), TokenAmount());
+  ASSERT_TRUE(dep.ok());
+  ASSERT_TRUE(dep.value().ok());
+  const Address app = decode<Address>(dep.value().ret).value();
+
+  // From the ROOT, write into the child's KV app cross-net.
+  actors::KvParams put{to_bytes("greeting"), to_bytes("hello-from-root")};
+  auto r = h.send_cross(h.root(), alice.value(), child->id, app,
+                        TokenAmount(), actors::kv_method::kPut, encode(put));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().ok()) << r.value().error;
+
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        actors::KvParams get{to_bytes("greeting"), {}};
+        auto g = h.call(*child, alice.value(), app, actors::kv_method::kGet,
+                        encode(get), TokenAmount(), 5 * sim::kSecond);
+        return g.ok() && g.value().ok() &&
+               g.value().ret == to_bytes("hello-from-root");
+      },
+      60 * sim::kSecond));
+}
+
+TEST_F(IntegrationFixture, MultipleCheckpointWindowsCarrySeparateBatches) {
+  Subnet* child = spawn(h.root(), "windows");
+  ASSERT_NE(child, nullptr);
+  auto alice = h.make_user("alice", TokenAmount::whole(500));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), child->id,
+                           alice.value().addr, TokenAmount::whole(100))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] { return !child->node(0).balance(alice.value().addr).is_zero(); },
+      60 * sim::kSecond));
+
+  // Two releases in clearly separate windows.
+  User sink{crypto::KeyPair::from_label("w-sink"),
+            Address::key(
+                crypto::KeyPair::from_label("w-sink").public_key().to_bytes())};
+  for (int i = 0; i < 2; ++i) {
+    auto r = h.send_cross(*child, alice.value(), core::SubnetId::root(),
+                          sink.addr, TokenAmount::whole(3));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok());
+    h.run_for(sim::kSecond);  // > one checkpoint period
+  }
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).balance(sink.addr) == TokenAmount::whole(6);
+      },
+      120 * sim::kSecond));
+  // Two separate bottom-up metas were adopted and applied at the root.
+  EXPECT_GE(h.root().node(0).sca_state().applied_bottomup_nonce, 2u);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(IntegrationDeterminism, SameSeedSameStateRoots) {
+  std::vector<Cid> roots;
+  for (int run = 0; run < 2; ++run) {
+    Hierarchy h(fast_config());
+    auto alice = h.make_user("alice", TokenAmount::whole(100));
+    ASSERT_TRUE(alice.ok());
+    auto child = h.spawn_subnet(
+        h.root(), "det-child",
+        subnet_params(core::ConsensusType::kPoaRoundRobin), 3,
+        TokenAmount::whole(5), fast_engine());
+    ASSERT_TRUE(child.ok());
+    ASSERT_TRUE(h.send_cross(h.root(), alice.value(), child.value()->id,
+                             alice.value().addr, TokenAmount::whole(20))
+                    .ok());
+    h.run_for(20 * sim::kSecond);
+    roots.push_back(h.root().node(0).state().flush());
+    roots.push_back(child.value()->node(0).state().flush());
+  }
+  EXPECT_EQ(roots[0], roots[2]);
+  EXPECT_EQ(roots[1], roots[3]);
+}
+
+}  // namespace
+}  // namespace hc::runtime

@@ -1,0 +1,182 @@
+// Tests for the light client: checkpoint-chain verification with only the
+// subnet's registration facts, both unit-level and fed from a live subnet.
+#include <gtest/gtest.h>
+
+#include "core/light_client.hpp"
+#include "runtime/hierarchy.hpp"
+
+namespace hc::core {
+namespace {
+
+struct LightClientFixture : ::testing::Test {
+  SubnetId subnet = SubnetId::root().child(Address::id(100));
+  std::vector<crypto::KeyPair> keys;
+  std::vector<crypto::PublicKey> validators;
+  SignaturePolicy policy{SignaturePolicyKind::kMultiSig, 2};
+
+  LightClientFixture() {
+    for (int i = 0; i < 3; ++i) {
+      keys.push_back(crypto::KeyPair::from_label("lc-" + std::to_string(i)));
+      validators.push_back(keys.back().public_key());
+    }
+  }
+
+  SignedCheckpoint make(chain::Epoch epoch, const Cid& prev,
+                        std::initializer_list<int> signers) {
+    SignedCheckpoint sc;
+    sc.checkpoint.source = subnet;
+    sc.checkpoint.epoch = epoch;
+    sc.checkpoint.proof =
+        Cid::of(CidCodec::kBlock, to_bytes("b" + std::to_string(epoch)));
+    sc.checkpoint.prev = prev;
+    for (int i : signers) sc.add_signature(keys[static_cast<std::size_t>(i)]);
+    return sc;
+  }
+};
+
+TEST_F(LightClientFixture, AcceptsValidChain) {
+  LightClient lc(subnet, policy, validators, 10);
+  auto first = make(10, Cid(), {0, 1});
+  ASSERT_TRUE(lc.advance(first).ok());
+  auto second = make(20, first.checkpoint.cid(), {1, 2});
+  ASSERT_TRUE(lc.advance(second).ok());
+  EXPECT_EQ(lc.latest_epoch(), 20);
+  EXPECT_EQ(lc.accepted_count(), 2u);
+  EXPECT_TRUE(lc.checkpoint_accepted(first.checkpoint.cid()));
+}
+
+TEST_F(LightClientFixture, RejectsBrokenPrevChain) {
+  LightClient lc(subnet, policy, validators, 10);
+  ASSERT_TRUE(lc.advance(make(10, Cid(), {0, 1})).ok());
+  // Skips the prev pointer.
+  auto orphan = make(20, Cid(), {0, 1});
+  EXPECT_FALSE(lc.advance(orphan).ok());
+  EXPECT_EQ(lc.latest_epoch(), 10);
+}
+
+TEST_F(LightClientFixture, RejectsInsufficientSignatures) {
+  LightClient lc(subnet, policy, validators, 10);
+  EXPECT_FALSE(lc.advance(make(10, Cid(), {0})).ok());  // 1 < threshold 2
+}
+
+TEST_F(LightClientFixture, RejectsStaleAndMisaligned) {
+  LightClient lc(subnet, policy, validators, 10);
+  ASSERT_TRUE(lc.advance(make(10, Cid(), {0, 1})).ok());
+  EXPECT_FALSE(
+      lc.advance(make(10, lc.latest_cid(), {0, 1})).ok());  // stale epoch
+  EXPECT_FALSE(
+      lc.advance(make(25, lc.latest_cid(), {0, 1})).ok());  // misaligned
+}
+
+TEST_F(LightClientFixture, RejectsForeignSubnet) {
+  LightClient lc(subnet, policy, validators, 10);
+  auto sc = make(10, Cid(), {0, 1});
+  sc.checkpoint.source = SubnetId::root().child(Address::id(999));
+  sc.signatures.clear();
+  sc.add_signature(keys[0]);
+  sc.add_signature(keys[1]);
+  EXPECT_FALSE(lc.advance(sc).ok());
+}
+
+TEST_F(LightClientFixture, TracksCommittedBatches) {
+  LightClient lc(subnet, policy, validators, 10);
+  auto sc = make(10, Cid(), {});
+  CrossMsgMeta meta;
+  meta.from = subnet;
+  meta.to = SubnetId::root();
+  meta.msgs_cid = Cid::of(CidCodec::kCrossMsgs, to_bytes("batch"));
+  sc.checkpoint.cross_meta.push_back(meta);
+  sc.add_signature(keys[0]);
+  sc.add_signature(keys[1]);
+  ASSERT_TRUE(lc.advance(sc).ok());
+  EXPECT_TRUE(lc.batch_committed(meta.msgs_cid));
+  EXPECT_FALSE(
+      lc.batch_committed(Cid::of(CidCodec::kCrossMsgs, to_bytes("other"))));
+}
+
+TEST_F(LightClientFixture, ValidatorSetRotation) {
+  LightClient lc(subnet, policy, validators, 10);
+  ASSERT_TRUE(lc.advance(make(10, Cid(), {0, 1})).ok());
+  // Validators 0 and 1 leave; a new set takes over.
+  std::vector<crypto::KeyPair> next_keys;
+  std::vector<crypto::PublicKey> next_vals;
+  for (int i = 0; i < 2; ++i) {
+    next_keys.push_back(
+        crypto::KeyPair::from_label("lc-next-" + std::to_string(i)));
+    next_vals.push_back(next_keys.back().public_key());
+  }
+  // Old set can no longer advance after rotation...
+  lc.set_validators(next_vals);
+  EXPECT_FALSE(lc.advance(make(20, lc.latest_cid(), {0, 1})).ok());
+  // ...the new set can.
+  SignedCheckpoint sc = make(20, lc.latest_cid(), {});
+  sc.add_signature(next_keys[0]);
+  sc.add_signature(next_keys[1]);
+  EXPECT_TRUE(lc.advance(sc).ok());
+}
+
+// ------------------------------------------------------------ live subnet
+
+TEST(LightClientLive, VerifiesCheckpointsFromARunningSubnet) {
+  runtime::HierarchyConfig cfg;
+  cfg.seed = 55;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params.consensus = ConsensusType::kPoaRoundRobin;
+  cfg.root_params.min_validator_stake = TokenAmount::whole(5);
+  cfg.root_params.min_collateral = TokenAmount::whole(10);
+  cfg.root_params.checkpoint_period = 5;
+  cfg.root_validators = 3;
+  cfg.root_engine.block_time = 100 * sim::kMillisecond;
+  runtime::Hierarchy h(cfg);
+
+  core::SubnetParams params = cfg.root_params;
+  params.checkpoint_policy =
+      core::SignaturePolicy{SignaturePolicyKind::kMultiSig, 2};
+  consensus::EngineConfig fast;
+  fast.block_time = 100 * sim::kMillisecond;
+  auto c = h.spawn_subnet(h.root(), "lc-live", params, 3,
+                          TokenAmount::whole(5), fast);
+  ASSERT_TRUE(c.ok());
+  runtime::Subnet* child = c.value();
+
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto sca = h.root().node(0).sca_state();
+        auto it = sca.subnets.find(child->sa);
+        return it != sca.subnets.end() && it->second.checkpoints.size() >= 3;
+      },
+      120 * sim::kSecond));
+
+  // Build the light client from the SA's registration facts (what any
+  // parent-chain observer can read).
+  const auto sa = h.root().node(0).sa_state(child->sa);
+  ASSERT_TRUE(sa.has_value());
+  LightClient lc(child->id, sa->params.checkpoint_policy,
+                 sa->validator_keys(), sa->params.checkpoint_period);
+
+  // Replay the SubmitCheckpoint messages observed on the root chain.
+  const auto& store = h.root().node(0).chain();
+  int advanced = 0;
+  for (chain::Epoch hh = 1; hh <= store.height(); ++hh) {
+    const auto* block = store.block_at(hh);
+    for (const auto& sm : block->messages) {
+      if (sm.message.to != child->sa ||
+          sm.message.method != actors::sa_method::kSubmitCheckpoint) {
+        continue;
+      }
+      auto sc = decode<SignedCheckpoint>(sm.message.params);
+      if (!sc.ok()) continue;
+      if (lc.advance(sc.value()).ok()) ++advanced;
+    }
+  }
+  EXPECT_GE(advanced, 3);
+  EXPECT_EQ(lc.latest_epoch(),
+            h.root()
+                .node(0)
+                .sca_state()
+                .subnets.at(child->sa)
+                .last_checkpoint_epoch);
+}
+
+}  // namespace
+}  // namespace hc::core

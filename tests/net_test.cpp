@@ -1,0 +1,245 @@
+// Unit tests for the simulated P2P network: direct sends, gossip pubsub
+// propagation/dedup, fault injection (drops, crashes, partitions).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/network.hpp"
+
+namespace hc::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Scheduler sched;
+  Network net{sched, sim::LatencyModel(1000, 0), /*seed=*/1};
+
+  std::vector<NodeId> add_nodes(int n) {
+    std::vector<NodeId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(net.add_node());
+    return ids;
+  }
+};
+
+TEST_F(NetFixture, DirectSendDelivers) {
+  auto ids = add_nodes(2);
+  Bytes received;
+  NodeId from_seen = 99;
+  net.set_direct_handler(ids[1], [&](NodeId from, const Bytes& b) {
+    from_seen = from;
+    received = b;
+  });
+  net.send(ids[0], ids[1], to_bytes("hello"));
+  sched.run_all();
+  EXPECT_EQ(received, to_bytes("hello"));
+  EXPECT_EQ(from_seen, ids[0]);
+  EXPECT_EQ(sched.now(), 1000);  // latency applied
+}
+
+TEST_F(NetFixture, SendToNodeWithoutHandlerIsDropped) {
+  auto ids = add_nodes(2);
+  net.send(ids[0], ids[1], to_bytes("x"));
+  sched.run_all();
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST_F(NetFixture, PubSubReachesAllSubscribers) {
+  auto ids = add_nodes(10);
+  int deliveries = 0;
+  for (NodeId id : ids) {
+    net.subscribe(id, "subnet/root");
+    net.set_topic_handler(id, [&](NodeId, const std::string& topic,
+                                  const Bytes& b) {
+      EXPECT_EQ(topic, "subnet/root");
+      EXPECT_EQ(b, to_bytes("block-1"));
+      ++deliveries;
+    });
+  }
+  net.publish(ids[0], "subnet/root", to_bytes("block-1"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 9);  // everyone but the publisher
+}
+
+TEST_F(NetFixture, PublisherNotDeliveredOwnMessage) {
+  auto ids = add_nodes(3);
+  int self_deliveries = 0;
+  for (NodeId id : ids) net.subscribe(id, "t");
+  net.set_topic_handler(ids[0], [&](NodeId, const std::string&, const Bytes&) {
+    ++self_deliveries;
+  });
+  net.publish(ids[0], "t", to_bytes("m"));
+  sched.run_all();
+  EXPECT_EQ(self_deliveries, 0);
+}
+
+TEST_F(NetFixture, NonSubscriberCanPublishIntoTopic) {
+  auto ids = add_nodes(4);
+  // Nodes 1..3 subscribe; node 0 (foreign subnet) publishes in.
+  int deliveries = 0;
+  for (int i = 1; i < 4; ++i) {
+    net.subscribe(ids[static_cast<std::size_t>(i)], "subnet/child");
+    net.set_topic_handler(ids[static_cast<std::size_t>(i)],
+                          [&](NodeId, const std::string&, const Bytes&) {
+                            ++deliveries;
+                          });
+  }
+  net.publish(ids[0], "subnet/child", to_bytes("push"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 3);
+}
+
+TEST_F(NetFixture, GossipPropagatesThroughLargeTopic) {
+  // With mesh degree 6 and 64 subscribers, delivery requires multiple hops.
+  auto ids = add_nodes(64);
+  int deliveries = 0;
+  for (NodeId id : ids) {
+    net.subscribe(id, "big");
+    net.set_topic_handler(
+        id, [&](NodeId, const std::string&, const Bytes&) { ++deliveries; });
+  }
+  net.publish(ids[0], "big", to_bytes("wide"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 63);
+  EXPECT_GT(net.stats().gossip_duplicates, 0u);  // real gossip overhead
+  // Multi-hop: total elapsed time exceeds one hop's latency.
+  EXPECT_GT(sched.now(), 1000);
+}
+
+TEST_F(NetFixture, TopicsAreIsolated) {
+  auto ids = add_nodes(4);
+  int wrong = 0;
+  net.subscribe(ids[1], "a");
+  net.subscribe(ids[2], "b");
+  net.set_topic_handler(ids[2], [&](NodeId, const std::string&, const Bytes&) {
+    ++wrong;
+  });
+  net.set_topic_handler(ids[1], [](NodeId, const std::string&, const Bytes&) {});
+  net.publish(ids[0], "a", to_bytes("m"));
+  sched.run_all();
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST_F(NetFixture, UnsubscribeStopsDelivery) {
+  auto ids = add_nodes(3);
+  int deliveries = 0;
+  for (NodeId id : ids) {
+    net.subscribe(id, "t");
+    net.set_topic_handler(
+        id, [&](NodeId, const std::string&, const Bytes&) { ++deliveries; });
+  }
+  net.unsubscribe(ids[2], "t");
+  net.publish(ids[0], "t", to_bytes("m"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 1);  // only ids[1]
+}
+
+TEST_F(NetFixture, DownNodeNeitherSendsNorReceives) {
+  auto ids = add_nodes(2);
+  int deliveries = 0;
+  net.set_direct_handler(ids[1], [&](NodeId, const Bytes&) { ++deliveries; });
+  net.set_node_down(ids[1], true);
+  net.send(ids[0], ids[1], to_bytes("x"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+
+  net.set_node_down(ids[1], false);
+  net.send(ids[0], ids[1], to_bytes("y"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(NetFixture, CrashMidFlightMessageNotDelivered) {
+  auto ids = add_nodes(2);
+  int deliveries = 0;
+  net.set_direct_handler(ids[1], [&](NodeId, const Bytes&) { ++deliveries; });
+  net.send(ids[0], ids[1], to_bytes("x"));  // in flight (1ms latency)
+  sched.schedule(500, [&] { net.set_node_down(ids[1], true); });
+  sched.run_all();
+  EXPECT_EQ(deliveries, 0);
+}
+
+TEST_F(NetFixture, PartitionBlocksCrossGroupTraffic) {
+  auto ids = add_nodes(4);
+  int deliveries = 0;
+  net.set_direct_handler(ids[2], [&](NodeId, const Bytes&) { ++deliveries; });
+  net.set_direct_handler(ids[1], [&](NodeId, const Bytes&) { ++deliveries; });
+  net.set_partition({{ids[0], ids[1]}, {ids[2], ids[3]}});
+  net.send(ids[0], ids[2], to_bytes("cross"));  // blocked
+  net.send(ids[0], ids[1], to_bytes("within"));  // allowed
+  sched.run_all();
+  EXPECT_EQ(deliveries, 1);
+
+  net.heal_partition();
+  net.send(ids[0], ids[2], to_bytes("cross-again"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST_F(NetFixture, NodesOutsideAllPartitionGroupsStayConnected) {
+  auto ids = add_nodes(4);
+  int deliveries = 0;
+  for (NodeId id : ids) {
+    net.set_direct_handler(id, [&](NodeId, const Bytes&) { ++deliveries; });
+  }
+  // Only nodes 0 and 1 are in a named group; 2 and 3 are unassigned and
+  // must keep talking to each other (but not to grouped nodes).
+  net.set_partition({{ids[0], ids[1]}});
+  net.send(ids[2], ids[3], to_bytes("peer-to-peer"));
+  net.send(ids[2], ids[0], to_bytes("into the group"));
+  sched.run_all();
+  EXPECT_EQ(deliveries, 1);
+}
+
+TEST_F(NetFixture, DropRateLosesRoughlyThatFraction) {
+  auto ids = add_nodes(2);
+  int deliveries = 0;
+  net.set_direct_handler(ids[1], [&](NodeId, const Bytes&) { ++deliveries; });
+  net.set_drop_rate(0.5);
+  for (int i = 0; i < 1000; ++i) net.send(ids[0], ids[1], to_bytes("m"));
+  sched.run_all();
+  EXPECT_GT(deliveries, 400);
+  EXPECT_LT(deliveries, 600);
+}
+
+TEST_F(NetFixture, StatsTrackTraffic) {
+  auto ids = add_nodes(2);
+  net.set_direct_handler(ids[1], [](NodeId, const Bytes&) {});
+  net.send(ids[0], ids[1], Bytes(100, 0));
+  sched.run_all();
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 100u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(NetDeterminism, SameSeedSameSchedule) {
+  // Two identical networks must deliver identical event sequences.
+  for (int run = 0; run < 2; ++run) {
+    SCOPED_TRACE(run);
+    std::vector<sim::Time> times[2];
+    for (int k = 0; k < 2; ++k) {
+      sim::Scheduler sched;
+      Network net(sched, sim::LatencyModel(1000, 700), /*seed=*/99);
+      std::vector<NodeId> ids;
+      for (int i = 0; i < 16; ++i) ids.push_back(net.add_node());
+      for (NodeId id : ids) {
+        net.subscribe(id, "t");
+        net.set_topic_handler(id,
+                              [&times, k, &sched](NodeId, const std::string&,
+                                                  const Bytes&) {
+                                times[k].push_back(sched.now());
+                              });
+      }
+      net.publish(ids[0], "t", to_bytes("m"));
+      sched.run_all();
+    }
+    EXPECT_EQ(times[0], times[1]);
+    EXPECT_FALSE(times[0].empty());
+  }
+}
+
+}  // namespace
+}  // namespace hc::net

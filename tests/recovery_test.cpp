@@ -1,0 +1,341 @@
+// Tests for §III-C fund recovery: Merkle state proofs, the SCA Recover
+// method's verification chain, and the full-stack kill-and-recover flow.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "runtime/hierarchy.hpp"
+
+namespace hc::testing {
+namespace {
+
+namespace sca = actors::sca_method;
+using actors::sa_method::kJoin;
+using actors::sa_method::kLeave;
+using actors::sa_method::kSubmitCheckpoint;
+
+// ------------------------------------------------------- state proofs
+
+TEST(StateProofs, ProveAndVerifyEntry) {
+  chain::StateTree tree;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    chain::ActorEntry e;
+    e.code = chain::kCodeAccount;
+    e.balance = TokenAmount::whole(static_cast<std::int64_t>(i));
+    tree.set(Address::id(i), e);
+  }
+  const Cid root = tree.flush();
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    auto proof = tree.prove(Address::id(i));
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(chain::StateTree::verify_entry(
+        root, Address::id(i), *tree.get(Address::id(i)), proof.value()));
+  }
+}
+
+TEST(StateProofs, RejectsWrongEntryOrAddress) {
+  chain::StateTree tree;
+  chain::ActorEntry e;
+  e.code = chain::kCodeAccount;
+  e.balance = TokenAmount::whole(5);
+  tree.set(Address::id(1), e);
+  tree.set(Address::id(2), e);
+  const Cid root = tree.flush();
+  auto proof = tree.prove(Address::id(1));
+  ASSERT_TRUE(proof.ok());
+
+  chain::ActorEntry inflated = e;
+  inflated.balance = TokenAmount::whole(5000);
+  EXPECT_FALSE(chain::StateTree::verify_entry(root, Address::id(1), inflated,
+                                              proof.value()));
+  EXPECT_FALSE(chain::StateTree::verify_entry(root, Address::id(2), e,
+                                              proof.value()));
+  // Proof against a different root fails.
+  tree.get_or_create(Address::id(2)).balance += TokenAmount::atto(1);
+  EXPECT_FALSE(chain::StateTree::verify_entry(tree.flush(), Address::id(1), e,
+                                              proof.value()));
+}
+
+TEST(StateProofs, ProveMissingActorFails) {
+  chain::StateTree tree;
+  EXPECT_FALSE(tree.prove(Address::id(42)).ok());
+}
+
+// -------------------------------------------------- SCA recover (unit)
+
+struct RecoverFixture : ::testing::Test {
+  ChainWorld world;
+  User* validator = nullptr;
+  Address sa;
+  core::SubnetId child;
+  chain::StateTree child_state;  // simulated child chain state
+  chain::BlockHeader child_header;
+  core::SignedCheckpoint committed;
+
+  void SetUp() override {
+    validator = &world.user("rec-val", TokenAmount::whole(1000));
+    core::SubnetParams params;
+    params.min_validator_stake = TokenAmount::whole(5);
+    params.min_collateral = TokenAmount::whole(10);
+    params.checkpoint_period = 10;
+    params.checkpoint_policy =
+        core::SignaturePolicy{core::SignaturePolicyKind::kMultiSig, 1};
+    sa = world.deploy_sa(*validator, params);
+    ASSERT_TRUE(world
+                    .call(*validator, sa, kJoin,
+                          encode(actors::JoinParams{
+                              validator->key.public_key()}),
+                          TokenAmount::whole(10))
+                    .ok());
+    child = core::SubnetId::root().child(sa);
+
+    // Inject supply 30 for alice.
+    User& alice = world.user("rec-alice", TokenAmount::whole(1000));
+    actors::CrossParams fund;
+    fund.dest = child;
+    fund.to = alice.addr;
+    ASSERT_TRUE(world
+                    .call(alice, chain::kScaAddr, sca::kFund, encode(fund),
+                          TokenAmount::whole(30))
+                    .ok());
+
+    // Simulate the child chain's state: alice holds 30.
+    chain::ActorEntry entry;
+    entry.code = chain::kCodeAccount;
+    entry.balance = TokenAmount::whole(30);
+    child_state.set(alice.addr, entry);
+
+    child_header.miner = validator->addr;
+    child_header.height = 10;
+    child_header.state_root = child_state.flush();
+
+    committed.checkpoint.source = child;
+    committed.checkpoint.epoch = 10;
+    committed.checkpoint.proof = child_header.cid();
+    committed.add_signature(validator->key);
+    ASSERT_TRUE(world
+                    .call(*validator, sa, kSubmitCheckpoint, encode(committed),
+                          TokenAmount())
+                    .ok());
+
+    // Kill the subnet (validator leaves, then kills).
+    ASSERT_TRUE(world.call(*validator, sa, kLeave, {}, TokenAmount()).ok());
+    ASSERT_TRUE(
+        world.call(*validator, sa, actors::sa_method::kKill, {}, TokenAmount())
+            .ok());
+  }
+
+  actors::RecoverParams make_params() {
+    User& alice = world.user("rec-alice");
+    actors::RecoverParams p;
+    p.sa = sa;
+    p.checkpoint = committed.checkpoint;
+    p.header = child_header;
+    p.claimed_addr = alice.addr;
+    p.claimed_entry = *child_state.get(alice.addr);
+    p.proof = child_state.prove(alice.addr).value();
+    return p;
+  }
+};
+
+TEST_F(RecoverFixture, HappyPathRecoversFunds) {
+  User& alice = world.user("rec-alice");
+  const TokenAmount before = world.balance(alice.addr);
+  auto r = world.call(alice, chain::kScaAddr, sca::kRecover,
+                      encode(make_params()), TokenAmount());
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_GT(world.balance(alice.addr), before);  // 30 minus gas
+  const auto entry = world.sca_state().subnets.begin()->second;
+  EXPECT_TRUE(entry.circulating_supply.is_zero());
+  ASSERT_EQ(entry.recovered.size(), 1u);
+}
+
+TEST_F(RecoverFixture, DoubleRecoveryRejected) {
+  User& alice = world.user("rec-alice");
+  ASSERT_TRUE(world
+                  .call(alice, chain::kScaAddr, sca::kRecover,
+                        encode(make_params()), TokenAmount())
+                  .ok());
+  auto again = world.call(alice, chain::kScaAddr, sca::kRecover,
+                          encode(make_params()), TokenAmount());
+  EXPECT_FALSE(again.ok());
+}
+
+TEST_F(RecoverFixture, OnlyOwnerMayRecover) {
+  User& mallory = world.user("rec-mallory");
+  auto r = world.call(mallory, chain::kScaAddr, sca::kRecover,
+                      encode(make_params()), TokenAmount());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RecoverFixture, InflatedBalanceRejected) {
+  User& alice = world.user("rec-alice");
+  auto p = make_params();
+  p.claimed_entry.balance = TokenAmount::whole(5000);  // proof breaks
+  auto r = world.call(alice, chain::kScaAddr, sca::kRecover, encode(p),
+                      TokenAmount());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RecoverFixture, UncommittedCheckpointRejected) {
+  User& alice = world.user("rec-alice");
+  auto p = make_params();
+  p.checkpoint.epoch = 999;  // never committed
+  auto r = world.call(alice, chain::kScaAddr, sca::kRecover, encode(p),
+                      TokenAmount());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RecoverFixture, MismatchedHeaderRejected) {
+  User& alice = world.user("rec-alice");
+  auto p = make_params();
+  p.header.height = 11;  // cid no longer matches checkpoint.proof
+  auto r = world.call(alice, chain::kScaAddr, sca::kRecover, encode(p),
+                      TokenAmount());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RecoverFixture, RecoveryCappedBySupply) {
+  // Claim is honest (30) but part of the supply already left through a
+  // (simulated) earlier recovery by another account; the remaining claim
+  // is capped.
+  User& alice = world.user("rec-alice");
+  // Simulate: manually drain supply down to 12 via a second account's
+  // recovery path is complex; instead verify the cap logic by recovering
+  // after the supply was decremented through state surgery at the SCA.
+  auto sca_state = world.sca_state();
+  sca_state.subnets.begin()->second.circulating_supply = TokenAmount::whole(12);
+  world.tree().get_or_create(chain::kScaAddr).state = encode(sca_state);
+
+  const TokenAmount before = world.balance(alice.addr);
+  auto r = world.call(alice, chain::kScaAddr, sca::kRecover,
+                      encode(make_params()), TokenAmount());
+  ASSERT_TRUE(r.ok()) << r.error;
+  auto recovered = decode<TokenAmount>(r.ret);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), TokenAmount::whole(12));  // capped
+  EXPECT_GT(world.balance(alice.addr), before);
+}
+
+// --------------------------------------------------- full-stack recovery
+
+TEST(RecoveryIntegration, KillSubnetAndRecoverStrandedFunds) {
+  runtime::HierarchyConfig cfg;
+  cfg.seed = 77;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params.consensus = core::ConsensusType::kPoaRoundRobin;
+  cfg.root_params.min_validator_stake = TokenAmount::whole(5);
+  cfg.root_params.min_collateral = TokenAmount::whole(10);
+  cfg.root_params.checkpoint_period = 5;
+  cfg.root_validators = 3;
+  cfg.root_engine.block_time = 100 * sim::kMillisecond;
+  runtime::Hierarchy h(cfg);
+
+  core::SubnetParams params = cfg.root_params;
+  consensus::EngineConfig fast;
+  fast.block_time = 100 * sim::kMillisecond;
+  auto c = h.spawn_subnet(h.root(), "doomed", params, 2,
+                          TokenAmount::whole(6), fast);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  runtime::Subnet* child = c.value();
+
+  auto alice = h.make_user("ri-alice", TokenAmount::whole(500));
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(h.send_cross(h.root(), alice.value(), child->id,
+                           alice.value().addr, TokenAmount::whole(40))
+                  .ok());
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return child->node(0).balance(alice.value().addr) ==
+               TokenAmount::whole(40);
+      },
+      60 * sim::kSecond));
+
+  // Wait for a checkpoint committed AFTER the funding applied, so alice's
+  // entry is part of the committed state.
+  const auto funded_height = child->node(0).chain().height();
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        const auto sca = h.root().node(0).sca_state();
+        auto it = sca.subnets.find(child->sa);
+        return it != sca.subnets.end() &&
+               it->second.last_checkpoint_epoch > funded_height;
+      },
+      120 * sim::kSecond));
+
+  // Find the committed checkpoint content via the root chain's events.
+  const auto entry = h.root().node(0).sca_state().subnets.at(child->sa);
+  core::Checkpoint checkpoint;
+  bool found = false;
+  const auto& root_store = h.root().node(0).chain();
+  for (chain::Epoch hh = root_store.height(); hh >= 1 && !found; --hh) {
+    const auto* receipts = h.root().node(0).receipts_at(hh);
+    if (receipts == nullptr) break;
+    for (const auto& r : *receipts) {
+      for (const auto& ev : r.events) {
+        if (ev.kind != "sca/checkpoint-committed") continue;
+        auto cp = decode<core::Checkpoint>(ev.payload);
+        if (cp.ok() && cp.value().cid() == entry.checkpoints.back()) {
+          checkpoint = cp.value();
+          found = true;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "committed checkpoint content not found in events";
+
+  // Build the recovery proof from the child chain's historic state.
+  const auto* anchor_block =
+      child->node(0).chain().block_by_cid(checkpoint.proof);
+  ASSERT_NE(anchor_block, nullptr);
+  auto historic = child->node(0).state_at(anchor_block->header.height);
+  ASSERT_TRUE(historic.ok()) << historic.error().to_string();
+  const auto* alice_entry = historic.value().get(alice.value().addr);
+  ASSERT_NE(alice_entry, nullptr);
+  auto proof = historic.value().prove(alice.value().addr);
+  ASSERT_TRUE(proof.ok());
+
+  // Kill the subnet: validators leave (making it inactive), then kill.
+  for (std::size_t i = 0; i < child->validator_keys.size(); ++i) {
+    runtime::User v{child->validator_keys[i],
+                    Address::key(
+                        child->validator_keys[i].public_key().to_bytes())};
+    auto r = h.call(h.root(), v, child->sa, actors::sa_method::kLeave, {},
+                    TokenAmount());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok()) << r.value().error;
+  }
+  {
+    runtime::User v{child->validator_keys[0],
+                    Address::key(
+                        child->validator_keys[0].public_key().to_bytes())};
+    auto r = h.call(h.root(), v, child->sa, actors::sa_method::kKill, {},
+                    TokenAmount());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok()) << r.value().error;
+  }
+
+  // Alice's 40 tokens are stranded: recover them on the root.
+  actors::RecoverParams rp;
+  rp.sa = child->sa;
+  rp.checkpoint = checkpoint;
+  rp.header = anchor_block->header;
+  rp.claimed_addr = alice.value().addr;
+  rp.claimed_entry = *alice_entry;
+  rp.proof = proof.value();
+
+  const TokenAmount root_before =
+      h.root().node(0).balance(alice.value().addr);
+  auto rec = h.call(h.root(), alice.value(), chain::kScaAddr, sca::kRecover,
+                    encode(rp), TokenAmount());
+  ASSERT_TRUE(rec.ok()) << rec.error().to_string();
+  ASSERT_TRUE(rec.value().ok()) << rec.value().error;
+  auto amount = decode<TokenAmount>(rec.value().ret);
+  ASSERT_TRUE(amount.ok());
+  EXPECT_EQ(amount.value(), TokenAmount::whole(40));
+  // Balance grew by 40 minus the gas fee of the recover call itself.
+  EXPECT_GT(h.root().node(0).balance(alice.value().addr),
+            root_before + TokenAmount::whole(39));
+}
+
+}  // namespace
+}  // namespace hc::testing

@@ -1,0 +1,89 @@
+// Unit tests for the storage module: content-addressable store integrity,
+// KV store semantics.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "storage/store.hpp"
+
+namespace hc::storage {
+namespace {
+
+TEST(ContentStore, PutGetRoundTrip) {
+  ContentStore cas;
+  const Bytes content = to_bytes("cross-msg batch");
+  const Cid cid = cas.put(CidCodec::kCrossMsgs, content);
+  EXPECT_TRUE(cas.has(cid));
+  auto back = cas.get(cid);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, content);
+}
+
+TEST(ContentStore, PutIsIdempotent) {
+  ContentStore cas;
+  const Bytes content = to_bytes("same");
+  const Cid a = cas.put(CidCodec::kRaw, content);
+  const Cid b = cas.put(CidCodec::kRaw, content);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cas.size(), 1u);
+  EXPECT_EQ(cas.total_bytes(), content.size());
+}
+
+TEST(ContentStore, GetMissingReturnsNullopt) {
+  ContentStore cas;
+  EXPECT_FALSE(cas.get(Cid::of(CidCodec::kRaw, to_bytes("ghost"))).has_value());
+  EXPECT_FALSE(cas.has(Cid::of(CidCodec::kRaw, to_bytes("ghost"))));
+}
+
+TEST(ContentStore, PutVerifiedAcceptsMatchingContent) {
+  ContentStore cas;
+  const Bytes content = to_bytes("resolved messages");
+  const Cid cid = Cid::of(CidCodec::kCrossMsgs, content);
+  EXPECT_TRUE(cas.put_verified(cid, content).ok());
+  EXPECT_TRUE(cas.has(cid));
+}
+
+TEST(ContentStore, PutVerifiedRejectsForgedContent) {
+  // A malicious peer answering a pull request with bogus bytes must be
+  // rejected: content addressing is the integrity backbone of cross-msg
+  // resolution (paper §IV-C).
+  ContentStore cas;
+  const Cid cid = Cid::of(CidCodec::kCrossMsgs, to_bytes("real"));
+  auto status = cas.put_verified(cid, to_bytes("forged"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), Errc::kInvalidArgument);
+  EXPECT_FALSE(cas.has(cid));
+}
+
+TEST(ContentStore, DistinguishesCodecs) {
+  ContentStore cas;
+  const Bytes content = to_bytes("payload");
+  const Cid raw = cas.put(CidCodec::kRaw, content);
+  const Cid chk = cas.put(CidCodec::kCheckpoint, content);
+  EXPECT_NE(raw, chk);
+  EXPECT_TRUE(cas.has(raw));
+  EXPECT_TRUE(cas.has(chk));
+}
+
+TEST(KvStore, PutGetEraseCycle) {
+  KvStore kv;
+  const Bytes key = to_bytes("key");
+  kv.put(key, to_bytes("v1"));
+  EXPECT_TRUE(kv.has(key));
+  EXPECT_EQ(*kv.get(key), to_bytes("v1"));
+  kv.put(key, to_bytes("v2"));  // overwrite
+  EXPECT_EQ(*kv.get(key), to_bytes("v2"));
+  EXPECT_EQ(kv.size(), 1u);
+  kv.erase(key);
+  EXPECT_FALSE(kv.has(key));
+  EXPECT_FALSE(kv.get(key).has_value());
+}
+
+TEST(KvStore, EmptyKeyAndValueAllowed) {
+  KvStore kv;
+  kv.put(Bytes{}, Bytes{});
+  EXPECT_TRUE(kv.has(Bytes{}));
+  EXPECT_EQ(kv.get(Bytes{})->size(), 0u);
+}
+
+}  // namespace
+}  // namespace hc::storage
