@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_crossmsg.dir/bench_fig3_crossmsg.cpp.o"
+  "CMakeFiles/bench_fig3_crossmsg.dir/bench_fig3_crossmsg.cpp.o.d"
+  "bench_fig3_crossmsg"
+  "bench_fig3_crossmsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_crossmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_atomic.dir/bench_fig5_atomic.cpp.o"
+  "CMakeFiles/bench_fig5_atomic.dir/bench_fig5_atomic.cpp.o.d"
+  "bench_fig5_atomic"
+  "bench_fig5_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

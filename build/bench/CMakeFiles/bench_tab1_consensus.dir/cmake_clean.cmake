@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_consensus.dir/bench_tab1_consensus.cpp.o"
+  "CMakeFiles/bench_tab1_consensus.dir/bench_tab1_consensus.cpp.o.d"
+  "bench_tab1_consensus"
+  "bench_tab1_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

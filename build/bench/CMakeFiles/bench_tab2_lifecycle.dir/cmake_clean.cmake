@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_lifecycle.dir/bench_tab2_lifecycle.cpp.o"
+  "CMakeFiles/bench_tab2_lifecycle.dir/bench_tab2_lifecycle.cpp.o.d"
+  "bench_tab2_lifecycle"
+  "bench_tab2_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_swap.dir/atomic_swap.cpp.o"
+  "CMakeFiles/atomic_swap.dir/atomic_swap.cpp.o.d"
+  "atomic_swap"
+  "atomic_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

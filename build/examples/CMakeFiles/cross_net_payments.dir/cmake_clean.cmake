@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_net_payments.dir/cross_net_payments.cpp.o"
+  "CMakeFiles/cross_net_payments.dir/cross_net_payments.cpp.o.d"
+  "cross_net_payments"
+  "cross_net_payments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_net_payments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subnet_market.dir/subnet_market.cpp.o"
+  "CMakeFiles/subnet_market.dir/subnet_market.cpp.o.d"
+  "subnet_market"
+  "subnet_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subnet_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subnet_rescue.dir/subnet_rescue.cpp.o"
+  "CMakeFiles/subnet_rescue.dir/subnet_rescue.cpp.o.d"
+  "subnet_rescue"
+  "subnet_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subnet_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

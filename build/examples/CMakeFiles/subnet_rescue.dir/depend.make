@@ -1,0 +1,2 @@
+# Empty dependencies file for subnet_rescue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actors/basic.cpp" "src/actors/CMakeFiles/hc_actors.dir/basic.cpp.o" "gcc" "src/actors/CMakeFiles/hc_actors.dir/basic.cpp.o.d"
+  "/root/repo/src/actors/registry.cpp" "src/actors/CMakeFiles/hc_actors.dir/registry.cpp.o" "gcc" "src/actors/CMakeFiles/hc_actors.dir/registry.cpp.o.d"
+  "/root/repo/src/actors/sca_actor.cpp" "src/actors/CMakeFiles/hc_actors.dir/sca_actor.cpp.o" "gcc" "src/actors/CMakeFiles/hc_actors.dir/sca_actor.cpp.o.d"
+  "/root/repo/src/actors/states.cpp" "src/actors/CMakeFiles/hc_actors.dir/states.cpp.o" "gcc" "src/actors/CMakeFiles/hc_actors.dir/states.cpp.o.d"
+  "/root/repo/src/actors/subnet_actor.cpp" "src/actors/CMakeFiles/hc_actors.dir/subnet_actor.cpp.o" "gcc" "src/actors/CMakeFiles/hc_actors.dir/subnet_actor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/hc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

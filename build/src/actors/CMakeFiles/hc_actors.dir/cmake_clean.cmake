@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_actors.dir/basic.cpp.o"
+  "CMakeFiles/hc_actors.dir/basic.cpp.o.d"
+  "CMakeFiles/hc_actors.dir/registry.cpp.o"
+  "CMakeFiles/hc_actors.dir/registry.cpp.o.d"
+  "CMakeFiles/hc_actors.dir/sca_actor.cpp.o"
+  "CMakeFiles/hc_actors.dir/sca_actor.cpp.o.d"
+  "CMakeFiles/hc_actors.dir/states.cpp.o"
+  "CMakeFiles/hc_actors.dir/states.cpp.o.d"
+  "CMakeFiles/hc_actors.dir/subnet_actor.cpp.o"
+  "CMakeFiles/hc_actors.dir/subnet_actor.cpp.o.d"
+  "libhc_actors.a"
+  "libhc_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

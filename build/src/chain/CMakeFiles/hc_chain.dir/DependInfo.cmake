@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/hc_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/hc_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/chainstore.cpp" "src/chain/CMakeFiles/hc_chain.dir/chainstore.cpp.o" "gcc" "src/chain/CMakeFiles/hc_chain.dir/chainstore.cpp.o.d"
+  "/root/repo/src/chain/executor.cpp" "src/chain/CMakeFiles/hc_chain.dir/executor.cpp.o" "gcc" "src/chain/CMakeFiles/hc_chain.dir/executor.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/hc_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/hc_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/message.cpp" "src/chain/CMakeFiles/hc_chain.dir/message.cpp.o" "gcc" "src/chain/CMakeFiles/hc_chain.dir/message.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "src/chain/CMakeFiles/hc_chain.dir/state.cpp.o" "gcc" "src/chain/CMakeFiles/hc_chain.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_chain.dir/block.cpp.o"
+  "CMakeFiles/hc_chain.dir/block.cpp.o.d"
+  "CMakeFiles/hc_chain.dir/chainstore.cpp.o"
+  "CMakeFiles/hc_chain.dir/chainstore.cpp.o.d"
+  "CMakeFiles/hc_chain.dir/executor.cpp.o"
+  "CMakeFiles/hc_chain.dir/executor.cpp.o.d"
+  "CMakeFiles/hc_chain.dir/mempool.cpp.o"
+  "CMakeFiles/hc_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/hc_chain.dir/message.cpp.o"
+  "CMakeFiles/hc_chain.dir/message.cpp.o.d"
+  "CMakeFiles/hc_chain.dir/state.cpp.o"
+  "CMakeFiles/hc_chain.dir/state.cpp.o.d"
+  "libhc_chain.a"
+  "libhc_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_common.dir/address.cpp.o"
+  "CMakeFiles/hc_common.dir/address.cpp.o.d"
+  "CMakeFiles/hc_common.dir/bytes.cpp.o"
+  "CMakeFiles/hc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/hc_common.dir/cid.cpp.o"
+  "CMakeFiles/hc_common.dir/cid.cpp.o.d"
+  "CMakeFiles/hc_common.dir/codec.cpp.o"
+  "CMakeFiles/hc_common.dir/codec.cpp.o.d"
+  "CMakeFiles/hc_common.dir/errors.cpp.o"
+  "CMakeFiles/hc_common.dir/errors.cpp.o.d"
+  "CMakeFiles/hc_common.dir/hash.cpp.o"
+  "CMakeFiles/hc_common.dir/hash.cpp.o.d"
+  "CMakeFiles/hc_common.dir/log.cpp.o"
+  "CMakeFiles/hc_common.dir/log.cpp.o.d"
+  "CMakeFiles/hc_common.dir/token.cpp.o"
+  "CMakeFiles/hc_common.dir/token.cpp.o.d"
+  "libhc_common.a"
+  "libhc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/engine.cpp" "src/consensus/CMakeFiles/hc_consensus.dir/engine.cpp.o" "gcc" "src/consensus/CMakeFiles/hc_consensus.dir/engine.cpp.o.d"
+  "/root/repo/src/consensus/lottery.cpp" "src/consensus/CMakeFiles/hc_consensus.dir/lottery.cpp.o" "gcc" "src/consensus/CMakeFiles/hc_consensus.dir/lottery.cpp.o.d"
+  "/root/repo/src/consensus/poa.cpp" "src/consensus/CMakeFiles/hc_consensus.dir/poa.cpp.o" "gcc" "src/consensus/CMakeFiles/hc_consensus.dir/poa.cpp.o.d"
+  "/root/repo/src/consensus/rrbft.cpp" "src/consensus/CMakeFiles/hc_consensus.dir/rrbft.cpp.o" "gcc" "src/consensus/CMakeFiles/hc_consensus.dir/rrbft.cpp.o.d"
+  "/root/repo/src/consensus/tendermint.cpp" "src/consensus/CMakeFiles/hc_consensus.dir/tendermint.cpp.o" "gcc" "src/consensus/CMakeFiles/hc_consensus.dir/tendermint.cpp.o.d"
+  "/root/repo/src/consensus/wire.cpp" "src/consensus/CMakeFiles/hc_consensus.dir/wire.cpp.o" "gcc" "src/consensus/CMakeFiles/hc_consensus.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/hc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_consensus.dir/engine.cpp.o"
+  "CMakeFiles/hc_consensus.dir/engine.cpp.o.d"
+  "CMakeFiles/hc_consensus.dir/lottery.cpp.o"
+  "CMakeFiles/hc_consensus.dir/lottery.cpp.o.d"
+  "CMakeFiles/hc_consensus.dir/poa.cpp.o"
+  "CMakeFiles/hc_consensus.dir/poa.cpp.o.d"
+  "CMakeFiles/hc_consensus.dir/rrbft.cpp.o"
+  "CMakeFiles/hc_consensus.dir/rrbft.cpp.o.d"
+  "CMakeFiles/hc_consensus.dir/tendermint.cpp.o"
+  "CMakeFiles/hc_consensus.dir/tendermint.cpp.o.d"
+  "CMakeFiles/hc_consensus.dir/wire.cpp.o"
+  "CMakeFiles/hc_consensus.dir/wire.cpp.o.d"
+  "libhc_consensus.a"
+  "libhc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

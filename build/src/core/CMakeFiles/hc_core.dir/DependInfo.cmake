@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/hc_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/crossmsg.cpp" "src/core/CMakeFiles/hc_core.dir/crossmsg.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/crossmsg.cpp.o.d"
+  "/root/repo/src/core/fraud.cpp" "src/core/CMakeFiles/hc_core.dir/fraud.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/fraud.cpp.o.d"
+  "/root/repo/src/core/light_client.cpp" "src/core/CMakeFiles/hc_core.dir/light_client.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/light_client.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/hc_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/hc_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/subnet_id.cpp" "src/core/CMakeFiles/hc_core.dir/subnet_id.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/subnet_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/hc_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/hc_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hc_core.dir/crossmsg.cpp.o"
+  "CMakeFiles/hc_core.dir/crossmsg.cpp.o.d"
+  "CMakeFiles/hc_core.dir/fraud.cpp.o"
+  "CMakeFiles/hc_core.dir/fraud.cpp.o.d"
+  "CMakeFiles/hc_core.dir/light_client.cpp.o"
+  "CMakeFiles/hc_core.dir/light_client.cpp.o.d"
+  "CMakeFiles/hc_core.dir/params.cpp.o"
+  "CMakeFiles/hc_core.dir/params.cpp.o.d"
+  "CMakeFiles/hc_core.dir/policy.cpp.o"
+  "CMakeFiles/hc_core.dir/policy.cpp.o.d"
+  "CMakeFiles/hc_core.dir/subnet_id.cpp.o"
+  "CMakeFiles/hc_core.dir/subnet_id.cpp.o.d"
+  "libhc_core.a"
+  "libhc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

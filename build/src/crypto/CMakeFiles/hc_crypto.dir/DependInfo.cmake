@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ec.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/ec.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/ec.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sigcache.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/sigcache.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/sigcache.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/crypto/CMakeFiles/hc_crypto.dir/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/hc_crypto.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

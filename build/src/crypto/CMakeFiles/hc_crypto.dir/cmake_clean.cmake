@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_crypto.dir/ec.cpp.o"
+  "CMakeFiles/hc_crypto.dir/ec.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/hc_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/hc_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/sigcache.cpp.o"
+  "CMakeFiles/hc_crypto.dir/sigcache.cpp.o.d"
+  "CMakeFiles/hc_crypto.dir/u256.cpp.o"
+  "CMakeFiles/hc_crypto.dir/u256.cpp.o.d"
+  "libhc_crypto.a"
+  "libhc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/atomic.cpp" "src/runtime/CMakeFiles/hc_runtime.dir/atomic.cpp.o" "gcc" "src/runtime/CMakeFiles/hc_runtime.dir/atomic.cpp.o.d"
+  "/root/repo/src/runtime/hierarchy.cpp" "src/runtime/CMakeFiles/hc_runtime.dir/hierarchy.cpp.o" "gcc" "src/runtime/CMakeFiles/hc_runtime.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/runtime/node.cpp" "src/runtime/CMakeFiles/hc_runtime.dir/node.cpp.o" "gcc" "src/runtime/CMakeFiles/hc_runtime.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actors/CMakeFiles/hc_actors.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/hc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/hc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_runtime.dir/atomic.cpp.o"
+  "CMakeFiles/hc_runtime.dir/atomic.cpp.o.d"
+  "CMakeFiles/hc_runtime.dir/hierarchy.cpp.o"
+  "CMakeFiles/hc_runtime.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hc_runtime.dir/node.cpp.o"
+  "CMakeFiles/hc_runtime.dir/node.cpp.o.d"
+  "libhc_runtime.a"
+  "libhc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

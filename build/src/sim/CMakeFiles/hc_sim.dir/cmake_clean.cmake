@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_sim.dir/latency.cpp.o"
+  "CMakeFiles/hc_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/hc_sim.dir/rng.cpp.o"
+  "CMakeFiles/hc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/hc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/hc_sim.dir/scheduler.cpp.o.d"
+  "libhc_sim.a"
+  "libhc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

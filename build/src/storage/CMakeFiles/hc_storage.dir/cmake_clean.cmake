@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_storage.dir/store.cpp.o"
+  "CMakeFiles/hc_storage.dir/store.cpp.o.d"
+  "libhc_storage.a"
+  "libhc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_types_test.dir/core_types_test.cpp.o"
+  "CMakeFiles/core_types_test.dir/core_types_test.cpp.o.d"
+  "core_types_test"
+  "core_types_test.pdb"
+  "core_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_hierarchy_test.dir/deep_hierarchy_test.cpp.o"
+  "CMakeFiles/deep_hierarchy_test.dir/deep_hierarchy_test.cpp.o.d"
+  "deep_hierarchy_test"
+  "deep_hierarchy_test.pdb"
+  "deep_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
