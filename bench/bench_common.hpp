@@ -15,6 +15,7 @@
 #include "actors/methods.hpp"
 #include "actors/basic.hpp"
 #include "common/log.hpp"
+#include "obs/export.hpp"
 #include "runtime/atomic.hpp"
 #include "runtime/hierarchy.hpp"
 
@@ -135,6 +136,54 @@ inline bool fund_in_subnet(runtime::Hierarchy& h, runtime::Subnet& subnet,
 /// Silence logs for the whole binary.
 struct QuietLogs {
   QuietLogs() { Log::set_level(LogLevel::kOff); }
+};
+
+/// Collects each run's observability state and writes sidecar files next to
+/// the google-benchmark output when the binary exits:
+///   BENCH_<name>.metrics.json  — labeled per-run metric snapshots,
+///   BENCH_<name>.prom          — Prometheus text of the last run,
+///   BENCH_<name>.trace.json    — Chrome trace (chrome://tracing) of the
+///                                last captured run.
+/// Metric values are integers of simulated microseconds, so two runs with
+/// the same seed produce byte-identical files.
+class ObsExporter {
+ public:
+  explicit ObsExporter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  ObsExporter(const ObsExporter&) = delete;
+  ObsExporter& operator=(const ObsExporter&) = delete;
+
+  /// Snapshot the hierarchy's metrics registry under `label` and keep its
+  /// trace as the latest one. Call once per benchmark run, after run_until.
+  void capture(runtime::Hierarchy& h, const std::string& label) {
+    runs_.emplace_back(label, obs::metrics_to_json(h.obs().metrics));
+    last_prom_ = obs::metrics_to_prometheus(h.obs().metrics);
+    last_trace_ = obs::trace_to_chrome_json(h.obs().tracer);
+  }
+
+  ~ObsExporter() { flush(); }
+
+  void flush() {
+    if (runs_.empty()) return;
+    std::string json = "{\n  \"bench\": \"" + obs::json_escape(name_) +
+                       "\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      json += "    {\"label\": \"" + obs::json_escape(runs_[i].first) +
+              "\", \"metrics\": " + runs_[i].second + "}";
+      json += (i + 1 < runs_.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    (void)obs::write_text_file("BENCH_" + name_ + ".metrics.json", json);
+    (void)obs::write_text_file("BENCH_" + name_ + ".prom", last_prom_);
+    (void)obs::write_text_file("BENCH_" + name_ + ".trace.json", last_trace_);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> runs_;
+  std::string last_prom_;
+  std::string last_trace_;
 };
 
 }  // namespace hc::bench

@@ -16,6 +16,11 @@
 namespace hc::bench {
 namespace {
 
+ObsExporter& exporter() {
+  static ObsExporter e("fig1_scaling");
+  return e;
+}
+
 constexpr sim::Duration kWindow = 10 * sim::kSecond;
 constexpr std::size_t kMsgsPerBlock = 10;   // per-chain capacity ceiling
 constexpr std::size_t kOfferedPerTick = 12;  // > capacity: saturation
@@ -96,6 +101,7 @@ void run_scaling(benchmark::State& state) {
         static_cast<double>(committed) / secs /
         static_cast<double>(chains.size());
     state.counters["sim_seconds"] = secs;
+    exporter().capture(h, "scaling/subnets=" + std::to_string(n_subnets));
   }
 }
 

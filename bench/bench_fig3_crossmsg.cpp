@@ -13,6 +13,11 @@
 namespace hc::bench {
 namespace {
 
+ObsExporter& exporter() {
+  static ObsExporter e("fig3_crossmsg");
+  return e;
+}
+
 struct Chainline {
   runtime::Hierarchy h;
   std::vector<runtime::Subnet*> line;  // line[0] = depth-1 subnet, ...
@@ -67,6 +72,7 @@ void run_topdown(benchmark::State& state) {
     state.counters["latency_sim_ms"] =
         static_cast<double>(world.h.scheduler().now() - t0) / 1000.0;
     state.counters["depth"] = depth;
+    exporter().capture(world.h, "topdown/depth=" + std::to_string(depth));
   }
 }
 
@@ -125,6 +131,8 @@ void run_bottomup(benchmark::State& state) {
         static_cast<double>(world.h.scheduler().now() - t0) / 1000.0;
     state.counters["depth"] = depth;
     state.counters["period"] = period;
+    exporter().capture(world.h, "bottomup/depth=" + std::to_string(depth) +
+                                    ",period=" + std::to_string(period));
   }
 }
 
@@ -190,6 +198,7 @@ void run_path(benchmark::State& state) {
     }
     state.counters["latency_sim_ms"] =
         static_cast<double>(h.scheduler().now() - t0) / 1000.0;
+    exporter().capture(h, "path/A-to-B");
   }
 }
 

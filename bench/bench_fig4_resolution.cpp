@@ -15,6 +15,11 @@
 namespace hc::bench {
 namespace {
 
+ObsExporter& exporter() {
+  static ObsExporter e("fig4_resolution");
+  return e;
+}
+
 void run_resolution(benchmark::State& state) {
   const bool push = state.range(0) != 0;
   const int batch = static_cast<int>(state.range(1));
@@ -121,6 +126,10 @@ void run_resolution(benchmark::State& state) {
     state.counters["batch"] = batch;
     state.counters["push_enabled"] = push ? 1 : 0;
     state.counters["loss_pct"] = loss * 100;
+    exporter().capture(h, std::string("resolution/push=") +
+                              (push ? "1" : "0") +
+                              ",batch=" + std::to_string(batch) +
+                              ",losspct=" + std::to_string(state.range(2)));
   }
 }
 

@@ -16,6 +16,11 @@
 namespace hc::bench {
 namespace {
 
+ObsExporter& exporter() {
+  static ObsExporter e("tab1_consensus");
+  return e;
+}
+
 constexpr sim::Duration kWindow = 10 * sim::kSecond;
 
 void run_engine(benchmark::State& state) {
@@ -68,6 +73,8 @@ void run_engine(benchmark::State& state) {
                          blocks
                    : 0;
     state.counters["validators"] = static_cast<double>(n_validators);
+    exporter().capture(h, "engine=" + std::to_string(state.range(0)) +
+                              "/n=" + std::to_string(n_validators));
   }
 }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full check: Debug build with ASan+UBSan, then the whole test suite.
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -27,28 +27,47 @@ class Log {
   static void write(LogLevel level, std::string_view msg);
 
   [[nodiscard]] static bool enabled(LogLevel level) {
-    return level <= Log::level() && Log::level() != LogLevel::kOff;
+    const LogLevel cur = Log::level();
+    return cur != LogLevel::kOff && level <= cur;
   }
 };
 
 /// Stream-style log statement builder:
 ///   LogLine(LogLevel::kInfo) << "subnet " << id << " spawned";
+///   LogLine(LogLevel::kWarn, subnet_str).kv("height", h) << "stalled";
+///
+/// The enabled bit is captured once at construction — a disabled line costs
+/// one level read, with no per-insertion re-checks.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level) : enabled_(Log::enabled(level)),
+                                     level_(level) {}
+  /// `scope` prefixes the line as "[scope] " — conventionally the subnet id.
+  LogLine(LogLevel level, std::string_view scope)
+      : enabled_(Log::enabled(level)), level_(level) {
+    if (enabled_) out_ << '[' << scope << "] ";
+  }
   ~LogLine() {
-    if (Log::enabled(level_)) Log::write(level_, out_.str());
+    if (enabled_) Log::write(level_, out_.str());
   }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (Log::enabled(level_)) out_ << v;
+    if (enabled_) out_ << v;
+    return *this;
+  }
+
+  /// Append a structured " key=value" field.
+  template <typename T>
+  LogLine& kv(std::string_view key, const T& value) {
+    if (enabled_) out_ << ' ' << key << '=' << value;
     return *this;
   }
 
  private:
+  bool enabled_;
   LogLevel level_;
   std::ostringstream out_;
 };

@@ -13,6 +13,17 @@ std::uint64_t ValidatorSet::total_power() const {
   return total;
 }
 
+EngineMetrics::EngineMetrics(const EngineContext& ctx,
+                             std::string_view engine) {
+  auto& metrics = obs::obs_or_default(ctx.obs).metrics;
+  const obs::Labels labels{{"engine", std::string(engine)},
+                           {"subnet", ctx.scope}};
+  rounds_ = &metrics.counter("consensus_rounds_total", labels);
+  view_changes_ = &metrics.counter("consensus_view_changes_total", labels);
+  timeouts_ = &metrics.counter("consensus_timeouts_total", labels);
+  catchups_ = &metrics.counter("consensus_catchup_requests_total", labels);
+}
+
 std::optional<std::size_t> ValidatorSet::index_of(
     const crypto::PublicKey& key) const {
   for (std::size_t i = 0; i < members_.size(); ++i) {

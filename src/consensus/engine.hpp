@@ -15,6 +15,7 @@
 #include "core/params.hpp"
 #include "crypto/schnorr.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -102,6 +103,33 @@ struct EngineContext {
   ValidatorSet validators;
   BlockSource* source = nullptr;
   std::uint64_t rng_seed = 0;
+  /// Metrics/trace sink; nullptr falls back to obs::default_obs().
+  obs::Obs* obs = nullptr;
+  /// Label scope for metrics, normally the subnet id string.
+  std::string scope;
+};
+
+/// Registry-backed progress counters shared by every engine, labeled
+/// {engine=<name>, subnet=<ctx.scope>}. Resolved once at engine
+/// construction so the hot path is a single pointer bump.
+class EngineMetrics {
+ public:
+  EngineMetrics(const EngineContext& ctx, std::string_view engine);
+
+  /// A consensus round started (PoA/lottery: a block production attempt).
+  void round() { rounds_->inc(); }
+  /// Moved past round 0 at some height — a leader was silent or slow.
+  void view_change() { view_changes_->inc(); }
+  /// A protocol timeout actually fired and changed behaviour.
+  void timeout() { timeouts_->inc(); }
+  /// Asked peers for missed blocks.
+  void catch_up() { catchups_->inc(); }
+
+ private:
+  obs::Counter* rounds_;
+  obs::Counter* view_changes_;
+  obs::Counter* timeouts_;
+  obs::Counter* catchups_;
 };
 
 class Engine {

@@ -44,7 +44,7 @@ std::vector<std::size_t> PowerLottery::rank_validators(
 }
 
 PowerLottery::PowerLottery(EngineContext context, EngineConfig config)
-    : ctx_(std::move(context)), cfg_(config) {}
+    : ctx_(std::move(context)), cfg_(config), metrics_(ctx_, "power-lottery") {}
 
 void PowerLottery::start() {
   running_ = true;
@@ -91,6 +91,10 @@ void PowerLottery::maybe_propose() {
   if (ctx_.scheduler->now() < due) return;
 
   proposed_height_ = next;
+  metrics_.round();
+  // A non-zero rank proposing means the expected leader stayed silent past
+  // its slot — the fallback ladder is this engine's view-change analogue.
+  if (rank > 0) metrics_.view_change();
   chain::Block block =
       ctx_.source->build_block(Address::key(ctx_.key.public_key().to_bytes()));
   // The ticket records the claimed rank for verification.

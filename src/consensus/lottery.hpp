@@ -42,6 +42,7 @@ class PowerLottery final : public Engine {
 
   EngineContext ctx_;
   EngineConfig cfg_;
+  EngineMetrics metrics_;
   bool running_ = false;
   sim::EventId timer_ = 0;
   chain::Epoch proposed_height_ = 0;

@@ -5,7 +5,9 @@
 namespace hc::consensus {
 
 PoaRoundRobin::PoaRoundRobin(EngineContext context, EngineConfig config)
-    : ctx_(std::move(context)), cfg_(config) {}
+    : ctx_(std::move(context)),
+      cfg_(config),
+      metrics_(ctx_, "poa-round-robin") {}
 
 const Validator& PoaRoundRobin::leader(chain::Epoch height) const {
   const auto& members = ctx_.validators.members();
@@ -29,6 +31,7 @@ void PoaRoundRobin::tick() {
   if (ctx_.source->head_height() == last_seen_head_) {
     if (++stalled_ticks_ >= 3) {
       stalled_ticks_ = 0;
+      metrics_.timeout();
       request_catch_up();
     }
   } else {
@@ -39,6 +42,7 @@ void PoaRoundRobin::tick() {
   if (next > last_produced_ &&
       leader(next).key == ctx_.key.public_key()) {
     last_produced_ = next;
+    metrics_.round();
     chain::Block block = ctx_.source->build_block(
         Address::key(ctx_.key.public_key().to_bytes()));
     const Cid cid = block.cid();
@@ -95,6 +99,7 @@ void PoaRoundRobin::on_message(net::NodeId from, const Bytes& payload) {
 }
 
 void PoaRoundRobin::request_catch_up() {
+  metrics_.catch_up();
   ctx_.network->publish(
       ctx_.node, ctx_.topic,
       encode(WireMsg::make(WireKind::kAck, ctx_.source->head_height() + 1, 0,
@@ -124,9 +129,9 @@ void PoaRoundRobin::try_commit_pending() {
     pending_.erase(it);
     if (pb.block.header.parent != ctx_.source->head_cid()) continue;
     if (Status ok = ctx_.source->validate_block(pb.block); !ok) {
-      LogLine(LogLevel::kWarn)
-          << "poa: rejecting block at height " << pb.block.header.height
-          << ": " << ok.error().to_string();
+      LogLine(LogLevel::kWarn, ctx_.scope)
+              .kv("height", pb.block.header.height)
+          << "poa: rejecting block: " << ok.error().to_string();
       continue;
     }
     ctx_.source->commit_block(std::move(pb.block), std::move(pb.proof));

@@ -43,6 +43,7 @@ class PoaRoundRobin final : public Engine {
 
   EngineContext ctx_;
   EngineConfig cfg_;
+  EngineMetrics metrics_;
   bool running_ = false;
   sim::EventId timer_ = 0;
   chain::Epoch last_produced_ = 0;

@@ -3,7 +3,9 @@
 namespace hc::consensus {
 
 RoundRobinBft::RoundRobinBft(EngineContext context, EngineConfig config)
-    : ctx_(std::move(context)), cfg_(config) {}
+    : ctx_(std::move(context)),
+      cfg_(config),
+      metrics_(ctx_, "round-robin-bft") {}
 
 const Validator& RoundRobinBft::leader(chain::Epoch height,
                                        std::uint32_t round) const {
@@ -35,6 +37,8 @@ void RoundRobinBft::start_round(std::uint32_t round) {
   if (!running_) return;
   round_ = round;
   acked_this_round_ = false;
+  metrics_.round();
+  if (round > 0) metrics_.view_change();
   const std::uint64_t epoch = ++timer_epoch_;
 
   if (leader(height_, round).key == ctx_.key.public_key()) {
@@ -56,7 +60,10 @@ void RoundRobinBft::start_round(std::uint32_t round) {
       static_cast<sim::Duration>(round) * (cfg_.timeout_base / 2);
   ctx_.scheduler->schedule(timeout, [this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
-    if (round == round_) start_round(round + 1);
+    if (round == round_) {
+      metrics_.timeout();
+      start_round(round + 1);
+    }
   });
 }
 

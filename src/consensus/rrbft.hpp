@@ -41,6 +41,7 @@ class RoundRobinBft final : public Engine {
 
   EngineContext ctx_;
   EngineConfig cfg_;
+  EngineMetrics metrics_;
   bool running_ = false;
   chain::Epoch height_ = 0;
   std::uint32_t round_ = 0;

@@ -7,7 +7,7 @@
 namespace hc::consensus {
 
 Tendermint::Tendermint(EngineContext context, EngineConfig config)
-    : ctx_(std::move(context)), cfg_(config) {}
+    : ctx_(std::move(context)), cfg_(config), metrics_(ctx_, "tendermint") {}
 
 const Validator& Tendermint::proposer(chain::Epoch height,
                                       std::uint32_t round) const {
@@ -50,7 +50,11 @@ void Tendermint::start_round(std::uint32_t round) {
   step_ = Step::kPropose;
   prevoted_this_round_ = false;
   precommitted_this_round_ = false;
-  if (round > 0) ++rounds_skipped_;
+  metrics_.round();
+  if (round > 0) {
+    ++rounds_skipped_;
+    metrics_.view_change();
+  }
   const std::uint64_t epoch = ++timer_epoch_;
 
   if (i_am(proposer(height_, round))) {
@@ -74,7 +78,10 @@ void Tendermint::start_round(std::uint32_t round) {
   ctx_.scheduler->schedule(cfg_.block_time + timeout_for(round),
                            [this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
-    if (step_ == Step::kPropose) do_prevote(round);
+    if (step_ == Step::kPropose) {
+      metrics_.timeout();
+      do_prevote(round);
+    }
   });
 }
 
@@ -152,6 +159,7 @@ void Tendermint::do_prevote(std::uint32_t round) {
   ctx_.scheduler->schedule(timeout_for(round), [this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
     if (step_ == Step::kPrevote && round == round_) {
+      metrics_.timeout();
       do_precommit(round, Cid());
     }
   });
@@ -194,7 +202,10 @@ void Tendermint::do_precommit(std::uint32_t round, const Cid& cid) {
   const std::uint64_t epoch = timer_epoch_;
   ctx_.scheduler->schedule(timeout_for(round), [this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
-    if (round == round_) start_round(round + 1);
+    if (round == round_) {
+      metrics_.timeout();
+      start_round(round + 1);
+    }
   });
 }
 

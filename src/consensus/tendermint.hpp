@@ -66,6 +66,7 @@ class Tendermint final : public Engine {
 
   EngineContext ctx_;
   EngineConfig cfg_;
+  EngineMetrics metrics_;
   bool running_ = false;
 
   chain::Epoch height_ = 0;

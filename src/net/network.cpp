@@ -7,11 +7,21 @@
 namespace hc::net {
 
 Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
-                 std::uint64_t seed, GossipConfig config)
+                 std::uint64_t seed, GossipConfig config, obs::Obs* obs)
     : scheduler_(scheduler),
       latency_(std::move(latency)),
       rng_(seed),
-      config_(config) {}
+      config_(config),
+      obs_(&obs::obs_or_default(obs)),
+      m_sent_(&obs_->metrics.counter("net_messages_sent_total")),
+      m_bytes_(&obs_->metrics.counter("net_bytes_sent_total")),
+      m_delivered_(&obs_->metrics.counter("net_messages_delivered_total")),
+      m_dropped_(&obs_->metrics.counter("net_messages_dropped_total")),
+      m_duplicates_(&obs_->metrics.counter("net_gossip_duplicates_total")),
+      h_direct_latency_(&obs_->metrics.histogram(
+          "net_delivery_latency_us", obs::Labels{{"kind", "direct"}})),
+      h_gossip_latency_(&obs_->metrics.histogram(
+          "net_delivery_latency_us", obs::Labels{{"kind", "gossip"}})) {}
 
 NodeId Network::add_node() {
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -43,16 +53,21 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   assert(from < nodes_.size() && to < nodes_.size());
   ++stats_.messages_sent;
   stats_.bytes_sent += payload.size();
+  m_sent_->inc();
+  m_bytes_->inc(payload.size());
   if (faulted(from, to)) {
     ++stats_.messages_dropped;
+    m_dropped_->inc();
     return;
   }
   const sim::Duration delay = latency_.sample(from, to, rng_);
+  h_direct_latency_->observe(delay);
   auto shared = std::make_shared<Bytes>(std::move(payload));
   scheduler_.schedule(delay, [this, from, to, shared] {
     Node& node = nodes_[to];
     if (node.down || !node.on_direct) return;
     ++stats_.messages_delivered;
+    m_delivered_->inc();
     node.on_direct(from, *shared);
   });
 }
@@ -151,21 +166,27 @@ void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
                              int hops_left) {
   ++stats_.messages_sent;
   stats_.bytes_sent += payload->size();
+  m_sent_->inc();
+  m_bytes_->inc(payload->size());
   if (faulted(from, to)) {
     ++stats_.messages_dropped;
+    m_dropped_->inc();
     return;
   }
   const sim::Duration delay = latency_.sample(from, to, rng_);
+  h_gossip_latency_->observe(delay);
   scheduler_.schedule(delay, [this, to, topic, payload, origin, msg_id,
                               hops_left] {
     Node& node = nodes_[to];
     if (node.down) return;
     if (!node.seen.insert(msg_id).second) {
       ++stats_.gossip_duplicates;
+      m_duplicates_->inc();
       return;
     }
     if (node.on_topic) {
       ++stats_.messages_delivered;
+      m_delivered_->inc();
       node.on_topic(origin, topic, *payload);
     }
     if (hops_left <= 0) return;

@@ -23,6 +23,7 @@
 
 #include "common/bytes.hpp"
 #include "common/hash.hpp"
+#include "obs/obs.hpp"
 #include "sim/latency.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -46,8 +47,11 @@ class Network {
   using TopicHandler = std::function<void(NodeId from, const std::string& topic,
                                           const Bytes& payload)>;
 
+  /// `obs` routes network metrics into a registry; nullptr falls back to
+  /// the process-wide obs::default_obs().
   Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
-          std::uint64_t seed, GossipConfig config = {});
+          std::uint64_t seed, GossipConfig config = {},
+          obs::Obs* obs = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -103,6 +107,9 @@ class Network {
 
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
 
+  /// The observability context this network reports into (never null).
+  [[nodiscard]] obs::Obs& obs() { return *obs_; }
+
  private:
   struct Node {
     DirectHandler on_direct;
@@ -137,6 +144,16 @@ class Network {
   bool partitioned_ = false;
   std::uint64_t next_msg_seq_ = 0;
   Stats stats_;
+
+  obs::Obs* obs_;  // never null (defaults to &obs::default_obs())
+  // Registry-backed mirrors of Stats, resolved once at construction.
+  obs::Counter* m_sent_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_delivered_;
+  obs::Counter* m_dropped_;
+  obs::Counter* m_duplicates_;
+  obs::Histogram* h_direct_latency_;
+  obs::Histogram* h_gossip_latency_;
 };
 
 }  // namespace hc::net

@@ -1,0 +1,267 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace hc::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+// Render a {family -> {labelset -> scalar}} map as a JSON object of objects.
+template <typename Families, typename ValueFn>
+void append_scalar_families(std::string& out, const Families& families,
+                            ValueFn value_of) {
+  out += '{';
+  bool first_family = true;
+  for (const auto& [family, by_label] : families) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += quoted(family);
+    out += ":{";
+    bool first_label = true;
+    for (const auto& [labelset, metric] : by_label) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += quoted(labelset);
+      out += ':';
+      out += std::to_string(value_of(metric));
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_int_array(std::string& out, const std::vector<std::int64_t>& xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  out += ']';
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  out += ']';
+}
+
+// "a=1,b=2" -> {a="1", b="2"}. Values never contain ',' or '=' in practice
+// (subnet ids use '/' and ':'), and the canonical form is produced by Labels
+// itself, so a plain split is exact.
+std::string prometheus_labels(const std::string& canonical,
+                              const std::string& extra = {}) {
+  if (canonical.empty() && extra.empty()) return {};
+  std::string out = "{";
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < canonical.size()) {
+    std::size_t comma = canonical.find(',', pos);
+    if (comma == std::string::npos) comma = canonical.size();
+    const std::size_t eq = canonical.find('=', pos);
+    if (eq != std::string::npos && eq < comma) {
+      if (!first) out += ',';
+      first = false;
+      out += canonical.substr(pos, eq - pos);
+      out += "=\"";
+      append_escaped(out, canonical.substr(eq + 1, comma - eq - 1));
+      out += '"';
+    }
+    pos = comma + 1;
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+  std::string out;
+  out += "{\"counters\":";
+  append_scalar_families(out, registry.counters(),
+                         [](const Counter& c) { return c.value(); });
+  out += ",\"gauges\":";
+  append_scalar_families(out, registry.gauges(),
+                         [](const Gauge& g) { return g.value(); });
+  out += ",\"histograms\":{";
+  bool first_family = true;
+  for (const auto& [family, by_label] : registry.histograms()) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += quoted(family);
+    out += ":{";
+    bool first_label = true;
+    for (const auto& [labelset, h] : by_label) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += quoted(labelset);
+      out += ":{\"count\":";
+      out += std::to_string(h.count());
+      out += ",\"sum\":";
+      out += std::to_string(h.sum());
+      out += ",\"bounds\":";
+      append_int_array(out, h.bounds());
+      out += ",\"buckets\":";
+      append_u64_array(out, h.buckets());
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [family, by_label] : registry.counters()) {
+    out += "# TYPE " + family + " counter\n";
+    for (const auto& [labelset, c] : by_label) {
+      out += family + prometheus_labels(labelset) + " " +
+             std::to_string(c.value()) + "\n";
+    }
+  }
+  for (const auto& [family, by_label] : registry.gauges()) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [labelset, g] : by_label) {
+      out += family + prometheus_labels(labelset) + " " +
+             std::to_string(g.value()) + "\n";
+    }
+  }
+  for (const auto& [family, by_label] : registry.histograms()) {
+    out += "# TYPE " + family + " histogram\n";
+    for (const auto& [labelset, h] : by_label) {
+      std::uint64_t cumulative = 0;
+      const auto& bounds = h.bounds();
+      const auto& buckets = h.buckets();
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        const std::string le =
+            i < bounds.size() ? std::to_string(bounds[i]) : std::string("+Inf");
+        out += family + "_bucket" +
+               prometheus_labels(labelset, "le=\"" + le + "\"") + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += family + "_sum" + prometheus_labels(labelset) + " " +
+             std::to_string(h.sum()) + "\n";
+      out += family + "_count" + prometheus_labels(labelset) + " " +
+             std::to_string(h.count()) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string trace_to_chrome_json(const Tracer& tracer) {
+  // Dense tid per first-seen track, plus thread_name metadata so the trace
+  // viewer shows the track string instead of a bare number.
+  std::map<std::string, int> tid_of;
+  std::vector<std::string> track_order;
+  for (const auto& span : tracer.spans()) {
+    if (tid_of.emplace(span.track, static_cast<int>(track_order.size()))
+            .second) {
+      track_order.push_back(span.track);
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < track_order.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           std::to_string(i) + ",\"args\":{\"name\":" + quoted(track_order[i]) +
+           "}}";
+  }
+  for (const auto& span : tracer.spans()) {
+    if (!first) out += ',';
+    first = false;
+    const std::int64_t dur = span.end >= span.start ? span.end - span.start : 0;
+    out += "{\"name\":" + quoted(span.name) + ",\"ph\":\"" +
+           (span.instant ? 'i' : 'X') +
+           "\",\"pid\":0,\"tid\":" + std::to_string(tid_of[span.track]) +
+           ",\"ts\":" + std::to_string(span.start);
+    if (span.instant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      out += ",\"dur\":" + std::to_string(dur);
+    }
+    if (!span.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : span.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += quoted(k);
+        out += ':';
+        out += quoted(v);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace hc::obs

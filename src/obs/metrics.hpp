@@ -1,0 +1,138 @@
+// Subnet-scoped metrics registry.
+//
+// Always-on instrumentation for the single-threaded simulator: counters,
+// gauges and fixed-bucket histograms, labelable by subnet id (and any other
+// dimension, e.g. engine type). Instrument handles returned by the registry
+// are stable for the registry's lifetime, so hot paths pay one pointer
+// dereference per update — the name/label lookup happens once at wiring
+// time. All values are integers (simulated-time microseconds for latencies)
+// so every export is byte-deterministic across identical runs.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hc::obs {
+
+/// A sorted, canonicalized label set, e.g. {subnet="/root/f0100",engine=...}.
+class Labels {
+ public:
+  using Item = std::pair<std::string, std::string>;
+
+  Labels() = default;
+  Labels(std::initializer_list<Item> items);
+
+  Labels& add(std::string key, std::string value);
+
+  /// "engine=poa,subnet=/root" — keys sorted, empty for no labels. Used as
+  /// the registry map key, so equal label sets always alias one instrument.
+  [[nodiscard]] const std::string& canonical() const { return canonical_; }
+  [[nodiscard]] const std::vector<Item>& items() const { return items_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  void rebuild();
+
+  std::vector<Item> items_;  // sorted by key
+  std::string canonical_;
+};
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (queue depth, mempool occupancy).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges in ascending
+/// order; one implicit +inf bucket catches the overflow. Designed for
+/// simulated-time latencies (integer microseconds).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last one is the +inf bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+/// Default bucket edges for simulated-time latencies: 1ms .. 100s, in µs.
+[[nodiscard]] const std::vector<std::int64_t>& latency_buckets_us();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid until clear()/destruction.
+  Counter& counter(const std::string& family, const Labels& labels = {});
+  Gauge& gauge(const std::string& family, const Labels& labels = {});
+  /// `bounds` is consulted only when the instrument is first created;
+  /// defaults to latency_buckets_us().
+  Histogram& histogram(const std::string& family, const Labels& labels = {},
+                       const std::vector<std::int64_t>& bounds = {});
+
+  /// Lookup without creation; nullptr when absent. (Mainly for tests and
+  /// exporter plumbing.)
+  [[nodiscard]] const Counter* find_counter(const std::string& family,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& family,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& family, const Labels& labels = {}) const;
+
+  /// Deterministic iteration for the exporters: family name sorted, then
+  /// canonical label string sorted. The label map key is the canonical form.
+  using CounterFamilies = std::map<std::string, std::map<std::string, Counter>>;
+  using GaugeFamilies = std::map<std::string, std::map<std::string, Gauge>>;
+  using HistogramFamilies =
+      std::map<std::string, std::map<std::string, Histogram>>;
+  [[nodiscard]] const CounterFamilies& counters() const { return counters_; }
+  [[nodiscard]] const GaugeFamilies& gauges() const { return gauges_; }
+  [[nodiscard]] const HistogramFamilies& histograms() const {
+    return histograms_;
+  }
+
+  /// Drop every instrument (outstanding handles become dangling).
+  void clear();
+
+ private:
+  CounterFamilies counters_;
+  GaugeFamilies gauges_;
+  HistogramFamilies histograms_;
+};
+
+}  // namespace hc::obs

@@ -1,0 +1,10 @@
+#include "obs/obs.hpp"
+
+namespace hc::obs {
+
+Obs& default_obs() {
+  static Obs instance;
+  return instance;
+}
+
+}  // namespace hc::obs

@@ -1,0 +1,34 @@
+// The observability context threaded through the simulator.
+//
+// One Obs instance pairs the metrics registry with the tracer. A Hierarchy
+// owns a fresh Obs per run (so exports are reproducible run-to-run);
+// components constructed without an explicit context fall back to the
+// process-wide default instance — the simulator is single-threaded, so the
+// fallback needs no synchronization and instrumentation never has to
+// null-check.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hc::obs {
+
+struct Obs {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  void clear() {
+    metrics.clear();
+    tracer.clear();
+  }
+};
+
+/// Process-wide fallback instance.
+[[nodiscard]] Obs& default_obs();
+
+/// `candidate` when non-null, the process-wide instance otherwise.
+[[nodiscard]] inline Obs& obs_or_default(Obs* candidate) {
+  return candidate != nullptr ? *candidate : default_obs();
+}
+
+}  // namespace hc::obs

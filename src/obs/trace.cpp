@@ -1,0 +1,75 @@
+#include "obs/trace.hpp"
+
+namespace hc::obs {
+
+bool Tracer::flow_begin(const std::string& key, std::string name,
+                        std::string track, TraceArgs args) {
+  if (open_.count(key) != 0 || done_.count(key) != 0) return false;
+  SpanRecord span;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.start = now();
+  span.args = std::move(args);
+  open_.emplace(key, spans_.size());
+  spans_.push_back(std::move(span));
+  return true;
+}
+
+std::optional<std::int64_t> Tracer::flow_end(const std::string& key,
+                                             TraceArgs args) {
+  auto it = open_.find(key);
+  if (it == open_.end()) return std::nullopt;
+  SpanRecord& span = spans_[it->second];
+  span.end = now();
+  for (auto& kv : args) span.args.push_back(std::move(kv));
+  open_.erase(it);
+  done_.insert(key);
+  return span.end - span.start;
+}
+
+void Tracer::flow_end_prefix(const std::string& prefix) {
+  // std::map iterates keys in order, so the open flows matching the prefix
+  // form one contiguous range.
+  auto it = open_.lower_bound(prefix);
+  while (it != open_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    spans_[it->second].end = now();
+    done_.insert(it->first);
+    it = open_.erase(it);
+  }
+}
+
+std::size_t Tracer::begin(std::string name, std::string track,
+                          TraceArgs args) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.start = now();
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Tracer::end(std::size_t index) {
+  if (index < spans_.size() && spans_[index].end < 0) {
+    spans_[index].end = now();
+  }
+}
+
+void Tracer::instant(std::string name, std::string track, TraceArgs args) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.start = now();
+  span.end = span.start;
+  span.instant = true;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  open_.clear();
+  done_.clear();
+}
+
+}  // namespace hc::obs

@@ -1,0 +1,90 @@
+// Trace spans keyed to simulated time.
+//
+// The tracer records two span shapes:
+//   - scoped spans (begin()/end() returning an index) for nested,
+//     single-component work on one track;
+//   - keyed *flows* (flow_begin()/flow_end() addressed by a string key) for
+//     protocol stages that start in one component and finish in another —
+//     a cross-net message burned in a child and executed epochs later in an
+//     ancestor, a checkpoint cut in the child chain and accepted by the
+//     parent SCA.
+//
+// Flows double as a deduplication mechanism: every replica node of a subnet
+// observes the same committed events, so the first observer wins and later
+// begin/end calls for the same key are no-ops. flow_end() reports the span
+// duration exactly once, which is what feeds the latency histograms.
+//
+// Tracks are free-form strings (one per subnet, plus "xnet" for end-to-end
+// cross-net spans) and become named rows in the Chrome trace viewer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hc::obs {
+
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct SpanRecord {
+  std::string name;
+  std::string track;
+  std::int64_t start = 0;
+  std::int64_t end = -1;  // -1 while still open
+  bool instant = false;
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Wire the simulated clock (sim::Scheduler::now). Without one, spans
+  /// are stamped 0.
+  void set_clock(std::function<std::int64_t()> clock) {
+    clock_ = std::move(clock);
+  }
+  [[nodiscard]] std::int64_t now() const { return clock_ ? clock_() : 0; }
+
+  // ------------------------------------------------------------- flows
+  /// Open the keyed flow; no-op (returns false) when the key is already
+  /// open or was already completed — the first observer wins.
+  bool flow_begin(const std::string& key, std::string name, std::string track,
+                  TraceArgs args = {});
+  /// Close the keyed flow. Returns the span duration on the first close,
+  /// nullopt on duplicates or unknown keys.
+  std::optional<std::int64_t> flow_end(const std::string& key,
+                                       TraceArgs args = {});
+  /// Close every open flow whose key starts with `prefix` (e.g. all
+  /// bottom-up window spans when their checkpoint is cut).
+  void flow_end_prefix(const std::string& prefix);
+  [[nodiscard]] bool flow_open(const std::string& key) const {
+    return open_.count(key) != 0;
+  }
+
+  // ------------------------------------------------------ scoped spans
+  /// Begin a span on `track`; returns its record index for end().
+  std::size_t begin(std::string name, std::string track, TraceArgs args = {});
+  void end(std::size_t index);
+
+  /// A zero-duration marker.
+  void instant(std::string name, std::string track, TraceArgs args = {});
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  void clear();
+
+ private:
+  std::function<std::int64_t()> clock_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, std::size_t> open_;  // flow key -> span index
+  std::set<std::string> done_;               // completed flow keys
+};
+
+}  // namespace hc::obs

@@ -40,8 +40,11 @@ consensus::ValidatorSet make_validator_set(
 
 Hierarchy::Hierarchy(HierarchyConfig config)
     : config_(std::move(config)),
-      network_(scheduler_, config_.latency, config_.seed, config_.gossip),
+      network_(scheduler_, config_.latency, config_.seed, config_.gossip,
+               &obs_),
       faucet_(crypto::KeyPair::from_label("hc/faucet")) {
+  scheduler_.attach_obs(&obs_);
+  obs_.tracer.set_clock([this] { return scheduler_.now(); });
   actors::install_standard_actors(registry_);
 
   auto root = std::make_unique<Subnet>();

@@ -65,6 +65,9 @@ class Hierarchy {
   [[nodiscard]] Subnet& root() { return *root_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] net::Network& network() { return network_; }
+  /// Metrics + traces for this hierarchy. Owned (not the process default),
+  /// so same-seed runs export byte-identical snapshots.
+  [[nodiscard]] obs::Obs& obs() { return obs_; }
 
   /// Advance simulated time.
   void run_for(sim::Duration d);
@@ -120,6 +123,7 @@ class Hierarchy {
  private:
 
   HierarchyConfig config_;
+  obs::Obs obs_;  // declared before network_/scheduler users
   sim::Scheduler scheduler_;
   net::Network network_;
   chain::ActorRegistry registry_;

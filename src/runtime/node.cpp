@@ -14,6 +14,46 @@ Bytes registry_key(const Cid& cid) {
   return Bytes(cid.digest().begin(), cid.digest().end());
 }
 
+// ---- trace flow keys ---------------------------------------------------
+// Flow keys must be derivable at BOTH endpoints of a protocol stage from
+// the data each side observes in committed state; see observe_commit().
+
+/// End-to-end identity of one cross-net message. Built from fields the SCA
+/// preserves across hops (per-hop nonces are reassigned, so they cannot
+/// key the e2e span).
+std::string xmsg_key(const core::CrossMsg& cross) {
+  return "xmsg:" + cross.from_subnet.to_string() + ">" +
+         cross.to_subnet.to_string() + ":" + cross.msg.from.to_string() +
+         ">" + cross.msg.to.to_string() + ":" + cross.msg.value.to_string();
+}
+
+/// One top-down hop into `hop`, keyed by the hop-scoped nonce.
+std::string topdown_key(const core::SubnetId& hop, std::uint64_t nonce) {
+  return "td:" + hop.to_string() + ":" + std::to_string(nonce);
+}
+
+/// Time a burned bottom-up msg waits in `subnet`'s window for the cut.
+std::string window_key(const core::SubnetId& subnet,
+                       const core::CrossMsg& cross) {
+  return "buwin:" + subnet.to_string() + ":" + cross.cid().to_string();
+}
+
+/// A cut batch in transit until the parent SCA adopts its meta.
+std::string batch_key(const Cid& msgs_cid) {
+  return "bubatch:" + msgs_cid.to_string();
+}
+
+/// An adopted batch awaiting execution, keyed by the adoption nonce.
+std::string buexec_key(const core::SubnetId& subnet, std::uint64_t nonce) {
+  return "buexec:" + subnet.to_string() + ":" + std::to_string(nonce);
+}
+
+std::string cp_key(const char* stage, const core::SubnetId& source,
+                   chain::Epoch epoch) {
+  return std::string(stage) + ":" + source.to_string() + ":" +
+         std::to_string(epoch);
+}
+
 }  // namespace
 
 SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
@@ -28,7 +68,23 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
       key_(std::move(key)),
       validators_(std::move(validators)),
       net_id_(network.add_node()),
-      executor_(registry_, chain::GasSchedule{}) {
+      executor_(registry_, chain::GasSchedule{}),
+      obs_(network.obs()) {
+  const obs::Labels node_labels{{"node", std::to_string(net_id_)},
+                                {"subnet", config_.subnet.to_string()}};
+  const obs::Labels subnet_labels{{"subnet", config_.subnet.to_string()}};
+  auto& m = obs_.metrics;
+  c_blocks_committed_ = &m.counter("node_blocks_committed_total", node_labels);
+  c_user_msgs_ = &m.counter("node_user_msgs_executed_total", node_labels);
+  c_cross_msgs_ = &m.counter("node_cross_msgs_executed_total", node_labels);
+  c_checkpoints_cut_ = &m.counter("node_checkpoints_cut_total", node_labels);
+  c_checkpoints_submitted_ =
+      &m.counter("node_checkpoints_submitted_total", node_labels);
+  c_pulls_sent_ = &m.counter("node_pulls_sent_total", node_labels);
+  c_pushes_sent_ = &m.counter("node_pushes_sent_total", node_labels);
+  c_resolves_served_ = &m.counter("node_resolves_served_total", node_labels);
+  g_mempool_ = &m.gauge("mempool_size", node_labels);
+  h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
   chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
   store_ = std::make_unique<chain::ChainStore>(std::move(genesis),
                                                std::move(genesis_state));
@@ -41,6 +97,8 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   ectx.key = key_;
   ectx.validators = validators_;
   ectx.source = this;
+  ectx.obs = &obs_;
+  ectx.scope = config_.subnet.to_string();
   engine_ =
       consensus::make_engine(config_.params.consensus, std::move(ectx),
                              config_.engine);
@@ -82,9 +140,39 @@ bool SubnetNode::is_validator() const {
   return validators_.index_of(key_.public_key()).has_value();
 }
 
+NodeStats SubnetNode::stats() const {
+  NodeStats s;
+  s.blocks_committed = c_blocks_committed_->value();
+  s.user_msgs_executed = c_user_msgs_->value();
+  s.cross_msgs_executed = c_cross_msgs_->value();
+  s.checkpoints_cut = c_checkpoints_cut_->value();
+  s.checkpoints_submitted = c_checkpoints_submitted_->value();
+  s.pulls_sent = c_pulls_sent_->value();
+  s.pushes_sent = c_pushes_sent_->value();
+  s.resolves_served = c_resolves_served_->value();
+  return s;
+}
+
 Status SubnetNode::submit_message(chain::SignedMessage msg) {
+  // A cross-net send entering at this node starts its end-to-end span here,
+  // before it even reaches a block — the span covers mempool wait too.
+  if (msg.message.to == chain::kScaAddr &&
+      msg.message.method == actors::sca_method::kSendCross) {
+    if (auto p = decode<actors::CrossParams>(msg.message.params)) {
+      core::CrossMsg cross;
+      cross.from_subnet = config_.subnet;
+      cross.to_subnet = p.value().dest;
+      cross.msg.from = msg.message.from;
+      cross.msg.to = p.value().to;
+      cross.msg.value = msg.message.value;
+      obs_.tracer.flow_begin(xmsg_key(cross), "crossmsg.e2e", "xnet",
+                             {{"from", cross.from_subnet.to_string()},
+                              {"to", cross.to_subnet.to_string()}});
+    }
+  }
   const Bytes wire = encode(msg);
   HC_TRY_STATUS(mempool_.add(std::move(msg)));
+  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
   network_.publish(net_id_, Topics::msgs(config_.subnet), wire);
   return ok_status();
 }
@@ -346,8 +434,9 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
   const chain::Epoch height = block.header.height;
   const chain::Block committed = block;  // keep for after_commit
   if (Status ok = store_->append(std::move(block), std::move(tree)); !ok) {
-    LogLine(LogLevel::kError) << config_.subnet.to_string()
-                              << ": commit failed: " << ok.error().to_string();
+    LogLine(LogLevel::kError, config_.subnet.to_string())
+            .kv("height", height)
+        << "commit failed: " << ok.error().to_string();
     return;
   }
   proofs_.resize(static_cast<std::size_t>(height));
@@ -355,22 +444,144 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
 
   mempool_.remove_included(committed.messages);
   mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
+  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
 
-  ++stats_.blocks_committed;
+  c_blocks_committed_->inc();
+  h_commit_latency_->observe(scheduler_.now() - committed.header.timestamp);
   const std::size_t n_cross = committed.cross_messages.size();
   for (std::size_t i = 0; i < receipts.size(); ++i) {
     if (!receipts[i].ok()) continue;
     if (i < n_cross) {
-      ++stats_.cross_msgs_executed;
+      c_cross_msgs_->inc();
     } else {
-      ++stats_.user_msgs_executed;
+      c_user_msgs_->inc();
     }
   }
+  observe_commit(committed, receipts);
 
   receipts_[height] = receipts;
   if (receipts_.size() > 64) receipts_.erase(receipts_.begin());
 
   after_commit(committed, receipts);
+}
+
+// ---------------------------------------------------------- observability
+
+void SubnetNode::observe_commit(const chain::Block& block,
+                                const std::vector<chain::Receipt>& receipts) {
+  auto& tracer = obs_.tracer;
+  const std::size_t n_cross =
+      std::min(block.cross_messages.size(), receipts.size());
+
+  // The implicit section tells us which cross-net messages ARRIVED in this
+  // block; SCA events (below) tell us which ones departed.
+  for (std::size_t i = 0; i < n_cross; ++i) {
+    if (!receipts[i].ok()) continue;
+    const chain::Message& m = block.cross_messages[i];
+    if (m.method == actors::sca_method::kApplyTopDown) {
+      auto cross_r = decode<core::CrossMsg>(m.params);
+      if (!cross_r) continue;
+      const core::CrossMsg cross = std::move(cross_r).value();
+      tracer.flow_end(topdown_key(config_.subnet, cross.nonce));
+      if (cross.to_subnet == config_.subnet) {
+        if (auto d = tracer.flow_end(xmsg_key(cross))) {
+          obs_.metrics
+              .histogram("cross_msg_e2e_latency_us",
+                         obs::Labels{{"subnet", config_.subnet.to_string()}})
+              .observe(*d);
+        }
+      }
+    } else if (m.method == actors::sca_method::kApplyBottomUp) {
+      auto p_r = decode<actors::ApplyBottomUpParams>(m.params);
+      if (!p_r) continue;
+      const actors::ApplyBottomUpParams p = std::move(p_r).value();
+      tracer.flow_end(buexec_key(config_.subnet, p.nonce));
+      for (const core::CrossMsg& cross : p.batch.msgs) {
+        if (cross.to_subnet == config_.subnet) {
+          if (auto d = tracer.flow_end(xmsg_key(cross))) {
+            obs_.metrics
+                .histogram("cross_msg_e2e_latency_us",
+                           obs::Labels{{"subnet", config_.subnet.to_string()}})
+                .observe(*d);
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& receipt : receipts) {
+    if (!receipt.ok()) continue;
+    for (const auto& event : receipt.events) observe_cross_event(event);
+  }
+}
+
+void SubnetNode::observe_cross_event(const chain::ActorEvent& event) {
+  auto& tracer = obs_.tracer;
+  const std::string self = config_.subnet.to_string();
+
+  if (event.kind == "sca/topdown") {
+    // A cross-msg frozen here and enqueued for the next hop down.
+    auto cross_r = decode<core::CrossMsg>(event.payload);
+    if (!cross_r) return;
+    const core::CrossMsg cross = std::move(cross_r).value();
+    tracer.flow_begin(xmsg_key(cross), "crossmsg.e2e", "xnet",
+                      {{"from", cross.from_subnet.to_string()},
+                       {"to", cross.to_subnet.to_string()}});
+    const core::SubnetId hop = config_.subnet.down_toward(cross.to_subnet);
+    tracer.flow_begin(topdown_key(hop, cross.nonce), "crossmsg.topdown.hop",
+                      hop.to_string(),
+                      {{"nonce", std::to_string(cross.nonce)}});
+  } else if (event.kind == "sca/release") {
+    // Burned into this subnet's bottom-up window.
+    auto cross_r = decode<core::CrossMsg>(event.payload);
+    if (!cross_r) return;
+    const core::CrossMsg cross = std::move(cross_r).value();
+    tracer.flow_begin(xmsg_key(cross), "crossmsg.e2e", "xnet",
+                      {{"from", cross.from_subnet.to_string()},
+                       {"to", cross.to_subnet.to_string()}});
+    tracer.flow_begin(window_key(config_.subnet, cross),
+                      "crossmsg.bottomup.window", self);
+  } else if (event.kind == "sca/checkpoint-cut") {
+    auto cp_r = decode<core::Checkpoint>(event.payload);
+    if (!cp_r) return;
+    const core::Checkpoint cp = std::move(cp_r).value();
+    // The cut drains the window into batches...
+    tracer.flow_end_prefix("buwin:" + self + ":");
+    for (const core::CrossMsgMeta& meta : cp.cross_meta) {
+      tracer.flow_begin(batch_key(meta.msgs_cid), "crossmsg.batch.transit",
+                        self,
+                        {{"from", meta.from.to_string()},
+                         {"to", meta.to.to_string()}});
+    }
+    // ...and opens the checkpoint pipeline: overall (cut -> parent commit)
+    // plus the signature-collection leg (cut -> submit).
+    tracer.flow_begin(cp_key("cp", cp.source, cp.epoch), "checkpoint.pipeline",
+                      cp.source.to_string(),
+                      {{"epoch", std::to_string(cp.epoch)}});
+    tracer.flow_begin(cp_key("cpsign", cp.source, cp.epoch),
+                      "checkpoint.sign", cp.source.to_string());
+  } else if (event.kind == "sca/bottomup-adopted") {
+    // The parent SCA adopted a child batch's meta.
+    auto p_r = decode<actors::PendingBottomUp>(event.payload);
+    if (!p_r) return;
+    const actors::PendingBottomUp pending = std::move(p_r).value();
+    tracer.flow_end(batch_key(pending.meta.msgs_cid));
+    tracer.flow_begin(buexec_key(config_.subnet, pending.nonce),
+                      "crossmsg.batch.pending", self,
+                      {{"nonce", std::to_string(pending.nonce)}});
+  } else if (event.kind == "sca/checkpoint-committed") {
+    // The parent SA/SCA accepted a child checkpoint.
+    auto cp_r = decode<core::Checkpoint>(event.payload);
+    if (!cp_r) return;
+    const core::Checkpoint cp = std::move(cp_r).value();
+    tracer.flow_end(cp_key("cpsub", cp.source, cp.epoch));
+    if (auto d = tracer.flow_end(cp_key("cp", cp.source, cp.epoch))) {
+      obs_.metrics
+          .histogram("checkpoint_accept_latency_us",
+                     obs::Labels{{"subnet", cp.source.to_string()}})
+          .observe(*d);
+    }
+  }
 }
 
 // ------------------------------------------------------------ post-commit
@@ -385,7 +596,7 @@ void SubnetNode::after_commit(const chain::Block& block,
       auto cp_r = decode<core::Checkpoint>(event.payload);
       if (!cp_r) continue;
       const core::Checkpoint cp = std::move(cp_r).value();
-      ++stats_.checkpoints_cut;
+      c_checkpoints_cut_->inc();
       cut_checkpoints_[cp.epoch] = cp;
       if (is_validator()) {
         // Paper Fig. 2: a signature window opens for the cut checkpoint.
@@ -418,7 +629,7 @@ void SubnetNode::push_own_batches(const core::Checkpoint& cp) {
     push.cid = meta.msgs_cid;
     push.content = it->second;
     network_.publish(net_id_, Topics::resolve(meta.to), encode(push));
-    ++stats_.pushes_sent;
+    c_pushes_sent_->inc();
   }
 }
 
@@ -433,7 +644,7 @@ void SubnetNode::request_missing_batches() {
     pull.reply_to = config_.subnet;
     network_.publish(net_id_, Topics::resolve(pending.meta.from),
                      encode(pull));
-    ++stats_.pulls_sent;
+    c_pulls_sent_->inc();
   }
 }
 
@@ -518,7 +729,18 @@ void SubnetNode::maybe_submit_checkpoint() {
   network_.publish(net_id_, Topics::msgs(*config_.subnet.parent()),
                    encode(signed_msg));
   submit_attempt_height_[cp.epoch] = head;
-  ++stats_.checkpoints_submitted;
+  c_checkpoints_submitted_->inc();
+  // Signature collection ends at the (first) submission; acceptance by the
+  // parent SA closes the cpsub leg in observe_cross_event().
+  if (auto d = obs_.tracer.flow_end(cp_key("cpsign", cp.source, cp.epoch))) {
+    obs_.metrics
+        .histogram("checkpoint_sign_latency_us",
+                   obs::Labels{{"subnet", cp.source.to_string()}})
+        .observe(*d);
+  }
+  obs_.tracer.flow_begin(cp_key("cpsub", cp.source, cp.epoch),
+                         "checkpoint.submit", cp.source.to_string(),
+                         {{"epoch", std::to_string(cp.epoch)}});
 }
 
 // ---------------------------------------------------------------- topics
@@ -527,6 +749,7 @@ void SubnetNode::handle_msgs_topic(const Bytes& payload) {
   auto msg = decode<chain::SignedMessage>(payload);
   if (!msg) return;
   (void)mempool_.add(std::move(msg).value());
+  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
 }
 
 void SubnetNode::handle_sigs_topic(const Bytes& payload) {
@@ -578,7 +801,7 @@ void SubnetNode::handle_resolve_topic(const Bytes& payload) {
       resolve.content = std::move(content);
       network_.publish(net_id_, Topics::resolve(msg.reply_to),
                        encode(resolve));
-      ++stats_.resolves_served;
+      c_resolves_served_->inc();
       break;
     }
   }

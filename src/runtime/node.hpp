@@ -38,7 +38,8 @@ struct NodeConfig {
   Address sa_in_parent;
 };
 
-/// Counters exposed for benches and tests.
+/// Counter snapshot exposed for benches and tests; backed by the metrics
+/// registry (families node_* labeled {node, subnet}) and assembled on read.
 struct NodeStats {
   std::uint64_t blocks_committed = 0;
   std::uint64_t user_msgs_executed = 0;
@@ -84,7 +85,7 @@ class SubnetNode final : public consensus::BlockSource {
   [[nodiscard]] std::optional<actors::SaState> sa_state(
       const Address& sa) const;
 
-  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] NodeStats stats() const;
   [[nodiscard]] const core::SubnetId& subnet() const {
     return config_.subnet;
   }
@@ -152,6 +153,15 @@ class SubnetNode final : public consensus::BlockSource {
 
   [[nodiscard]] bool is_validator() const;
 
+  /// Feed the tracer and latency histograms from a freshly committed block:
+  /// opens/closes the cross-net and checkpoint pipeline flows derived from
+  /// the block's implicit messages and SCA events. Flows dedupe across
+  /// replica nodes (first committer wins), so each protocol event is
+  /// recorded exactly once per hierarchy.
+  void observe_commit(const chain::Block& block,
+                      const std::vector<chain::Receipt>& receipts);
+  void observe_cross_event(const chain::ActorEvent& event);
+
   sim::Scheduler& scheduler_;
   net::Network& network_;
   const chain::ActorRegistry& registry_;
@@ -181,8 +191,22 @@ class SubnetNode final : public consensus::BlockSource {
   /// Submission retry state: height of the last attempt per epoch.
   std::map<chain::Epoch, chain::Epoch> submit_attempt_height_;
 
-  NodeStats stats_;
   bool running_ = false;
+
+  // ------------------------------------------------------- observability
+  // Shared with every node of the hierarchy via the network's Obs; counter
+  // handles are resolved once in the constructor (see src/obs/).
+  obs::Obs& obs_;
+  obs::Counter* c_blocks_committed_;
+  obs::Counter* c_user_msgs_;
+  obs::Counter* c_cross_msgs_;
+  obs::Counter* c_checkpoints_cut_;
+  obs::Counter* c_checkpoints_submitted_;
+  obs::Counter* c_pulls_sent_;
+  obs::Counter* c_pushes_sent_;
+  obs::Counter* c_resolves_served_;
+  obs::Gauge* g_mempool_;
+  obs::Histogram* h_commit_latency_;
 };
 
 }  // namespace hc::runtime

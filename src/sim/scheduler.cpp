@@ -16,10 +16,25 @@ EventId Scheduler::schedule_at(Time when, Callback fn) {
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
+  update_queue_gauge();
   return id;
 }
 
-void Scheduler::cancel(EventId id) { callbacks_.erase(id); }
+void Scheduler::cancel(EventId id) {
+  callbacks_.erase(id);
+  update_queue_gauge();
+}
+
+void Scheduler::attach_obs(obs::Obs* obs) {
+  if (obs == nullptr) {
+    events_run_counter_ = nullptr;
+    queue_depth_ = nullptr;
+    return;
+  }
+  events_run_counter_ = &obs->metrics.counter("sim_events_run_total");
+  queue_depth_ = &obs->metrics.gauge("sim_queue_depth");
+  update_queue_gauge();
+}
 
 std::size_t Scheduler::run_until(Time deadline) {
   std::size_t ran = 0;
@@ -44,8 +59,11 @@ bool Scheduler::step() {
     if (it == callbacks_.end()) continue;  // cancelled
     Callback fn = std::move(it->second);
     callbacks_.erase(it);
+    update_queue_gauge();
     assert(ev.when >= now_);
     now_ = ev.when;
+    ++events_run_;
+    if (events_run_counter_ != nullptr) events_run_counter_->inc();
     fn();
     return true;
   }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/clock.hpp"
 
 namespace hc::sim {
@@ -46,10 +47,24 @@ class Scheduler {
   /// Run exactly one event if present; returns false when idle.
   bool step();
 
-  /// Pending event count (cancelled events may still be counted).
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Live (not-yet-fired, not-cancelled) event count. Cancelled events
+  /// linger in the heap until popped but are excluded here.
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+
+  /// Total events fired so far.
+  [[nodiscard]] std::uint64_t events_run() const { return events_run_; }
+
+  /// Route scheduler metrics (events-run counter, queue-depth gauge) into
+  /// `obs`'s registry. Pass nullptr to detach.
+  void attach_obs(obs::Obs* obs);
 
  private:
+  void update_queue_gauge() {
+    if (queue_depth_ != nullptr) {
+      queue_depth_->set(static_cast<std::int64_t>(callbacks_.size()));
+    }
+  }
+
   struct Event {
     Time when;
     std::uint64_t seq;  // tie-break: schedule order
@@ -64,6 +79,9 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t events_run_ = 0;
+  obs::Counter* events_run_counter_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   // Callbacks keyed by id; erased on fire/cancel. Cancellation leaves the
   // heap entry in place and simply drops the callback.

@@ -283,11 +283,14 @@ TEST(RecoveryIntegration, KillSubnetAndRecoverStrandedFunds) {
   }
   ASSERT_TRUE(found) << "committed checkpoint content not found in events";
 
-  // Build the recovery proof from the child chain's historic state.
-  const auto* anchor_block =
+  // Build the recovery proof from the child chain's historic state. Copy
+  // the block: the pointer aims into the chain store, which keeps growing
+  // (and reallocating) while the kill calls below run the simulation.
+  const auto* anchor_ptr =
       child->node(0).chain().block_by_cid(checkpoint.proof);
-  ASSERT_NE(anchor_block, nullptr);
-  auto historic = child->node(0).state_at(anchor_block->header.height);
+  ASSERT_NE(anchor_ptr, nullptr);
+  const chain::Block anchor_block = *anchor_ptr;
+  auto historic = child->node(0).state_at(anchor_block.header.height);
   ASSERT_TRUE(historic.ok()) << historic.error().to_string();
   const auto* alice_entry = historic.value().get(alice.value().addr);
   ASSERT_NE(alice_entry, nullptr);
@@ -318,7 +321,7 @@ TEST(RecoveryIntegration, KillSubnetAndRecoverStrandedFunds) {
   actors::RecoverParams rp;
   rp.sa = child->sa;
   rp.checkpoint = checkpoint;
-  rp.header = anchor_block->header;
+  rp.header = anchor_block.header;
   rp.claimed_addr = alice.value().addr;
   rp.claimed_entry = *alice_entry;
   rp.proof = proof.value();
