@@ -15,4 +15,9 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
+# Chaos smoke first: the standard fault scenarios x 3 seeds (DESIGN.md §9)
+# under the sanitizers — fault-handling regressions fail fast, before the
+# full suite spends its time.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ChaosSweep\.'
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -290,7 +290,16 @@ Result<Bytes> ScaActor::commit_child_checkpoint(Rt& rt, ScaState& s,
       s.pending_bottomup.push_back(std::move(pending));
       rt.emit_event("sca/bottomup-adopted", payload);
     } else {
-      // Destined elsewhere: propagate farther up in our next checkpoint.
+      // Destined elsewhere: the funds leave this subnet too, so the custody
+      // frozen here when they came down must burn now, mirroring the
+      // release the ancestor will perform (paper §IV-A: burn in the child,
+      // release in the parent). Without the burn the custody is orphaned
+      // and the subtree drifts off the parent's circulating-supply entry.
+      if (!meta.value.is_zero()) {
+        HC_TRY_STATUS(
+            to_status(rt.send(chain::kBurnAddr, 0, {}, meta.value)));
+      }
+      // Propagate the meta farther up in our next checkpoint.
       s.forward_meta.push_back(meta);
     }
   }

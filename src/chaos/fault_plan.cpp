@@ -1,0 +1,191 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace hc::chaos {
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRestart:
+      return "restart";
+    case FaultEvent::Kind::kLinkFault:
+      return "link-fault";
+    case FaultEvent::Kind::kClearLinkFault:
+      return "clear-link-fault";
+    case FaultEvent::Kind::kNodeFault:
+      return "node-fault";
+    case FaultEvent::Kind::kClearNodeFault:
+      return "clear-node-fault";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kDropRate:
+      return "drop-rate";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::push(FaultEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(sim::Duration at, NodeRef n) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kCrash;
+  e.a = n;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::restart(sim::Duration at, NodeRef n) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kRestart;
+  e.a = n;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::link_fault(sim::Duration at, NodeRef a, NodeRef b,
+                                 net::LinkFault fault) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kLinkFault;
+  e.a = a;
+  e.b = b;
+  e.fault = fault;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::clear_link_fault(sim::Duration at, NodeRef a,
+                                       NodeRef b) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kClearLinkFault;
+  e.a = a;
+  e.b = b;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::node_fault(sim::Duration at, NodeRef n,
+                                 net::LinkFault fault) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kNodeFault;
+  e.a = n;
+  e.fault = fault;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::clear_node_fault(sim::Duration at, NodeRef n) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kClearNodeFault;
+  e.a = n;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::partition(sim::Duration at,
+                                std::vector<std::vector<NodeRef>> groups) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kPartition;
+  e.groups = std::move(groups);
+  return push(std::move(e));
+}
+
+FaultPlan& FaultPlan::heal(sim::Duration at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kHeal;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::drop_rate(sim::Duration at, double p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kDropRate;
+  e.drop_rate = p;
+  return push(e);
+}
+
+sim::Duration FaultPlan::horizon() const {
+  sim::Duration h = 0;
+  for (const auto& e : events_) h = std::max(h, e.at);
+  return h;
+}
+
+namespace {
+
+net::NodeId resolve(const runtime::Hierarchy& h, NodeRef ref) {
+  return h.subnets().at(ref.subnet)->node_ids.at(ref.node);
+}
+
+std::string ref_string(NodeRef ref) {
+  return std::to_string(ref.subnet) + "/" + std::to_string(ref.node);
+}
+
+void apply(const FaultEvent& e, runtime::Hierarchy& h) {
+  net::Network& net = h.network();
+  switch (e.kind) {
+    case FaultEvent::Kind::kCrash:
+      (void)h.crash_node(*h.subnets().at(e.a.subnet), e.a.node);
+      break;
+    case FaultEvent::Kind::kRestart:
+      (void)h.restart_node(*h.subnets().at(e.a.subnet), e.a.node);
+      break;
+    case FaultEvent::Kind::kLinkFault:
+      net.set_link_fault(resolve(h, e.a), resolve(h, e.b), e.fault);
+      break;
+    case FaultEvent::Kind::kClearLinkFault:
+      net.clear_link_fault(resolve(h, e.a), resolve(h, e.b));
+      break;
+    case FaultEvent::Kind::kNodeFault:
+      net.set_node_fault(resolve(h, e.a), e.fault);
+      break;
+    case FaultEvent::Kind::kClearNodeFault:
+      net.clear_node_fault(resolve(h, e.a));
+      break;
+    case FaultEvent::Kind::kPartition: {
+      std::vector<std::vector<net::NodeId>> groups;
+      groups.reserve(e.groups.size());
+      for (const auto& g : e.groups) {
+        std::vector<net::NodeId> ids;
+        ids.reserve(g.size());
+        for (NodeRef r : g) ids.push_back(resolve(h, r));
+        groups.push_back(std::move(ids));
+      }
+      net.set_partition(groups);
+      break;
+    }
+    case FaultEvent::Kind::kHeal:
+      net.heal_partition();
+      break;
+    case FaultEvent::Kind::kDropRate:
+      net.set_drop_rate(e.drop_rate);
+      break;
+  }
+}
+
+}  // namespace
+
+void arm(const FaultPlan& plan, runtime::Hierarchy& hierarchy) {
+  for (const FaultEvent& event : plan.events()) {
+    hierarchy.scheduler().schedule(event.at, [event, &hierarchy] {
+      apply(event, hierarchy);
+      obs::Obs& obs = hierarchy.obs();
+      obs.metrics
+          .counter("chaos_faults_injected_total",
+                   obs::Labels{{"kind", to_string(event.kind)}})
+          .inc();
+      obs.tracer.instant(std::string("chaos.") + to_string(event.kind),
+                         "chaos", {{"target", ref_string(event.a)}});
+    });
+  }
+}
+
+}  // namespace hc::chaos

@@ -1,0 +1,92 @@
+// FaultPlan: a declarative fault timeline executed deterministically from
+// the run seed (DESIGN.md §9).
+//
+// A plan is a list of scheduled events — per-link and per-node fault rules
+// (drop / delay / duplicate / reorder), node crash with state loss and
+// restart with resync, partitions and heals, global loss-rate changes —
+// addressed by (subnet index, validator slot) so the same plan replays
+// against any topology of compatible shape. arm() schedules every event on
+// the hierarchy's discrete-event scheduler; because the scheduler and all
+// fault dice share the run seed, two same-seed runs inject the identical
+// fault timeline and produce byte-identical observability exports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/hierarchy.hpp"
+
+namespace hc::chaos {
+
+/// Addresses one validator slot: `subnet` indexes Hierarchy::subnets()
+/// (0 = root, then spawn order), `node` the validator slot within it.
+/// Slots stay valid across crash/restart cycles.
+struct NodeRef {
+  std::size_t subnet = 0;
+  std::size_t node = 0;
+};
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCrash = 0,
+    kRestart,
+    kLinkFault,
+    kClearLinkFault,
+    kNodeFault,
+    kClearNodeFault,
+    kPartition,
+    kHeal,
+    kDropRate,
+  };
+
+  sim::Duration at = 0;  ///< Offset from the instant the plan is armed.
+  Kind kind = Kind::kDropRate;
+  NodeRef a;  ///< Target (crash/restart/node fault, link source).
+  NodeRef b;  ///< Link destination (link-fault kinds only).
+  net::LinkFault fault;
+  /// Partition groups; slots absent from every group stay connected.
+  std::vector<std::vector<NodeRef>> groups;
+  double drop_rate = 0.0;
+};
+
+[[nodiscard]] const char* to_string(FaultEvent::Kind kind);
+
+/// Builder for fault timelines. Offsets may be added in any order; the
+/// scheduler orders execution (ties run in insertion order).
+class FaultPlan {
+ public:
+  FaultPlan& crash(sim::Duration at, NodeRef n);
+  FaultPlan& restart(sim::Duration at, NodeRef n);
+  /// Install a rule on the directed link a -> b (a "gray link" when the
+  /// rule is mostly drop).
+  FaultPlan& link_fault(sim::Duration at, NodeRef a, NodeRef b,
+                        net::LinkFault fault);
+  FaultPlan& clear_link_fault(sim::Duration at, NodeRef a, NodeRef b);
+  /// Install a rule on everything `n` sends or receives (gray node).
+  FaultPlan& node_fault(sim::Duration at, NodeRef n, net::LinkFault fault);
+  FaultPlan& clear_node_fault(sim::Duration at, NodeRef n);
+  FaultPlan& partition(sim::Duration at, std::vector<std::vector<NodeRef>> groups);
+  FaultPlan& heal(sim::Duration at);
+  FaultPlan& drop_rate(sim::Duration at, double p);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  /// Largest event offset (0 for an empty plan).
+  [[nodiscard]] sim::Duration horizon() const;
+
+ private:
+  FaultPlan& push(FaultEvent event);
+
+  std::vector<FaultEvent> events_;
+};
+
+/// Schedule every event of `plan` against `hierarchy`, offsets relative to
+/// now. Each applied event bumps chaos_faults_injected_total{kind=...} and
+/// drops an instant marker on the "chaos" trace track. The hierarchy must
+/// outlive its scheduler queue (it owns it, so this holds by construction).
+void arm(const FaultPlan& plan, runtime::Hierarchy& hierarchy);
+
+}  // namespace hc::chaos

@@ -1,0 +1,187 @@
+#include "chaos/invariants.hpp"
+
+#include <algorithm>
+
+#include "chain/state.hpp"
+
+namespace hc::chaos {
+
+std::string InvariantReport::to_string() const {
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v;
+  }
+  return out;
+}
+
+namespace {
+
+using runtime::Subnet;
+using runtime::SubnetNode;
+
+/// The child chain's live token supply: everything on the chain minus the
+/// burnt-funds sink. Funds this subnet has delegated further down are NOT
+/// added on top: the top-down path freezes equal custody in this SCA for
+/// everything it mints deeper, so the chain's own balance already mirrors
+/// the whole subtree (and pass-through releases burn that custody again).
+TokenAmount live_supply(const SubnetNode& node) {
+  TokenAmount total = node.state().total_balance();
+  const auto* burn = node.state().get(chain::kBurnAddr);
+  if (burn != nullptr) total -= burn->balance;
+  return total;
+}
+
+/// Firewall equality (paper §II) on the edge parent(subnet) -> subnet.
+bool supply_balanced(const Subnet& subnet, std::string* why) {
+  const auto entry_sca = subnet.parent->api_node().sca_state();
+  const auto* entry = entry_sca.find_subnet(subnet.sa);
+  if (entry == nullptr) {
+    if (why != nullptr) *why = "not registered in parent SCA";
+    return false;
+  }
+  const TokenAmount inside = live_supply(subnet.api_node());
+  if (entry->circulating_supply != inside) {
+    if (why != nullptr) {
+      *why = "circulating_supply " + entry->circulating_supply.to_string() +
+             " != live child supply " + inside.to_string();
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Every cross-net queue touching `subnet` is drained.
+bool queues_drained(const Subnet& subnet, std::string* why) {
+  const auto sca = subnet.api_node().sca_state();
+  if (!sca.window_msgs.empty()) {
+    if (why != nullptr) {
+      *why = std::to_string(sca.window_msgs.size()) +
+             " bottom-up msgs still buffered in the checkpoint window";
+    }
+    return false;
+  }
+  if (!sca.forward_meta.empty()) {
+    if (why != nullptr) {
+      *why = std::to_string(sca.forward_meta.size()) +
+             " child metas awaiting upward forwarding";
+    }
+    return false;
+  }
+  for (const auto& p : sca.pending_bottomup) {
+    if (!p.executed) {
+      if (why != nullptr) {
+        *why = "adopted bottom-up meta nonce " + std::to_string(p.nonce) +
+               " never executed";
+      }
+      return false;
+    }
+  }
+  if (subnet.parent != nullptr) {
+    const auto parent_sca = subnet.parent->api_node().sca_state();
+    const auto* entry = parent_sca.find_subnet(subnet.sa);
+    if (entry != nullptr &&
+        sca.applied_topdown_nonce != entry->topdown_nonce) {
+      if (why != nullptr) {
+        *why = "top-down queue stuck: applied " +
+               std::to_string(sca.applied_topdown_nonce) + " of " +
+               std::to_string(entry->topdown_nonce);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+/// At least one checkpoint of `subnet` committed at its parent.
+bool checkpoint_committed(const Subnet& subnet, std::string* why) {
+  const auto parent_sca = subnet.parent->api_node().sca_state();
+  const auto* entry = parent_sca.find_subnet(subnet.sa);
+  if (entry == nullptr || entry->last_checkpoint_epoch < 0) {
+    if (why != nullptr) *why = "no checkpoint ever committed at the parent";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool quiescent(const runtime::Hierarchy& hierarchy) {
+  for (const auto& subnet : hierarchy.subnets()) {
+    if (subnet->alive_count() == 0) return false;
+    if (!queues_drained(*subnet, nullptr)) return false;
+    if (subnet->parent != nullptr) {
+      if (!checkpoint_committed(*subnet, nullptr)) return false;
+      if (!supply_balanced(*subnet, nullptr)) return false;
+    }
+  }
+  return true;
+}
+
+InvariantReport check_invariants(const runtime::Hierarchy& hierarchy) {
+  InvariantReport report;
+  for (const auto& subnet : hierarchy.subnets()) {
+    const std::string tag = subnet->id.to_string();
+    if (subnet->alive_count() == 0) {
+      report.violations.push_back(tag + ": every validator is crashed");
+      continue;
+    }
+
+    // ---- no negative balances, on every alive replica
+    for (std::size_t i = 0; i < subnet->size(); ++i) {
+      if (!subnet->alive(i)) continue;
+      for (const auto& [addr, entry] : subnet->node(i).state()) {
+        if (entry.balance.negative()) {
+          report.violations.push_back(
+              tag + " node " + std::to_string(i) + ": negative balance " +
+              entry.balance.to_string() + " at " + addr.to_string());
+        }
+      }
+    }
+
+    // ---- replica agreement on the common chain prefix
+    chain::Epoch min_height = 0;
+    std::size_t reference = subnet->size();
+    for (std::size_t i = 0; i < subnet->size(); ++i) {
+      if (!subnet->alive(i)) continue;
+      const chain::Epoch h = subnet->node(i).chain().height();
+      if (reference == subnet->size() || h < min_height) min_height = h;
+      reference = std::min(reference, i);
+    }
+    if (min_height >= 1) {
+      const auto* ref_block =
+          subnet->node(reference).chain().block_at(min_height);
+      for (std::size_t i = 0; i < subnet->size(); ++i) {
+        if (!subnet->alive(i) || i == reference) continue;
+        const auto* other = subnet->node(i).chain().block_at(min_height);
+        if (ref_block == nullptr || other == nullptr ||
+            ref_block->cid() != other->cid()) {
+          report.violations.push_back(
+              tag + ": replicas " + std::to_string(reference) + " and " +
+              std::to_string(i) + " diverge at height " +
+              std::to_string(min_height));
+        }
+      }
+    }
+
+    // ---- cross-net queues drained
+    std::string why;
+    if (!queues_drained(*subnet, &why)) {
+      report.violations.push_back(tag + ": " + why);
+    }
+
+    if (subnet->parent == nullptr) continue;
+
+    // ---- checkpoint chain commits at every ancestor edge
+    if (!checkpoint_committed(*subnet, &why)) {
+      report.violations.push_back(tag + ": " + why);
+    }
+    // ---- firewall / supply conservation (paper §II)
+    if (!supply_balanced(*subnet, &why)) {
+      report.violations.push_back(tag + ": " + why);
+    }
+  }
+  return report;
+}
+
+}  // namespace hc::chaos

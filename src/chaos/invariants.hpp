@@ -1,0 +1,40 @@
+// System-wide safety invariants checked after every chaos run.
+//
+// The checks encode what the paper guarantees must survive arbitrary
+// crash/partition/loss faults:
+//   - firewall / supply conservation (§II): for every tree edge, the
+//     parent-side circulating supply equals the child chain's live supply
+//     (total balance minus burnt funds);
+//   - no account balance ever goes negative;
+//   - no cross-net message is stuck forever once faults heal (every
+//     top-down queue fully applied, every adopted bottom-up meta executed,
+//     no window residue);
+//   - the checkpoint chain commits at every ancestor edge;
+//   - all alive replicas of a subnet agree on their common chain prefix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/hierarchy.hpp"
+
+namespace hc::chaos {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Quiescence predicate: every cross-net queue is drained, at least one
+/// checkpoint committed on every edge, and the firewall equality holds
+/// everywhere. Poll this (Hierarchy::run_until) after healing all faults;
+/// once it turns true the full invariant check below must pass.
+[[nodiscard]] bool quiescent(const runtime::Hierarchy& hierarchy);
+
+/// Evaluate every invariant and report all violations (empty = healthy).
+[[nodiscard]] InvariantReport check_invariants(
+    const runtime::Hierarchy& hierarchy);
+
+}  // namespace hc::chaos

@@ -1,0 +1,304 @@
+#include "chaos/runner.hpp"
+
+#include <utility>
+
+#include "actors/methods.hpp"
+#include "obs/export.hpp"
+
+namespace hc::chaos {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+core::SubnetParams chaos_params(const RunnerConfig& cfg) {
+  core::SubnetParams p;
+  p.name = "chaos";
+  p.consensus = core::ConsensusType::kPoaRoundRobin;
+  p.min_validator_stake = TokenAmount::whole(5);
+  p.min_collateral = TokenAmount::whole(10);
+  p.checkpoint_period = cfg.checkpoint_period;
+  // Threshold 2 so checkpoint quorum needs shares from more than one
+  // validator — signature collection itself is under test.
+  p.checkpoint_policy =
+      core::SignaturePolicy{core::SignaturePolicyKind::kMultiSig, 2};
+  return p;
+}
+
+consensus::EngineConfig chaos_engine(const RunnerConfig& cfg) {
+  consensus::EngineConfig e;
+  e.block_time = cfg.block_time;
+  e.timeout_base = 3 * cfg.block_time;
+  return e;
+}
+
+std::vector<NodeRef> whole_subnet(std::size_t subnet, std::size_t n) {
+  std::vector<NodeRef> refs;
+  refs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) refs.push_back(NodeRef{subnet, i});
+  return refs;
+}
+
+}  // namespace
+
+std::string RunResult::summary() const {
+  std::string s = scenario + " seed=" + std::to_string(seed) +
+                  (ok() ? " OK" : " FAIL");
+  if (!converged) s += " (no quiescence before deadline)";
+  if (!report.ok()) s += " [" + report.to_string() + "]";
+  return s;
+}
+
+ChaosRunner::ChaosRunner(RunnerConfig config) : config_(std::move(config)) {}
+
+RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
+  RunResult out;
+  out.scenario = scenario.name;
+  out.seed = seed;
+
+  runtime::HierarchyConfig cfg;
+  cfg.seed = seed;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params = chaos_params(config_);
+  cfg.root_validators = config_.root_validators;
+  cfg.root_engine = chaos_engine(config_);
+  runtime::Hierarchy h(cfg);
+
+  // ---- topology: children under the root, optional nested grandchild.
+  for (std::size_t c = 0; c < config_.children; ++c) {
+    auto spawned = h.spawn_subnet(h.root(), "c" + std::to_string(c),
+                                  chaos_params(config_),
+                                  config_.child_validators,
+                                  TokenAmount::whole(5), chaos_engine(config_));
+    if (!spawned.ok()) {
+      out.report.violations.push_back("spawn failed: " +
+                                      spawned.error().to_string());
+      return out;
+    }
+  }
+  if (config_.nested > 0 && config_.children > 0) {
+    auto spawned = h.spawn_subnet(*h.subnets().at(1), "g0",
+                                  chaos_params(config_),
+                                  config_.child_validators,
+                                  TokenAmount::whole(5), chaos_engine(config_));
+    if (!spawned.ok()) {
+      out.report.violations.push_back("nested spawn failed: " +
+                                      spawned.error().to_string());
+      return out;
+    }
+  }
+
+  // ---- workload identities: a root spender, one funded user per non-root
+  // subnet (funded top-down so the transfer machinery is primed), and one
+  // root-side sink per subnet for bottom-up releases.
+  auto root_user = h.make_user("chaos-root", TokenAmount::whole(500));
+  if (!root_user.ok()) {
+    out.report.violations.push_back("root user funding failed");
+    return out;
+  }
+  struct LocalUser {
+    runtime::Subnet* subnet;
+    runtime::User user;
+    Address sink;
+  };
+  std::vector<LocalUser> locals;
+  for (std::size_t s = 1; s < h.subnets().size(); ++s) {
+    runtime::Subnet* subnet = h.subnets()[s].get();
+    LocalUser lu;
+    lu.subnet = subnet;
+    lu.user.key =
+        crypto::KeyPair::from_label("chaos/user/" + std::to_string(s));
+    lu.user.addr = Address::key(lu.user.key.public_key().to_bytes());
+    lu.sink = Address::key(
+        crypto::KeyPair::from_label("chaos/sink/" + std::to_string(s))
+            .public_key()
+            .to_bytes());
+    auto r = h.send_cross(h.root(), root_user.value(), subnet->id,
+                          lu.user.addr, TokenAmount::whole(40));
+    if (!r.ok() || !r.value().ok()) {
+      out.report.violations.push_back("seed funding for " +
+                                      subnet->id.to_string() + " failed");
+      return out;
+    }
+    if (!h.run_until(
+            [&] {
+              return subnet->api_node().balance(lu.user.addr) >=
+                     TokenAmount::whole(40);
+            },
+            120 * sim::kSecond)) {
+      out.report.violations.push_back("seed funding for " +
+                                      subnet->id.to_string() + " stalled");
+      return out;
+    }
+    locals.push_back(std::move(lu));
+  }
+
+  h.run_for(config_.warmup);
+
+  // ---- arm the fault timeline and drive the workload through it.
+  const FaultPlan plan = scenario.plan(config_);
+  arm(plan, h);
+  out.faults_injected = plan.events().size();
+
+  const sim::Duration slice =
+      config_.fault_window /
+      static_cast<sim::Duration>(config_.transfer_rounds + 1);
+  for (std::size_t round = 0; round < config_.transfer_rounds; ++round) {
+    h.run_for(slice);
+    // Bottom-up release from every non-root subnet toward its root sink.
+    for (const LocalUser& lu : locals) {
+      actors::CrossParams p;
+      p.dest = core::SubnetId::root();
+      p.to = lu.sink;
+      (void)h.submit(*lu.subnet, lu.user, chain::kScaAddr,
+                     actors::sca_method::kSendCross, encode(p),
+                     config_.transfer);
+    }
+    // One top-down transfer per round, rotating across subnets (a single
+    // spender cannot overlap nonces within a round).
+    if (!locals.empty()) {
+      const LocalUser& lu = locals[round % locals.size()];
+      actors::CrossParams p;
+      p.dest = lu.subnet->id;
+      p.to = lu.user.addr;
+      (void)h.submit(h.root(), root_user.value(), chain::kScaAddr,
+                     actors::sca_method::kSendCross, encode(p),
+                     config_.transfer);
+    }
+  }
+  h.run_for(config_.fault_window -
+            slice * static_cast<sim::Duration>(config_.transfer_rounds));
+
+  // ---- heal everything the plan may have left open, then let the system
+  // quiesce. Recovery must need no outside help beyond the heal itself.
+  h.network().heal_partition();
+  h.network().clear_fault_rules();
+  h.network().set_drop_rate(0.0);
+  for (const auto& subnet : h.subnets()) {
+    for (std::size_t i = 0; i < subnet->size(); ++i) {
+      if (!subnet->alive(i)) (void)h.restart_node(*subnet, i);
+    }
+  }
+
+  out.converged =
+      h.run_until([&] { return quiescent(h); }, config_.settle);
+  out.report = check_invariants(h);
+
+  // ---- deterministic exports: same seed => byte-identical.
+  for (const auto& subnet : h.subnets()) {
+    const auto& api = subnet->api_node();
+    out.state_roots += subnet->id.to_string() + "@" +
+                       std::to_string(api.chain().height()) + "=" +
+                       api.state().flush().to_hex() + "\n";
+  }
+  out.metrics_json = obs::metrics_to_json(h.obs().metrics);
+  std::uint64_t fp = fnv1a(kFnvOffset, out.state_roots);
+  fp = fnv1a(fp, out.metrics_json);
+  fp = fnv1a(fp, obs::trace_to_chrome_json(h.obs().tracer));
+  out.fingerprint = fp;
+  return out;
+}
+
+std::vector<RunResult> ChaosRunner::sweep(
+    const std::vector<Scenario>& scenarios,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<RunResult> results;
+  results.reserve(scenarios.size() * seeds.size());
+  for (const Scenario& scenario : scenarios) {
+    for (const std::uint64_t seed : seeds) {
+      results.push_back(run(scenario, seed));
+    }
+  }
+  return results;
+}
+
+std::vector<Scenario> ChaosRunner::standard_scenarios() {
+  std::vector<Scenario> out;
+
+  out.push_back({"baseline", "no faults; invariants must hold trivially",
+                 [](const RunnerConfig&) { return FaultPlan{}; }});
+
+  out.push_back(
+      {"loss-20", "sustained 20% random loss across the whole window",
+       [](const RunnerConfig& cfg) {
+         FaultPlan p;
+         p.drop_rate(0, 0.20);
+         p.drop_rate(cfg.fault_window, 0.0);
+         return p;
+       }});
+
+  out.push_back(
+      {"partition-child",
+       "first child subnet partitioned away across a signing window",
+       [](const RunnerConfig& cfg) {
+         FaultPlan p;
+         p.partition(cfg.fault_window / 8,
+                     {whole_subnet(1, cfg.child_validators)});
+         p.heal(5 * cfg.fault_window / 8);
+         return p;
+       }});
+
+  out.push_back(
+      {"crash-signer",
+       "crash a checkpoint signer of the first child, restart mid-window",
+       [](const RunnerConfig& cfg) {
+         FaultPlan p;
+         p.crash(cfg.fault_window / 8,
+                 NodeRef{1, cfg.child_validators - 1});
+         p.restart(cfg.fault_window / 2,
+                   NodeRef{1, cfg.child_validators - 1});
+         return p;
+       }});
+
+  out.push_back(
+      {"crash-parent-view",
+       "crash the root validator serving as parent view and api endpoint",
+       [](const RunnerConfig& cfg) {
+         FaultPlan p;
+         p.crash(cfg.fault_window / 8, NodeRef{0, 0});
+         p.restart(cfg.fault_window / 2, NodeRef{0, 0});
+         return p;
+       }});
+
+  out.push_back(
+      {"gray-validator",
+       "one child validator on a lossy, slow, reordering line",
+       [](const RunnerConfig& cfg) {
+         net::LinkFault f;
+         f.drop = 0.4;
+         f.extra_delay = 30 * sim::kMillisecond;
+         f.reorder_jitter = 20 * sim::kMillisecond;
+         FaultPlan p;
+         p.node_fault(cfg.fault_window / 8, NodeRef{1, 1}, f);
+         p.clear_node_fault(3 * cfg.fault_window / 4, NodeRef{1, 1});
+         return p;
+       }});
+
+  out.push_back(
+      {"dup-reorder-root",
+       "duplicate and reorder every transmission touching the root",
+       [](const RunnerConfig& cfg) {
+         net::LinkFault f;
+         f.duplicate = 0.35;
+         f.reorder_jitter = 10 * sim::kMillisecond;
+         FaultPlan p;
+         for (std::size_t s = 0; s < cfg.root_validators; ++s) {
+           p.node_fault(cfg.fault_window / 8, NodeRef{0, s}, f);
+           p.clear_node_fault(3 * cfg.fault_window / 4, NodeRef{0, s});
+         }
+         return p;
+       }});
+
+  return out;
+}
+
+}  // namespace hc::chaos

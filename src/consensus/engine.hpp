@@ -148,6 +148,21 @@ class Engine {
   /// Blocks needing `n` confirmations before being final; 0 = instant
   /// finality (BFT engines). Used by benches reporting time-to-finality.
   [[nodiscard]] virtual int finality_depth() const { return 0; }
+
+ protected:
+  /// Wrap a timer callback so it dies with the engine. Engines leave timers
+  /// in the scheduler past stop() (epoch counters make them no-ops), but a
+  /// crash-restarted node DESTROYS its engine with timers still pending —
+  /// the guard turns those into no-ops instead of use-after-frees.
+  template <typename F>
+  [[nodiscard]] auto guarded(F fn) {
+    return [weak = std::weak_ptr<const bool>(alive_), fn = std::move(fn)] {
+      if (const auto alive = weak.lock()) fn();
+    };
+  }
+
+ private:
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 /// Factory covering every ConsensusType a subnet can choose (paper §II).

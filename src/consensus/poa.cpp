@@ -40,6 +40,7 @@ void PoaRoundRobin::tick() {
   }
   const chain::Epoch next = ctx_.source->head_height() + 1;
   if (next > last_produced_ &&
+      ctx_.scheduler->now() >= no_produce_before_ &&
       leader(next).key == ctx_.key.public_key()) {
     last_produced_ = next;
     metrics_.round();
@@ -90,7 +91,8 @@ void PoaRoundRobin::on_message(net::NodeId from, const Bytes& payload) {
   if (msg.height <= ctx_.source->head_height()) return;  // already have it
   const Bytes proof =
       from_leader ? encode(msg.signature) : msg.extra;
-  pending_[msg.height] = PendingBlock{std::move(block).value(), proof};
+  pending_[msg.height] =
+      PendingBlock{std::move(block).value(), proof, !from_leader};
   if (msg.height > ctx_.source->head_height() + 1 &&
       !pending_.contains(ctx_.source->head_height() + 1)) {
     request_catch_up();
@@ -99,6 +101,16 @@ void PoaRoundRobin::on_message(net::NodeId from, const Bytes& payload) {
 }
 
 void PoaRoundRobin::request_catch_up() {
+  // One request per block time: a served batch arriving out of order must
+  // not trigger a fresh broadcast per block (every peer answers every
+  // request with a signed batch — unthrottled, that feedback amplifies
+  // exponentially until the scheduler drowns).
+  const sim::Time now = ctx_.scheduler->now();
+  if (last_catch_up_request_ >= 0 &&
+      now < last_catch_up_request_ + cfg_.block_time) {
+    return;
+  }
+  last_catch_up_request_ = now;
   metrics_.catch_up();
   ctx_.network->publish(
       ctx_.node, ctx_.topic,
@@ -133,6 +145,14 @@ void PoaRoundRobin::try_commit_pending() {
               .kv("height", pb.block.header.height)
           << "poa: rejecting block: " << ok.error().to_string();
       continue;
+    }
+    if (pb.relayed) {
+      // Accepting a relayed copy proves we are replaying history; hold off
+      // producing until replay has visibly drained (the window covers the
+      // stall-detection delay plus a serve round trip, and every further
+      // relayed commit re-arms it). Producing mid-replay would fork us off
+      // the canonical chain at the first height where we are leader.
+      no_produce_before_ = ctx_.scheduler->now() + 5 * cfg_.block_time;
     }
     ctx_.source->commit_block(std::move(pb.block), std::move(pb.proof));
   }

@@ -38,7 +38,8 @@ class PoaRoundRobin final : public Engine {
 
   struct PendingBlock {
     chain::Block block;
-    Bytes proof;  // the height leader's signature
+    Bytes proof;    // the height leader's signature
+    bool relayed;   // arrived as a catch-up copy, not straight from leader
   };
 
   EngineContext ctx_;
@@ -52,6 +53,17 @@ class PoaRoundRobin final : public Engine {
   /// Stall detection for catch-up requests.
   chain::Epoch last_seen_head_ = 0;
   int stalled_ticks_ = 0;
+  /// Production is suppressed until this time after committing a relayed
+  /// catch-up block: having accepted a relayed copy proves this replica is
+  /// behind, and producing for a height the true chain already holds would
+  /// fork it off permanently (PoA has no reorg). The window is re-armed on
+  /// every relayed commit, so it only expires once replay has drained.
+  sim::Time no_produce_before_ = 0;
+  /// Rate limit: at most one catch-up request per block time. Without it a
+  /// burst of out-of-order served blocks triggers one request each, every
+  /// request makes every peer sign and broadcast a full batch, and the
+  /// feedback loop amplifies exponentially.
+  sim::Time last_catch_up_request_ = -1;
 };
 
 }  // namespace hc::consensus

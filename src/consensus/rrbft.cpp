@@ -46,25 +46,25 @@ void RoundRobinBft::start_round(std::uint32_t round) {
     // proposing (round > 0 backups fire immediately — they are already
     // late).
     const sim::Duration delay = round == 0 ? cfg_.block_time : 0;
-    ctx_.scheduler->schedule(delay, [this, epoch, round] {
+    ctx_.scheduler->schedule(delay, guarded([this, epoch, round] {
       if (!running_ || timer_epoch_ != epoch) return;
       chain::Block block = ctx_.source->build_block(
           Address::key(ctx_.key.public_key().to_bytes()));
       broadcast(WireMsg::make(WireKind::kProposal, height_, round,
                               block.cid(), encode(block), ctx_.key));
-    });
+    }));
   }
   // Leader-failure timeout.
   const sim::Duration timeout =
       cfg_.block_time + cfg_.timeout_base +
       static_cast<sim::Duration>(round) * (cfg_.timeout_base / 2);
-  ctx_.scheduler->schedule(timeout, [this, epoch, round] {
+  ctx_.scheduler->schedule(timeout, guarded([this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
     if (round == round_) {
       metrics_.timeout();
       start_round(round + 1);
     }
-  });
+  }));
 }
 
 void RoundRobinBft::broadcast(WireMsg msg) {

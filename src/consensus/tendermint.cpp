@@ -63,7 +63,7 @@ void Tendermint::start_round(std::uint32_t round) {
     // commit -> new height -> proposal never nests inside a vote handler.
     const sim::Duration delay = round == 0 ? cfg_.block_time : 0;
     const chain::Epoch height = height_;
-    ctx_.scheduler->schedule(delay, [this, epoch, round, height] {
+    ctx_.scheduler->schedule(delay, guarded([this, epoch, round, height] {
       if (!running_ || timer_epoch_ != epoch || height != height_) return;
       chain::Block block =
           locked_block_.has_value()
@@ -72,17 +72,17 @@ void Tendermint::start_round(std::uint32_t round) {
                     Address::key(ctx_.key.public_key().to_bytes()));
       broadcast(WireMsg::make(WireKind::kProposal, height_, round,
                               block.cid(), encode(block), ctx_.key));
-    });
+    }));
   }
   // Propose timeout: prevote nil if no (acceptable) proposal arrived.
   ctx_.scheduler->schedule(cfg_.block_time + timeout_for(round),
-                           [this, epoch, round] {
+                           guarded([this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
     if (step_ == Step::kPropose) {
       metrics_.timeout();
       do_prevote(round);
     }
-  });
+  }));
 }
 
 void Tendermint::broadcast(WireMsg msg) {
@@ -156,13 +156,13 @@ void Tendermint::do_prevote(std::uint32_t round) {
 
   // Prevote timeout: precommit nil if no polka materializes.
   const std::uint64_t epoch = timer_epoch_;
-  ctx_.scheduler->schedule(timeout_for(round), [this, epoch, round] {
+  ctx_.scheduler->schedule(timeout_for(round), guarded([this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
     if (step_ == Step::kPrevote && round == round_) {
       metrics_.timeout();
       do_precommit(round, Cid());
     }
-  });
+  }));
 }
 
 void Tendermint::on_prevote(const WireMsg& msg) {
@@ -200,13 +200,13 @@ void Tendermint::do_precommit(std::uint32_t round, const Cid& cid) {
 
   // Precommit timeout: move to the next round if nothing commits.
   const std::uint64_t epoch = timer_epoch_;
-  ctx_.scheduler->schedule(timeout_for(round), [this, epoch, round] {
+  ctx_.scheduler->schedule(timeout_for(round), guarded([this, epoch, round] {
     if (!running_ || timer_epoch_ != epoch) return;
     if (round == round_) {
       metrics_.timeout();
       start_round(round + 1);
     }
-  });
+  }));
 }
 
 void Tendermint::on_precommit(const WireMsg& msg) {

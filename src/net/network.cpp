@@ -2,9 +2,50 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
+#include <stdexcept>
 
 namespace hc::net {
+
+namespace {
+
+double clamp_probability(double p) {
+  if (std::isnan(p)) return 0.0;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+LinkFault sanitize(LinkFault f) {
+  f.drop = clamp_probability(f.drop);
+  f.duplicate = clamp_probability(f.duplicate);
+  f.extra_delay = std::max<sim::Duration>(0, f.extra_delay);
+  f.reorder_jitter = std::max<sim::Duration>(0, f.reorder_jitter);
+  return f;
+}
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to);
+}
+
+/// Probability that at least one of two independent events fires.
+double combine_prob(double a, double b) { return 1.0 - (1.0 - a) * (1.0 - b); }
+
+}  // namespace
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kRandomLoss:
+      return "random-loss";
+    case DropReason::kNodeDown:
+      return "node-down";
+    case DropReason::kPartition:
+      return "partition";
+    case DropReason::kLinkRule:
+      return "link-rule";
+  }
+  return "unknown";
+}
 
 Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
                  std::uint64_t seed, GossipConfig config, obs::Obs* obs)
@@ -17,11 +58,28 @@ Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
       m_bytes_(&obs_->metrics.counter("net_bytes_sent_total")),
       m_delivered_(&obs_->metrics.counter("net_messages_delivered_total")),
       m_dropped_(&obs_->metrics.counter("net_messages_dropped_total")),
+      m_duplicated_(&obs_->metrics.counter("net_messages_duplicated_total")),
       m_duplicates_(&obs_->metrics.counter("net_gossip_duplicates_total")),
       h_direct_latency_(&obs_->metrics.histogram(
           "net_delivery_latency_us", obs::Labels{{"kind", "direct"}})),
       h_gossip_latency_(&obs_->metrics.histogram(
-          "net_delivery_latency_us", obs::Labels{{"kind", "gossip"}})) {}
+          "net_delivery_latency_us", obs::Labels{{"kind", "gossip"}})) {
+  if (config_.mesh_degree == 0) {
+    throw std::invalid_argument(
+        "GossipConfig::mesh_degree must be >= 1 (a zero-degree mesh never "
+        "forwards anything)");
+  }
+  if (config_.max_hops < 1) {
+    throw std::invalid_argument(
+        "GossipConfig::max_hops must be >= 1 (messages need at least one "
+        "hop to reach a subscriber)");
+  }
+  for (std::uint8_t r = 0; r < 4; ++r) {
+    m_dropped_by_reason_[r] = &obs_->metrics.counter(
+        "net_messages_dropped_total",
+        obs::Labels{{"reason", to_string(static_cast<DropReason>(r))}});
+  }
+}
 
 NodeId Network::add_node() {
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -38,15 +96,89 @@ void Network::set_topic_handler(NodeId node, TopicHandler handler) {
   nodes_.at(node).on_topic = std::move(handler);
 }
 
+void Network::set_drop_rate(double p) { drop_rate_ = clamp_probability(p); }
+
+LinkFault Network::effective_fault(NodeId from, NodeId to) const {
+  LinkFault out;
+  if (!link_faults_.empty()) {
+    auto it = link_faults_.find(link_key(from, to));
+    if (it != link_faults_.end()) out = it->second;
+  }
+  if (!node_faults_.empty()) {
+    for (const NodeId endpoint : {from, to}) {
+      auto it = node_faults_.find(endpoint);
+      if (it == node_faults_.end()) continue;
+      out.drop = combine_prob(out.drop, it->second.drop);
+      out.duplicate = combine_prob(out.duplicate, it->second.duplicate);
+      out.extra_delay += it->second.extra_delay;
+      out.reorder_jitter += it->second.reorder_jitter;
+    }
+  }
+  return out;
+}
+
 bool Network::can_reach(NodeId from, NodeId to) const {
   if (nodes_[from].down || nodes_[to].down) return false;
   if (!partitioned_) return true;
   return partition_group_[from] == partition_group_[to];
 }
 
-bool Network::faulted(NodeId from, NodeId to) {
-  if (!can_reach(from, to)) return true;
-  return drop_rate_ > 0.0 && rng_.chance(drop_rate_);
+std::optional<DropReason> Network::transmission_drop(NodeId from, NodeId to,
+                                                     const LinkFault& fault) {
+  if (nodes_[from].down || nodes_[to].down) return DropReason::kNodeDown;
+  if (partitioned_ && partition_group_[from] != partition_group_[to]) {
+    return DropReason::kPartition;
+  }
+  if (fault.drop > 0.0 && rng_.chance(fault.drop)) {
+    return DropReason::kLinkRule;
+  }
+  if (drop_rate_ > 0.0 && rng_.chance(drop_rate_)) {
+    return DropReason::kRandomLoss;
+  }
+  return std::nullopt;
+}
+
+void Network::count_drop(DropReason reason) {
+  ++stats_.messages_dropped;
+  m_dropped_->inc();
+  m_dropped_by_reason_[static_cast<std::uint8_t>(reason)]->inc();
+  switch (reason) {
+    case DropReason::kRandomLoss:
+      ++stats_.dropped_random_loss;
+      break;
+    case DropReason::kNodeDown:
+      ++stats_.dropped_node_down;
+      break;
+    case DropReason::kPartition:
+      ++stats_.dropped_partition;
+      break;
+    case DropReason::kLinkRule:
+      ++stats_.dropped_link_rule;
+      break;
+  }
+}
+
+sim::Duration Network::transmission_delay(NodeId from, NodeId to,
+                                          const LinkFault& fault) {
+  sim::Duration delay = latency_.sample(from, to, rng_) + fault.extra_delay;
+  if (fault.reorder_jitter > 0) {
+    delay += static_cast<sim::Duration>(rng_.uniform(
+        static_cast<std::uint64_t>(fault.reorder_jitter) + 1));
+  }
+  return delay;
+}
+
+void Network::deliver_direct(NodeId from, NodeId to,
+                             std::shared_ptr<const Bytes> payload,
+                             sim::Duration delay) {
+  h_direct_latency_->observe(delay);
+  scheduler_.schedule(delay, [this, from, to, payload] {
+    Node& node = nodes_[to];
+    if (node.down || !node.on_direct) return;
+    ++stats_.messages_delivered;
+    m_delivered_->inc();
+    node.on_direct(from, *payload);
+  });
 }
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
@@ -55,21 +187,18 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   stats_.bytes_sent += payload.size();
   m_sent_->inc();
   m_bytes_->inc(payload.size());
-  if (faulted(from, to)) {
-    ++stats_.messages_dropped;
-    m_dropped_->inc();
+  const LinkFault fault = effective_fault(from, to);
+  if (auto reason = transmission_drop(from, to, fault); reason.has_value()) {
+    count_drop(*reason);
     return;
   }
-  const sim::Duration delay = latency_.sample(from, to, rng_);
-  h_direct_latency_->observe(delay);
-  auto shared = std::make_shared<Bytes>(std::move(payload));
-  scheduler_.schedule(delay, [this, from, to, shared] {
-    Node& node = nodes_[to];
-    if (node.down || !node.on_direct) return;
-    ++stats_.messages_delivered;
-    m_delivered_->inc();
-    node.on_direct(from, *shared);
-  });
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  deliver_direct(from, to, shared, transmission_delay(from, to, fault));
+  if (fault.duplicate > 0.0 && rng_.chance(fault.duplicate)) {
+    ++stats_.messages_duplicated;
+    m_duplicated_->inc();
+    deliver_direct(from, to, shared, transmission_delay(from, to, fault));
+  }
 }
 
 void Network::subscribe(NodeId node, const std::string& topic) {
@@ -160,20 +289,10 @@ void Network::publish(NodeId from, const std::string& topic, Bytes payload) {
   }
 }
 
-void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
-                             std::shared_ptr<const Bytes> payload,
-                             NodeId origin, std::uint64_t msg_id,
-                             int hops_left) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload->size();
-  m_sent_->inc();
-  m_bytes_->inc(payload->size());
-  if (faulted(from, to)) {
-    ++stats_.messages_dropped;
-    m_dropped_->inc();
-    return;
-  }
-  const sim::Duration delay = latency_.sample(from, to, rng_);
+void Network::schedule_gossip_hop(NodeId to, const std::string& topic,
+                                  std::shared_ptr<const Bytes> payload,
+                                  NodeId origin, std::uint64_t msg_id,
+                                  int hops_left, sim::Duration delay) {
   h_gossip_latency_->observe(delay);
   scheduler_.schedule(delay, [this, to, topic, payload, origin, msg_id,
                               hops_left] {
@@ -200,6 +319,29 @@ void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
   });
 }
 
+void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
+                             std::shared_ptr<const Bytes> payload,
+                             NodeId origin, std::uint64_t msg_id,
+                             int hops_left) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload->size();
+  m_sent_->inc();
+  m_bytes_->inc(payload->size());
+  const LinkFault fault = effective_fault(from, to);
+  if (auto reason = transmission_drop(from, to, fault); reason.has_value()) {
+    count_drop(*reason);
+    return;
+  }
+  schedule_gossip_hop(to, topic, payload, origin, msg_id, hops_left,
+                      transmission_delay(from, to, fault));
+  if (fault.duplicate > 0.0 && rng_.chance(fault.duplicate)) {
+    ++stats_.messages_duplicated;
+    m_duplicated_->inc();
+    schedule_gossip_hop(to, topic, payload, origin, msg_id, hops_left,
+                        transmission_delay(from, to, fault));
+  }
+}
+
 void Network::set_node_down(NodeId node, bool down) {
   nodes_.at(node).down = down;
 }
@@ -219,6 +361,53 @@ void Network::set_partition(const std::vector<std::vector<NodeId>>& groups) {
 void Network::heal_partition() {
   partitioned_ = false;
   std::fill(partition_group_.begin(), partition_group_.end(), -1);
+}
+
+void Network::set_link_fault(NodeId from, NodeId to, LinkFault fault) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  fault = sanitize(fault);
+  if (!fault.active()) {
+    clear_link_fault(from, to);
+    return;
+  }
+  link_faults_[link_key(from, to)] = fault;
+}
+
+void Network::clear_link_fault(NodeId from, NodeId to) {
+  link_faults_.erase(link_key(from, to));
+}
+
+void Network::set_node_fault(NodeId node, LinkFault fault) {
+  assert(node < nodes_.size());
+  fault = sanitize(fault);
+  if (!fault.active()) {
+    clear_node_fault(node);
+    return;
+  }
+  node_faults_[node] = fault;
+}
+
+void Network::clear_node_fault(NodeId node) { node_faults_.erase(node); }
+
+void Network::clear_fault_rules() {
+  link_faults_.clear();
+  node_faults_.clear();
+}
+
+void Network::reset_node(NodeId node) {
+  Node& n = nodes_.at(node);
+  n.on_direct = nullptr;
+  n.on_topic = nullptr;
+  n.seen.clear();
+  n.mesh.clear();
+  // Withdraw from every topic (and re-knit the meshes left behind).
+  for (auto& [topic, t] : topics_) {
+    auto& subs = t.subscribers;
+    const auto it = std::find(subs.begin(), subs.end(), node);
+    if (it == subs.end()) continue;
+    subs.erase(it);
+    rebuild_meshes(topic);
+  }
 }
 
 }  // namespace hc::net

@@ -9,13 +9,18 @@
 // subscriber count like the deployed system, instead of being a magic
 // broadcast.
 //
-// Fault injection: per-message drop probability, node crash/down flags and
-// named partitions; used by the failure-injection tests and benches.
+// Fault injection (see DESIGN.md §9, driven by src/chaos): a global
+// per-message drop probability, node crash/down flags, named partitions,
+// and per-link / per-node fault rules that drop, delay, duplicate and
+// reorder individual transmissions. Every drop is attributed to a reason in
+// both Stats and the metrics registry, so chaos runs can tell random loss
+// from partitions from gray links.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,13 +37,47 @@ namespace hc::net {
 
 using sim::NodeId;
 
-/// Tuning knobs for the gossip mesh.
+/// Tuning knobs for the gossip mesh. Validated by Network's constructor:
+/// a zero mesh degree or a hop budget below 1 would silently disconnect the
+/// mesh, so both are rejected with std::invalid_argument.
 struct GossipConfig {
-  /// Mesh degree: peers a node eagerly forwards to per topic.
+  /// Mesh degree: peers a node eagerly forwards to per topic (>= 1).
   std::size_t mesh_degree = 6;
-  /// Hop budget: messages stop propagating after this many hops.
+  /// Hop budget: messages stop propagating after this many hops (>= 1).
   int max_hops = 16;
 };
+
+/// A fault rule applied to transmissions on one directed link (or to every
+/// link touching a node, when installed via set_node_fault). Probabilities
+/// are clamped to [0,1]; negative durations are clamped to 0. A "gray" link
+/// is simply a rule with a high drop rate and nothing else.
+struct LinkFault {
+  /// Additional drop probability on top of the global rate.
+  double drop = 0.0;
+  /// Fixed extra latency added to every transmission.
+  sim::Duration extra_delay = 0;
+  /// Probability that a transmission is delivered twice (the duplicate
+  /// takes an independently sampled latency, so copies can reorder).
+  double duplicate = 0.0;
+  /// Per-transmission uniform extra delay in [0, reorder_jitter]; enough
+  /// jitter reorders messages that were sent back-to-back on the link.
+  sim::Duration reorder_jitter = 0;
+
+  [[nodiscard]] bool active() const {
+    return drop > 0.0 || extra_delay > 0 || duplicate > 0.0 ||
+           reorder_jitter > 0;
+  }
+};
+
+/// Why a transmission was dropped (Stats and metric label).
+enum class DropReason : std::uint8_t {
+  kRandomLoss = 0,  // global drop rate
+  kNodeDown = 1,    // sender or receiver marked down
+  kPartition = 2,   // endpoints in different partition groups
+  kLinkRule = 3,    // per-link / per-node fault rule
+};
+
+[[nodiscard]] const char* to_string(DropReason reason);
 
 class Network {
  public:
@@ -48,7 +87,8 @@ class Network {
                                           const Bytes& payload)>;
 
   /// `obs` routes network metrics into a registry; nullptr falls back to
-  /// the process-wide obs::default_obs().
+  /// the process-wide obs::default_obs(). Throws std::invalid_argument for
+  /// an invalid GossipConfig (mesh_degree == 0 or max_hops < 1).
   Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
           std::uint64_t seed, GossipConfig config = {},
           obs::Obs* obs = nullptr);
@@ -81,8 +121,10 @@ class Network {
 
   // -------------------------------------------------------------- faults
 
-  /// Drop each transmission independently with probability p.
-  void set_drop_rate(double p) { drop_rate_ = p; }
+  /// Drop each transmission independently with probability p (clamped to
+  /// [0,1]; NaN is treated as 0).
+  void set_drop_rate(double p);
+  [[nodiscard]] double drop_rate() const { return drop_rate_; }
 
   /// Mark a node down: it neither receives nor emits anything.
   void set_node_down(NodeId node, bool down);
@@ -93,14 +135,38 @@ class Network {
   void set_partition(const std::vector<std::vector<NodeId>>& groups);
   void heal_partition();
 
+  /// Install a fault rule on the directed link from -> to (replaces any
+  /// previous rule on that link). An inactive rule clears the link.
+  void set_link_fault(NodeId from, NodeId to, LinkFault fault);
+  void clear_link_fault(NodeId from, NodeId to);
+  /// Install a fault rule on every transmission that `node` sends or
+  /// receives (gray node). Composes with link rules: probabilities combine
+  /// independently, delays add.
+  void set_node_fault(NodeId node, LinkFault fault);
+  void clear_node_fault(NodeId node);
+  /// Drop every link and node fault rule (partitions, down flags and the
+  /// global drop rate are governed separately).
+  void clear_fault_rules();
+
+  /// Forget a node's transport state: handlers, subscriptions, gossip
+  /// dedup cache and mesh links. Models a crash that loses all in-memory
+  /// state; the id stays valid and a restarted owner re-wires it.
+  void reset_node(NodeId node);
+
   // --------------------------------------------------------------- stats
 
   struct Stats {
     std::uint64_t messages_sent = 0;       // transmissions attempted
     std::uint64_t bytes_sent = 0;
     std::uint64_t messages_delivered = 0;  // handler invocations
-    std::uint64_t messages_dropped = 0;    // lost to faults
-    std::uint64_t gossip_duplicates = 0;   // dedup hits at receivers
+    std::uint64_t messages_dropped = 0;    // lost to faults (total)
+    // messages_dropped split by cause:
+    std::uint64_t dropped_random_loss = 0;
+    std::uint64_t dropped_node_down = 0;
+    std::uint64_t dropped_partition = 0;
+    std::uint64_t dropped_link_rule = 0;
+    std::uint64_t messages_duplicated = 0;  // fault-injected extra copies
+    std::uint64_t gossip_duplicates = 0;    // dedup hits at receivers
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
@@ -125,12 +191,31 @@ class Network {
     std::vector<NodeId> subscribers;
   };
 
+  /// Combined fault rule for one transmission: the directed link rule plus
+  /// both endpoints' node rules (probabilities composed independently,
+  /// delays summed, jitter summed). `active()` false when unfaulted.
+  [[nodiscard]] LinkFault effective_fault(NodeId from, NodeId to) const;
+
   [[nodiscard]] bool can_reach(NodeId from, NodeId to) const;
-  [[nodiscard]] bool faulted(NodeId from, NodeId to);
+  /// Roll the dice for one transmission. Returns the drop reason, or
+  /// nullopt when it goes through.
+  [[nodiscard]] std::optional<DropReason> transmission_drop(
+      NodeId from, NodeId to, const LinkFault& fault);
+  void count_drop(DropReason reason);
+  /// Latency sample plus fault-rule delay and reorder jitter.
+  [[nodiscard]] sim::Duration transmission_delay(NodeId from, NodeId to,
+                                                 const LinkFault& fault);
   void rebuild_meshes(const std::string& topic);
+  void deliver_direct(NodeId from, NodeId to,
+                      std::shared_ptr<const Bytes> payload,
+                      sim::Duration delay);
   void gossip_deliver(NodeId from, NodeId to, const std::string& topic,
                       std::shared_ptr<const Bytes> payload, NodeId origin,
                       std::uint64_t msg_id, int hops_left);
+  void schedule_gossip_hop(NodeId to, const std::string& topic,
+                           std::shared_ptr<const Bytes> payload, NodeId origin,
+                           std::uint64_t msg_id, int hops_left,
+                           sim::Duration delay);
 
   sim::Scheduler& scheduler_;
   sim::LatencyModel latency_;
@@ -142,6 +227,10 @@ class Network {
   // partition_group_[node] = group id; -1 = unpartitioned.
   std::vector<int> partition_group_;
   bool partitioned_ = false;
+  // Directed-link fault rules keyed by (from << 32) | to.
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
+  // Per-node fault rules (applied to both directions).
+  std::unordered_map<NodeId, LinkFault> node_faults_;
   std::uint64_t next_msg_seq_ = 0;
   Stats stats_;
 
@@ -151,6 +240,8 @@ class Network {
   obs::Counter* m_bytes_;
   obs::Counter* m_delivered_;
   obs::Counter* m_dropped_;
+  obs::Counter* m_dropped_by_reason_[4];
+  obs::Counter* m_duplicated_;
   obs::Counter* m_duplicates_;
   obs::Histogram* h_direct_latency_;
   obs::Histogram* h_gossip_latency_;

@@ -1,6 +1,7 @@
 #include "runtime/hierarchy.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "actors/basic.hpp"
 #include "actors/methods.hpp"
@@ -8,6 +9,22 @@
 #include "common/log.hpp"
 
 namespace hc::runtime {
+
+std::size_t Subnet::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes) {
+    if (node) ++n;
+  }
+  return n;
+}
+
+SubnetNode& Subnet::api_node() const {
+  for (const auto& node : nodes) {
+    if (node) return *node;
+  }
+  throw std::runtime_error("subnet " + id.to_string() +
+                           ": every validator is crashed");
+}
 
 namespace {
 
@@ -50,6 +67,7 @@ Hierarchy::Hierarchy(HierarchyConfig config)
   auto root = std::make_unique<Subnet>();
   root->id = core::SubnetId::root();
   root->params = config_.root_params;
+  root->engine = config_.root_engine;
   for (std::size_t i = 0; i < config_.root_validators; ++i) {
     root->validator_keys.push_back(
         crypto::KeyPair::from_label("root-val-" + std::to_string(i)));
@@ -69,6 +87,7 @@ Hierarchy::Hierarchy(HierarchyConfig config)
     genesis.set(Address::key(k.public_key().to_bytes()), v);
   }
 
+  root->genesis = genesis.snapshot();
   const auto validators = make_validator_set(root->validator_keys);
   for (const auto& k : root->validator_keys) {
     NodeConfig nc;
@@ -78,6 +97,7 @@ Hierarchy::Hierarchy(HierarchyConfig config)
     root->nodes.push_back(std::make_unique<SubnetNode>(
         scheduler_, network_, registry_, nc, k, validators,
         genesis.snapshot()));
+    root->node_ids.push_back(root->nodes.back()->net_id());
   }
   for (auto& n : root->nodes) n->start();
   root_ = root.get();
@@ -86,7 +106,9 @@ Hierarchy::Hierarchy(HierarchyConfig config)
 
 Hierarchy::~Hierarchy() {
   for (auto& s : subnets_) {
-    for (auto& n : s->nodes) n->stop();
+    for (auto& n : s->nodes) {
+      if (n) n->stop();
+    }
   }
 }
 
@@ -115,14 +137,14 @@ Result<User> Hierarchy::make_user(const std::string& label, TokenAmount funds,
   chain::Message m;
   m.from = faucet_user.addr;
   m.to = user.addr;
-  m.nonce = root_->node(0).account_nonce(faucet_user.addr);
+  m.nonce = root_->api_node().account_nonce(faucet_user.addr);
   m.value = funds;
   m.gas_limit = 1u << 22;
   m.gas_price = TokenAmount::atto(1);
-  HC_TRY_STATUS(root_->node(0).submit_message(
+  HC_TRY_STATUS(root_->api_node().submit_message(
       chain::SignedMessage::sign(std::move(m), faucet_)));
   const bool funded = run_until(
-      [&] { return root_->node(0).balance(user.addr) >= funds; }, timeout);
+      [&] { return root_->api_node().balance(user.addr) >= funds; }, timeout);
   if (!funded) {
     return Error(Errc::kTimeout, "user funding did not land");
   }
@@ -135,13 +157,13 @@ Status Hierarchy::submit(Subnet& subnet, const User& user, const Address& to,
   chain::Message m;
   m.from = user.addr;
   m.to = to;
-  m.nonce = subnet.node(0).account_nonce(user.addr);
+  m.nonce = subnet.api_node().account_nonce(user.addr);
   m.value = value;
   m.method = method;
   m.params = std::move(params);
   m.gas_limit = 1u << 26;
   m.gas_price = TokenAmount::atto(1);
-  return subnet.node(0).submit_message(
+  return subnet.api_node().submit_message(
       chain::SignedMessage::sign(std::move(m), user.key));
 }
 
@@ -150,7 +172,7 @@ Result<chain::Receipt> Hierarchy::call(Subnet& subnet, const User& user,
                                        chain::MethodNum method, Bytes params,
                                        TokenAmount value,
                                        sim::Duration timeout) {
-  const std::uint64_t nonce = subnet.node(0).account_nonce(user.addr);
+  const std::uint64_t nonce = subnet.api_node().account_nonce(user.addr);
   chain::Message m;
   m.from = user.addr;
   m.to = to;
@@ -161,23 +183,26 @@ Result<chain::Receipt> Hierarchy::call(Subnet& subnet, const User& user,
   m.gas_limit = 1u << 26;
   m.gas_price = TokenAmount::atto(1);
   const auto sm = chain::SignedMessage::sign(std::move(m), user.key);
-  HC_TRY_STATUS(subnet.node(0).submit_message(sm));
+  HC_TRY_STATUS(subnet.api_node().submit_message(sm));
 
   // Wait until the account nonce passes ours, then locate the receipt.
+  // The endpoint is re-resolved on every poll so a crash of the current
+  // api node mid-wait does not leave us polling a dead reference.
   const bool included = run_until(
-      [&] { return subnet.node(0).account_nonce(user.addr) > nonce; },
+      [&] { return subnet.api_node().account_nonce(user.addr) > nonce; },
       timeout);
   if (!included) {
     return Error(Errc::kTimeout, "message was not included in time");
   }
   // Find the receipt by scanning recent blocks for our message.
-  const auto& store = subnet.node(0).chain();
+  SubnetNode& api = subnet.api_node();
+  const auto& store = api.chain();
   for (chain::Epoch h = store.height(); h >= 1; --h) {
     const auto* block = store.block_at(h);
     if (block == nullptr) break;
     for (std::size_t i = 0; i < block->messages.size(); ++i) {
       if (block->messages[i] == sm) {
-        const auto* receipts = subnet.node(0).receipts_at(h);
+        const auto* receipts = api.receipts_at(h);
         if (receipts == nullptr) {
           return Error(Errc::kNotFound, "receipts pruned");
         }
@@ -222,14 +247,14 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
       chain::Message m;
       m.from = faucet_user.addr;
       m.to = u.addr;
-      m.nonce = root_->node(0).account_nonce(faucet_user.addr);
+      m.nonce = root_->api_node().account_nonce(faucet_user.addr);
       m.value = validator_funds;
       m.gas_limit = 1u << 22;
       m.gas_price = TokenAmount::atto(1);
-      HC_TRY_STATUS(root_->node(0).submit_message(
+      HC_TRY_STATUS(root_->api_node().submit_message(
           chain::SignedMessage::sign(std::move(m), faucet_)));
       if (!run_until([&] {
-            return root_->node(0).balance(u.addr) >= validator_funds;
+            return root_->api_node().balance(u.addr) >= validator_funds;
           }, timeout)) {
         return Error(Errc::kTimeout, "validator funding did not land");
       }
@@ -246,7 +271,7 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
                                           receipt.error);
       }
       if (!run_until([&] {
-            return parent.node(0).balance(u.addr) >= validator_funds;
+            return parent.api_node().balance(u.addr) >= validator_funds;
           }, timeout)) {
         return Error(Errc::kTimeout, "cross-net validator funding stalled");
       }
@@ -278,7 +303,7 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
   }
   const bool registered = run_until(
       [&] {
-        const auto sa = parent.node(0).sa_state(sa_addr);
+        const auto sa = parent.api_node().sa_state(sa_addr);
         return sa.has_value() && sa->registered;
       },
       timeout);
@@ -294,11 +319,13 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
   child->id = parent.id.child(sa_addr);
   child->sa = sa_addr;
   child->params = params;
+  child->engine = engine;
   child->parent = &parent;
   child->validator_keys = keys;
 
   chain::StateTree genesis =
       base_genesis(child->id, params.checkpoint_period);
+  child->genesis = genesis.snapshot();
   const auto validators = make_validator_set(keys);
   for (std::size_t i = 0; i < n_validators; ++i) {
     NodeConfig nc;
@@ -309,14 +336,107 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
     auto node = std::make_unique<SubnetNode>(scheduler_, network_, registry_,
                                              nc, keys[i], validators,
                                              genesis.snapshot());
-    node->attach_parent(&parent.node(i % parent.size()));
+    // Spread parent views across alive parent replicas (paper §II: child
+    // nodes run full nodes on the parent subnet).
+    SubnetNode* view = nullptr;
+    for (std::size_t off = 0; off < parent.size(); ++off) {
+      const std::size_t slot = (i + off) % parent.size();
+      if (parent.alive(slot)) {
+        view = parent.nodes[slot].get();
+        break;
+      }
+    }
+    node->attach_parent(view);
     child->nodes.push_back(std::move(node));
+    child->node_ids.push_back(child->nodes.back()->net_id());
   }
   for (auto& n : child->nodes) n->start();
 
   Subnet* out = child.get();
   subnets_.push_back(std::move(child));
   return out;
+}
+
+Status Hierarchy::crash_node(Subnet& subnet, std::size_t i) {
+  if (i >= subnet.nodes.size()) {
+    return Error(Errc::kInvalidArgument, "no such validator slot");
+  }
+  if (!subnet.nodes[i]) {
+    return Error(Errc::kInvalidArgument, "validator already crashed");
+  }
+  SubnetNode* dying = subnet.nodes[i].get();
+  dying->stop();
+
+  // Child subnet nodes hold a trusted read view into a parent replica;
+  // re-point any view at the dying node to an alive sibling (nullptr when
+  // the whole parent subnet is down — restart_node re-adopts them later).
+  SubnetNode* replacement = nullptr;
+  for (std::size_t j = 0; j < subnet.nodes.size(); ++j) {
+    if (j != i && subnet.nodes[j]) {
+      replacement = subnet.nodes[j].get();
+      break;
+    }
+  }
+  for (auto& s : subnets_) {
+    if (s->parent != &subnet) continue;
+    for (auto& n : s->nodes) {
+      if (n && n->parent_view() == dying) n->attach_parent(replacement);
+    }
+  }
+
+  // Fail-stop with state loss: the endpoint goes dark and the network
+  // forgets everything it knew about it (subscriptions, gossip dedup).
+  const net::NodeId id = subnet.node_ids.at(i);
+  network_.set_node_down(id, true);
+  network_.reset_node(id);
+  subnet.nodes[i].reset();
+  return ok_status();
+}
+
+Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
+  if (i >= subnet.nodes.size()) {
+    return Error(Errc::kInvalidArgument, "no such validator slot");
+  }
+  if (subnet.nodes[i]) {
+    return Error(Errc::kInvalidArgument, "validator is not crashed");
+  }
+
+  NodeConfig nc;
+  nc.subnet = subnet.id;
+  nc.params = subnet.params;
+  nc.engine = subnet.engine;
+  nc.sa_in_parent = subnet.sa;
+  nc.reuse_net_id = subnet.node_ids.at(i);
+  auto node = std::make_unique<SubnetNode>(
+      scheduler_, network_, registry_, nc, subnet.validator_keys.at(i),
+      make_validator_set(subnet.validator_keys), subnet.genesis.snapshot());
+  if (subnet.parent != nullptr) {
+    SubnetNode* view = nullptr;
+    for (std::size_t off = 0; off < subnet.parent->size(); ++off) {
+      const std::size_t slot = (i + off) % subnet.parent->size();
+      if (subnet.parent->alive(slot)) {
+        view = subnet.parent->nodes[slot].get();
+        break;
+      }
+    }
+    node->attach_parent(view);
+  }
+
+  network_.set_node_down(subnet.node_ids.at(i), false);
+  subnet.nodes[i] = std::move(node);
+  subnet.nodes[i]->start();
+
+  // Re-adopt child nodes orphaned while every replica of this subnet was
+  // crashed.
+  for (auto& s : subnets_) {
+    if (s->parent != &subnet) continue;
+    for (auto& n : s->nodes) {
+      if (n && n->parent_view() == nullptr) {
+        n->attach_parent(subnet.nodes[i].get());
+      }
+    }
+  }
+  return ok_status();
 }
 
 Result<chain::Receipt> Hierarchy::send_cross(Subnet& from, const User& user,

@@ -30,21 +30,38 @@ struct HierarchyConfig {
   TokenAmount faucet_balance = TokenAmount::whole(1000000000);
 };
 
-/// A spawned subnet (or the rootnet): its nodes and identity.
+/// A spawned subnet (or the rootnet): its nodes and identity. Slots in
+/// `nodes` are stable: a crashed validator leaves a null entry that
+/// restart_node refills (same key, same transport id).
 class Subnet {
  public:
   core::SubnetId id;
   Address sa;  // SA address in the parent chain; invalid for root
   core::SubnetParams params;
+  consensus::EngineConfig engine;
   Subnet* parent = nullptr;
   std::vector<crypto::KeyPair> validator_keys;
   std::vector<std::unique_ptr<SubnetNode>> nodes;
+  /// Transport id per slot, kept across crash/restart cycles.
+  std::vector<net::NodeId> node_ids;
+  /// Genesis snapshot; restarted validators replay from here (crash loses
+  /// all local state) and catch up via the consensus catch-up protocol.
+  chain::StateTree genesis;
 
   [[nodiscard]] SubnetNode& node(std::size_t i = 0) { return *nodes.at(i); }
   [[nodiscard]] const SubnetNode& node(std::size_t i = 0) const {
     return *nodes.at(i);
   }
   [[nodiscard]] std::size_t size() const { return nodes.size(); }
+
+  /// Whether validator slot `i` is currently running.
+  [[nodiscard]] bool alive(std::size_t i) const {
+    return i < nodes.size() && nodes[i] != nullptr;
+  }
+  [[nodiscard]] std::size_t alive_count() const;
+  /// First alive node — the default endpoint for client API calls.
+  /// Throws when every validator of the subnet is crashed.
+  [[nodiscard]] SubnetNode& api_node() const;
 };
 
 /// A user identity with per-subnet nonce tracking handled by the caller
@@ -109,6 +126,21 @@ class Hierarchy {
                                     const Address& to, TokenAmount value,
                                     chain::MethodNum method = 0,
                                     Bytes inner_params = {});
+
+  /// Crash validator `i` of `subnet` (fail-stop with state loss): stops its
+  /// engine, marks its transport endpoint down, forgets its network-side
+  /// state, and destroys the node. Child subnet nodes whose trusted parent
+  /// view pointed at it are re-pointed to an alive replica (or detached if
+  /// none is left). Idempotent errors: out-of-range / already crashed.
+  Status crash_node(Subnet& subnet, std::size_t i);
+
+  /// Restart a previously crashed validator: rebuilds the node from the
+  /// subnet's genesis snapshot under the SAME key and transport id, brings
+  /// the endpoint back up, re-attaches parent views (its own, and any child
+  /// nodes orphaned while every replica was down) and starts it. The node
+  /// catches up via the consensus catch-up protocol and re-signs checkpoint
+  /// cuts during replay, resuming its checkpointing duty.
+  Status restart_node(Subnet& subnet, std::size_t i);
 
   /// All subnets spawned so far (including root), tree order.
   [[nodiscard]] const std::vector<std::unique_ptr<Subnet>>& subnets() const {

@@ -67,8 +67,10 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
       config_(std::move(config)),
       key_(std::move(key)),
       validators_(std::move(validators)),
-      net_id_(network.add_node()),
+      net_id_(config_.reuse_net_id.has_value() ? *config_.reuse_net_id
+                                               : network.add_node()),
       executor_(registry_, chain::GasSchedule{}),
+      retry_rng_(0x9e3779b97f4a7c15ULL ^ net_id_),
       obs_(network.obs()) {
   const obs::Labels node_labels{{"node", std::to_string(net_id_)},
                                 {"subnet", config_.subnet.to_string()}};
@@ -80,6 +82,10 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   c_checkpoints_cut_ = &m.counter("node_checkpoints_cut_total", node_labels);
   c_checkpoints_submitted_ =
       &m.counter("node_checkpoints_submitted_total", node_labels);
+  c_checkpoint_retries_ =
+      &m.counter("node_checkpoint_retries_total", node_labels);
+  c_share_regossips_ =
+      &m.counter("node_share_regossips_total", node_labels);
   c_pulls_sent_ = &m.counter("node_pulls_sent_total", node_labels);
   c_pushes_sent_ = &m.counter("node_pushes_sent_total", node_labels);
   c_resolves_served_ = &m.counter("node_resolves_served_total", node_labels);
@@ -615,7 +621,19 @@ void SubnetNode::after_commit(const chain::Block& block,
   }
   request_missing_batches();
   maybe_submit_checkpoint();
+  maybe_regossip_share();
   (void)block;
+}
+
+void SubnetNode::arm_retry(RetryState& retry, chain::Epoch head) {
+  constexpr std::uint32_t kMaxBackoffShift = 3;  // 1,2,4,8 periods, capped
+  const auto period = static_cast<chain::Epoch>(
+      std::max<std::uint32_t>(1, config_.params.checkpoint_period));
+  const auto shift = std::min(retry.attempts, kMaxBackoffShift);
+  ++retry.attempts;
+  const auto jitter = static_cast<chain::Epoch>(
+      retry_rng_.uniform(static_cast<std::uint64_t>(period)));
+  retry.next_height = head + (period << shift) + jitter;
 }
 
 void SubnetNode::push_own_batches(const core::Checkpoint& cp) {
@@ -657,7 +675,8 @@ void SubnetNode::maybe_submit_checkpoint() {
   if (!sa.has_value()) return;
   while (!cut_checkpoints_.empty() &&
          cut_checkpoints_.begin()->first <= sa->last_checkpoint_epoch) {
-    submit_attempt_height_.erase(cut_checkpoints_.begin()->first);
+    submit_retry_.erase(cut_checkpoints_.begin()->first);
+    share_retry_.erase(cut_checkpoints_.begin()->first);
     sig_shares_.erase(cut_checkpoints_.begin()->first);
     cut_checkpoints_.erase(cut_checkpoints_.begin());
   }
@@ -680,13 +699,10 @@ void SubnetNode::maybe_submit_checkpoint() {
       validators_.size();
   if (*my_index != designated) return;
 
-  // Rate-limit re-submissions: one attempt per checkpoint period.
-  auto attempt_it = submit_attempt_height_.find(cp.epoch);
-  if (attempt_it != submit_attempt_height_.end() &&
-      head - attempt_it->second <
-          static_cast<chain::Epoch>(config_.params.checkpoint_period)) {
-    return;
-  }
+  // Back off re-submissions exponentially (with jitter) instead of
+  // hammering the parent chain every block while acceptance stalls.
+  RetryState& retry = submit_retry_[cp.epoch];
+  if (retry.attempts > 0 && head < retry.next_height) return;
 
   // Collect this epoch's signature shares for exactly this checkpoint CID,
   // restricted to signers the SA currently registers (the validator set in
@@ -728,7 +744,8 @@ void SubnetNode::maybe_submit_checkpoint() {
   auto signed_msg = chain::SignedMessage::sign(std::move(m), key_);
   network_.publish(net_id_, Topics::msgs(*config_.subnet.parent()),
                    encode(signed_msg));
-  submit_attempt_height_[cp.epoch] = head;
+  if (retry.attempts > 0) c_checkpoint_retries_->inc();
+  arm_retry(retry, head);
   c_checkpoints_submitted_->inc();
   // Signature collection ends at the (first) submission; acceptance by the
   // parent SA closes the cpsub leg in observe_cross_event().
@@ -741,6 +758,28 @@ void SubnetNode::maybe_submit_checkpoint() {
   obs_.tracer.flow_begin(cp_key("cpsub", cp.source, cp.epoch),
                          "checkpoint.submit", cp.source.to_string(),
                          {{"epoch", std::to_string(cp.epoch)}});
+}
+
+void SubnetNode::maybe_regossip_share() {
+  if (!is_validator() || cut_checkpoints_.empty()) return;
+  const chain::Epoch epoch = cut_checkpoints_.begin()->first;
+  auto shares_it = sig_shares_.find(epoch);
+  if (shares_it == sig_shares_.end()) return;
+  auto own_it = shares_it->second.find(key_.public_key().to_bytes());
+  if (own_it == shares_it->second.end()) return;
+  RetryState& retry = share_retry_[epoch];
+  const chain::Epoch head = store_->height();
+  if (retry.attempts == 0) {
+    // The original share went out at cut time; only re-gossip once the
+    // checkpoint has been stuck for a full backoff interval.
+    arm_retry(retry, epoch);
+    return;
+  }
+  if (head < retry.next_height) return;
+  network_.publish(net_id_, Topics::signatures(config_.subnet),
+                   encode(own_it->second));
+  c_share_regossips_->inc();
+  arm_retry(retry, head);
 }
 
 // ---------------------------------------------------------------- topics

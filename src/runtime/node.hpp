@@ -36,6 +36,10 @@ struct NodeConfig {
   bool push_resolution = true;
   /// Address of this subnet's SA in the parent chain (invalid for root).
   Address sa_in_parent;
+  /// Re-wire an existing network id instead of registering a fresh one.
+  /// Set by Hierarchy::restart_node: a restarted validator keeps its
+  /// transport identity (and metric labels) across the crash.
+  std::optional<net::NodeId> reuse_net_id;
 };
 
 /// Counter snapshot exposed for benches and tests; backed by the metrics
@@ -62,8 +66,10 @@ class SubnetNode final : public consensus::BlockSource {
   SubnetNode(const SubnetNode&) = delete;
   SubnetNode& operator=(const SubnetNode&) = delete;
 
-  /// Wire the trusted parent view (must outlive this node). Root: none.
+  /// Wire the trusted parent view (must outlive this node; may be nullptr
+  /// while every parent replica is crashed). Root: none.
   void attach_parent(SubnetNode* parent) { parent_ = parent; }
+  [[nodiscard]] SubnetNode* parent_view() const { return parent_; }
 
   void start();
   void stop();
@@ -148,6 +154,10 @@ class SubnetNode final : public consensus::BlockSource {
   void handle_resolve_topic(const Bytes& payload);
 
   void maybe_submit_checkpoint();
+  /// While the earliest cut checkpoint stays unaccepted, periodically
+  /// re-gossip our signature share (exponential backoff + jitter) so that
+  /// shares lost to partitions/crashes resurface after heal.
+  void maybe_regossip_share();
   void push_own_batches(const core::Checkpoint& cp);
   void request_missing_batches();
 
@@ -188,8 +198,24 @@ class SubnetNode final : public consensus::BlockSource {
   /// Checkpoints cut by this chain that the parent SA has not (yet)
   /// accepted; rebuilt deterministically from block events on catch-up.
   std::map<chain::Epoch, core::Checkpoint> cut_checkpoints_;
-  /// Submission retry state: height of the last attempt per epoch.
-  std::map<chain::Epoch, chain::Epoch> submit_attempt_height_;
+
+  /// Exponential backoff + jitter state, in block heights. Used for both
+  /// checkpoint re-submission and signature re-gossip; a fresh node (or a
+  /// crash-restarted one) starts at attempt 0, so resubmission after
+  /// restart is immediate once it is the designated submitter.
+  struct RetryState {
+    std::uint32_t attempts = 0;
+    chain::Epoch next_height = 0;  // retry allowed once head >= this
+  };
+  /// Schedule the next attempt: period * 2^min(attempts,kMaxBackoffShift)
+  /// plus uniform jitter in [0, period). Bounded so a stalled checkpoint
+  /// is retried at least every 8 periods + jitter.
+  void arm_retry(RetryState& retry, chain::Epoch head);
+  std::map<chain::Epoch, RetryState> submit_retry_;
+  std::map<chain::Epoch, RetryState> share_retry_;
+  /// Deterministic jitter stream (seeded from the net id, so replicas
+  /// desynchronize their retries but identical runs stay identical).
+  sim::Rng retry_rng_;
 
   bool running_ = false;
 
@@ -202,6 +228,8 @@ class SubnetNode final : public consensus::BlockSource {
   obs::Counter* c_cross_msgs_;
   obs::Counter* c_checkpoints_cut_;
   obs::Counter* c_checkpoints_submitted_;
+  obs::Counter* c_checkpoint_retries_;
+  obs::Counter* c_share_regossips_;
   obs::Counter* c_pulls_sent_;
   obs::Counter* c_pushes_sent_;
   obs::Counter* c_resolves_served_;

@@ -175,6 +175,95 @@ TEST_F(FailureFixture, TransferResumesAfterPartition) {
       180 * sim::kSecond));
 }
 
+TEST_F(FailureFixture, PartitionDuringSigningWindowHealsWithBackoff) {
+  fund_and_wait(TokenAmount::whole(10));
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return !h.root().node(0).sca_state().subnets.at(child->sa)
+                    .checkpoints.empty();
+      },
+      60 * sim::kSecond));
+
+  // Cut the child off from the root across several checkpoint periods: the
+  // child keeps cutting and signing checkpoints but cannot submit them.
+  std::vector<net::NodeId> child_nodes;
+  for (std::size_t i = 0; i < child->size(); ++i) {
+    child_nodes.push_back(child->node(i).net_id());
+  }
+  h.network().set_partition({child_nodes});
+  const auto before =
+      h.root().node(0).sca_state().subnets.at(child->sa).checkpoints.size();
+  h.run_for(8 * sim::kSecond);
+  EXPECT_EQ(
+      h.root().node(0).sca_state().subnets.at(child->sa).checkpoints.size(),
+      before);
+
+  // Heal: the designated submitter's exponential-backoff retry resubmits
+  // the stuck checkpoint without any outside help.
+  h.network().heal_partition();
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).sca_state().subnets.at(child->sa)
+                   .checkpoints.size() > before;
+      },
+      120 * sim::kSecond));
+  std::uint64_t retries = 0;
+  for (std::size_t i = 0; i < child->size(); ++i) {
+    retries += h.obs()
+                   .metrics
+                   .counter("node_checkpoint_retries_total",
+                            obs::Labels{
+                                {"node", std::to_string(child->node(i).net_id())},
+                                {"subnet", child->id.to_string()}})
+                   .value();
+  }
+  EXPECT_GT(retries, 0u);
+}
+
+TEST_F(FailureFixture, CrashedCheckpointSignerResumesAfterRestart) {
+  // A child whose checkpoint policy needs ALL three signatures: while one
+  // signer is crashed, no checkpoint can reach quorum, so recovery depends
+  // on the restarted node replaying the chain, re-signing cut checkpoints
+  // and re-gossiping its share.
+  auto c = h.spawn_subnet(h.root(), "sign-child", subnet_params(/*threshold=*/3),
+                          3, TokenAmount::whole(5), fast_engine());
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  Subnet* strict = c.value();
+  ASSERT_TRUE(h.run_until(
+      [&] {
+        return !h.root().node(0).sca_state().subnets.at(strict->sa)
+                    .checkpoints.empty();
+      },
+      120 * sim::kSecond));
+
+  ASSERT_TRUE(h.crash_node(*strict, 2).ok());
+  EXPECT_FALSE(strict->alive(2));
+  EXPECT_EQ(strict->alive_count(), 2u);
+  const auto before =
+      h.root().node(0).sca_state().subnets.at(strict->sa).checkpoints.size();
+  h.run_for(5 * sim::kSecond);
+  EXPECT_EQ(
+      h.root().node(0).sca_state().subnets.at(strict->sa).checkpoints.size(),
+      before);
+
+  // Restart from genesis: catch-up resync, then re-signed shares let the
+  // next checkpoint reach its 3-of-3 quorum.
+  ASSERT_TRUE(h.restart_node(*strict, 2).ok());
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        return h.root().node(0).sca_state().subnets.at(strict->sa)
+                   .checkpoints.size() > before;
+      },
+      120 * sim::kSecond));
+  // The restarted replica is back in lockstep with its peers.
+  EXPECT_TRUE(h.run_until(
+      [&] {
+        return strict->node(2).chain().height() + 2 >=
+               strict->node(0).chain().height();
+      },
+      60 * sim::kSecond));
+}
+
 // ------------------------------------------------------------- reverts
 
 TEST_F(FailureFixture, FailedCrossMsgRefundsViaRevert) {
