@@ -20,4 +20,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # full suite spends its time.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ChaosSweep\.'
 
+# Byzantine smoke: one equivocation scenario x 2 seeds under the
+# sanitizers — the watcher/slashing path is pointer-heavy (gossip decode,
+# proof assembly), so memory bugs there surface here first.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ByzantineSmoke\.'
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

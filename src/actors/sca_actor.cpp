@@ -482,8 +482,17 @@ Result<Bytes> ScaActor::apply_bottomup(Rt& rt, ScaState& s,
 Result<Bytes> ScaActor::submit_fraud_proof(Rt& rt, ScaState& s,
                                            const Bytes& params) {
   HC_TRY(proof, decode<core::FraudProof>(params));
+  // Replay dedup, cheapest check first: a proof already processed (or its
+  // mirror — the digest canonicalizes side order) conflicts instead of
+  // re-running the slash path and re-emitting events.
+  const Cid digest = proof.digest();
+  if (std::find(s.fraud_digests.begin(), s.fraud_digests.end(), digest) !=
+      s.fraud_digests.end()) {
+    return Error(Errc::kStateConflict, "fraud proof already processed");
+  }
   HC_TRY(guilty, proof.guilty_signers());
   const core::SubnetId& source = proof.first.checkpoint.source;
+  const chain::Epoch epoch = proof.first.checkpoint.epoch;
   SubnetEntry* entry = nullptr;
   for (auto& [sa, e] : s.subnets) {
     if (e.id == source) {
@@ -494,24 +503,64 @@ Result<Bytes> ScaActor::submit_fraud_proof(Rt& rt, ScaState& s,
   if (entry == nullptr) {
     return Error(Errc::kNotFound, "fraud proof targets an unknown child");
   }
-  // Remove the equivocators from the SA's validator set; the SA reports how
-  // much stake they held.
-  HC_TRY(slashed_bytes, rt.send(entry->sa, sa_method::kSlash,
-                                encode(SlashParams{guilty}), TokenAmount()));
-  HC_TRY(slashed, decode<TokenAmount>(slashed_bytes));
-  // Burn the slashed collateral (paper §III-B: "These collateral funds are
-  // the ones slashed in the face of a valid fraud proof").
+  // Per-(subnet, epoch, signer) dedup: a differently-assembled proof over
+  // the same equivocation (other signature subset, other forged side) must
+  // not slash the same validator twice.
+  std::vector<crypto::PublicKey> fresh;
+  for (const auto& key : guilty) {
+    if (!s.slashed(source, epoch, key)) fresh.push_back(key);
+  }
+  if (fresh.empty()) {
+    return Error(Errc::kStateConflict,
+                 "every equivocator already slashed for this epoch");
+  }
+  // Remove the equivocators from the SA's validator set; the SA reports
+  // which validators it actually removed and the stake each held.
+  HC_TRY(removed_bytes, rt.send(entry->sa, sa_method::kSlash,
+                                encode(SlashParams{fresh}), TokenAmount()));
+  Decoder removed_d(removed_bytes);
+  HC_TRY(removed, removed_d.vec<ValidatorInfo>());
+  if (removed.empty()) {
+    // Every accused validator is already gone from the SA (slashed via an
+    // earlier epoch's proof, or left): nothing to burn, no new record.
+    return Error(Errc::kStateConflict,
+                 "equivocators are no longer in the validator set");
+  }
+  TokenAmount slashed;
+  for (const auto& v : removed) slashed += v.stake;
+  // Slash the collateral (paper §III-B: "These collateral funds are the
+  // ones slashed in the face of a valid fraud proof"). The stake goes to
+  // the quarantine pot, not the burnt-funds sink: this chain may itself be
+  // a subnet, and its parent's circulating-supply figure must keep
+  // covering every token on it — including dead ones (see kSlashPotAddr).
   TokenAmount burn = slashed < entry->collateral ? slashed : entry->collateral;
   entry->collateral -= burn;
   if (!burn.is_zero()) {
-    HC_TRY_STATUS(to_status(rt.send(chain::kBurnAddr, 0, {}, burn)));
+    HC_TRY_STATUS(to_status(rt.send(chain::kSlashPotAddr, 0, {}, burn)));
   }
+  // Record the outcome per signer, attributing the burn stake-by-stake
+  // until the (possibly smaller) collateral runs out.
+  std::vector<SlashRecord> records;
+  TokenAmount remaining = burn;
+  for (const auto& v : removed) {
+    SlashRecord r;
+    r.subnet = source;
+    r.epoch = epoch;
+    r.signer = v.pubkey;
+    r.burned = v.stake < remaining ? v.stake : remaining;
+    remaining -= r.burned;
+    s.slash_records.push_back(r);
+    records.push_back(std::move(r));
+  }
+  s.fraud_digests.push_back(digest);
   if (entry->collateral < entry->min_collateral &&
       entry->status == core::SubnetStatus::kActive) {
     entry->status = core::SubnetStatus::kInactive;
     rt.emit_event("sca/subnet-deactivated", encode(entry->id));
   }
-  rt.emit_event("sca/slashed", encode(burn));
+  Encoder ev;
+  ev.vec(records);
+  rt.emit_event("sca/slashed", std::move(ev).take());
   return encode(burn);
 }
 

@@ -45,6 +45,35 @@ struct SubnetEntry {
   bool operator==(const SubnetEntry&) const = default;
 };
 
+/// Economic outcome of one accepted fraud proof, per guilty validator
+/// (paper §III-B). Keyed by (subnet, epoch, signer): a second proof over
+/// the same equivocation — replayed, mirrored, or assembled from a
+/// different signature subset — must conflict instead of double-slashing.
+struct SlashRecord {
+  core::SubnetId subnet;
+  chain::Epoch epoch = 0;
+  crypto::PublicKey signer;
+  /// Collateral share actually burned for this validator.
+  TokenAmount burned;
+
+  void encode_to(Encoder& e) const {
+    e.obj(subnet).i64(epoch).obj(signer).obj(burned);
+  }
+  [[nodiscard]] static Result<SlashRecord> decode_from(Decoder& d) {
+    SlashRecord r;
+    HC_TRY(subnet, d.obj<core::SubnetId>());
+    HC_TRY(epoch, d.i64());
+    HC_TRY(signer, d.obj<crypto::PublicKey>());
+    HC_TRY(burned, d.obj<TokenAmount>());
+    r.subnet = std::move(subnet);
+    r.epoch = epoch;
+    r.signer = signer;
+    r.burned = burned;
+    return r;
+  }
+  bool operator==(const SlashRecord&) const = default;
+};
+
 /// A bottom-up meta adopted by this SCA, awaiting batch execution.
 struct PendingBottomUp {
   std::uint64_t nonce = 0;
@@ -165,6 +194,16 @@ struct ScaState {
 
   // ------------------------------------------------------------ snapshots
   std::vector<StateSnapshot> snapshots;
+
+  // ------------------------------------------------------------- slashing
+  /// Digests of accepted fraud proofs (replay/mirror dedup).
+  std::vector<Cid> fraud_digests;
+  /// One record per slashed (subnet, epoch, signer).
+  std::vector<SlashRecord> slash_records;
+
+  /// Whether a slash record for (subnet, epoch, signer) already exists.
+  [[nodiscard]] bool slashed(const core::SubnetId& subnet, chain::Epoch epoch,
+                             const crypto::PublicKey& signer) const;
 
   [[nodiscard]] const SubnetEntry* find_subnet(const Address& sa) const;
   [[nodiscard]] SubnetEntry* find_subnet(const Address& sa);

@@ -141,6 +141,7 @@ void ScaState::encode_to(Encoder& e) const {
     e.varint(id).obj(exec);
   }
   e.vec(snapshots);
+  e.vec(fraud_digests).vec(slash_records);
 }
 
 Result<ScaState> ScaState::decode_from(Decoder& d) {
@@ -201,7 +202,20 @@ Result<ScaState> ScaState::decode_from(Decoder& d) {
   }
   HC_TRY(snapshots, d.vec<StateSnapshot>());
   s.snapshots = std::move(snapshots);
+  HC_TRY(fraud_digests, d.vec<Cid>());
+  HC_TRY(slash_records, d.vec<SlashRecord>());
+  s.fraud_digests = std::move(fraud_digests);
+  s.slash_records = std::move(slash_records);
   return s;
+}
+
+bool ScaState::slashed(const core::SubnetId& subnet, chain::Epoch epoch,
+                       const crypto::PublicKey& signer) const {
+  return std::any_of(slash_records.begin(), slash_records.end(),
+                     [&](const SlashRecord& r) {
+                       return r.epoch == epoch && r.signer == signer &&
+                              r.subnet == subnet;
+                     });
 }
 
 }  // namespace hc::actors

@@ -171,6 +171,7 @@ Result<Bytes> SubnetActor::slash(chain::Runtime& rt, SaState state,
   }
   HC_TRY(p, decode<SlashParams>(params));
   TokenAmount slashed;
+  std::vector<ValidatorInfo> removed;
   for (const auto& key : p.guilty) {
     auto it = std::find_if(
         state.validators.begin(), state.validators.end(),
@@ -178,11 +179,22 @@ Result<Bytes> SubnetActor::slash(chain::Runtime& rt, SaState state,
     if (it == state.validators.end()) continue;
     slashed += it->stake;
     state.total_stake -= it->stake;
+    removed.push_back(*it);
     state.validators.erase(it);
+  }
+  // Keep checkpointing live after the set shrinks: a 3-of-3 policy with one
+  // validator slashed degrades to 2-of-2 instead of wedging forever.
+  core::SignaturePolicy& policy = state.params.checkpoint_policy;
+  if (policy.kind != core::SignaturePolicyKind::kSingle &&
+      !state.validators.empty() &&
+      policy.threshold > state.validators.size()) {
+    policy.threshold = static_cast<std::uint32_t>(state.validators.size());
   }
   HC_TRY_STATUS(save_state(rt, state));
   rt.emit_event("sa/slashed", encode(slashed));
-  return encode(slashed);
+  Encoder ret;
+  ret.vec(removed);
+  return std::move(ret).take();
 }
 
 }  // namespace hc::actors

@@ -34,6 +34,12 @@ inline const Address kInitAddr = Address::id(1);     // actor factory
 inline const Address kScaAddr = Address::id(2);      // subnet coordinator
 inline const Address kRewardAddr = Address::id(98);  // fee sink for miners
 inline const Address kBurnAddr = Address::id(99);    // burnt-funds sink
+/// Slashed collateral is quarantined here, not sent to kBurnAddr: burns in
+/// kBurnAddr are mirrored by a release on the parent edge (bottom-up value
+/// transfer), while a slash destroys value with no parent-side movement.
+/// Keeping the dead stake on-chain preserves the parent's exact
+/// circulating-supply accounting for this subnet's edge.
+inline const Address kSlashPotAddr = Address::id(97);
 
 struct ActorEntry {
   CodeId code = kCodeNone;

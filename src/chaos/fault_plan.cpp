@@ -25,6 +25,10 @@ const char* to_string(FaultEvent::Kind kind) {
       return "heal";
     case FaultEvent::Kind::kDropRate:
       return "drop-rate";
+    case FaultEvent::Kind::kByzantine:
+      return "byzantine";
+    case FaultEvent::Kind::kClearByzantine:
+      return "clear-byzantine";
   }
   return "unknown";
 }
@@ -113,6 +117,24 @@ FaultPlan& FaultPlan::drop_rate(sim::Duration at, double p) {
   return push(e);
 }
 
+FaultPlan& FaultPlan::byzantine(sim::Duration at, NodeRef n,
+                                runtime::ByzantineBehavior behavior) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kByzantine;
+  e.a = n;
+  e.behavior = behavior;
+  return push(e);
+}
+
+FaultPlan& FaultPlan::clear_byzantine(sim::Duration at, NodeRef n) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kClearByzantine;
+  e.a = n;
+  return push(e);
+}
+
 sim::Duration FaultPlan::horizon() const {
   sim::Duration h = 0;
   for (const auto& e : events_) h = std::max(h, e.at);
@@ -168,6 +190,20 @@ void apply(const FaultEvent& e, runtime::Hierarchy& h) {
     case FaultEvent::Kind::kDropRate:
       net.set_drop_rate(e.drop_rate);
       break;
+    case FaultEvent::Kind::kByzantine:
+    case FaultEvent::Kind::kClearByzantine: {
+      // Arming survives on the node object only; a validator that crashes
+      // and restarts comes back honest (state loss includes its malice).
+      if (e.a.subnet >= h.subnets().size()) break;
+      runtime::Subnet& subnet = *h.subnets()[e.a.subnet];
+      if (subnet.alive(e.a.node)) {
+        subnet.node(e.a.node).set_byzantine(
+            e.kind == FaultEvent::Kind::kByzantine
+                ? e.behavior
+                : runtime::ByzantineBehavior::kNone);
+      }
+      break;
+    }
   }
 }
 

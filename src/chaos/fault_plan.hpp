@@ -38,16 +38,20 @@ struct FaultEvent {
     kPartition,
     kHeal,
     kDropRate,
+    kByzantine,
+    kClearByzantine,
   };
 
   sim::Duration at = 0;  ///< Offset from the instant the plan is armed.
   Kind kind = Kind::kDropRate;
-  NodeRef a;  ///< Target (crash/restart/node fault, link source).
+  NodeRef a;  ///< Target (crash/restart/node/byzantine fault, link source).
   NodeRef b;  ///< Link destination (link-fault kinds only).
   net::LinkFault fault;
   /// Partition groups; slots absent from every group stay connected.
   std::vector<std::vector<NodeRef>> groups;
   double drop_rate = 0.0;
+  /// Adversary behavior armed on `a` (kByzantine only).
+  runtime::ByzantineBehavior behavior = runtime::ByzantineBehavior::kNone;
 };
 
 [[nodiscard]] const char* to_string(FaultEvent::Kind kind);
@@ -69,6 +73,13 @@ class FaultPlan {
   FaultPlan& partition(sim::Duration at, std::vector<std::vector<NodeRef>> groups);
   FaultPlan& heal(sim::Duration at);
   FaultPlan& drop_rate(sim::Duration at, double p);
+  /// Arm an adversary behavior on validator `n` (its consensus duties stay
+  /// honest; only checkpoint signing/submission misbehaves — see
+  /// runtime::ByzantineBehavior).
+  FaultPlan& byzantine(sim::Duration at, NodeRef n,
+                       runtime::ByzantineBehavior behavior);
+  /// Restore validator `n` to honest behavior.
+  FaultPlan& clear_byzantine(sim::Duration at, NodeRef n);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

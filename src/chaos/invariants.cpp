@@ -32,6 +32,40 @@ TokenAmount live_supply(const SubnetNode& node) {
   return total;
 }
 
+/// Whether the parent SCA still lists `subnet` as active. Deactivation
+/// (collateral slashed below min_collateral, or a kill) halts checkpoint
+/// acceptance, so the drain/commit/supply-equality invariants no longer
+/// apply to the edge — only the firewall BOUND below does.
+bool parent_lists_active(const Subnet& subnet) {
+  if (subnet.parent == nullptr) return true;
+  const auto parent_sca = subnet.parent->api_node().sca_state();
+  const auto* entry = parent_sca.find_subnet(subnet.sa);
+  return entry == nullptr || entry->status == core::SubnetStatus::kActive;
+}
+
+/// Firewall bound for deactivated subnets: bottom-up burns in the child are
+/// no longer reflected upward, so the child's live supply may drop BELOW
+/// the parent-side circulating figure — but it must never exceed it (that
+/// would mean the child minted value the parent never escrowed).
+bool supply_bounded(const Subnet& subnet, std::string* why) {
+  const auto parent_sca = subnet.parent->api_node().sca_state();
+  const auto* entry = parent_sca.find_subnet(subnet.sa);
+  if (entry == nullptr) {
+    if (why != nullptr) *why = "not registered in parent SCA";
+    return false;
+  }
+  const TokenAmount inside = live_supply(subnet.api_node());
+  if (entry->circulating_supply < inside) {
+    if (why != nullptr) {
+      *why = "deactivated, yet live child supply " + inside.to_string() +
+             " exceeds parent circulating_supply " +
+             entry->circulating_supply.to_string();
+    }
+    return false;
+  }
+  return true;
+}
+
 /// Firewall equality (paper §II) on the edge parent(subnet) -> subnet.
 bool supply_balanced(const Subnet& subnet, std::string* why) {
   const auto entry_sca = subnet.parent->api_node().sca_state();
@@ -109,6 +143,9 @@ bool checkpoint_committed(const Subnet& subnet, std::string* why) {
 bool quiescent(const runtime::Hierarchy& hierarchy) {
   for (const auto& subnet : hierarchy.subnets()) {
     if (subnet->alive_count() == 0) return false;
+    // A deactivated subnet can never settle its cross-net traffic (its
+    // checkpoints are refused); quiescence only demands the bound.
+    if (!parent_lists_active(*subnet)) continue;
     if (!queues_drained(*subnet, nullptr)) return false;
     if (subnet->parent != nullptr) {
       if (!checkpoint_committed(*subnet, nullptr)) return false;
@@ -164,8 +201,16 @@ InvariantReport check_invariants(const runtime::Hierarchy& hierarchy) {
       }
     }
 
-    // ---- cross-net queues drained
     std::string why;
+    if (!parent_lists_active(*subnet)) {
+      // ---- deactivated edge: only the firewall bound applies
+      if (!supply_bounded(*subnet, &why)) {
+        report.violations.push_back(tag + ": " + why);
+      }
+      continue;
+    }
+
+    // ---- cross-net queues drained
     if (!queues_drained(*subnet, &why)) {
       report.violations.push_back(tag + ": " + why);
     }

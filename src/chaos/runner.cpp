@@ -1,5 +1,7 @@
 #include "chaos/runner.hpp"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "actors/methods.hpp"
@@ -48,6 +50,146 @@ std::vector<NodeRef> whole_subnet(std::size_t subnet, std::size_t n) {
   return refs;
 }
 
+/// Evaluate a Byzantine scenario's postconditions: exactly the guilty
+/// slashed (once each), honest collateral untouched, deactivations as
+/// expected, detection within the latency bound, local proof queues
+/// drained. Appends violations to `report`.
+void check_byzantine(runtime::Hierarchy& h, const RunnerConfig& cfg,
+                     const ByzantineExpectation& exp,
+                     InvariantReport& report) {
+  std::map<std::size_t, std::vector<crypto::PublicKey>> expected;
+  for (const NodeRef& ref : exp.guilty) {
+    if (ref.subnet >= h.subnets().size()) {
+      report.violations.push_back("byzantine expectation names subnet " +
+                                  std::to_string(ref.subnet) +
+                                  " absent from the topology");
+      return;
+    }
+    expected[ref.subnet].push_back(
+        h.subnets()[ref.subnet]->validator_keys.at(ref.node).public_key());
+  }
+  const auto deadline = static_cast<std::int64_t>(cfg.detect_bound_periods) *
+                        static_cast<std::int64_t>(cfg.checkpoint_period) *
+                        static_cast<std::int64_t>(cfg.block_time);
+
+  for (std::size_t s = 1; s < h.subnets().size(); ++s) {
+    runtime::Subnet& subnet = *h.subnets()[s];
+    const std::string tag = subnet.id.to_string();
+    const auto parent_sca = subnet.parent->api_node().sca_state();
+    const auto guilty_it = expected.find(s);
+    const std::vector<crypto::PublicKey> no_guilty;
+    const std::vector<crypto::PublicKey>& guilty =
+        guilty_it == expected.end() ? no_guilty : guilty_it->second;
+    const auto is_guilty = [&](const crypto::PublicKey& k) {
+      return std::find(guilty.begin(), guilty.end(), k) != guilty.end();
+    };
+
+    // ---- exactly the guilty slashed, each exactly once
+    std::vector<actors::SlashRecord> records;
+    for (const auto& r : parent_sca.slash_records) {
+      if (r.subnet == subnet.id) records.push_back(r);
+    }
+    if (records.size() != guilty.size()) {
+      report.violations.push_back(
+          tag + ": " + std::to_string(records.size()) +
+          " slash records on-chain, expected " +
+          std::to_string(guilty.size()));
+    }
+    for (const auto& key : guilty) {
+      const auto hits = std::count_if(
+          records.begin(), records.end(),
+          [&](const actors::SlashRecord& r) { return r.signer == key; });
+      if (hits != 1) {
+        report.violations.push_back(tag + ": guilty validator slashed " +
+                                    std::to_string(hits) +
+                                    " times, expected exactly once");
+      }
+    }
+    for (const auto& r : records) {
+      if (!is_guilty(r.signer)) {
+        report.violations.push_back(tag +
+                                    ": slash record for an honest validator");
+      }
+    }
+
+    // ---- guilty expelled from the SA, honest collateral untouched
+    const auto sa = subnet.parent->api_node().sa_state(subnet.sa);
+    if (!sa.has_value()) {
+      report.violations.push_back(tag + ": SA state unreadable at parent");
+      continue;
+    }
+    for (const auto& kp : subnet.validator_keys) {
+      const crypto::PublicKey key = kp.public_key();
+      const auto it = std::find_if(
+          sa->validators.begin(), sa->validators.end(),
+          [&](const actors::ValidatorInfo& v) { return v.pubkey == key; });
+      if (is_guilty(key)) {
+        if (it != sa->validators.end()) {
+          report.violations.push_back(
+              tag + ": slashed validator still in the SA validator set");
+        }
+      } else {
+        if (it == sa->validators.end()) {
+          report.violations.push_back(
+              tag + ": honest validator missing from the SA validator set");
+        } else if (it->stake != cfg.validator_stake) {
+          report.violations.push_back(
+              tag + ": honest validator stake changed to " +
+              it->stake.to_string());
+        }
+      }
+    }
+
+    // ---- deactivation exactly where expected
+    const auto* entry = parent_sca.find_subnet(subnet.sa);
+    const bool want_inactive =
+        std::find(exp.deactivated.begin(), exp.deactivated.end(), s) !=
+        exp.deactivated.end();
+    if (entry == nullptr) {
+      report.violations.push_back(tag + ": no parent SCA entry");
+    } else {
+      const bool inactive = entry->status != core::SubnetStatus::kActive;
+      if (inactive != want_inactive) {
+        report.violations.push_back(
+            tag + (inactive ? ": unexpectedly deactivated"
+                            : ": expected deactivation did not happen"));
+      }
+    }
+
+    // ---- detection: one closed fraud flow per slashed signer, and the
+    // mean latency within the configured period bound
+    const auto* hist = h.obs().metrics.find_histogram(
+        "fraud_detection_latency_us", obs::Labels{{"subnet", tag}});
+    const std::uint64_t detected = hist == nullptr ? 0 : hist->count();
+    if (detected != guilty.size()) {
+      report.violations.push_back(
+          tag + ": " + std::to_string(detected) +
+          " fraud detections recorded, expected " +
+          std::to_string(guilty.size()));
+    }
+    if (hist != nullptr && hist->count() > 0 &&
+        hist->sum() >
+            deadline * static_cast<std::int64_t>(hist->count())) {
+      report.violations.push_back(
+          tag + ": mean fraud detection latency " +
+          std::to_string(hist->sum() /
+                         static_cast<std::int64_t>(hist->count())) +
+          "us exceeds the " + std::to_string(cfg.detect_bound_periods) +
+          "-period bound");
+    }
+
+    // ---- every watcher's local proof queue drained by quiescence
+    for (std::size_t i = 0; i < subnet.size(); ++i) {
+      if (!subnet.alive(i)) continue;
+      if (subnet.node(i).pending_fraud_proofs() != 0) {
+        report.violations.push_back(
+            tag + " node " + std::to_string(i) +
+            ": fraud proofs still pending after settle");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string RunResult::summary() const {
@@ -78,7 +220,8 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
     auto spawned = h.spawn_subnet(h.root(), "c" + std::to_string(c),
                                   chaos_params(config_),
                                   config_.child_validators,
-                                  TokenAmount::whole(5), chaos_engine(config_));
+                                  config_.validator_stake,
+                                  chaos_engine(config_));
     if (!spawned.ok()) {
       out.report.violations.push_back("spawn failed: " +
                                       spawned.error().to_string());
@@ -89,7 +232,8 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
     auto spawned = h.spawn_subnet(*h.subnets().at(1), "g0",
                                   chaos_params(config_),
                                   config_.child_validators,
-                                  TokenAmount::whole(5), chaos_engine(config_));
+                                  config_.validator_stake,
+                                  chaos_engine(config_));
     if (!spawned.ok()) {
       out.report.violations.push_back("nested spawn failed: " +
                                       spawned.error().to_string());
@@ -185,13 +329,22 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
   h.network().set_drop_rate(0.0);
   for (const auto& subnet : h.subnets()) {
     for (std::size_t i = 0; i < subnet->size(); ++i) {
-      if (!subnet->alive(i)) (void)h.restart_node(*subnet, i);
+      if (!subnet->alive(i)) {
+        (void)h.restart_node(*subnet, i);
+      } else {
+        // Adversaries reform at heal time; their PAST fraud must still be
+        // detected, slashed and settled before quiescence.
+        subnet->node(i).set_byzantine(runtime::ByzantineBehavior::kNone);
+      }
     }
   }
 
   out.converged =
       h.run_until([&] { return quiescent(h); }, config_.settle);
   out.report = check_invariants(h);
+  if (scenario.byzantine.has_value()) {
+    check_byzantine(h, config_, *scenario.byzantine, out.report);
+  }
 
   // ---- deterministic exports: same seed => byte-identical.
   for (const auto& subnet : h.subnets()) {
@@ -225,7 +378,7 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
   std::vector<Scenario> out;
 
   out.push_back({"baseline", "no faults; invariants must hold trivially",
-                 [](const RunnerConfig&) { return FaultPlan{}; }});
+                 [](const RunnerConfig&) { return FaultPlan{}; }, {}});
 
   out.push_back(
       {"loss-20", "sustained 20% random loss across the whole window",
@@ -234,7 +387,8 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
          p.drop_rate(0, 0.20);
          p.drop_rate(cfg.fault_window, 0.0);
          return p;
-       }});
+       },
+       {}});
 
   out.push_back(
       {"partition-child",
@@ -245,7 +399,8 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
                      {whole_subnet(1, cfg.child_validators)});
          p.heal(5 * cfg.fault_window / 8);
          return p;
-       }});
+       },
+       {}});
 
   out.push_back(
       {"crash-signer",
@@ -257,7 +412,8 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
          p.restart(cfg.fault_window / 2,
                    NodeRef{1, cfg.child_validators - 1});
          return p;
-       }});
+       },
+       {}});
 
   out.push_back(
       {"crash-parent-view",
@@ -267,7 +423,8 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
          p.crash(cfg.fault_window / 8, NodeRef{0, 0});
          p.restart(cfg.fault_window / 2, NodeRef{0, 0});
          return p;
-       }});
+       },
+       {}});
 
   out.push_back(
       {"gray-validator",
@@ -281,7 +438,8 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
          p.node_fault(cfg.fault_window / 8, NodeRef{1, 1}, f);
          p.clear_node_fault(3 * cfg.fault_window / 4, NodeRef{1, 1});
          return p;
-       }});
+       },
+       {}});
 
   out.push_back(
       {"dup-reorder-root",
@@ -296,7 +454,110 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
            p.clear_node_fault(3 * cfg.fault_window / 4, NodeRef{0, s});
          }
          return p;
-       }});
+       },
+       {}});
+
+  return out;
+}
+
+std::vector<Scenario> ChaosRunner::byzantine_scenarios() {
+  using runtime::ByzantineBehavior;
+  std::vector<Scenario> out;
+
+  {
+    Scenario s;
+    s.name = "byz-equivocate";
+    s.description =
+        "first child validator signs a second, conflicting checkpoint "
+        "every period, reforming before heal";
+    s.plan = [](const RunnerConfig& cfg) {
+      FaultPlan p;
+      p.byzantine(0, NodeRef{1, 0}, ByzantineBehavior::kEquivocate);
+      p.clear_byzantine(3 * cfg.fault_window / 4, NodeRef{1, 0});
+      return p;
+    };
+    s.byzantine = ByzantineExpectation{{NodeRef{1, 0}}, {}};
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "byz-forge-meta";
+    s.description =
+        "a child validator co-signs checkpoints whose CrossMsgMeta value "
+        "is inflated (firewall-bound attack)";
+    s.plan = [](const RunnerConfig&) {
+      FaultPlan p;
+      p.byzantine(0, NodeRef{1, 1}, ByzantineBehavior::kForgeMeta);
+      return p;
+    };
+    s.byzantine = ByzantineExpectation{{NodeRef{1, 1}}, {}};
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "byz-collapse";
+    s.description =
+        "two of three validators of the second child equivocate; slashing "
+        "drops collateral under min_collateral and deactivates the subnet";
+    s.plan = [](const RunnerConfig&) {
+      FaultPlan p;
+      p.byzantine(0, NodeRef{2, 0}, ByzantineBehavior::kEquivocate);
+      p.byzantine(0, NodeRef{2, 1}, ByzantineBehavior::kEquivocate);
+      return p;
+    };
+    s.byzantine =
+        ByzantineExpectation{{NodeRef{2, 0}, NodeRef{2, 1}}, {2}};
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "byz-withhold";
+    s.description =
+        "a child validator signs and submits nothing for the whole window "
+        "(omission: not provable fraud, so nobody is slashed; the subnet "
+        "must stay live through the remaining signers)";
+    s.plan = [](const RunnerConfig&) {
+      FaultPlan p;
+      p.byzantine(0, NodeRef{1, 2}, ByzantineBehavior::kWithhold);
+      return p;
+    };
+    s.byzantine = ByzantineExpectation{{}, {}};
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "byz-stale-resubmit";
+    s.description =
+        "a child validator replays the last accepted checkpoint every "
+        "period; the SA must reject every replay without wedging";
+    s.plan = [](const RunnerConfig&) {
+      FaultPlan p;
+      p.byzantine(0, NodeRef{1, 0}, ByzantineBehavior::kStaleResubmit);
+      return p;
+    };
+    s.byzantine = ByzantineExpectation{{}, {}};
+    out.push_back(std::move(s));
+  }
+
+  {
+    Scenario s;
+    s.name = "byz-equivocate-deep";
+    s.description =
+        "a grandchild validator equivocates at depth 2: the MIDDLE subnet "
+        "slashes it while the root-edge pipeline runs undisturbed "
+        "(requires nested = 1)";
+    s.plan = [](const RunnerConfig&) {
+      FaultPlan p;
+      p.byzantine(0, NodeRef{3, 0}, ByzantineBehavior::kEquivocate);
+      return p;
+    };
+    s.byzantine = ByzantineExpectation{{NodeRef{3, 0}}, {}};
+    out.push_back(std::move(s));
+  }
 
   return out;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,16 +40,37 @@ struct RunnerConfig {
   // ---- workload injected during the fault window
   std::size_t transfer_rounds = 2;
   TokenAmount transfer = TokenAmount::whole(3);
+
+  // ---- byzantine expectations
+  /// Stake each child validator joins with (collateral at risk per head).
+  TokenAmount validator_stake = TokenAmount::whole(5);
+  /// Every injected equivocation must be slashed within this many
+  /// checkpoint periods of simulated time (mean bound, checked against the
+  /// fraud_detection_latency_us histogram).
+  std::uint32_t detect_bound_periods = 8;
 };
 
 /// A named fault timeline. `plan` builds the timeline for one run; offsets
 /// are relative to the end of warmup. Plans address nodes as NodeRef
 /// {subnet index, validator slot}: 0 = root, 1..children = children in
 /// spawn order, then the nested grandchild (when enabled).
+/// What a Byzantine scenario must have caused by the end of the run; the
+/// runner verifies this AFTER the standard invariants, so "slashing worked"
+/// and "the system stayed safe" are checked together.
+struct ByzantineExpectation {
+  /// Validators expected slashed — exactly these, exactly once each.
+  /// Everyone else's collateral must be untouched.
+  std::vector<NodeRef> guilty;
+  /// Subnet indexes expected deactivated (collateral < min_collateral).
+  std::vector<std::size_t> deactivated;
+};
+
 struct Scenario {
   std::string name;
   std::string description;
   std::function<FaultPlan(const RunnerConfig&)> plan;
+  /// Present on adversary scenarios: slash/deactivation postconditions.
+  std::optional<ByzantineExpectation> byzantine;
 };
 
 struct RunResult {
@@ -87,6 +109,13 @@ class ChaosRunner {
   /// checkpoint signer, crash+restart of a parent-view root validator,
   /// a gray child validator, and duplicate/reorder storms at the root.
   [[nodiscard]] static std::vector<Scenario> standard_scenarios();
+
+  /// Byzantine adversary scenarios (DESIGN.md adversary model): checkpoint
+  /// equivocation, forged cross-msg value, collateral collapse with subnet
+  /// deactivation, checkpoint withholding, stale re-submission, and a
+  /// depth-2 equivocation. The depth-2 scenario requires `nested = 1`; the
+  /// collapse scenario requires `children >= 2`.
+  [[nodiscard]] static std::vector<Scenario> byzantine_scenarios();
 
   [[nodiscard]] const RunnerConfig& config() const { return config_; }
 

@@ -50,7 +50,10 @@ TokenAmount Checkpoint::outgoing_value() const {
 }
 
 Bytes SignedCheckpoint::signing_payload(const Checkpoint& cp) {
-  const Cid cid = cp.cid();
+  return signing_payload_for(cp.cid());
+}
+
+Bytes SignedCheckpoint::signing_payload_for(const Cid& cid) {
   Bytes payload = to_bytes("hc/checkpoint-sig");
   append(payload, BytesView(cid.digest().data(), cid.digest().size()));
   return payload;

@@ -70,6 +70,11 @@ struct SignedCheckpoint {
   /// The byte string validators sign: the checkpoint CID digest.
   [[nodiscard]] static Bytes signing_payload(const Checkpoint& cp);
 
+  /// Same payload derived from a bare CID: a signature share can be
+  /// verified against the cid it claims without knowing the checkpoint
+  /// content behind it (equivocation watchers rely on this).
+  [[nodiscard]] static Bytes signing_payload_for(const Cid& cid);
+
   /// Append `key`'s signature.
   void add_signature(const crypto::KeyPair& key);
 

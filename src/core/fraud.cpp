@@ -38,4 +38,16 @@ Result<std::vector<crypto::PublicKey>> FraudProof::guilty_signers() const {
   return guilty;
 }
 
+Cid FraudProof::digest() const {
+  const Bytes a = encode(first);
+  const Bytes b = encode(second);
+  Encoder e;
+  if (b < a) {
+    e.bytes(b).bytes(a);
+  } else {
+    e.bytes(a).bytes(b);
+  }
+  return Cid::of(CidCodec::kRaw, e.data());
+}
+
 }  // namespace hc::core

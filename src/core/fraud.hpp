@@ -28,6 +28,11 @@ struct FraudProof {
   /// are those that signed BOTH sides.
   [[nodiscard]] Result<std::vector<crypto::PublicKey>> guilty_signers() const;
 
+  /// Canonical content id for replay dedup: the two sides are ordered by
+  /// their encoding before hashing, so a mirrored proof (first/second
+  /// swapped) hashes to the same digest.
+  [[nodiscard]] Cid digest() const;
+
   void encode_to(Encoder& e) const { e.obj(first).obj(second); }
   [[nodiscard]] static Result<FraudProof> decode_from(Decoder& d) {
     FraudProof fp;

@@ -89,6 +89,9 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   c_pulls_sent_ = &m.counter("node_pulls_sent_total", node_labels);
   c_pushes_sent_ = &m.counter("node_pushes_sent_total", node_labels);
   c_resolves_served_ = &m.counter("node_resolves_served_total", node_labels);
+  c_fraud_detected_ = &m.counter("node_fraud_detected_total", node_labels);
+  c_fraud_submitted_ =
+      &m.counter("node_fraud_proofs_submitted_total", node_labels);
   g_mempool_ = &m.gauge("mempool_size", node_labels);
   h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
   chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
@@ -587,6 +590,44 @@ void SubnetNode::observe_cross_event(const chain::ActorEvent& event) {
                      obs::Labels{{"subnet", cp.source.to_string()}})
           .observe(*d);
     }
+  } else if (event.kind == "sca/slashed") {
+    // Fraud resolved on this (parent) chain: close the detection flow the
+    // adversary opened at injection time and count the slash, both exactly
+    // once per hierarchy (flows dedupe across replicas).
+    Decoder dec(event.payload);
+    auto records_r = dec.vec<actors::SlashRecord>();
+    if (!records_r) return;
+    for (const actors::SlashRecord& rec : std::move(records_r).value()) {
+      const std::string fraud = "fraud:" + rec.subnet.to_string() + ":" +
+                                std::to_string(rec.epoch) + ":" +
+                                Address::key(rec.signer.to_bytes()).to_string();
+      if (auto dur = tracer.flow_end(fraud)) {
+        obs_.metrics
+            .histogram("fraud_detection_latency_us",
+                       obs::Labels{{"subnet", rec.subnet.to_string()}})
+            .observe(*dur);
+      }
+      if (tracer.flow_begin("slashed:" + fraud, "fraud.slashed",
+                            rec.subnet.to_string())) {
+        tracer.flow_end("slashed:" + fraud);  // zero-length dedup marker
+        obs_.metrics
+            .counter("validators_slashed_total",
+                     obs::Labels{{"subnet", rec.subnet.to_string()}})
+            .inc();
+      }
+    }
+  } else if (event.kind == "sca/subnet-deactivated") {
+    auto id_r = decode<core::SubnetId>(event.payload);
+    if (!id_r) return;
+    const core::SubnetId id = std::move(id_r).value();
+    const std::string key = "deact:" + id.to_string();
+    if (tracer.flow_begin(key, "subnet.deactivated", id.to_string())) {
+      tracer.flow_end(key);  // zero-length dedup marker
+      obs_.metrics
+          .counter("subnets_deactivated_total",
+                   obs::Labels{{"subnet", id.to_string()}})
+          .inc();
+    }
   }
 }
 
@@ -604,7 +645,10 @@ void SubnetNode::after_commit(const chain::Block& block,
       const core::Checkpoint cp = std::move(cp_r).value();
       c_checkpoints_cut_->inc();
       cut_checkpoints_[cp.epoch] = cp;
-      if (is_validator()) {
+      // Every full node attributes its own deterministic cut content to
+      // its cid; gossiped shares attach to it in the watcher.
+      on_fraud_proofs(watcher_.record_checkpoint(cp));
+      if (is_validator() && byzantine_ != ByzantineBehavior::kWithhold) {
         // Paper Fig. 2: a signature window opens for the cut checkpoint.
         SigShare share;
         share.epoch = cp.epoch;
@@ -613,8 +657,14 @@ void SubnetNode::after_commit(const chain::Block& block,
         share.signature =
             key_.sign(core::SignedCheckpoint::signing_payload(cp));
         sig_shares_[cp.epoch][share.signer.to_bytes()] = share;
+        on_fraud_proofs(watcher_.record_share(
+            share.epoch, share.checkpoint_cid, share.signer,
+            share.signature));
         network_.publish(net_id_, Topics::signatures(config_.subnet),
-                         encode(share));
+                         encode(SigGossip{share, std::nullopt}));
+      }
+      if (is_validator() && byzantine_ != ByzantineBehavior::kNone) {
+        act_byzantine_on_cut(cp);
       }
       if (config_.push_resolution) push_own_batches(cp);
     }
@@ -622,6 +672,7 @@ void SubnetNode::after_commit(const chain::Block& block,
   request_missing_batches();
   maybe_submit_checkpoint();
   maybe_regossip_share();
+  maybe_submit_fraud_proofs();
   (void)block;
 }
 
@@ -675,11 +726,40 @@ void SubnetNode::maybe_submit_checkpoint() {
   if (!sa.has_value()) return;
   while (!cut_checkpoints_.empty() &&
          cut_checkpoints_.begin()->first <= sa->last_checkpoint_epoch) {
-    submit_retry_.erase(cut_checkpoints_.begin()->first);
-    share_retry_.erase(cut_checkpoints_.begin()->first);
-    sig_shares_.erase(cut_checkpoints_.begin()->first);
+    const chain::Epoch accepted = cut_checkpoints_.begin()->first;
+    if (byzantine_ == ByzantineBehavior::kStaleResubmit &&
+        accepted == sa->last_checkpoint_epoch) {
+      // Stash the just-accepted checkpoint with its full signature set:
+      // the adversary will replay this well-formed-but-stale submission
+      // every future period (the SA must reject it on epoch staleness).
+      core::SignedCheckpoint sc;
+      sc.checkpoint = cut_checkpoints_.begin()->second;
+      const Cid accepted_cid = sc.checkpoint.cid();
+      if (auto it = sig_shares_.find(accepted); it != sig_shares_.end()) {
+        for (const auto& [signer_bytes, share] : it->second) {
+          if (share.checkpoint_cid != accepted_cid) continue;
+          sc.signatures.push_back(
+              core::CheckpointSignature{share.signer, share.signature});
+        }
+      }
+      stale_checkpoint_ = std::move(sc);
+    }
+    submit_retry_.erase(accepted);
+    share_retry_.erase(accepted);
+    sig_shares_.erase(accepted);
     cut_checkpoints_.erase(cut_checkpoints_.begin());
   }
+  // Bounded watcher memory: keep a few periods behind parent acceptance so
+  // late forged shares for recently-accepted epochs stay provable.
+  {
+    const auto period = static_cast<chain::Epoch>(
+        std::max<std::uint32_t>(1, config_.params.checkpoint_period));
+    if (sa->last_checkpoint_epoch > 4 * period) {
+      watcher_.prune_below(sa->last_checkpoint_epoch - 4 * period);
+    }
+  }
+  // A withholding adversary never volunteers for submission duty either.
+  if (byzantine_ == ByzantineBehavior::kWithhold) return;
   if (cut_checkpoints_.empty()) return;
   const core::Checkpoint& cp = cut_checkpoints_.begin()->second;
 
@@ -723,11 +803,13 @@ void SubnetNode::maybe_submit_checkpoint() {
           core::CheckpointSignature{share.signer, share.signature});
     }
   }
+  // Read the threshold from the SA's LIVE policy, not the static node
+  // config: slashing shrinks the validator set and clamps the policy with
+  // it (a 3-of-3 subnet that loses a validator becomes 2-of-2, not wedged).
+  const core::SignaturePolicy& policy = sa->params.checkpoint_policy;
   const std::uint32_t required =
-      config_.params.checkpoint_policy.kind ==
-              core::SignaturePolicyKind::kSingle
-          ? 1
-          : config_.params.checkpoint_policy.threshold;
+      policy.kind == core::SignaturePolicyKind::kSingle ? 1
+                                                        : policy.threshold;
   if (sc.signatures.size() < required) return;
 
   // Submit to the SA on the parent chain, paid from this validator's
@@ -782,6 +864,179 @@ void SubnetNode::maybe_regossip_share() {
   arm_retry(retry, head);
 }
 
+// -------------------------------------------------------- fraud watchdog
+
+void SubnetNode::act_byzantine_on_cut(const core::Checkpoint& cp) {
+  obs_.metrics
+      .counter("node_byzantine_actions_total",
+               obs::Labels{{"node", std::to_string(net_id_)},
+                           {"subnet", config_.subnet.to_string()},
+                           {"behavior", to_string(byzantine_)}})
+      .inc();
+  switch (byzantine_) {
+    case ByzantineBehavior::kEquivocate:
+    case ByzantineBehavior::kForgeMeta: {
+      const core::Checkpoint forged = forge_checkpoint(cp);
+      SigShare share;
+      share.epoch = forged.epoch;
+      share.checkpoint_cid = forged.cid();
+      share.signer = key_.public_key();
+      share.signature =
+          key_.sign(core::SignedCheckpoint::signing_payload(forged));
+      // The forged side must carry its content: no honest replica can
+      // reconstruct it from its own chain, and the watcher needs both
+      // contents to assemble a proof.
+      network_.publish(net_id_, Topics::signatures(config_.subnet),
+                       encode(SigGossip{share, forged}));
+      // Detection-latency flow: provable fraud injected here, closed when
+      // a slash record for this (subnet, epoch, signer) lands on the
+      // parent chain.
+      obs_.tracer.flow_begin(
+          "fraud:" + config_.subnet.to_string() + ":" +
+              std::to_string(cp.epoch) + ":" + address().to_string(),
+          "fraud.detect", config_.subnet.to_string(),
+          {{"behavior", to_string(byzantine_)}});
+      break;
+    }
+    case ByzantineBehavior::kStaleResubmit: {
+      if (!stale_checkpoint_.has_value() || parent_ == nullptr) break;
+      chain::Message m;
+      m.from = address();
+      m.to = config_.sa_in_parent;
+      m.nonce = parent_->account_nonce(address());
+      m.method = actors::sa_method::kSubmitCheckpoint;
+      m.params = encode(*stale_checkpoint_);
+      m.gas_limit = 1u << 26;
+      m.gas_price = TokenAmount::atto(1);
+      auto signed_msg = chain::SignedMessage::sign(std::move(m), key_);
+      network_.publish(net_id_, Topics::msgs(*config_.subnet.parent()),
+                       encode(signed_msg));
+      break;
+    }
+    case ByzantineBehavior::kNone:
+    case ByzantineBehavior::kWithhold:
+      break;
+  }
+}
+
+core::Checkpoint SubnetNode::forge_checkpoint(
+    const core::Checkpoint& cp) const {
+  core::Checkpoint forged = cp;
+  if (byzantine_ == ByzantineBehavior::kForgeMeta) {
+    // Inflate the bottom-up value this checkpoint claims toward the
+    // parent. Were it accepted, the parent would release more than the
+    // child ever burned — the exact theft the firewall property (§II) and
+    // the supply invariants must catch.
+    if (forged.cross_meta.empty()) {
+      core::CrossMsgMeta meta;
+      meta.from = config_.subnet;
+      meta.to = config_.subnet.parent().value_or(core::SubnetId{});
+      meta.msg_count = 1;
+      meta.value = TokenAmount::whole(1'000'000);
+      forged.cross_meta.push_back(std::move(meta));
+    } else {
+      forged.cross_meta.front().value += TokenAmount::whole(1'000'000);
+    }
+  } else {
+    // Plain equivocation: same (source, epoch), different block proof —
+    // a second history for the same height.
+    Encoder e;
+    e.obj(cp.proof);
+    forged.proof = Cid::of(CidCodec::kRaw, std::move(e).take());
+  }
+  return forged;
+}
+
+void SubnetNode::on_fraud_proofs(std::vector<core::FraudProof> proofs) {
+  bool added = false;
+  for (auto& proof : proofs) {
+    auto guilty_r = proof.guilty_signers();
+    if (!guilty_r) continue;  // watcher output always validates; belt+braces
+    const Cid digest = proof.digest();
+    Bytes key(digest.digest().begin(), digest.digest().end());
+    if (pending_proofs_.contains(key)) continue;
+    c_fraud_detected_->inc();
+    LogLine(LogLevel::kWarn, config_.subnet.to_string())
+            .kv("epoch", proof.first.checkpoint.epoch)
+            .kv("signers", guilty_r.value().size())
+        << "checkpoint equivocation detected";
+    PendingProof pending;
+    pending.proof = std::move(proof);
+    pending.guilty = std::move(guilty_r).value();
+    pending.detected_at = store_->height();
+    pending_proofs_.emplace(std::move(key), std::move(pending));
+    added = true;
+  }
+  if (added) maybe_submit_fraud_proofs();
+}
+
+void SubnetNode::maybe_submit_fraud_proofs() {
+  if (pending_proofs_.empty() || parent_ == nullptr || !is_validator()) {
+    return;
+  }
+  const auto sa = parent_->sa_state(config_.sa_in_parent);
+  if (!sa.has_value()) return;
+  const auto sa_keys = sa->validator_keys();
+  const chain::Epoch head = store_->height();
+  const auto period = static_cast<chain::Epoch>(
+      std::max<std::uint32_t>(1, config_.params.checkpoint_period));
+
+  for (auto it = pending_proofs_.begin(); it != pending_proofs_.end();) {
+    PendingProof& pending = it->second;
+    // Resolved: every accused signer left the SA's validator set (our
+    // proof — or a peer's equivalent one — landed, or they left on their
+    // own). The SCA keeps the durable dedup; local state can forget.
+    const bool any_left = std::any_of(
+        pending.guilty.begin(), pending.guilty.end(),
+        [&](const crypto::PublicKey& k) {
+          return std::find(sa_keys.begin(), sa_keys.end(), k) !=
+                 sa_keys.end();
+        });
+    if (!any_left) {
+      it = pending_proofs_.erase(it);
+      continue;
+    }
+    // Designated reporter, deterministic over the NON-guilty validators
+    // (seeded by the proof digest, rotating every stalled period): N
+    // honest watchers converge on one submitter instead of racing N
+    // copies on-chain. The SCA's digest dedup catches residual races.
+    std::vector<crypto::PublicKey> honest;
+    for (const auto& v : validators_.members()) {
+      if (std::find(pending.guilty.begin(), pending.guilty.end(), v.key) ==
+          pending.guilty.end()) {
+        honest.push_back(v.key);
+      }
+    }
+    if (!honest.empty()) {
+      const std::uint64_t periods_waited =
+          static_cast<std::uint64_t>(
+              std::max<chain::Epoch>(0, head - pending.detected_at)) /
+          period;
+      const std::size_t designated =
+          (static_cast<std::size_t>(it->first.front()) + periods_waited) %
+          honest.size();
+      RetryState& retry = pending.retry;
+      if (honest[designated] == key_.public_key() &&
+          (retry.attempts == 0 || head >= retry.next_height)) {
+        chain::Message m;
+        m.from = address();
+        m.to = chain::kScaAddr;
+        m.nonce = parent_->account_nonce(address());
+        m.method = actors::sca_method::kSubmitFraudProof;
+        m.params = encode(pending.proof);
+        m.gas_limit = 1u << 26;
+        m.gas_price = TokenAmount::atto(1);
+        auto signed_msg = chain::SignedMessage::sign(std::move(m), key_);
+        network_.publish(net_id_, Topics::msgs(*config_.subnet.parent()),
+                         encode(signed_msg));
+        c_fraud_submitted_->inc();
+        arm_retry(retry, head);
+      }
+    }
+    ++it;
+  }
+}
+
 // ---------------------------------------------------------------- topics
 
 void SubnetNode::handle_msgs_topic(const Bytes& payload) {
@@ -792,20 +1047,36 @@ void SubnetNode::handle_msgs_topic(const Bytes& payload) {
 }
 
 void SubnetNode::handle_sigs_topic(const Bytes& payload) {
-  auto share_r = decode<SigShare>(payload);
-  if (!share_r) return;
-  SigShare share = std::move(share_r).value();
+  auto gossip_r = decode<SigGossip>(payload);
+  if (!gossip_r) return;
+  const SigGossip gossip = std::move(gossip_r).value();
+  const SigShare& share = gossip.share;
   if (!validators_.index_of(share.signer).has_value()) return;
-  // Verify against our own deterministic record of that epoch's cut.
-  auto cut_it = cut_checkpoints_.find(share.epoch);
-  if (cut_it == cut_checkpoints_.end()) return;
-  const core::Checkpoint& cp = cut_it->second;
-  if (cp.cid() != share.checkpoint_cid) return;
-  if (!crypto::verify_cached(share.signer,
-                             core::SignedCheckpoint::signing_payload(cp),
-                             share.signature)) {
+  // Shares sign the cid digest, so they verify against the cid they CLAIM
+  // — no content needed. A valid signature over a checkpoint we never cut
+  // is attributable evidence of a second side, exactly what the
+  // equivocation watcher indexes.
+  if (!crypto::verify_cached(
+          share.signer,
+          core::SignedCheckpoint::signing_payload_for(share.checkpoint_cid),
+          share.signature)) {
     return;
   }
+  // Carried content is self-authenticating: admit it only when it hashes
+  // to the claimed cid and targets this subnet's epoch.
+  if (gossip.checkpoint.has_value() &&
+      gossip.checkpoint->source == config_.subnet &&
+      gossip.checkpoint->epoch == share.epoch &&
+      gossip.checkpoint->cid() == share.checkpoint_cid) {
+    on_fraud_proofs(watcher_.record_checkpoint(*gossip.checkpoint));
+  }
+  on_fraud_proofs(watcher_.record_share(share.epoch, share.checkpoint_cid,
+                                        share.signer, share.signature));
+  // The honest aggregation path only pools shares matching our own
+  // deterministic record of that epoch's cut.
+  auto cut_it = cut_checkpoints_.find(share.epoch);
+  if (cut_it == cut_checkpoints_.end()) return;
+  if (cut_it->second.cid() != share.checkpoint_cid) return;
   sig_shares_[share.epoch][share.signer.to_bytes()] = share;
   if (sig_shares_.size() > 64) sig_shares_.erase(sig_shares_.begin());
   maybe_submit_checkpoint();

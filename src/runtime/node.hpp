@@ -21,6 +21,7 @@
 #include "consensus/engine.hpp"
 #include "core/params.hpp"
 #include "runtime/resolution.hpp"
+#include "runtime/watcher.hpp"
 #include "storage/store.hpp"
 
 namespace hc::runtime {
@@ -113,6 +114,19 @@ class SubnetNode final : public consensus::BlockSource {
     config_.push_resolution = enabled;
   }
 
+  /// Arm (or clear, with kNone) an adversary behavior on this validator.
+  /// Chaos plans flip this at runtime; consensus participation, block
+  /// validation and the equivocation watcher stay honest — only the
+  /// checkpoint signing/submission duty misbehaves.
+  void set_byzantine(ByzantineBehavior behavior) { byzantine_ = behavior; }
+  [[nodiscard]] ByzantineBehavior byzantine() const { return byzantine_; }
+
+  /// Fraud proofs this node has assembled and not yet seen resolved
+  /// on-chain (exposed for tests).
+  [[nodiscard]] std::size_t pending_fraud_proofs() const {
+    return pending_proofs_.size();
+  }
+
   /// Receipts of the block committed at `height` (local execution record).
   [[nodiscard]] const std::vector<chain::Receipt>* receipts_at(
       chain::Epoch height) const;
@@ -158,6 +172,20 @@ class SubnetNode final : public consensus::BlockSource {
   /// re-gossip our signature share (exponential backoff + jitter) so that
   /// shares lost to partitions/crashes resurface after heal.
   void maybe_regossip_share();
+
+  /// Register freshly assembled fraud proofs (watcher output) for
+  /// submission; dedups by proof digest.
+  void on_fraud_proofs(std::vector<core::FraudProof> proofs);
+  /// Submit pending fraud proofs to the parent SCA. One designated
+  /// reporter per proof (deterministic over the non-guilty validators,
+  /// rotating every stalled period) keeps N honest watchers from racing N
+  /// copies on-chain; the SCA's digest/slash-record dedup catches the
+  /// residual races.
+  void maybe_submit_fraud_proofs();
+  /// Byzantine duty hooks, called from the checkpoint-cut path.
+  void act_byzantine_on_cut(const core::Checkpoint& cp);
+  [[nodiscard]] core::Checkpoint forge_checkpoint(
+      const core::Checkpoint& cp) const;
   void push_own_batches(const core::Checkpoint& cp);
   void request_missing_batches();
 
@@ -213,6 +241,22 @@ class SubnetNode final : public consensus::BlockSource {
   void arm_retry(RetryState& retry, chain::Epoch head);
   std::map<chain::Epoch, RetryState> submit_retry_;
   std::map<chain::Epoch, RetryState> share_retry_;
+
+  // ----------------------------------------------------- fraud watchdog
+  CheckpointWatcher watcher_;
+  ByzantineBehavior byzantine_ = ByzantineBehavior::kNone;
+  /// Last parent-accepted checkpoint, stashed by the kStaleResubmit
+  /// behavior for replay.
+  std::optional<core::SignedCheckpoint> stale_checkpoint_;
+  struct PendingProof {
+    core::FraudProof proof;
+    std::vector<crypto::PublicKey> guilty;
+    chain::Epoch detected_at = 0;
+    RetryState retry;
+  };
+  /// Keyed by proof digest bytes; entries drop once every accused signer
+  /// left the parent SA's validator set (slash landed, or they left).
+  std::map<Bytes, PendingProof> pending_proofs_;
   /// Deterministic jitter stream (seeded from the net id, so replicas
   /// desynchronize their retries but identical runs stay identical).
   sim::Rng retry_rng_;
@@ -233,6 +277,8 @@ class SubnetNode final : public consensus::BlockSource {
   obs::Counter* c_pulls_sent_;
   obs::Counter* c_pushes_sent_;
   obs::Counter* c_resolves_served_;
+  obs::Counter* c_fraud_detected_;
+  obs::Counter* c_fraud_submitted_;
   obs::Gauge* g_mempool_;
   obs::Histogram* h_commit_latency_;
 };

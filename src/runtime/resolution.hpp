@@ -9,9 +9,12 @@
 // hash(content) == cid before accepting (storage::ContentStore::put_verified).
 #pragma once
 
+#include <optional>
+
 #include "chain/block.hpp"
 #include "common/cid.hpp"
 #include "common/codec.hpp"
+#include "core/checkpoint.hpp"
 #include "core/subnet_id.hpp"
 #include "crypto/schnorr.hpp"
 
@@ -84,6 +87,34 @@ struct SigShare {
     s.signer = signer;
     s.signature = sig;
     return s;
+  }
+};
+
+/// Envelope gossiped on the signatures topic: the share plus, optionally,
+/// the full checkpoint content behind share.checkpoint_cid. Honest signers
+/// omit the content — every replica reconstructs the cut deterministically
+/// from its own chain. Carrying it lets any observer attribute a signature
+/// over a checkpoint it never cut itself, which is exactly the evidence an
+/// equivocation watcher needs to assemble a core::FraudProof (content is
+/// self-authenticating: accepted only when it hashes to the claimed cid).
+struct SigGossip {
+  SigShare share;
+  std::optional<core::Checkpoint> checkpoint;
+
+  void encode_to(Encoder& e) const {
+    e.obj(share).boolean(checkpoint.has_value());
+    if (checkpoint) e.obj(*checkpoint);
+  }
+  [[nodiscard]] static Result<SigGossip> decode_from(Decoder& d) {
+    SigGossip g;
+    HC_TRY(share, d.obj<SigShare>());
+    HC_TRY(has_cp, d.boolean());
+    g.share = std::move(share);
+    if (has_cp) {
+      HC_TRY(cp, d.obj<core::Checkpoint>());
+      g.checkpoint = std::move(cp);
+    }
+    return g;
   }
 };
 

@@ -1,0 +1,82 @@
+// CheckpointWatcher: autonomous equivocation detection over checkpoint
+// signature gossip (paper §III-B fraud proofs; cf. Tendermint's evidence
+// pool and the accountability analysis in "BFT Protocol Forensics").
+//
+// Every node feeds the watcher two evidence streams: verified signature
+// shares from the subnet's sigs topic (epoch, cid, signer, signature) and
+// checkpoint contents it can attribute to a cid (its own deterministic
+// cut, or content carried inside a SigGossip envelope). One signer behind
+// two cids for the same epoch is equivocation; once the contents of both
+// sides are known the watcher assembles a core::FraudProof carrying the
+// overlapping signatures. Per-(epoch, signer) dedup ensures one proof per
+// offence per watcher — on-chain dedup against N racing watchers is the
+// SCA's job (fraud digests + slash records).
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/fraud.hpp"
+
+namespace hc::runtime {
+
+/// Adversary behaviors a validator node can be armed with (chaos plans
+/// flip these at runtime; kNone restores honesty).
+enum class ByzantineBehavior : std::uint8_t {
+  kNone = 0,
+  /// Sign the honest cut AND a forged variant of it each period.
+  kEquivocate,
+  /// Sign nothing and never submit (omission; not provable fraud).
+  kWithhold,
+  /// Equivocate with a forged checkpoint carrying an inflated
+  /// CrossMsgMeta value (a firewall-bound attack, paper §II).
+  kForgeMeta,
+  /// Re-submit the last parent-accepted checkpoint every period.
+  kStaleResubmit,
+};
+
+[[nodiscard]] const char* to_string(ByzantineBehavior b);
+
+class CheckpointWatcher {
+ public:
+  /// Record checkpoint content attributable to its cid. Returns any fraud
+  /// proofs this observation completes.
+  [[nodiscard]] std::vector<core::FraudProof> record_checkpoint(
+      const core::Checkpoint& cp);
+
+  /// Record one signature share already verified against the cid it
+  /// claims. Returns any fraud proofs this observation completes.
+  [[nodiscard]] std::vector<core::FraudProof> record_share(
+      chain::Epoch epoch, const Cid& cid, const crypto::PublicKey& signer,
+      const crypto::Signature& signature);
+
+  /// Drop evidence for epochs below `epoch` (bounded memory; the caller
+  /// keeps a horizon of a few periods behind parent acceptance so late
+  /// forged shares for recently-accepted epochs stay provable).
+  void prune_below(chain::Epoch epoch);
+
+  /// Equivocating (epoch, signer) pairs this watcher has proven so far.
+  [[nodiscard]] std::size_t equivocations_detected() const {
+    return reported_.size();
+  }
+
+ private:
+  struct EpochEvidence {
+    /// cid digest bytes -> checkpoint content (once attributable).
+    std::map<Bytes, core::Checkpoint> contents;
+    /// cid digest bytes -> signer key bytes -> signature.
+    std::map<Bytes, std::map<Bytes, core::CheckpointSignature>> sigs;
+  };
+
+  /// Scan every cid pair of `epoch` for overlapping signers not yet
+  /// reported whose contents are both known; assemble one proof per pair.
+  [[nodiscard]] std::vector<core::FraudProof> try_assemble(chain::Epoch epoch);
+
+  std::map<chain::Epoch, EpochEvidence> evidence_;
+  /// (epoch, signer key bytes) pairs already covered by an emitted proof.
+  std::set<std::pair<chain::Epoch, Bytes>> reported_;
+};
+
+}  // namespace hc::runtime

@@ -319,8 +319,12 @@ TEST_F(CheckpointFixture, FraudProofSlashesEquivocator) {
 
   const auto sca_after = world.sca_state();
   const auto& entry = sca_after.subnets.begin()->second;
-  // v0's 5-token stake burned from collateral.
+  // v0's 5-token stake slashed off the collateral and quarantined in the
+  // pot (NOT kBurnAddr: slashes have no parent-side release, so burning
+  // them would desync the parent's circulating-supply figure).
   EXPECT_EQ(entry.collateral, collateral_before - TokenAmount::whole(5));
+  EXPECT_EQ(world.balance(chain::kSlashPotAddr), TokenAmount::whole(5));
+  EXPECT_EQ(world.balance(chain::kBurnAddr), TokenAmount());
   // v0 removed from the validator set.
   const auto sa_st = world.sa_state(sa);
   EXPECT_EQ(sa_st.validators.size(), 2u);
@@ -355,6 +359,163 @@ TEST_F(CheckpointFixture, InvalidFraudProofRejected) {
   auto r = world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
                       encode(core::FraudProof{a, a}), TokenAmount());
   EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CheckpointFixture, FraudProofReplayAndMirrorRejected) {
+  auto a = make_signed(10, Cid(), {v0, v1});
+  auto b = make_signed(10, Cid(), {v0, v2});
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork"));
+  b.signatures.clear();
+  b.add_signature(v0->key);
+  b.add_signature(v2->key);
+  // A mirrored proof hashes to the same canonical digest.
+  EXPECT_EQ(core::FraudProof({a, b}).digest(),
+            core::FraudProof({b, a}).digest());
+
+  User& reporter = world.user("reporter");
+  ASSERT_TRUE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                         encode(core::FraudProof{a, b}), TokenAmount())
+                  .ok());
+  const TokenAmount collateral =
+      world.sca_state().subnets.begin()->second.collateral;
+
+  // Replay and mirror both conflict instead of slashing twice.
+  EXPECT_FALSE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                          encode(core::FraudProof{a, b}), TokenAmount())
+                   .ok());
+  EXPECT_FALSE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                          encode(core::FraudProof{b, a}), TokenAmount())
+                   .ok());
+  const auto sca_st = world.sca_state();
+  EXPECT_EQ(sca_st.subnets.begin()->second.collateral, collateral);
+  EXPECT_EQ(sca_st.slash_records.size(), 1u);
+  EXPECT_EQ(sca_st.fraud_digests.size(), 1u);
+}
+
+TEST_F(CheckpointFixture, DifferentlyAssembledProofCannotDoubleSlash) {
+  // v0 equivocates; two reporters assemble DIFFERENT proofs over the same
+  // offence (other co-signer, other forged side -> distinct digests). The
+  // per-(subnet, epoch, signer) slash record must stop the second one.
+  auto honest = make_signed(10, Cid(), {v0, v1});
+  auto fork1 = make_signed(10, Cid(), {});
+  fork1.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork-1"));
+  fork1.add_signature(v0->key);
+  auto fork2 = make_signed(10, Cid(), {});
+  fork2.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork-2"));
+  fork2.add_signature(v0->key);
+
+  User& reporter = world.user("reporter");
+  ASSERT_TRUE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                         encode(core::FraudProof{honest, fork1}),
+                         TokenAmount())
+                  .ok());
+  const auto second =
+      world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                 encode(core::FraudProof{honest, fork2}), TokenAmount());
+  EXPECT_FALSE(second.ok());
+  const auto sca_st = world.sca_state();
+  EXPECT_EQ(sca_st.slash_records.size(), 1u);
+  // Only v0's 5 burned; v1's collateral share untouched.
+  EXPECT_EQ(sca_st.subnets.begin()->second.collateral,
+            TokenAmount::whole(10));
+}
+
+TEST_F(CheckpointFixture, LaterEpochProofAgainstRemovedValidatorConflicts) {
+  auto a = make_signed(10, Cid(), {v0, v1});
+  auto b = make_signed(10, Cid(), {v0, v2});
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork"));
+  b.signatures.clear();
+  b.add_signature(v0->key);
+  b.add_signature(v2->key);
+  User& reporter = world.user("reporter");
+  ASSERT_TRUE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                         encode(core::FraudProof{a, b}), TokenAmount())
+                  .ok());
+
+  // v0 equivocates again at a later epoch, but is already out of the SA:
+  // a fresh proof must conflict, not mint a second slash record.
+  auto c = make_signed(20, Cid(), {v0, v1});
+  auto d = make_signed(20, Cid(), {v0, v1});
+  d.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork-20"));
+  d.signatures.clear();
+  d.add_signature(v0->key);
+  d.add_signature(v1->key);
+  // Only v0 overlaps nothing... v1 signed both too; restrict overlap to v0
+  // by dropping v1 from one side.
+  c.signatures.clear();
+  c.add_signature(v0->key);
+  c.add_signature(v1->key);
+  d.signatures.clear();
+  d.add_signature(v0->key);
+  EXPECT_FALSE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                          encode(core::FraudProof{c, d}), TokenAmount())
+                   .ok());
+  EXPECT_EQ(world.sca_state().slash_records.size(), 1u);
+}
+
+TEST_F(CheckpointFixture, SlashRecordCarriesOffenceDetails) {
+  auto a = make_signed(10, Cid(), {v0, v1});
+  auto b = make_signed(10, Cid(), {v0, v2});
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork"));
+  b.signatures.clear();
+  b.add_signature(v0->key);
+  b.add_signature(v2->key);
+  User& reporter = world.user("reporter");
+  ASSERT_TRUE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                         encode(core::FraudProof{a, b}), TokenAmount())
+                  .ok());
+  const auto sca_st = world.sca_state();
+  ASSERT_EQ(sca_st.slash_records.size(), 1u);
+  const auto& rec = sca_st.slash_records[0];
+  EXPECT_EQ(rec.subnet, subnet);
+  EXPECT_EQ(rec.epoch, 10);
+  EXPECT_EQ(rec.signer, v0->key.public_key());
+  EXPECT_EQ(rec.burned, TokenAmount::whole(5));
+  EXPECT_TRUE(sca_st.slashed(subnet, 10, v0->key.public_key()));
+  EXPECT_FALSE(sca_st.slashed(subnet, 10, v1->key.public_key()));
+  EXPECT_FALSE(sca_st.slashed(subnet, 20, v0->key.public_key()));
+}
+
+TEST_F(ActorsFixture, SlashClampsSigningThresholdToSurvivors) {
+  // 3-of-3 policy; slashing one signer must clamp the threshold to 2-of-2
+  // (scaled to the survivor count), not leave the subnet wedged.
+  User& v0 = world.user("v0");
+  User& v1 = world.user("v1");
+  User& v2 = world.user("v2");
+  Address sa = setup_subnet(default_params(/*threshold=*/3), {&v0, &v1, &v2},
+                            TokenAmount::whole(5));
+  const core::SubnetId subnet = core::SubnetId::root().child(sa);
+
+  core::SignedCheckpoint a;
+  a.checkpoint.source = subnet;
+  a.checkpoint.epoch = 10;
+  a.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("blk@10"));
+  core::SignedCheckpoint b = a;
+  b.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("fork"));
+  a.add_signature(v0.key);
+  a.add_signature(v1.key);
+  b.add_signature(v0.key);
+  b.add_signature(v2.key);
+
+  User& reporter = world.user("reporter");
+  ASSERT_TRUE(world.call(reporter, chain::kScaAddr, sca::kSubmitFraudProof,
+                         encode(core::FraudProof{a, b}), TokenAmount())
+                  .ok());
+  const auto sa_st = world.sa_state(sa);
+  ASSERT_EQ(sa_st.validators.size(), 2u);
+  EXPECT_EQ(sa_st.params.checkpoint_policy.threshold, 2u);
+  // 15 - 5 = 10 >= min_collateral: still active, and the survivors can
+  // keep checkpointing under the clamped policy.
+  ASSERT_EQ(world.sca_state().subnets.begin()->second.status,
+            core::SubnetStatus::kActive);
+  core::SignedCheckpoint next;
+  next.checkpoint.source = subnet;
+  next.checkpoint.epoch = 20;
+  next.checkpoint.proof = Cid::of(CidCodec::kBlock, to_bytes("blk@20"));
+  next.add_signature(v1.key);
+  next.add_signature(v2.key);
+  auto r = world.call(v1, sa, kSubmitCheckpoint, encode(next), TokenAmount());
+  EXPECT_TRUE(r.ok()) << r.error;
 }
 
 // ----------------------------------------------------------- cross: SCA
