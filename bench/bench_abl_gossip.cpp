@@ -74,4 +74,4 @@ QuietLogs quiet;
 }  // namespace
 }  // namespace hc::bench
 
-BENCHMARK_MAIN();
+HC_BENCH_MAIN()

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,48 @@
 namespace hc::bench {
 
 using namespace hc;  // NOLINT: bench binaries are leaf translation units
+
+/// Worker threads for every Hierarchy this binary builds, set by the
+/// `--threads N` command-line flag (1 = sequential). Determinism (§11)
+/// guarantees the protocol metrics are identical at any value; only the
+/// wall-clock changes.
+inline std::size_t& bench_threads() {
+  static std::size_t n = 1;
+  return n;
+}
+
+/// Strip `--threads N` / `--threads=N` from argv before google-benchmark
+/// parses the remaining flags.
+inline void consume_threads_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      bench_threads() =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      bench_threads() = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + 10, nullptr, 10));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (bench_threads() == 0) bench_threads() = 1;
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --threads.
+#define HC_BENCH_MAIN()                                                 \
+  int main(int argc, char** argv) {                                     \
+    ::hc::bench::consume_threads_flag(argc, argv);                      \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }
 
 inline core::SubnetParams bench_params(
     core::ConsensusType consensus = core::ConsensusType::kPoaRoundRobin,
@@ -49,6 +92,7 @@ inline runtime::HierarchyConfig bench_config(
   cfg.root_validators = root_validators;
   cfg.root_engine.block_time = root_block_time;
   cfg.root_engine.timeout_base = 4 * root_block_time;
+  cfg.threads = bench_threads();
   return cfg;
 }
 
@@ -81,8 +125,12 @@ class LoadGenerator {
     return addrs_;
   }
 
-  /// Submit `count` transfers (spread over the users).
+  /// Submit `count` transfers (spread over the users). The sign + submit
+  /// runs inside the subnet's scheduler lane (SubnetNode::post), not on the
+  /// driver thread: client-side crypto is per-subnet work and must scale
+  /// with the subnets under --threads, exactly like validation does.
   void pump(std::size_t count) {
+    auto& node = subnet_.node(0);
     for (std::size_t i = 0; i < count; ++i) {
       const std::size_t u = next_user_++ % keys_.size();
       chain::Message m;
@@ -92,8 +140,9 @@ class LoadGenerator {
       m.value = TokenAmount::atto(1);
       m.gas_limit = 1u << 22;
       m.gas_price = TokenAmount::atto(1);
-      (void)subnet_.node(0).submit_message(
-          chain::SignedMessage::sign(std::move(m), keys_[u]));
+      node.post(0, [&node, key = keys_[u], m = std::move(m)]() mutable {
+        (void)node.submit_message(chain::SignedMessage::sign(std::move(m), key));
+      });
     }
   }
 

@@ -179,4 +179,4 @@ QuietLogs quiet;
 }  // namespace
 }  // namespace hc::bench
 
-BENCHMARK_MAIN();
+HC_BENCH_MAIN()

@@ -189,4 +189,4 @@ QuietLogs quiet;
 }  // namespace
 }  // namespace hc::bench
 
-BENCHMARK_MAIN();
+HC_BENCH_MAIN()

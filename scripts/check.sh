@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Full check: Debug build with ASan+UBSan, then the whole test suite.
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Full check: Debug build with ASan+UBSan and the whole test suite, then a
+# ThreadSanitizer build (TSan cannot combine with ASan) running the
+# parallel-determinism suite and the chaos/Byzantine smokes at multiple
+# worker-thread counts.
+# Usage: scripts/check.sh [build-dir] [tsan-build-dir]
+#        (defaults: build-asan, build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_DIR="${2:-build-tsan}"
 
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
@@ -26,3 +31,22 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ChaosSweep\.'
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# ---- ThreadSanitizer stage (DESIGN.md §11) -------------------------------
+# The ParallelExecutor runs subnet lanes on worker threads; TSan checks the
+# cross-lane machinery (outboxes, barriers, shared metrics/trace/sigcache)
+# under the real chaos workloads. parallel_test sweeps 1/2/4 threads, and
+# the smokes re-run the fault scenarios on top of the same executor.
+TSAN_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+
+cmake --build "$TSAN_DIR" -j "$(nproc)"
+
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
+  -R '^ParallelDeterminism\.'
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ChaosSweep\.'
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ByzantineSmoke\.'

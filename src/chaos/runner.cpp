@@ -213,6 +213,7 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
   cfg.root_params = chaos_params(config_);
   cfg.root_validators = config_.root_validators;
   cfg.root_engine = chaos_engine(config_);
+  cfg.threads = config_.threads;
   runtime::Hierarchy h(cfg);
 
   // ---- topology: children under the root, optional nested grandchild.

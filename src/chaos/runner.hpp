@@ -48,6 +48,12 @@ struct RunnerConfig {
   /// checkpoint periods of simulated time (mean bound, checked against the
   /// fraud_detection_latency_us histogram).
   std::uint32_t detect_bound_periods = 8;
+
+  // ---- execution
+  /// Worker threads for the hierarchy's windowed executor. Any value must
+  /// reproduce the 1-thread fingerprints bit-for-bit (DESIGN.md §11);
+  /// tests/parallel_test.cpp sweeps this knob to prove it.
+  std::size_t threads = 1;
 };
 
 /// A named fault timeline. `plan` builds the timeline for one run; offsets

@@ -1,12 +1,19 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace hc {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// The level is read on every (possibly disabled) log statement from any
+// ParallelExecutor worker, so it is atomic; the sink is only replaced from
+// driver context but invoked from workers, so writes serialize on a mutex
+// to keep lines whole.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
 Log::Sink g_sink;
 
 const char* level_tag(LogLevel level) {
@@ -23,11 +30,18 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void Log::set_level(LogLevel level) { g_level = level; }
-LogLevel Log::level() { return g_level; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lk(g_write_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::write(LogLevel level, std::string_view msg) {
+  std::lock_guard<std::mutex> lk(g_write_mutex);
   if (g_sink) {
     g_sink(level, msg);
     return;

@@ -2,8 +2,33 @@
 
 #include "common/hash.hpp"
 #include "crypto/schnorr.hpp"
+#include "obs/obs.hpp"
 
 namespace hc::crypto {
+
+namespace {
+
+// Hit/miss rates live in the process-wide obs registry (the cache itself
+// is process-wide, unlike per-hierarchy instruments), so they never enter
+// per-run metric exports or replay fingerprints.
+obs::Counter& hits_counter() {
+  static obs::Counter& c =
+      obs::default_obs().metrics.counter("crypto_sigcache_hits_total");
+  return c;
+}
+
+obs::Counter& misses_counter() {
+  static obs::Counter& c =
+      obs::default_obs().metrics.counter("crypto_sigcache_misses_total");
+  return c;
+}
+
+}  // namespace
+
+SigCache::SigCache() {
+  hits_counter();
+  misses_counter();
+}
 
 SigCache& SigCache::instance() {
   static SigCache cache;
@@ -19,19 +44,38 @@ std::uint64_t SigCache::key(BytesView payload, BytesView pubkey,
 }
 
 bool SigCache::lookup(std::uint64_t key, bool& result) const {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
-    return false;
+  Shard& shard = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lk(shard.m);
+    if (auto it = shard.hot.find(key); it != shard.hot.end()) {
+      result = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_counter().inc();
+      return true;
+    }
+    if (auto it = shard.cold.find(key); it != shard.cold.end()) {
+      result = it->second;
+      shard.hot.emplace(key, result);  // promote: recently touched
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_counter().inc();
+      return true;
+    }
   }
-  ++hits_;
-  result = it->second;
-  return true;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_counter().inc();
+  return false;
 }
 
 void SigCache::store(std::uint64_t key, bool result) {
-  if (entries_.size() >= kMaxEntries) entries_.clear();
-  entries_.emplace(key, result);
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lk(shard.m);
+  shard.hot.emplace(key, result);
+  if (shard.hot.size() >= kShardHotMax) {
+    // Generation rotation: the hot map ages into cold, the old cold is
+    // dropped. Recently verified triples survive a capacity turnover.
+    shard.cold = std::move(shard.hot);
+    shard.hot.clear();
+  }
 }
 
 bool verify_cached(const PublicKey& pub, BytesView message,

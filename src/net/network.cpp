@@ -51,7 +51,7 @@ Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
                  std::uint64_t seed, GossipConfig config, obs::Obs* obs)
     : scheduler_(scheduler),
       latency_(std::move(latency)),
-      rng_(seed),
+      seed_(seed),
       config_(config),
       obs_(&obs::obs_or_default(obs)),
       m_sent_(&obs_->metrics.counter("net_messages_sent_total")),
@@ -79,6 +79,32 @@ Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
         "net_messages_dropped_total",
         obs::Labels{{"reason", to_string(static_cast<DropReason>(r))}});
   }
+  rngs_.push_back(std::make_unique<sim::Rng>(seed_));  // stream for domain 0
+}
+
+sim::Rng& Network::rng() {
+  const sim::DomainId domain = scheduler_.current_domain();
+  return domain < rngs_.size() ? *rngs_[domain] : *rngs_[0];
+}
+
+void Network::set_node_domain(NodeId node, sim::DomainId domain) {
+  if (node_domains_.size() < nodes_.size()) {
+    node_domains_.resize(nodes_.size(), 0);
+  }
+  node_domains_.at(node) = domain;
+  // Grow one deterministic RNG stream per domain. Stream 0 keeps the
+  // historical seeding; stream d is derived from (seed, d) so runs are
+  // reproducible regardless of worker count.
+  while (rngs_.size() <= domain) {
+    const auto d = static_cast<std::uint64_t>(rngs_.size());
+    rngs_.push_back(
+        std::make_unique<sim::Rng>(seed_ ^ (0x9e3779b97f4a7c15ULL * d)));
+  }
+}
+
+void Network::set_pair_latency(NodeId a, NodeId b, sim::Duration base,
+                               sim::Duration jitter) {
+  latency_.set_pair(a, b, base, jitter);
 }
 
 NodeId Network::add_node() {
@@ -129,40 +155,40 @@ std::optional<DropReason> Network::transmission_drop(NodeId from, NodeId to,
   if (partitioned_ && partition_group_[from] != partition_group_[to]) {
     return DropReason::kPartition;
   }
-  if (fault.drop > 0.0 && rng_.chance(fault.drop)) {
+  if (fault.drop > 0.0 && rng().chance(fault.drop)) {
     return DropReason::kLinkRule;
   }
-  if (drop_rate_ > 0.0 && rng_.chance(drop_rate_)) {
+  if (drop_rate_ > 0.0 && rng().chance(drop_rate_)) {
     return DropReason::kRandomLoss;
   }
   return std::nullopt;
 }
 
 void Network::count_drop(DropReason reason) {
-  ++stats_.messages_dropped;
+  stats_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
   m_dropped_->inc();
   m_dropped_by_reason_[static_cast<std::uint8_t>(reason)]->inc();
   switch (reason) {
     case DropReason::kRandomLoss:
-      ++stats_.dropped_random_loss;
+      stats_.dropped_random_loss.fetch_add(1, std::memory_order_relaxed);
       break;
     case DropReason::kNodeDown:
-      ++stats_.dropped_node_down;
+      stats_.dropped_node_down.fetch_add(1, std::memory_order_relaxed);
       break;
     case DropReason::kPartition:
-      ++stats_.dropped_partition;
+      stats_.dropped_partition.fetch_add(1, std::memory_order_relaxed);
       break;
     case DropReason::kLinkRule:
-      ++stats_.dropped_link_rule;
+      stats_.dropped_link_rule.fetch_add(1, std::memory_order_relaxed);
       break;
   }
 }
 
 sim::Duration Network::transmission_delay(NodeId from, NodeId to,
                                           const LinkFault& fault) {
-  sim::Duration delay = latency_.sample(from, to, rng_) + fault.extra_delay;
+  sim::Duration delay = latency_.sample(from, to, rng()) + fault.extra_delay;
   if (fault.reorder_jitter > 0) {
-    delay += static_cast<sim::Duration>(rng_.uniform(
+    delay += static_cast<sim::Duration>(rng().uniform(
         static_cast<std::uint64_t>(fault.reorder_jitter) + 1));
   }
   return delay;
@@ -172,10 +198,10 @@ void Network::deliver_direct(NodeId from, NodeId to,
                              std::shared_ptr<const Bytes> payload,
                              sim::Duration delay) {
   h_direct_latency_->observe(delay);
-  scheduler_.schedule(delay, [this, from, to, payload] {
+  scheduler_.schedule_in(node_domain(to), delay, [this, from, to, payload] {
     Node& node = nodes_[to];
     if (node.down || !node.on_direct) return;
-    ++stats_.messages_delivered;
+    stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
     m_delivered_->inc();
     node.on_direct(from, *payload);
   });
@@ -183,8 +209,8 @@ void Network::deliver_direct(NodeId from, NodeId to,
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
   assert(from < nodes_.size() && to < nodes_.size());
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
   m_sent_->inc();
   m_bytes_->inc(payload.size());
   const LinkFault fault = effective_fault(from, to);
@@ -194,8 +220,8 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   }
   auto shared = std::make_shared<const Bytes>(std::move(payload));
   deliver_direct(from, to, shared, transmission_delay(from, to, fault));
-  if (fault.duplicate > 0.0 && rng_.chance(fault.duplicate)) {
-    ++stats_.messages_duplicated;
+  if (fault.duplicate > 0.0 && rng().chance(fault.duplicate)) {
+    stats_.messages_duplicated.fetch_add(1, std::memory_order_relaxed);
     m_duplicated_->inc();
     deliver_direct(from, to, shared, transmission_delay(from, to, fault));
   }
@@ -246,7 +272,7 @@ void Network::rebuild_meshes(const std::string& topic) {
     std::unordered_set<NodeId> chosen;
     while (chosen.size() < config_.mesh_degree) {
       const NodeId peer =
-          subs[static_cast<std::size_t>(rng_.uniform(subs.size()))];
+          subs[static_cast<std::size_t>(rng().uniform(subs.size()))];
       if (peer != member) chosen.insert(peer);
     }
     mesh.assign(chosen.begin(), chosen.end());
@@ -259,7 +285,8 @@ void Network::publish(NodeId from, const std::string& topic, Bytes payload) {
   if (it == topics_.end() || it->second.subscribers.empty()) return;
   if (nodes_[from].down) return;
 
-  const std::uint64_t msg_id = next_msg_seq_++;
+  const std::uint64_t msg_id =
+      next_msg_seq_.fetch_add(1, std::memory_order_relaxed);
   auto shared = std::make_shared<const Bytes>(std::move(payload));
   nodes_[from].seen.insert(msg_id);  // don't deliver to self later
 
@@ -278,7 +305,7 @@ void Network::publish(NodeId from, const std::string& topic, Bytes payload) {
     std::size_t guard = 0;
     while (chosen.size() < want && guard++ < 64 * want) {
       const NodeId peer =
-          subs[static_cast<std::size_t>(rng_.uniform(subs.size()))];
+          subs[static_cast<std::size_t>(rng().uniform(subs.size()))];
       if (peer != from) chosen.insert(peer);
     }
     targets.assign(chosen.begin(), chosen.end());
@@ -294,17 +321,17 @@ void Network::schedule_gossip_hop(NodeId to, const std::string& topic,
                                   NodeId origin, std::uint64_t msg_id,
                                   int hops_left, sim::Duration delay) {
   h_gossip_latency_->observe(delay);
-  scheduler_.schedule(delay, [this, to, topic, payload, origin, msg_id,
-                              hops_left] {
+  scheduler_.schedule_in(node_domain(to), delay, [this, to, topic, payload,
+                                                  origin, msg_id, hops_left] {
     Node& node = nodes_[to];
     if (node.down) return;
     if (!node.seen.insert(msg_id).second) {
-      ++stats_.gossip_duplicates;
+      stats_.gossip_duplicates.fetch_add(1, std::memory_order_relaxed);
       m_duplicates_->inc();
       return;
     }
     if (node.on_topic) {
-      ++stats_.messages_delivered;
+      stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
       m_delivered_->inc();
       node.on_topic(origin, topic, *payload);
     }
@@ -323,8 +350,8 @@ void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
                              std::shared_ptr<const Bytes> payload,
                              NodeId origin, std::uint64_t msg_id,
                              int hops_left) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload->size();
+  stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(payload->size(), std::memory_order_relaxed);
   m_sent_->inc();
   m_bytes_->inc(payload->size());
   const LinkFault fault = effective_fault(from, to);
@@ -334,12 +361,48 @@ void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
   }
   schedule_gossip_hop(to, topic, payload, origin, msg_id, hops_left,
                       transmission_delay(from, to, fault));
-  if (fault.duplicate > 0.0 && rng_.chance(fault.duplicate)) {
-    ++stats_.messages_duplicated;
+  if (fault.duplicate > 0.0 && rng().chance(fault.duplicate)) {
+    stats_.messages_duplicated.fetch_add(1, std::memory_order_relaxed);
     m_duplicated_->inc();
     schedule_gossip_hop(to, topic, payload, origin, msg_id, hops_left,
                         transmission_delay(from, to, fault));
   }
+}
+
+Network::Stats Network::stats() const {
+  Stats out;
+  out.messages_sent = stats_.messages_sent.load(std::memory_order_relaxed);
+  out.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  out.messages_delivered =
+      stats_.messages_delivered.load(std::memory_order_relaxed);
+  out.messages_dropped =
+      stats_.messages_dropped.load(std::memory_order_relaxed);
+  out.dropped_random_loss =
+      stats_.dropped_random_loss.load(std::memory_order_relaxed);
+  out.dropped_node_down =
+      stats_.dropped_node_down.load(std::memory_order_relaxed);
+  out.dropped_partition =
+      stats_.dropped_partition.load(std::memory_order_relaxed);
+  out.dropped_link_rule =
+      stats_.dropped_link_rule.load(std::memory_order_relaxed);
+  out.messages_duplicated =
+      stats_.messages_duplicated.load(std::memory_order_relaxed);
+  out.gossip_duplicates =
+      stats_.gossip_duplicates.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Network::reset_stats() {
+  stats_.messages_sent.store(0, std::memory_order_relaxed);
+  stats_.bytes_sent.store(0, std::memory_order_relaxed);
+  stats_.messages_delivered.store(0, std::memory_order_relaxed);
+  stats_.messages_dropped.store(0, std::memory_order_relaxed);
+  stats_.dropped_random_loss.store(0, std::memory_order_relaxed);
+  stats_.dropped_node_down.store(0, std::memory_order_relaxed);
+  stats_.dropped_partition.store(0, std::memory_order_relaxed);
+  stats_.dropped_link_rule.store(0, std::memory_order_relaxed);
+  stats_.messages_duplicated.store(0, std::memory_order_relaxed);
+  stats_.gossip_duplicates.store(0, std::memory_order_relaxed);
 }
 
 void Network::set_node_down(NodeId node, bool down) {

@@ -15,8 +15,15 @@
 // reorder individual transmissions. Every drop is attributed to a reason in
 // both Stats and the metrics registry, so chaos runs can tell random loss
 // from partitions from gray links.
+// Parallel execution (DESIGN.md §11): transmissions run inside a node's
+// event lane; deliveries are scheduled into the destination node's lane
+// (crossing lanes through the scheduler's outbox/barrier machinery), fault
+// dice come from per-domain RNG streams, and the transport counters are
+// atomic. Topology, fault rules and handlers mutate only from driver
+// context or lane-0 (chaos) events, which run with every lane parked.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -100,6 +107,22 @@ class Network {
   NodeId add_node();
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
+  /// Declare which scheduler domain (event lane) a node executes in.
+  /// Deliveries to the node are scheduled into that lane, and fault dice
+  /// for traffic emitted from the lane come from that domain's dedicated
+  /// RNG stream. Defaults to domain 0. Call from driver context only.
+  void set_node_domain(NodeId node, sim::DomainId domain);
+  [[nodiscard]] sim::DomainId node_domain(NodeId node) const {
+    return node < node_domains_.size() ? node_domains_[node] : sim::DomainId{0};
+  }
+
+  /// Override the latency of one (unordered) node pair — e.g. WAN-class
+  /// cross-subnet links over LAN-class intra-subnet ones. Driver context
+  /// only; feeds LatencyModel::min_delay() and thus executor lookahead.
+  void set_pair_latency(NodeId a, NodeId b, sim::Duration base,
+                        sim::Duration jitter);
+  [[nodiscard]] const sim::LatencyModel& latency() const { return latency_; }
+
   /// Install the handler invoked for point-to-point messages.
   void set_direct_handler(NodeId node, DirectHandler handler);
   /// Install the handler invoked for pubsub deliveries.
@@ -168,8 +191,11 @@ class Network {
     std::uint64_t messages_duplicated = 0;  // fault-injected extra copies
     std::uint64_t gossip_duplicates = 0;    // dedup hits at receivers
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  /// Snapshot of the (internally atomic) transport counters. Sums are
+  /// order-insensitive, so snapshots taken outside windows are identical
+  /// across worker counts.
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
 
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
 
@@ -196,6 +222,12 @@ class Network {
   /// delays summed, jitter summed). `active()` false when unfaulted.
   [[nodiscard]] LinkFault effective_fault(NodeId from, NodeId to) const;
 
+  /// RNG stream for the calling context: one independent stream per
+  /// scheduler domain, so lanes running on different workers never share
+  /// dice. Stream 0 (driver / legacy single-lane use) is seeded exactly
+  /// like the pre-lane shared stream.
+  [[nodiscard]] sim::Rng& rng();
+
   [[nodiscard]] bool can_reach(NodeId from, NodeId to) const;
   /// Roll the dice for one transmission. Returns the drop reason, or
   /// nullopt when it goes through.
@@ -217,11 +249,30 @@ class Network {
                            std::uint64_t msg_id, int hops_left,
                            sim::Duration delay);
 
+  /// Stats mirror with atomic fields; updated from worker lanes.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> messages_delivered{0};
+    std::atomic<std::uint64_t> messages_dropped{0};
+    std::atomic<std::uint64_t> dropped_random_loss{0};
+    std::atomic<std::uint64_t> dropped_node_down{0};
+    std::atomic<std::uint64_t> dropped_partition{0};
+    std::atomic<std::uint64_t> dropped_link_rule{0};
+    std::atomic<std::uint64_t> messages_duplicated{0};
+    std::atomic<std::uint64_t> gossip_duplicates{0};
+  };
+
   sim::Scheduler& scheduler_;
   sim::LatencyModel latency_;
-  sim::Rng rng_;
+  std::uint64_t seed_;
+  // One RNG stream per scheduler domain (index = domain id). Stream 0 is
+  // seeded exactly like the historical shared stream; further streams are
+  // derived deterministically from (seed, domain).
+  std::vector<std::unique_ptr<sim::Rng>> rngs_;
   GossipConfig config_;
   std::vector<Node> nodes_;
+  std::vector<sim::DomainId> node_domains_;
   std::unordered_map<std::string, Topic> topics_;
   double drop_rate_ = 0.0;
   // partition_group_[node] = group id; -1 = unpartitioned.
@@ -231,8 +282,10 @@ class Network {
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;
   // Per-node fault rules (applied to both directions).
   std::unordered_map<NodeId, LinkFault> node_faults_;
-  std::uint64_t next_msg_seq_ = 0;
-  Stats stats_;
+  // Gossip message ids are compared only for equality among copies of one
+  // publish, so a racy-but-unique atomic counter is sufficient.
+  std::atomic<std::uint64_t> next_msg_seq_{0};
+  AtomicStats stats_;
 
   obs::Obs* obs_;  // never null (defaults to &obs::default_obs())
   // Registry-backed mirrors of Stats, resolved once at construction.

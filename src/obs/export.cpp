@@ -1,9 +1,11 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 namespace hc::obs {
 namespace {
@@ -206,14 +208,30 @@ std::string metrics_to_prometheus(const MetricsRegistry& registry) {
 }
 
 std::string trace_to_chrome_json(const Tracer& tracer) {
-  // Dense tid per first-seen track, plus thread_name metadata so the trace
-  // viewer shows the track string instead of a bare number.
+  // Canonical span order: parallel lanes append to the tracer in
+  // nondeterministic interleavings, so insertion order is not stable
+  // across worker counts. Sorting by the full record content restores a
+  // total order that depends only on what was traced, keeping the export
+  // byte-identical between single- and multi-threaded runs.
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(tracer.spans().size());
+  for (const auto& span : tracer.spans()) ordered.push_back(&span);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return std::tie(a->start, a->track, a->name, a->end, a->instant,
+                              a->args) < std::tie(b->start, b->track, b->name,
+                                                  b->end, b->instant, b->args);
+            });
+
+  // Dense tid per first-seen track (in canonical order), plus thread_name
+  // metadata so the trace viewer shows the track string instead of a bare
+  // number.
   std::map<std::string, int> tid_of;
   std::vector<std::string> track_order;
-  for (const auto& span : tracer.spans()) {
-    if (tid_of.emplace(span.track, static_cast<int>(track_order.size()))
+  for (const SpanRecord* span : ordered) {
+    if (tid_of.emplace(span->track, static_cast<int>(track_order.size()))
             .second) {
-      track_order.push_back(span.track);
+      track_order.push_back(span->track);
     }
   }
 
@@ -226,7 +244,8 @@ std::string trace_to_chrome_json(const Tracer& tracer) {
            std::to_string(i) + ",\"args\":{\"name\":" + quoted(track_order[i]) +
            "}}";
   }
-  for (const auto& span : tracer.spans()) {
+  for (const SpanRecord* span_ptr : ordered) {
+    const SpanRecord& span = *span_ptr;
     if (!first) out += ',';
     first = false;
     const std::int64_t dur = span.end >= span.start ? span.end - span.start : 0;

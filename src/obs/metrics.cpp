@@ -34,9 +34,26 @@ Histogram::Histogram(std::vector<std::int64_t> bounds)
 void Histogram::observe(std::int64_t v) {
   // Inclusive upper edges: v lands in the first bucket with v <= bound.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lk(m_);
+  buckets_[idx] += 1;
   count_ += 1;
   sum_ += v;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return count_;
+}
+
+std::int64_t Histogram::sum() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return sum_;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return buckets_;
 }
 
 const std::vector<std::int64_t>& latency_buckets_us() {
@@ -49,31 +66,31 @@ const std::vector<std::int64_t>& latency_buckets_us() {
 
 Counter& MetricsRegistry::counter(const std::string& family,
                                   const Labels& labels) {
+  std::lock_guard<std::mutex> lk(m_);
   return counters_[family][labels.canonical()];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& family,
                               const Labels& labels) {
+  std::lock_guard<std::mutex> lk(m_);
   return gauges_[family][labels.canonical()];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& family,
                                       const Labels& labels,
                                       const std::vector<std::int64_t>& bounds) {
+  std::lock_guard<std::mutex> lk(m_);
   auto& by_label = histograms_[family];
-  auto it = by_label.find(labels.canonical());
-  if (it == by_label.end()) {
-    it = by_label
-             .emplace(labels.canonical(),
-                      Histogram(bounds.empty() ? latency_buckets_us()
-                                               : bounds))
-             .first;
-  }
+  auto it = by_label
+                .try_emplace(labels.canonical(),
+                             bounds.empty() ? latency_buckets_us() : bounds)
+                .first;
   return it->second;
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& family,
                                              const Labels& labels) const {
+  std::lock_guard<std::mutex> lk(m_);
   auto fit = counters_.find(family);
   if (fit == counters_.end()) return nullptr;
   auto it = fit->second.find(labels.canonical());
@@ -82,6 +99,7 @@ const Counter* MetricsRegistry::find_counter(const std::string& family,
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& family,
                                          const Labels& labels) const {
+  std::lock_guard<std::mutex> lk(m_);
   auto fit = gauges_.find(family);
   if (fit == gauges_.end()) return nullptr;
   auto it = fit->second.find(labels.canonical());
@@ -90,6 +108,7 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& family,
 
 const Histogram* MetricsRegistry::find_histogram(const std::string& family,
                                                  const Labels& labels) const {
+  std::lock_guard<std::mutex> lk(m_);
   auto fit = histograms_.find(family);
   if (fit == histograms_.end()) return nullptr;
   auto it = fit->second.find(labels.canonical());
@@ -97,6 +116,7 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& family,
 }
 
 void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(m_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

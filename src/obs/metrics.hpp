@@ -1,17 +1,26 @@
 // Subnet-scoped metrics registry.
 //
-// Always-on instrumentation for the single-threaded simulator: counters,
-// gauges and fixed-bucket histograms, labelable by subnet id (and any other
+// Always-on instrumentation for the simulator: counters, gauges and
+// fixed-bucket histograms, labelable by subnet id (and any other
 // dimension, e.g. engine type). Instrument handles returned by the registry
 // are stable for the registry's lifetime, so hot paths pay one pointer
 // dereference per update — the name/label lookup happens once at wiring
 // time. All values are integers (simulated-time microseconds for latencies)
 // so every export is byte-deterministic across identical runs.
+//
+// Instruments are safe to update from ParallelExecutor worker lanes:
+// counters and gauges are atomic, histograms take a short internal lock,
+// and the registry's find-or-create paths are mutex-guarded (nodes create
+// some instruments lazily from inside event callbacks). Sums and bucket
+// tallies are order-insensitive, so exports stay byte-identical across
+// worker counts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,44 +53,53 @@ class Labels {
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// A point-in-time level (queue depth, mempool occupancy).
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t d) { value_ += d; }
-  [[nodiscard]] std::int64_t value() const { return value_; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket histogram. `bounds` are inclusive upper edges in ascending
 /// order; one implicit +inf bucket catches the overflow. Designed for
-/// simulated-time latencies (integer microseconds).
+/// simulated-time latencies (integer microseconds). Guarded by an internal
+/// lock so lanes on different workers can observe concurrently.
 class Histogram {
  public:
   explicit Histogram(std::vector<std::int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void observe(std::int64_t v);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::int64_t sum() const;
   [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
-    return bounds_;
+    return bounds_;  // immutable after construction
   }
   /// bounds().size() + 1 entries; the last one is the +inf bucket.
-  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
-    return buckets_;
-  }
+  /// Returned by value: a consistent snapshot under the internal lock.
+  [[nodiscard]] std::vector<std::uint64_t> buckets() const;
 
  private:
+  mutable std::mutex m_;
   std::vector<std::int64_t> bounds_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
@@ -97,7 +115,8 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Find-or-create. References stay valid until clear()/destruction.
+  /// Find-or-create. References stay valid until clear()/destruction
+  /// (node-keyed std::map storage — insertion never moves instruments).
   Counter& counter(const std::string& family, const Labels& labels = {});
   Gauge& gauge(const std::string& family, const Labels& labels = {});
   /// `bounds` is consulted only when the instrument is first created;
@@ -116,6 +135,8 @@ class MetricsRegistry {
 
   /// Deterministic iteration for the exporters: family name sorted, then
   /// canonical label string sorted. The label map key is the canonical form.
+  /// Iterate only from driver context (no lanes running) — exports happen
+  /// between runs or at window barriers.
   using CounterFamilies = std::map<std::string, std::map<std::string, Counter>>;
   using GaugeFamilies = std::map<std::string, std::map<std::string, Gauge>>;
   using HistogramFamilies =
@@ -130,6 +151,7 @@ class MetricsRegistry {
   void clear();
 
  private:
+  mutable std::mutex m_;
   CounterFamilies counters_;
   GaugeFamilies gauges_;
   HistogramFamilies histograms_;

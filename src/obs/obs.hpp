@@ -3,9 +3,10 @@
 // One Obs instance pairs the metrics registry with the tracer. A Hierarchy
 // owns a fresh Obs per run (so exports are reproducible run-to-run);
 // components constructed without an explicit context fall back to the
-// process-wide default instance — the simulator is single-threaded, so the
-// fallback needs no synchronization and instrumentation never has to
-// null-check.
+// process-wide default instance. Both registry and tracer are internally
+// synchronized (see metrics.hpp / trace.hpp), so instruments can be
+// updated from ParallelExecutor worker lanes and instrumentation never
+// has to null-check.
 #pragma once
 
 #include "obs/metrics.hpp"

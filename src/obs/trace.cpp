@@ -4,11 +4,13 @@ namespace hc::obs {
 
 bool Tracer::flow_begin(const std::string& key, std::string name,
                         std::string track, TraceArgs args) {
+  const std::int64_t start = now();
+  std::lock_guard<std::mutex> lk(m_);
   if (open_.count(key) != 0 || done_.count(key) != 0) return false;
   SpanRecord span;
   span.name = std::move(name);
   span.track = std::move(track);
-  span.start = now();
+  span.start = start;
   span.args = std::move(args);
   open_.emplace(key, spans_.size());
   spans_.push_back(std::move(span));
@@ -17,10 +19,12 @@ bool Tracer::flow_begin(const std::string& key, std::string name,
 
 std::optional<std::int64_t> Tracer::flow_end(const std::string& key,
                                              TraceArgs args) {
+  const std::int64_t end = now();
+  std::lock_guard<std::mutex> lk(m_);
   auto it = open_.find(key);
   if (it == open_.end()) return std::nullopt;
   SpanRecord& span = spans_[it->second];
-  span.end = now();
+  span.end = end;
   for (auto& kv : args) span.args.push_back(std::move(kv));
   open_.erase(it);
   done_.insert(key);
@@ -28,11 +32,13 @@ std::optional<std::int64_t> Tracer::flow_end(const std::string& key,
 }
 
 void Tracer::flow_end_prefix(const std::string& prefix) {
+  const std::int64_t end = now();
+  std::lock_guard<std::mutex> lk(m_);
   // std::map iterates keys in order, so the open flows matching the prefix
   // form one contiguous range.
   auto it = open_.lower_bound(prefix);
   while (it != open_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
-    spans_[it->second].end = now();
+    spans_[it->second].end = end;
     done_.insert(it->first);
     it = open_.erase(it);
   }
@@ -45,13 +51,16 @@ std::size_t Tracer::begin(std::string name, std::string track,
   span.track = std::move(track);
   span.start = now();
   span.args = std::move(args);
+  std::lock_guard<std::mutex> lk(m_);
   spans_.push_back(std::move(span));
   return spans_.size() - 1;
 }
 
 void Tracer::end(std::size_t index) {
+  const std::int64_t end = now();
+  std::lock_guard<std::mutex> lk(m_);
   if (index < spans_.size() && spans_[index].end < 0) {
-    spans_[index].end = now();
+    spans_[index].end = end;
   }
 }
 
@@ -63,10 +72,12 @@ void Tracer::instant(std::string name, std::string track, TraceArgs args) {
   span.end = span.start;
   span.instant = true;
   span.args = std::move(args);
+  std::lock_guard<std::mutex> lk(m_);
   spans_.push_back(std::move(span));
 }
 
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(m_);
   spans_.clear();
   open_.clear();
   done_.clear();

@@ -16,11 +16,18 @@
 //
 // Tracks are free-form strings (one per subnet, plus "xnet" for end-to-end
 // cross-net spans) and become named rows in the Chrome trace viewer.
+//
+// All record/close operations take a short internal lock so event lanes on
+// different ParallelExecutor workers can trace concurrently. The exporter
+// sorts spans canonically, so insertion interleaving never leaks into the
+// output (flows racing on one key are separated by at least the executor's
+// lookahead, which puts them in different windows — the winner is fixed).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -66,6 +73,7 @@ class Tracer {
   /// bottom-up window spans when their checkpoint is cut).
   void flow_end_prefix(const std::string& prefix);
   [[nodiscard]] bool flow_open(const std::string& key) const {
+    std::lock_guard<std::mutex> lk(m_);
     return open_.count(key) != 0;
   }
 
@@ -77,10 +85,13 @@ class Tracer {
   /// A zero-duration marker.
   void instant(std::string name, std::string track, TraceArgs args = {});
 
+  /// Raw span records in insertion order. Read only from driver context
+  /// (no lanes running) — exporters canonicalize the order themselves.
   [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
   void clear();
 
  private:
+  mutable std::mutex m_;
   std::function<std::int64_t()> clock_;
   std::vector<SpanRecord> spans_;
   std::map<std::string, std::size_t> open_;  // flow key -> span index

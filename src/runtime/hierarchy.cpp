@@ -43,6 +43,20 @@ chain::StateTree base_genesis(const core::SubnetId& self,
   return tree;
 }
 
+/// Conservative lookahead for the windowed executor: the smallest delay
+/// any cross-lane (= cross-subnet) delivery can have. With the override
+/// knob set, every cross-subnet pair uses it, so its floor IS the bound;
+/// otherwise fall back to the base model's global floor (smaller than
+/// necessary — same-subnet links are same-lane — but always safe).
+sim::Duration executor_lookahead(const HierarchyConfig& cfg) {
+  if (cfg.cross_subnet_latency.has_value()) {
+    const auto& x = *cfg.cross_subnet_latency;
+    const sim::Duration floor = x.jitter <= 0 ? x.base : x.base - x.jitter;
+    return std::max<sim::Duration>(sim::Duration{1}, floor);
+  }
+  return cfg.latency.min_delay();
+}
+
 consensus::ValidatorSet make_validator_set(
     const std::vector<crypto::KeyPair>& keys) {
   std::vector<consensus::Validator> members;
@@ -59,15 +73,27 @@ Hierarchy::Hierarchy(HierarchyConfig config)
     : config_(std::move(config)),
       network_(scheduler_, config_.latency, config_.seed, config_.gossip,
                &obs_),
+      executor_(scheduler_, config_.threads, executor_lookahead(config_)),
       faucet_(crypto::KeyPair::from_label("hc/faucet")) {
   scheduler_.attach_obs(&obs_);
   obs_.tracer.set_clock([this] { return scheduler_.now(); });
   actors::install_standard_actors(registry_);
+  // Child nodes read their parent through the view snapshot published at
+  // the last barrier (never live state, which another lane may be
+  // mutating); flip every alive node's buffer between windows.
+  executor_.add_barrier_hook([this] {
+    for (auto& s : subnets_) {
+      for (auto& n : s->nodes) {
+        if (n) n->publish_view();
+      }
+    }
+  });
 
   auto root = std::make_unique<Subnet>();
   root->id = core::SubnetId::root();
   root->params = config_.root_params;
   root->engine = config_.root_engine;
+  root->domain = scheduler_.add_domain();
   for (std::size_t i = 0; i < config_.root_validators; ++i) {
     root->validator_keys.push_back(
         crypto::KeyPair::from_label("root-val-" + std::to_string(i)));
@@ -94,12 +120,14 @@ Hierarchy::Hierarchy(HierarchyConfig config)
     nc.subnet = root->id;
     nc.params = config_.root_params;
     nc.engine = config_.root_engine;
+    nc.domain = root->domain;
     root->nodes.push_back(std::make_unique<SubnetNode>(
         scheduler_, network_, registry_, nc, k, validators,
         genesis.snapshot()));
     root->node_ids.push_back(root->nodes.back()->net_id());
   }
   for (auto& n : root->nodes) n->start();
+  for (auto& n : root->nodes) n->publish_view();
   root_ = root.get();
   subnets_.push_back(std::move(root));
 }
@@ -113,7 +141,7 @@ Hierarchy::~Hierarchy() {
 }
 
 void Hierarchy::run_for(sim::Duration d) {
-  scheduler_.run_until(scheduler_.now() + d);
+  executor_.run_until(scheduler_.now() + d);
 }
 
 bool Hierarchy::run_until(const std::function<bool()>& pred,
@@ -122,7 +150,7 @@ bool Hierarchy::run_until(const std::function<bool()>& pred,
   for (;;) {
     if (pred()) return true;
     if (scheduler_.now() >= deadline) return false;
-    scheduler_.run_until(std::min(scheduler_.now() + step, deadline));
+    executor_.run_until(std::min(scheduler_.now() + step, deadline));
   }
 }
 
@@ -321,6 +349,7 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
   child->params = params;
   child->engine = engine;
   child->parent = &parent;
+  child->domain = scheduler_.add_domain();
   child->validator_keys = keys;
 
   chain::StateTree genesis =
@@ -333,9 +362,11 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
     nc.params = params;
     nc.engine = engine;
     nc.sa_in_parent = sa_addr;
+    nc.domain = child->domain;
     auto node = std::make_unique<SubnetNode>(scheduler_, network_, registry_,
                                              nc, keys[i], validators,
                                              genesis.snapshot());
+    install_cross_latency(node->net_id(), *child);
     // Spread parent views across alive parent replicas (paper §II: child
     // nodes run full nodes on the parent subnet).
     SubnetNode* view = nullptr;
@@ -351,6 +382,7 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
     child->node_ids.push_back(child->nodes.back()->net_id());
   }
   for (auto& n : child->nodes) n->start();
+  for (auto& n : child->nodes) n->publish_view();
 
   Subnet* out = child.get();
   subnets_.push_back(std::move(child));
@@ -407,6 +439,7 @@ Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
   nc.engine = subnet.engine;
   nc.sa_in_parent = subnet.sa;
   nc.reuse_net_id = subnet.node_ids.at(i);
+  nc.domain = subnet.domain;
   auto node = std::make_unique<SubnetNode>(
       scheduler_, network_, registry_, nc, subnet.validator_keys.at(i),
       make_validator_set(subnet.validator_keys), subnet.genesis.snapshot());
@@ -425,6 +458,7 @@ Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
   network_.set_node_down(subnet.node_ids.at(i), false);
   subnet.nodes[i] = std::move(node);
   subnet.nodes[i]->start();
+  subnet.nodes[i]->publish_view();
 
   // Re-adopt child nodes orphaned while every replica of this subnet was
   // crashed.
@@ -437,6 +471,17 @@ Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
     }
   }
   return ok_status();
+}
+
+void Hierarchy::install_cross_latency(net::NodeId id, const Subnet& home) {
+  if (!config_.cross_subnet_latency.has_value()) return;
+  const auto& x = *config_.cross_subnet_latency;
+  for (const auto& s : subnets_) {
+    if (s.get() == &home) continue;
+    for (const net::NodeId other : s->node_ids) {
+      network_.set_pair_latency(id, other, x.base, x.jitter);
+    }
+  }
 }
 
 Result<chain::Receipt> Hierarchy::send_cross(Subnet& from, const User& user,

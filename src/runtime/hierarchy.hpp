@@ -9,10 +9,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/node.hpp"
+#include "sim/parallel.hpp"
 
 namespace hc::runtime {
 
@@ -28,6 +30,22 @@ struct HierarchyConfig {
 
   /// Genesis balance of the faucet account used to fund users/validators.
   TokenAmount faucet_balance = TokenAmount::whole(1000000000);
+
+  /// Worker threads for windowed parallel execution (one scheduler lane
+  /// per subnet). 1 keeps execution sequential but still window-driven,
+  /// so 1- and N-thread runs of the same seed replay byte-identically
+  /// (DESIGN.md §11).
+  std::size_t threads = 1;
+
+  /// Optional latency override installed on every cross-subnet node pair.
+  /// Models the paper's deployment (co-located subnet validators, WAN
+  /// between subnets) and widens the executor's conservative lookahead
+  /// (= the minimum cross-lane delay), and with it the usable parallelism.
+  struct CrossSubnetLatency {
+    sim::Duration base = 0;
+    sim::Duration jitter = 0;
+  };
+  std::optional<CrossSubnetLatency> cross_subnet_latency;
 };
 
 /// A spawned subnet (or the rootnet): its nodes and identity. Slots in
@@ -40,6 +58,9 @@ class Subnet {
   core::SubnetParams params;
   consensus::EngineConfig engine;
   Subnet* parent = nullptr;
+  /// Scheduler lane shared by this subnet's nodes (root subnet included;
+  /// lane 0 stays reserved for driver/chaos events).
+  sim::DomainId domain = 0;
   std::vector<crypto::KeyPair> validator_keys;
   std::vector<std::unique_ptr<SubnetNode>> nodes;
   /// Transport id per slot, kept across crash/restart cycles.
@@ -82,6 +103,8 @@ class Hierarchy {
   [[nodiscard]] Subnet& root() { return *root_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] net::Network& network() { return network_; }
+  /// The windowed executor run_for/run_until drive time through.
+  [[nodiscard]] sim::ParallelExecutor& executor() { return executor_; }
   /// Metrics + traces for this hierarchy. Owned (not the process default),
   /// so same-seed runs export byte-identical snapshots.
   [[nodiscard]] obs::Obs& obs() { return obs_; }
@@ -153,11 +176,15 @@ class Hierarchy {
   }
 
  private:
+  /// Install the cross-subnet latency override (when configured) between
+  /// `id` and every node of every OTHER subnet spawned so far.
+  void install_cross_latency(net::NodeId id, const Subnet& home);
 
   HierarchyConfig config_;
   obs::Obs obs_;  // declared before network_/scheduler users
   sim::Scheduler scheduler_;
   net::Network network_;
+  sim::ParallelExecutor executor_;
   chain::ActorRegistry registry_;
   crypto::KeyPair faucet_;
   std::vector<std::unique_ptr<Subnet>> subnets_;

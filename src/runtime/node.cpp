@@ -112,6 +112,8 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
       consensus::make_engine(config_.params.consensus, std::move(ectx),
                              config_.engine);
 
+  // Deliveries to this node must land in its subnet's scheduler lane.
+  network_.set_node_domain(net_id_, config_.domain);
   network_.subscribe(net_id_, Topics::msgs(config_.subnet));
   network_.subscribe(net_id_, Topics::consensus(config_.subnet));
   network_.subscribe(net_id_, Topics::signatures(config_.subnet));
@@ -133,7 +135,15 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
 
 SubnetNode::~SubnetNode() = default;
 
+void SubnetNode::post(sim::Duration delay, std::function<void()> fn) {
+  sim::Scheduler::DomainScope scope(scheduler_, config_.domain);
+  scheduler_.schedule(delay, std::move(fn));
+}
+
 void SubnetNode::start() {
+  // Timers the engine arms here must run in this node's lane, not in the
+  // lane of whoever called start() (the driver, or a restart fault).
+  sim::Scheduler::DomainScope scope(scheduler_, config_.domain);
   running_ = true;
   // Non-validators run the engine too: they never produce or vote (the
   // engines check set membership) but follow and validate committed blocks.
@@ -213,6 +223,43 @@ std::optional<actors::SaState> SubnetNode::sa_state(const Address& sa) const {
   return std::move(decoded).value();
 }
 
+// ----------------------------------------------------- parent view snapshot
+
+const chain::StateTree& SubnetNode::view_tree() const {
+  return view_published_ == nullptr ? store_->state() : *view_published_;
+}
+
+std::uint64_t SubnetNode::account_nonce_view(const Address& addr) const {
+  const auto* entry = view_tree().get(addr);
+  return entry == nullptr ? 0 : entry->nonce;
+}
+
+actors::ScaState SubnetNode::sca_state_view() const {
+  const auto* entry = view_tree().get(chain::kScaAddr);
+  if (entry == nullptr || entry->state.empty()) return {};
+  auto decoded = decode<actors::ScaState>(entry->state);
+  return decoded.ok() ? std::move(decoded).value() : actors::ScaState{};
+}
+
+std::optional<actors::SaState> SubnetNode::sa_state_view(
+    const Address& sa) const {
+  const auto* entry = view_tree().get(sa);
+  if (entry == nullptr || entry->code != chain::kCodeSubnetActor) {
+    return std::nullopt;
+  }
+  auto decoded = decode<actors::SaState>(entry->state);
+  if (!decoded) return std::nullopt;
+  return std::move(decoded).value();
+}
+
+void SubnetNode::publish_view() {
+  if (view_pending_ == nullptr) {
+    view_pending_ =
+        std::make_shared<const chain::StateTree>(store_->state().snapshot());
+  }
+  view_published_ = view_pending_;
+}
+
 const std::vector<chain::Receipt>* SubnetNode::receipts_at(
     chain::Epoch height) const {
   auto it = receipts_.find(height);
@@ -257,7 +304,7 @@ std::vector<chain::Message> SubnetNode::gather_cross_messages() {
   // 2. Top-down msgs committed by the parent, in nonce order (paper Fig. 3
   //    left: the pool syncs with the parent SCA's state).
   if (parent_ != nullptr) {
-    const actors::ScaState parent_sca = parent_->sca_state();
+    const actors::ScaState parent_sca = parent_->sca_state_view();
     const auto* entry = parent_sca.find_subnet(config_.sa_in_parent);
     if (entry != nullptr) {
       std::uint64_t expected = my_sca.applied_topdown_nonce;
@@ -331,7 +378,7 @@ Status SubnetNode::validate_cross_messages(const chain::Block& block) {
   const actors::SubnetEntry* parent_entry = nullptr;
   actors::ScaState parent_sca;
   if (parent_ != nullptr) {
-    parent_sca = parent_->sca_state();
+    parent_sca = parent_->sca_state_view();
     parent_entry = parent_sca.find_subnet(config_.sa_in_parent);
   }
 
@@ -454,6 +501,13 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
   mempool_.remove_included(committed.messages);
   mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
   g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
+
+  // Refresh the pending parent view once snapshots are in use (first
+  // publish_view() call enables them); flipped at the next barrier.
+  if (view_published_ != nullptr) {
+    view_pending_ =
+        std::make_shared<const chain::StateTree>(store_->state().snapshot());
+  }
 
   c_blocks_committed_->inc();
   h_commit_latency_->observe(scheduler_.now() - committed.header.timestamp);
@@ -722,7 +776,7 @@ void SubnetNode::maybe_submit_checkpoint() {
 
   // Prune checkpoints the parent SA has accepted, then pick the EARLIEST
   // outstanding one (prev-linkage forces in-order acceptance).
-  const auto sa = parent_->sa_state(config_.sa_in_parent);
+  const auto sa = parent_->sa_state_view(config_.sa_in_parent);
   if (!sa.has_value()) return;
   while (!cut_checkpoints_.empty() &&
          cut_checkpoints_.begin()->first <= sa->last_checkpoint_epoch) {
@@ -818,7 +872,7 @@ void SubnetNode::maybe_submit_checkpoint() {
   chain::Message m;
   m.from = address();
   m.to = config_.sa_in_parent;
-  m.nonce = parent_->account_nonce(address());
+  m.nonce = parent_->account_nonce_view(address());
   m.method = actors::sa_method::kSubmitCheckpoint;
   m.params = encode(sc);
   m.gas_limit = 1u << 26;
@@ -903,7 +957,7 @@ void SubnetNode::act_byzantine_on_cut(const core::Checkpoint& cp) {
       chain::Message m;
       m.from = address();
       m.to = config_.sa_in_parent;
-      m.nonce = parent_->account_nonce(address());
+      m.nonce = parent_->account_nonce_view(address());
       m.method = actors::sa_method::kSubmitCheckpoint;
       m.params = encode(*stale_checkpoint_);
       m.gas_limit = 1u << 26;
@@ -974,7 +1028,7 @@ void SubnetNode::maybe_submit_fraud_proofs() {
   if (pending_proofs_.empty() || parent_ == nullptr || !is_validator()) {
     return;
   }
-  const auto sa = parent_->sa_state(config_.sa_in_parent);
+  const auto sa = parent_->sa_state_view(config_.sa_in_parent);
   if (!sa.has_value()) return;
   const auto sa_keys = sa->validator_keys();
   const chain::Epoch head = store_->height();
@@ -1021,7 +1075,7 @@ void SubnetNode::maybe_submit_fraud_proofs() {
         chain::Message m;
         m.from = address();
         m.to = chain::kScaAddr;
-        m.nonce = parent_->account_nonce(address());
+        m.nonce = parent_->account_nonce_view(address());
         m.method = actors::sca_method::kSubmitFraudProof;
         m.params = encode(pending.proof);
         m.gas_limit = 1u << 26;

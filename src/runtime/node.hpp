@@ -41,6 +41,10 @@ struct NodeConfig {
   /// Set by Hierarchy::restart_node: a restarted validator keeps its
   /// transport identity (and metric labels) across the crash.
   std::optional<net::NodeId> reuse_net_id;
+  /// Scheduler execution domain (lane) this node's events run in; 0 is
+  /// the root/global lane. Hierarchy assigns one domain per subnet so the
+  /// ParallelExecutor can run subnets concurrently (DESIGN.md §11).
+  sim::DomainId domain = 0;
 };
 
 /// Counter snapshot exposed for benches and tests; backed by the metrics
@@ -79,6 +83,14 @@ class SubnetNode final : public consensus::BlockSource {
   /// Inject a signed message locally and gossip it to the subnet.
   Status submit_message(chain::SignedMessage msg);
 
+  /// Schedule `fn` onto this node's scheduler lane after `delay` (0 = next
+  /// window at the current time). Client-side work posted this way — load
+  /// generators signing and submitting transactions — executes inside the
+  /// subnet's domain, so it runs in parallel with other subnets under the
+  /// ParallelExecutor and stays deterministic at any thread count. Call
+  /// from driver context only (between run_for/run_until slices).
+  void post(sim::Duration delay, std::function<void()> fn);
+
   [[nodiscard]] const chain::ChainStore& chain() const { return *store_; }
   [[nodiscard]] const chain::StateTree& state() const {
     return store_->state();
@@ -91,6 +103,22 @@ class SubnetNode final : public consensus::BlockSource {
   /// Decoded SA state of a child subnet (SA lives on THIS chain).
   [[nodiscard]] std::optional<actors::SaState> sa_state(
       const Address& sa) const;
+
+  // ------------------------------------------------- parent view snapshot
+  // Child nodes run in a different scheduler lane than their parent; they
+  // must read the parent through the snapshot published at the last window
+  // barrier, never through the live accessors above (DESIGN.md §11). While
+  // no snapshot has been published (raw single-lane usage without a
+  // Hierarchy), these fall back to live state.
+  [[nodiscard]] std::uint64_t account_nonce_view(const Address& addr) const;
+  [[nodiscard]] actors::ScaState sca_state_view() const;
+  [[nodiscard]] std::optional<actors::SaState> sa_state_view(
+      const Address& sa) const;
+
+  /// Flip the pending state snapshot into the published parent view.
+  /// Called by Hierarchy between execution windows (never concurrently
+  /// with lane callbacks); the first call seeds the view from live state.
+  void publish_view();
 
   [[nodiscard]] NodeStats stats() const;
   [[nodiscard]] const core::SubnetId& subnet() const {
@@ -191,6 +219,9 @@ class SubnetNode final : public consensus::BlockSource {
 
   [[nodiscard]] bool is_validator() const;
 
+  /// The state tree the parent-facing _view accessors read from.
+  [[nodiscard]] const chain::StateTree& view_tree() const;
+
   /// Feed the tracer and latency histograms from a freshly committed block:
   /// opens/closes the cross-net and checkpoint pipeline flows derived from
   /// the block's implicit messages and SCA events. Flows dedupe across
@@ -213,6 +244,14 @@ class SubnetNode final : public consensus::BlockSource {
   chain::Executor executor_;
   std::unique_ptr<consensus::Engine> engine_;
   SubnetNode* parent_ = nullptr;
+
+  /// Double-buffered parent view (DESIGN.md §11): commit_block refreshes
+  /// the pending buffer inside this node's lane, publish_view() flips it
+  /// between windows, and readers in other lanes only ever dereference the
+  /// published buffer — which is stable for a whole window. Null until the
+  /// first publish_view(), i.e. for raw single-lane usage.
+  std::shared_ptr<const chain::StateTree> view_pending_;
+  std::shared_ptr<const chain::StateTree> view_published_;
 
   /// Resolved cross-msg batches (local cache + registry mirror).
   storage::ContentStore resolved_;

@@ -27,4 +27,15 @@ Duration LatencyModel::sample(NodeId from, NodeId to, Rng& rng) const {
   return std::max<Duration>(rng.range(lo, hi), 1);
 }
 
+Duration LatencyModel::min_delay() const {
+  const auto floor_of = [](Duration base, Duration jitter) {
+    return std::max<Duration>(jitter <= 0 ? base : base - jitter, 1);
+  };
+  Duration m = floor_of(base_, jitter_);
+  for (const auto& [key, link] : overrides_) {
+    m = std::min(m, floor_of(link.base, link.jitter));
+  }
+  return m;
+}
+
 }  // namespace hc::sim

@@ -37,6 +37,11 @@ class LatencyModel {
   /// Sample a delivery delay for a concrete transmission.
   [[nodiscard]] Duration sample(NodeId from, NodeId to, Rng& rng) const;
 
+  /// Smallest delay sample() can ever return, over the base model and all
+  /// pair overrides. ParallelExecutor uses this as its conservative
+  /// lookahead: no delivery can land sooner than this.
+  [[nodiscard]] Duration min_delay() const;
+
  private:
   struct Link {
     Duration base;

@@ -1,0 +1,102 @@
+// Parallel-execution determinism: every chaos scenario must produce
+// byte-identical results at any worker-thread count (DESIGN.md §11). The
+// ChaosRunner fingerprint covers per-subnet state roots, the full metrics
+// JSON export and the canonicalized trace export, so "equal fingerprints"
+// means the N-thread run is observationally indistinguishable from the
+// sequential one — the bar the ParallelExecutor's conservative windows and
+// barrier-ordered cross-lane delivery are designed to meet.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/runner.hpp"
+
+namespace hc::chaos {
+namespace {
+
+RunnerConfig fast_config(std::size_t threads) {
+  RunnerConfig cfg;
+  cfg.children = 2;
+  cfg.nested = 0;
+  cfg.warmup = sim::kSecond;
+  cfg.fault_window = 8 * sim::kSecond;
+  cfg.settle = 180 * sim::kSecond;
+  cfg.threads = threads;
+  return cfg;
+}
+
+Scenario find_scenario(const std::vector<Scenario>& scenarios,
+                       const std::string& name) {
+  for (const auto& s : scenarios) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no such scenario: " << name;
+  return {};
+}
+
+/// Run `scenario` sequentially, then at 2 and 4 worker threads, and demand
+/// bit-for-bit equality of every deterministic artifact.
+void expect_thread_invariant(const Scenario& scenario, std::uint64_t seed) {
+  const RunResult ref = ChaosRunner(fast_config(1)).run(scenario, seed);
+  ASSERT_TRUE(ref.ok()) << "1-thread reference failed: " << ref.summary();
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const RunResult r = ChaosRunner(fast_config(threads)).run(scenario, seed);
+    ASSERT_TRUE(r.ok()) << scenario.name << " @" << threads << " threads: "
+                        << r.summary();
+    EXPECT_EQ(ref.state_roots, r.state_roots)
+        << scenario.name << ": state roots diverged at " << threads
+        << " threads";
+    EXPECT_EQ(ref.metrics_json, r.metrics_json)
+        << scenario.name << ": metrics diverged at " << threads << " threads";
+    EXPECT_EQ(ref.fingerprint, r.fingerprint)
+        << scenario.name << ": fingerprint diverged at " << threads
+        << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, Baseline) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "baseline"), 11);
+}
+
+TEST(ParallelDeterminism, Loss20) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "loss-20"), 11);
+}
+
+TEST(ParallelDeterminism, PartitionChild) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "partition-child"),
+      11);
+}
+
+TEST(ParallelDeterminism, CrashSigner) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "crash-signer"), 11);
+}
+
+TEST(ParallelDeterminism, CrashParentView) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "crash-parent-view"),
+      11);
+}
+
+TEST(ParallelDeterminism, GrayValidator) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "gray-validator"), 11);
+}
+
+TEST(ParallelDeterminism, DupReorderRoot) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "dup-reorder-root"),
+      11);
+}
+
+TEST(ParallelDeterminism, ByzantineEquivocate) {
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::byzantine_scenarios(), "byz-equivocate"),
+      11);
+}
+
+}  // namespace
+}  // namespace hc::chaos

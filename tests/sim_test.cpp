@@ -54,6 +54,32 @@ TEST(Scheduler, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Scheduler, MassCancelCompactsHeap) {
+  // Regression: cancel used to leave tombstones in the heap until their
+  // deadline passed, so schedule/cancel churn (consensus timers) grew the
+  // heap without bound. Lazy compaction must keep it proportional to the
+  // LIVE event count.
+  Scheduler s;
+  const EventId keeper = s.schedule(1'000'000, [] {});
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(s.schedule(500'000 + i, [] {}));
+    }
+    for (const EventId id : ids) s.cancel(id);
+  }
+  // 100k cancelled tombstones against 1 live event: compaction must have
+  // dropped (almost) all of them well before their deadlines.
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_LE(s.queue_size(), 2u);
+  bool fired = false;
+  s.schedule(1, [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+  (void)keeper;
+}
+
 TEST(Scheduler, CancelFiredIdIsNoop) {
   Scheduler s;
   const EventId id = s.schedule(1, [] {});
