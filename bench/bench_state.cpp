@@ -1,0 +1,209 @@
+// S1 — cost of state commitment (DESIGN.md §12).
+//
+// Two questions, answered on synthetic trees of N actors:
+//   1. What does flush() cost as a function of actor count and dirty
+//      fraction — incremental (dirty-tracked, cached Merkle levels) versus
+//      the seed's from-scratch rebuild (re-encode + rehash every leaf)?
+//      Acceptance floor: >= 5x at N=10k, 1% dirty.
+//   2. What does per-message rollback cost — journal undo-log revert versus
+//      the seed's deep-copy snapshot/revert_to?
+//
+// Sidecars: BENCH_state.metrics.json carries the commitment counters
+// (state_leaf_rehashes_total, state_flush_cache_hits_total) and a
+// state_flush_us histogram per case. Unlike the protocol benches, the
+// histogram buckets hold *wall-clock* microseconds — this binary measures
+// real hashing work, not simulated time — so the sidecar is not
+// byte-deterministic across machines.
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "chain/state.hpp"
+
+namespace hc::bench {
+namespace {
+
+using chain::ActorEntry;
+using chain::StateTree;
+
+/// Wall-clock bucket edges for flush latencies: 1µs .. 100ms.
+const std::vector<std::int64_t>& flush_buckets_us() {
+  static const std::vector<std::int64_t> b = {
+      1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000,
+      50000, 100000};
+  return b;
+}
+
+/// Owns the registry shared by every case in this binary and flushes it to
+/// the sidecar files at exit (member, not function-local static: the
+/// registry must outlive the destructor that reads it).
+struct StateSidecar {
+  obs::MetricsRegistry reg;
+
+  ~StateSidecar() {
+    const std::string json = "{\n  \"bench\": \"state\",\n  \"runs\": [\n    "
+                             "{\"label\": \"all\", \"metrics\": " +
+                             obs::metrics_to_json(reg) + "}\n  ]\n}\n";
+    (void)obs::write_text_file("BENCH_state.metrics.json", json);
+    (void)obs::write_text_file("BENCH_state.prom",
+                               obs::metrics_to_prometheus(reg));
+  }
+};
+StateSidecar sidecar;
+
+obs::MetricsRegistry& registry() { return sidecar.reg; }
+
+/// N accounts with distinct balances/nonces and a 32-byte state blob, so
+/// leaf encoding cost is representative.
+StateTree build_tree(std::size_t actors) {
+  StateTree t;
+  for (std::size_t i = 0; i < actors; ++i) {
+    ActorEntry e;
+    e.code = chain::kCodeAccount;
+    e.balance = TokenAmount::atto(static_cast<std::int64_t>(1000 + i));
+    e.nonce = i % 7;
+    e.state = Bytes(32, static_cast<std::uint8_t>(i));
+    t.set(Address::id(i), e);
+  }
+  return t;
+}
+
+/// Touch `k` actors spread evenly across the tree (pure balance mutation:
+/// content-dirty, no membership change).
+void mutate(StateTree& t, std::size_t actors, std::size_t k,
+            std::uint64_t round) {
+  const std::size_t stride = actors / k;
+  for (std::size_t i = 0; i < k; ++i) {
+    t.get_or_create(Address::id(i * stride + round % stride)).balance +=
+        TokenAmount::atto(1);
+  }
+}
+
+std::size_t dirty_leaves(std::size_t actors, std::int64_t per_mil) {
+  const auto k = static_cast<std::size_t>(
+      (static_cast<std::int64_t>(actors) * per_mil) / 1000);
+  return k == 0 ? 1 : k;
+}
+
+std::string case_label(benchmark::State& state) {
+  return "actors=" + std::to_string(state.range(0)) + ",dirty_pm=" +
+         std::to_string(state.range(1));
+}
+
+/// The seed's commitment algorithm: re-encode every leaf in address order
+/// and rebuild the whole Merkle tree, no cache anywhere.
+Cid flush_from_scratch(const StateTree& t) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(t.actor_count());
+  for (const auto& [addr, entry] : t) {
+    leaves.push_back(StateTree::leaf_bytes(addr, entry));
+  }
+  return Cid(CidCodec::kStateRoot, crypto::MerkleTree::root_of(leaves));
+}
+
+void state_flush_incremental(benchmark::State& state) {
+  const auto actors = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = dirty_leaves(actors, state.range(1));
+  state.SetLabel(case_label(state));
+  const obs::Labels labels{{"case", case_label(state)}};
+  auto& rehashes = registry().counter("state_leaf_rehashes_total", labels);
+  auto& hits = registry().counter("state_flush_cache_hits_total", labels);
+  auto& flush_us =
+      registry().histogram("state_flush_us", labels, flush_buckets_us());
+
+  StateTree t = build_tree(actors);
+  (void)t.flush();  // warm: the cache starts clean, as after a block commit
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mutate(t, actors, k, round++);
+    state.ResumeTiming();
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(t.flush());
+    const auto t1 = std::chrono::steady_clock::now();
+    flush_us.observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+  }
+  const auto& s = t.commit_stats();
+  rehashes.inc(s.leaf_rehashes);
+  hits.inc(s.flush_cache_hits);
+  state.counters["dirty_leaves"] = static_cast<double>(k);
+  state.counters["leaf_rehashes_per_flush"] =
+      benchmark::Counter(static_cast<double>(s.leaf_rehashes),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["node_hashes_per_flush"] =
+      benchmark::Counter(static_cast<double>(s.node_hashes),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void state_flush_scratch(benchmark::State& state) {
+  const auto actors = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = dirty_leaves(actors, state.range(1));
+  state.SetLabel(case_label(state));
+  StateTree t = build_tree(actors);
+  (void)t.flush();
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mutate(t, actors, k, round++);
+    (void)t.flush();  // keep the incremental cache warm outside the clock
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flush_from_scratch(t));
+  }
+  state.counters["dirty_leaves"] = static_cast<double>(k);
+}
+
+void state_revert_journal(benchmark::State& state) {
+  const auto actors = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = dirty_leaves(actors, state.range(1));
+  state.SetLabel(case_label(state));
+  StateTree t = build_tree(actors);
+  (void)t.flush();
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    t.journal_reset();
+    const StateTree::JournalMark mark = t.journal_mark();
+    mutate(t, actors, k, round++);
+    t.journal_revert(mark);
+    benchmark::DoNotOptimize(t.journal_depth());
+  }
+  state.counters["dirty_leaves"] = static_cast<double>(k);
+}
+
+void state_revert_snapshot(benchmark::State& state) {
+  const auto actors = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = dirty_leaves(actors, state.range(1));
+  state.SetLabel(case_label(state));
+  StateTree t = build_tree(actors);
+  (void)t.flush();
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    StateTree snap = t.snapshot();  // the seed's per-message rollback path
+    mutate(t, actors, k, round++);
+    t.revert_to(std::move(snap));
+    benchmark::DoNotOptimize(t.actor_count());
+  }
+  state.counters["dirty_leaves"] = static_cast<double>(k);
+}
+
+// dirty_pm is the dirty fraction in per-mil: 1 = 0.1%, 10 = 1%, 100 = 10%.
+#define HC_STATE_ARGS                                     \
+  ArgNames({"actors", "dirty_pm"})                        \
+      ->Args({1000, 10})                                  \
+      ->Args({10000, 1})                                  \
+      ->Args({10000, 10})                                 \
+      ->Args({10000, 100})                                \
+      ->Unit(benchmark::kMicrosecond)
+
+BENCHMARK(state_flush_incremental)->HC_STATE_ARGS;
+BENCHMARK(state_flush_scratch)->HC_STATE_ARGS;
+BENCHMARK(state_revert_journal)->HC_STATE_ARGS;
+BENCHMARK(state_revert_snapshot)->HC_STATE_ARGS;
+
+QuietLogs quiet;
+
+}  // namespace
+}  // namespace hc::bench
+
+HC_BENCH_MAIN()

@@ -30,13 +30,23 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ChaosSweep\.'
 # proof assembly), so memory bugs there surface here first.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 
+# State-commitment stage (DESIGN.md §12): the differential suite drives
+# random mutate/remove/journal-revert/snapshot sequences against a
+# from-scratch Merkle rebuild, and the incremental-tree sweeps hammer the
+# digest-cache index arithmetic — the code most likely to hide an
+# out-of-bounds read, so it runs under ASan explicitly.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'StateCommitment|IncrementalMerkle'
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # ---- ThreadSanitizer stage (DESIGN.md §11) -------------------------------
 # The ParallelExecutor runs subnet lanes on worker threads; TSan checks the
 # cross-lane machinery (outboxes, barriers, shared metrics/trace/sigcache)
-# under the real chaos workloads. parallel_test sweeps 1/2/4 threads, and
-# the smokes re-run the fault scenarios on top of the same executor.
+# under the real chaos workloads. parallel_test sweeps 1/2/4 threads — its
+# fingerprints cover state roots, so the incremental commitment's
+# mutable-cache discipline (flush only from the owning lane, published
+# snapshots read-only) is exercised here too.
 TSAN_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 
 cmake -B "$TSAN_DIR" -S . \

@@ -34,6 +34,9 @@ Status ChainStore::append(Block block, StateTree new_state) {
   if (block.header.msgs_root != block.compute_msgs_root()) {
     return Error(Errc::kInvalidArgument, "message root mismatch");
   }
+  // new_state is a snapshot of the previous head state, so this flush is
+  // incremental: only the leaves the block's execution touched are
+  // rehashed (DESIGN.md §12).
   if (block.header.state_root != new_state.flush()) {
     return Error(Errc::kInvalidArgument, "state root mismatch");
   }

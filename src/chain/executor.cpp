@@ -73,8 +73,9 @@ class ExecRuntime final : public Runtime {
     if (depth_ >= kMaxCallDepth) {
       return Error(Errc::kExhausted, "actor call depth exceeded");
     }
-    // Nested sends roll back independently on failure.
-    StateTree snapshot = tree_.snapshot();
+    // Nested sends roll back independently on failure: replay the undo
+    // journal instead of deep-copying the whole tree (DESIGN.md §12).
+    const StateTree::JournalMark mark = tree_.journal_mark();
     Message msg;
     msg.from = self_;
     msg.to = to;
@@ -84,7 +85,7 @@ class ExecRuntime final : public Runtime {
     auto result = exec_.invoke_inner(tree_, msg, ctx_, meter_, origin_,
                                      events_, depth_ + 1);
     if (!result) {
-      tree_.revert_to(std::move(snapshot));
+      tree_.journal_revert(mark);
       return result;
     }
     return result;
@@ -185,12 +186,12 @@ Receipt Executor::invoke_message(StateTree& tree, const Message& msg,
                                  const ExecutionContext& ctx, GasMeter& meter,
                                  bool implicit) const {
   Receipt receipt;
-  StateTree snapshot = tree.snapshot();
+  const StateTree::JournalMark mark = tree.journal_mark();
   auto result = invoke_inner(tree, msg, ctx, meter, msg.from, receipt.events,
                              /*depth=*/0);
   receipt.gas_used = meter.used();
   if (!result) {
-    tree.revert_to(std::move(snapshot));
+    tree.journal_revert(mark);
     receipt.events.clear();
     receipt.error = result.error().to_string();
     switch (result.error().code()) {
@@ -216,6 +217,10 @@ Receipt Executor::apply(StateTree& tree, const SignedMessage& sm,
                         const ExecutionContext& ctx) const {
   const Message& msg = sm.message;
   Receipt receipt;
+
+  // Outermost commit boundary: nothing before this message can revert, so
+  // undo entries from the previous message are dead weight.
+  tree.journal_reset();
 
   GasMeter meter(msg.gas_limit, schedule_);
   if (!meter
@@ -277,6 +282,7 @@ Receipt Executor::apply_implicit(StateTree& tree, const Message& msg,
                                  const ExecutionContext& ctx) const {
   // Implicit messages execute with a large fixed budget; their cost is
   // accounted (receipt.gas_used) but not charged to anyone.
+  tree.journal_reset();  // outermost commit boundary, as in apply()
   GasMeter meter(/*limit=*/static_cast<Gas>(1) << 32, schedule_);
   (void)meter.charge(schedule_.message_base +
                      schedule_.per_param_byte *

@@ -1,7 +1,10 @@
 // Message executor: the VM.
 //
 // Applies messages to a StateTree with gas metering, nonce/funds checks,
-// revert-on-failure semantics and synchronous internal sends. Cross-net
+// revert-on-failure semantics and synchronous internal sends. Reverts —
+// both per-message and per-nested-send — replay the tree's undo journal
+// backwards instead of restoring a deep-copied snapshot, so a failed
+// message costs O(entries it touched), not O(all actors). Cross-net
 // messages enter through apply_implicit(): they carry no signature, pay no
 // fee, and — uniquely — may *mint* when sent from the system address, which
 // is how top-down funds materialize inside a child subnet (paper §IV-A:

@@ -1,25 +1,130 @@
 #include "chain/state.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace hc::chain {
+
+StateTree::StateTree(const StateTree& other)
+    : actors_(other.actors_),
+      order_(other.order_),
+      tree_(other.tree_),
+      dirty_(other.dirty_),
+      structure_dirty_(other.structure_dirty_),
+      root_valid_(other.root_valid_),
+      cached_root_(other.cached_root_),
+      clean_total_(other.clean_total_) {
+  // journal_ and stats_ intentionally start fresh (see header).
+}
+
+StateTree& StateTree::operator=(const StateTree& other) {
+  if (this != &other) {
+    StateTree tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+void StateTree::revert_to(StateTree snapshot) {
+  // Adopt the snapshot's state and commitment cache wholesale, but keep
+  // this instance's accumulated stats; undo info predating the wholesale
+  // replacement is meaningless.
+  CommitStats kept = stats_;
+  *this = std::move(snapshot);
+  stats_ = kept;
+  journal_.clear();
+}
 
 const ActorEntry* StateTree::get(const Address& addr) const {
   auto it = actors_.find(addr);
   return it == actors_.end() ? nullptr : &it->second;
 }
 
+void StateTree::mark_dirty(const Address& addr, const ActorEntry* existing) {
+  root_valid_ = false;
+  if (dirty_.insert(addr).second && existing != nullptr) {
+    clean_total_ -= existing->balance;
+  }
+}
+
+void StateTree::note_mutation(const Address& addr,
+                              const ActorEntry* existing) {
+  ++stats_.journal_entries;
+  journal_.push_back({addr, existing == nullptr
+                                ? std::nullopt
+                                : std::optional<ActorEntry>(*existing)});
+  mark_dirty(addr, existing);
+}
+
 void StateTree::set(const Address& addr, ActorEntry entry) {
-  actors_[addr] = std::move(entry);
+  auto it = actors_.find(addr);
+  if (it == actors_.end()) {
+    note_mutation(addr, nullptr);
+    structure_dirty_ = true;
+    actors_.emplace(addr, std::move(entry));
+  } else {
+    note_mutation(addr, &it->second);
+    it->second = std::move(entry);
+  }
 }
 
 ActorEntry& StateTree::get_or_create(const Address& addr) {
-  return actors_[addr];
+  auto it = actors_.find(addr);
+  if (it == actors_.end()) {
+    note_mutation(addr, nullptr);
+    structure_dirty_ = true;
+    it = actors_.emplace(addr, ActorEntry{}).first;
+  } else {
+    // Conservatively treated as a mutation: the caller holds a mutable
+    // reference and usually writes through it.
+    note_mutation(addr, &it->second);
+  }
+  return it->second;
 }
 
-void StateTree::remove(const Address& addr) { actors_.erase(addr); }
+void StateTree::remove(const Address& addr) {
+  auto it = actors_.find(addr);
+  if (it == actors_.end()) return;
+  note_mutation(addr, &it->second);
+  structure_dirty_ = true;
+  actors_.erase(it);
+}
+
+void StateTree::restore(const Address& addr, std::optional<ActorEntry> prior) {
+  auto it = actors_.find(addr);
+  mark_dirty(addr, it == actors_.end() ? nullptr : &it->second);
+  if (prior.has_value()) {
+    if (it == actors_.end()) {
+      structure_dirty_ = true;
+      actors_.emplace(addr, std::move(*prior));
+    } else {
+      it->second = std::move(*prior);
+    }
+  } else if (it != actors_.end()) {
+    structure_dirty_ = true;
+    actors_.erase(it);
+  }
+}
+
+void StateTree::journal_revert(JournalMark mark) {
+  assert(mark <= journal_.size() && "revert past a journal reset");
+  if (mark < journal_.size()) ++stats_.journal_reverts;
+  while (journal_.size() > mark) {
+    JournalEntry e = std::move(journal_.back());
+    journal_.pop_back();
+    restore(e.addr, std::move(e.prior));
+  }
+}
 
 TokenAmount StateTree::total_balance() const {
-  TokenAmount total;
-  for (const auto& [addr, entry] : actors_) total += entry.balance;
+  // Invariant: clean_total_ sums every non-dirty entry; dirty entries are
+  // read live (their balances may have changed through get_or_create refs).
+  TokenAmount total = clean_total_;
+  for (const auto& addr : dirty_) {
+    if (auto it = actors_.find(addr); it != actors_.end()) {
+      total += it->second.balance;
+    }
+  }
   return total;
 }
 
@@ -39,8 +144,10 @@ Result<StateTree> StateTree::decode_from(Decoder& d) {
   for (std::uint64_t i = 0; i < count; ++i) {
     HC_TRY(addr, d.obj<Address>());
     HC_TRY(entry, d.obj<ActorEntry>());
+    t.clean_total_ += entry.balance;  // decoded entries start clean
     t.actors_.emplace(addr, std::move(entry));
   }
+  t.structure_dirty_ = count > 0;  // no cached tree yet
   return t;
 }
 
@@ -50,29 +157,86 @@ Bytes StateTree::leaf_bytes(const Address& addr, const ActorEntry& entry) {
   return std::move(e).take();
 }
 
-Cid StateTree::flush() const {
-  std::vector<Bytes> leaves;
-  leaves.reserve(actors_.size());
+void StateTree::rebuild_structure() const {
+  // Merge the current actor set against the cached leaf order: clean
+  // surviving leaves keep their cached digest, dirty/new ones are
+  // re-encoded and rehashed. O(N) node hashes, O(dirty+new) leaf work.
+  std::vector<Address> new_order;
+  std::vector<Digest> new_digests;
+  new_order.reserve(actors_.size());
+  new_digests.reserve(actors_.size());
+  const auto& old_digests = tree_.leaf_digests();
+  std::size_t oi = 0;
   for (const auto& [addr, entry] : actors_) {
-    leaves.push_back(leaf_bytes(addr, entry));
+    while (oi < order_.size() && order_[oi] < addr) ++oi;  // removed leaves
+    const bool cached = oi < order_.size() && order_[oi] == addr;
+    if (cached && !dirty_.contains(addr)) {
+      new_digests.push_back(old_digests[oi]);
+    } else {
+      new_digests.push_back(crypto::merkle_leaf_hash(leaf_bytes(addr, entry)));
+      ++stats_.leaf_rehashes;
+    }
+    if (cached) ++oi;
+    new_order.push_back(addr);
   }
-  return Cid(CidCodec::kStateRoot, crypto::MerkleTree::root_of(leaves));
+  const std::uint64_t before = tree_.node_hashes();
+  tree_.assign(std::move(new_digests));
+  stats_.node_hashes += tree_.node_hashes() - before;
+  order_ = std::move(new_order);
+}
+
+void StateTree::update_dirty_leaves() const {
+  if (dirty_.empty()) return;
+  std::vector<std::pair<std::size_t, Digest>> changes;
+  changes.reserve(dirty_.size());
+  for (const auto& addr : dirty_) {
+    const auto it = actors_.find(addr);
+    assert(it != actors_.end() && "content-dirty leaf must exist");
+    const auto pos = std::lower_bound(order_.begin(), order_.end(), addr);
+    assert(pos != order_.end() && *pos == addr && "leaf missing from order");
+    changes.emplace_back(
+        static_cast<std::size_t>(pos - order_.begin()),
+        crypto::merkle_leaf_hash(leaf_bytes(addr, it->second)));
+    ++stats_.leaf_rehashes;
+  }
+  // dirty_ iterates in address order == leaf order, so `changes` is sorted.
+  const std::uint64_t before = tree_.node_hashes();
+  tree_.update(changes);
+  stats_.node_hashes += tree_.node_hashes() - before;
+}
+
+Cid StateTree::flush() const {
+  if (root_valid_) {
+    ++stats_.flush_cache_hits;
+    return cached_root_;
+  }
+  if (structure_dirty_) {
+    rebuild_structure();
+  } else {
+    update_dirty_leaves();
+  }
+  // Reconcile the running supply total: dirty balances are final now.
+  for (const auto& addr : dirty_) {
+    if (auto it = actors_.find(addr); it != actors_.end()) {
+      clean_total_ += it->second.balance;
+    }
+  }
+  dirty_.clear();
+  structure_dirty_ = false;
+  cached_root_ = Cid(CidCodec::kStateRoot, tree_.root());
+  root_valid_ = true;
+  ++stats_.flushes;
+  return cached_root_;
 }
 
 Result<crypto::MerkleProof> StateTree::prove(const Address& addr) const {
-  std::vector<Bytes> leaves;
-  leaves.reserve(actors_.size());
-  std::size_t index = actors_.size();
-  std::size_t i = 0;
-  for (const auto& [a, entry] : actors_) {
-    if (a == addr) index = i;
-    leaves.push_back(leaf_bytes(a, entry));
-    ++i;
-  }
-  if (index == actors_.size()) {
+  if (!actors_.contains(addr)) {
     return Error(Errc::kNotFound, "no actor at " + addr.to_string());
   }
-  return crypto::MerkleTree(leaves).prove(index);
+  (void)flush();  // bring the cached tree up to date (free when clean)
+  const auto pos = std::lower_bound(order_.begin(), order_.end(), addr);
+  assert(pos != order_.end() && *pos == addr);
+  return tree_.prove(static_cast<std::size_t>(pos - order_.begin()));
 }
 
 bool StateTree::verify_entry(const Cid& root, const Address& addr,

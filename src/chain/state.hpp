@@ -2,13 +2,27 @@
 //
 // Deterministically committable: flush() canonically encodes the (ordered)
 // actor map and returns its CID, which block headers carry as state_root.
-// Snapshots support the executor's revert-on-failure semantics and the
-// paper's SCA `save()` function (§III-C).
+// The commitment is incremental (DESIGN.md §12): mutators mark leaves
+// dirty, per-leaf digests are cached, and a persistent
+// crypto::IncrementalMerkleTree rehashes only the changed leaves and their
+// root paths — a clean flush() returns the cached CID, a k-leaf change
+// costs O(k log N) hashes, and the resulting roots are byte-identical to
+// rebuilding the full tree from scratch.
+//
+// Two rollback mechanisms coexist:
+//   - journal_mark()/journal_revert(): an undo log of prior entry values,
+//     used by the executor for per-message and nested-send revert without
+//     copying the tree;
+//   - snapshot()/revert_to(): a deep copy, kept for long-lived forks
+//     (genesis templates, parent-view buffers, the paper's SCA `save()`
+//     §III-C).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <vector>
 
 #include "common/address.hpp"
 #include "common/cid.hpp"
@@ -67,6 +81,16 @@ struct ActorEntry {
 
 class StateTree {
  public:
+  StateTree() = default;
+  /// Copies logical state AND the commitment cache (leaf order, digest
+  /// levels, cached root), so a copy of a flushed tree flushes
+  /// incrementally. The journal and the commit stats start fresh: undo
+  /// info and counters belong to one instance's mutation history.
+  StateTree(const StateTree& other);
+  StateTree& operator=(const StateTree& other);
+  StateTree(StateTree&&) = default;
+  StateTree& operator=(StateTree&&) = default;
+
   /// Look up an actor; nullptr when absent. The pointer is invalidated by
   /// any mutation of the tree.
   [[nodiscard]] const ActorEntry* get(const Address& addr) const;
@@ -78,18 +102,30 @@ class StateTree {
   void set(const Address& addr, ActorEntry entry);
 
   /// Mutable access, creating a default (empty, kCodeNone) entry if absent.
+  /// The returned reference is stable across other mutations (map nodes do
+  /// not move) but must not be written through after the next flush(): the
+  /// entry is assumed clean again once flushed.
   [[nodiscard]] ActorEntry& get_or_create(const Address& addr);
 
   /// Delete an actor (used when killing subnets' SAs is modeled).
   void remove(const Address& addr);
 
   /// Total token supply held across all actors (conservation checks).
+  /// Maintained as a running total: O(dirty) per call, not O(N).
   [[nodiscard]] TokenAmount total_balance() const;
 
   /// Canonical commitment of the whole tree: the Merkle root over the
   /// per-actor leaves (address order). Merkle-based so that individual
   /// actor entries can be proven against a committed state root — the
   /// foundation of §III-C fund recovery from dead subnets.
+  ///
+  /// Incremental: with no mutations since the last flush this returns the
+  /// cached CID; with k mutated leaves it re-encodes/rehashes those k
+  /// leaves plus their O(k log N) root paths; only membership changes
+  /// (insert/remove) rebuild the interior levels (O(N) node hashes, still
+  /// zero re-encodes for clean leaves). Logically const, but updates the
+  /// internal cache — call only from the thread owning the tree, never on
+  /// a published read-only view shared across lanes (DESIGN.md §11/§12).
   [[nodiscard]] Cid flush() const;
 
   /// The canonical leaf bytes for one actor (what proofs verify against).
@@ -97,7 +133,9 @@ class StateTree {
                                         const ActorEntry& entry);
 
   /// Inclusion proof for the actor at `addr` against flush(). Fails with
-  /// kNotFound when the actor does not exist.
+  /// kNotFound when the actor does not exist. Reuses the cached
+  /// incremental tree (flushing first if needed), so proving after a clean
+  /// flush costs O(log N) — no leaf re-assembly.
   [[nodiscard]] Result<crypto::MerkleProof> prove(const Address& addr) const;
 
   /// Verify that (addr, entry) is part of the state committed by `root`.
@@ -105,11 +143,46 @@ class StateTree {
                                          const ActorEntry& entry,
                                          const crypto::MerkleProof& proof);
 
-  /// Deep-copy snapshot / revert, for failed-message rollback.
+  // ------------------------------------------------------------- journal
+  // Undo log for revert-on-failure. Every mutator records the prior entry
+  // value; reverting to a mark replays the log backwards. Marks nest (the
+  // executor takes one per message and one per internal send).
+
+  using JournalMark = std::size_t;
+
+  /// Current journal position; pass to journal_revert() to roll back to it.
+  [[nodiscard]] JournalMark journal_mark() const { return journal_.size(); }
+
+  /// Undo every mutation recorded after `mark`, newest first.
+  void journal_revert(JournalMark mark);
+
+  /// Drop all undo information (outermost commit point). Marks taken
+  /// before a reset are invalidated.
+  void journal_reset() { journal_.clear(); }
+
+  [[nodiscard]] std::size_t journal_depth() const { return journal_.size(); }
+
+  /// Deep-copy snapshot / revert, for long-lived forks (SCA save()).
   [[nodiscard]] StateTree snapshot() const { return *this; }
-  void revert_to(StateTree snapshot) { actors_ = std::move(snapshot.actors_); }
+  void revert_to(StateTree snapshot);
 
   [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+
+  /// Leaves whose content changed since the last flush (diagnostics).
+  [[nodiscard]] std::size_t dirty_count() const { return dirty_.size(); }
+
+  /// Commitment-cost accounting since this instance was constructed or
+  /// copied (copies start at zero). Scraped into the obs counters
+  /// state_leaf_rehashes_total / state_flush_cache_hits_total by the node.
+  struct CommitStats {
+    std::uint64_t leaf_rehashes = 0;     // leaf encodes + leaf hashes
+    std::uint64_t node_hashes = 0;       // interior-node hashes
+    std::uint64_t flushes = 0;           // flushes that recomputed
+    std::uint64_t flush_cache_hits = 0;  // flushes served from cache
+    std::uint64_t journal_entries = 0;   // prior values recorded
+    std::uint64_t journal_reverts = 0;   // rollbacks replayed
+  };
+  [[nodiscard]] const CommitStats& commit_stats() const { return stats_; }
 
   /// Iterate in canonical (address) order.
   [[nodiscard]] auto begin() const { return actors_.begin(); }
@@ -119,7 +192,39 @@ class StateTree {
   [[nodiscard]] static Result<StateTree> decode_from(Decoder& d);
 
  private:
+  struct JournalEntry {
+    Address addr;
+    std::optional<ActorEntry> prior;  // nullopt: entry did not exist
+  };
+
+  /// Record `existing` (pre-mutation value, nullptr when absent) in the
+  /// journal and mark the leaf dirty, moving its balance out of the clean
+  /// running total on first touch.
+  void note_mutation(const Address& addr, const ActorEntry* existing);
+  /// Dirty/total bookkeeping shared with journal restores (no recording).
+  void mark_dirty(const Address& addr, const ActorEntry* existing);
+  /// Undo one journal entry (bypasses the journal itself).
+  void restore(const Address& addr, std::optional<ActorEntry> prior);
+
+  /// Re-merge the leaf order after membership changes, reusing cached
+  /// digests for clean leaves, then rebuild interior levels.
+  void rebuild_structure() const;
+  /// Rehash only content-dirty leaves and their root paths.
+  void update_dirty_leaves() const;
+
   std::map<Address, ActorEntry> actors_;
+  std::vector<JournalEntry> journal_;
+
+  // Commitment cache. Mutable: flush()/prove() are logically const.
+  // clean_total_ + Σ balance(dirty_) == Σ balance(all) at all times.
+  mutable std::vector<Address> order_;  // leaf order at last (re)build
+  mutable crypto::IncrementalMerkleTree tree_;
+  mutable std::set<Address> dirty_;  // content changed since last flush
+  mutable bool structure_dirty_ = false;  // membership changed
+  mutable bool root_valid_ = false;
+  mutable Cid cached_root_;
+  mutable TokenAmount clean_total_;
+  mutable CommitStats stats_;
 };
 
 }  // namespace hc::chain

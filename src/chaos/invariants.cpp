@@ -25,6 +25,8 @@ using runtime::SubnetNode;
 /// added on top: the top-down path freezes equal custody in this SCA for
 /// everything it mints deeper, so the chain's own balance already mirrors
 /// the whole subtree (and pass-through releases burn that custody again).
+/// total_balance() is a running total (O(dirty), not O(actors)), so the
+/// per-sweep invariant checks stay cheap even on large subnets.
 TokenAmount live_supply(const SubnetNode& node) {
   TokenAmount total = node.state().total_balance();
   const auto* burn = node.state().get(chain::kBurnAddr);

@@ -4,34 +4,30 @@
 
 namespace hc::crypto {
 
-namespace {
-
-Digest hash_leaf(BytesView content) {
+Digest merkle_leaf_hash(BytesView content) {
   const std::uint8_t prefix = 0x00;
   return Sha256::hash_all({BytesView(&prefix, 1), content});
 }
 
-Digest hash_node(const Digest& left, const Digest& right) {
+Digest merkle_node_hash(const Digest& left, const Digest& right) {
   const std::uint8_t prefix = 0x01;
   return Sha256::hash_all(
       {BytesView(&prefix, 1), digest_view(left), digest_view(right)});
 }
-
-}  // namespace
 
 MerkleTree::MerkleTree(const std::vector<Bytes>& leaves)
     : leaf_count_(leaves.size()) {
   if (leaves.empty()) return;
   std::vector<Digest> level;
   level.reserve(leaves.size());
-  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  for (const auto& leaf : leaves) level.push_back(merkle_leaf_hash(leaf));
   levels_.push_back(level);
   while (levels_.back().size() > 1) {
     const auto& prev = levels_.back();
     std::vector<Digest> next;
     next.reserve((prev.size() + 1) / 2);
     for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-      next.push_back(hash_node(prev[i], prev[i + 1]));
+      next.push_back(merkle_node_hash(prev[i], prev[i + 1]));
     }
     if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
     levels_.push_back(std::move(next));
@@ -57,16 +53,96 @@ MerkleProof MerkleTree::prove(std::size_t index) const {
 
 bool MerkleTree::verify(const Digest& root, BytesView leaf_content,
                         const MerkleProof& proof) {
-  Digest acc = hash_leaf(leaf_content);
+  Digest acc = merkle_leaf_hash(leaf_content);
   for (const auto& step : proof) {
-    acc = step.sibling_on_left ? hash_node(step.sibling, acc)
-                               : hash_node(acc, step.sibling);
+    acc = step.sibling_on_left ? merkle_node_hash(step.sibling, acc)
+                               : merkle_node_hash(acc, step.sibling);
   }
   return acc == root;
 }
 
 Digest MerkleTree::root_of(const std::vector<Bytes>& leaves) {
   return MerkleTree(leaves).root();
+}
+
+// ------------------------------------------------------------ incremental
+
+void IncrementalMerkleTree::assign(std::vector<Digest> leaf_digests) {
+  levels_.clear();
+  root_ = Digest{};
+  if (leaf_digests.empty()) return;
+  levels_.push_back(std::move(leaf_digests));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(merkle_node_hash(prev[i], prev[i + 1]));
+      ++node_hashes_;
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+void IncrementalMerkleTree::update(
+    const std::vector<std::pair<std::size_t, Digest>>& changes) {
+  if (changes.empty()) return;
+  assert(!levels_.empty() && "update on an empty tree");
+  auto& leaves = levels_[0];
+  std::vector<std::size_t> positions;
+  positions.reserve(changes.size());
+  for (const auto& [index, digest] : changes) {
+    assert(index < leaves.size() && "leaf update index out of range");
+    assert(positions.empty() || positions.back() < index);
+    leaves[index] = digest;
+    positions.push_back(index);
+  }
+  // Walk the changed positions upward, level by level. Positions stay
+  // sorted, so siblings sharing a parent dedupe via the back() check and
+  // each affected interior node is hashed exactly once.
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    auto& parents = levels_[lvl + 1];
+    std::vector<std::size_t> next;
+    next.reserve(positions.size());
+    for (const std::size_t pos : positions) {
+      const std::size_t parent = pos / 2;
+      if (!next.empty() && next.back() == parent) continue;
+      const std::size_t left = parent * 2;
+      const std::size_t right = left + 1;
+      if (right < level.size()) {
+        parents[parent] = merkle_node_hash(level[left], level[right]);
+        ++node_hashes_;
+      } else {
+        parents[parent] = level[left];  // promoted odd node
+      }
+      next.push_back(parent);
+    }
+    positions = std::move(next);
+  }
+  root_ = levels_.back()[0];
+}
+
+const std::vector<Digest>& IncrementalMerkleTree::leaf_digests() const {
+  static const std::vector<Digest> kEmpty;
+  return levels_.empty() ? kEmpty : levels_[0];
+}
+
+MerkleProof IncrementalMerkleTree::prove(std::size_t index) const {
+  assert(index < leaf_count() && "Merkle proof index out of range");
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back({level[sibling], /*sibling_on_left=*/pos % 2 == 1});
+    }
+    pos /= 2;
+  }
+  return proof;
 }
 
 }  // namespace hc::crypto

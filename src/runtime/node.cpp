@@ -92,6 +92,10 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   c_fraud_detected_ = &m.counter("node_fraud_detected_total", node_labels);
   c_fraud_submitted_ =
       &m.counter("node_fraud_proofs_submitted_total", node_labels);
+  c_state_leaf_rehashes_ =
+      &m.counter("state_leaf_rehashes_total", node_labels);
+  c_state_flush_hits_ =
+      &m.counter("state_flush_cache_hits_total", node_labels);
   g_mempool_ = &m.gauge("mempool_size", node_labels);
   h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
   chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
@@ -170,6 +174,12 @@ NodeStats SubnetNode::stats() const {
   s.pushes_sent = c_pushes_sent_->value();
   s.resolves_served = c_resolves_served_->value();
   return s;
+}
+
+void SubnetNode::record_state_stats(const chain::StateTree& tree) {
+  const auto& s = tree.commit_stats();
+  if (s.leaf_rehashes > 0) c_state_leaf_rehashes_->inc(s.leaf_rehashes);
+  if (s.flush_cache_hits > 0) c_state_flush_hits_->inc(s.flush_cache_hits);
 }
 
 Status SubnetNode::submit_message(chain::SignedMessage msg) {
@@ -364,6 +374,7 @@ chain::Block SubnetNode::build_block(const Address& miner) {
   chain::StateTree tree = store_->state().snapshot();
   (void)executor_.apply_block(tree, block);
   block.header.state_root = tree.flush();
+  record_state_stats(tree);
   block.header.msgs_root = block.compute_msgs_root();
   return block;
 }
@@ -478,7 +489,9 @@ Status SubnetNode::validate_block(const chain::Block& block) {
   }
   chain::StateTree tree = store_->state().snapshot();
   (void)executor_.apply_block(tree, block);
-  if (tree.flush() != block.header.state_root) {
+  const bool root_ok = tree.flush() == block.header.state_root;
+  record_state_stats(tree);
+  if (!root_ok) {
     return Error(Errc::kInvalidArgument, "state root mismatch");
   }
   return ok_status();
@@ -495,6 +508,9 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
         << "commit failed: " << ok.error().to_string();
     return;
   }
+  // The appended tree (snapshot copy, so stats started at zero) now holds
+  // the commitment cost of executing + flushing this block.
+  record_state_stats(store_->state());
   proofs_.resize(static_cast<std::size_t>(height));
   proofs_[static_cast<std::size_t>(height - 1)] = std::move(proof);
 

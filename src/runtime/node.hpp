@@ -318,8 +318,15 @@ class SubnetNode final : public consensus::BlockSource {
   obs::Counter* c_resolves_served_;
   obs::Counter* c_fraud_detected_;
   obs::Counter* c_fraud_submitted_;
+  /// Incremental state-commitment cost (DESIGN.md §12): scraped from
+  /// StateTree::commit_stats() after every propose/validate/commit flush.
+  obs::Counter* c_state_leaf_rehashes_;
+  obs::Counter* c_state_flush_hits_;
   obs::Gauge* g_mempool_;
   obs::Histogram* h_commit_latency_;
+
+  /// Add one tree's accumulated commitment stats to the node counters.
+  void record_state_stats(const chain::StateTree& tree);
 };
 
 }  // namespace hc::runtime

@@ -1,7 +1,11 @@
 // Unit tests for the chain substrate: messages, blocks, state tree,
 // mempool, chain store, and the executor/VM (gas, nonces, reverts,
-// internal sends, minting rules).
+// internal sends, minting rules), plus the StateCommitment differential
+// suite pitting the incremental Merkle commitment against a from-scratch
+// rebuild (DESIGN.md §12).
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "chain/actor.hpp"
 #include "chain/block.hpp"
@@ -218,6 +222,201 @@ TEST(StateTreeOps, CodecRoundTrip) {
   auto out = decode<StateTree>(encode(t));
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out.value().flush(), t.flush());
+}
+
+// ----------------------------------------- incremental state commitment
+//
+// Differential suite (DESIGN.md §12): every root the incremental path
+// produces must be byte-identical to a from-scratch rebuild — the seed's
+// commitment algorithm, re-run with no cache anywhere.
+
+/// From-scratch reference: encode every leaf in address order and
+/// Merkle-hash the lot.
+Cid reference_root(const StateTree& t) {
+  std::vector<Bytes> leaves;
+  for (const auto& [addr, entry] : t) {
+    leaves.push_back(StateTree::leaf_bytes(addr, entry));
+  }
+  return Cid(CidCodec::kStateRoot, crypto::MerkleTree::root_of(leaves));
+}
+
+TokenAmount folded_total(const StateTree& t) {
+  TokenAmount total;
+  for (const auto& [addr, entry] : t) total += entry.balance;
+  return total;
+}
+
+ActorEntry random_entry(std::mt19937& rng) {
+  ActorEntry e;
+  e.code = kCodeAccount;
+  e.balance = TokenAmount::atto(static_cast<std::int64_t>(rng() % 1000000));
+  e.nonce = rng() % 16;
+  e.state = to_bytes("s" + std::to_string(rng() % 97));
+  return e;
+}
+
+TEST(StateCommitment, DifferentialRandomOps) {
+  std::mt19937 rng(20260807);
+  StateTree t;
+  for (int i = 0; i < 64; ++i) {
+    t.set(Address::id(rng() % 512), random_entry(rng));
+  }
+  for (int step = 0; step < 200; ++step) {
+    const auto op = rng() % 100;
+    if (op < 35) {
+      t.set(Address::id(rng() % 512), random_entry(rng));
+    } else if (op < 55) {
+      t.get_or_create(Address::id(rng() % 512)).balance +=
+          TokenAmount::atto(static_cast<std::int64_t>(1 + rng() % 50));
+    } else if (op < 70) {
+      t.remove(Address::id(rng() % 512));  // may be a no-op
+    } else if (op < 85) {
+      // A burst of mutations rolled back through the journal must land the
+      // tree exactly where it was — including when a flush() happens
+      // between the mark and the revert.
+      const Cid before = t.flush();
+      const StateTree::JournalMark mark = t.journal_mark();
+      for (int j = 0; j < 5; ++j) {
+        t.set(Address::id(rng() % 512), random_entry(rng));
+      }
+      t.remove(Address::id(rng() % 512));
+      if (rng() % 2 == 0) (void)t.flush();
+      t.journal_revert(mark);
+      ASSERT_EQ(t.flush(), before) << "journal revert diverged at step "
+                                   << step;
+    } else {
+      // Deep-copy snapshot / revert (the SCA save() path).
+      StateTree snap = t.snapshot();
+      for (int j = 0; j < 3; ++j) {
+        t.set(Address::id(rng() % 512), random_entry(rng));
+      }
+      t.revert_to(std::move(snap));
+    }
+    const Cid root = t.flush();
+    ASSERT_EQ(root, reference_root(t)) << "root diverged at step " << step;
+    ASSERT_EQ(t.total_balance(), folded_total(t))
+        << "running total diverged at step " << step;
+    if (t.actor_count() > 0) {
+      const auto it =
+          std::next(t.begin(), static_cast<long>(rng() % t.actor_count()));
+      auto proof = t.prove(it->first);
+      ASSERT_TRUE(proof.ok());
+      ASSERT_TRUE(
+          StateTree::verify_entry(root, it->first, it->second, proof.value()))
+          << "proof failed at step " << step;
+    }
+  }
+}
+
+TEST(StateCommitment, CleanFlushIsACacheHit) {
+  StateTree t;
+  for (int i = 0; i < 32; ++i) {
+    t.set(Address::id(i), ActorEntry{kCodeAccount, TokenAmount::whole(1), 0, {}});
+  }
+  const Cid root = t.flush();
+  const auto before = t.commit_stats();
+  EXPECT_EQ(t.flush(), root);
+  EXPECT_EQ(t.flush(), root);
+  const auto& after = t.commit_stats();
+  EXPECT_EQ(after.flush_cache_hits, before.flush_cache_hits + 2);
+  EXPECT_EQ(after.leaf_rehashes, before.leaf_rehashes);
+  EXPECT_EQ(after.node_hashes, before.node_hashes);
+}
+
+// Acceptance criterion: flushing a tree with k dirty leaves out of N costs
+// exactly k leaf rehashes and at most k*log2(N) interior-node hashes.
+TEST(StateCommitment, DirtyFlushCostIsKLogN) {
+  constexpr std::size_t kActors = 1024;  // log2 = 10 interior levels
+  constexpr std::size_t kDirty = 8;
+  StateTree t;
+  for (std::size_t i = 0; i < kActors; ++i) {
+    t.set(Address::id(i), ActorEntry{kCodeAccount, TokenAmount::whole(1), 0, {}});
+  }
+  (void)t.flush();
+  const auto before = t.commit_stats();
+  for (std::size_t i = 0; i < kDirty; ++i) {
+    t.get_or_create(Address::id(i * 100)).balance += TokenAmount::atto(1);
+  }
+  EXPECT_EQ(t.dirty_count(), kDirty);
+  const Cid root = t.flush();
+  const auto& after = t.commit_stats();
+  EXPECT_EQ(after.leaf_rehashes - before.leaf_rehashes, kDirty);
+  EXPECT_LE(after.node_hashes - before.node_hashes, kDirty * 10);
+  EXPECT_GT(after.node_hashes - before.node_hashes, 0u);
+  EXPECT_EQ(root, reference_root(t));
+}
+
+// Membership changes rebuild the interior levels but must not re-encode
+// clean leaves: inserting one actor and removing another out of N costs
+// exactly one leaf rehash.
+TEST(StateCommitment, MembershipChangeReusesCleanDigests) {
+  StateTree t;
+  for (std::size_t i = 0; i < 256; ++i) {
+    t.set(Address::id(i * 2), ActorEntry{kCodeAccount, TokenAmount::whole(1), 0, {}});
+  }
+  (void)t.flush();
+  const auto before = t.commit_stats();
+  t.set(Address::id(101), ActorEntry{kCodeAccount, TokenAmount::whole(7), 0, {}});
+  t.remove(Address::id(200));
+  const Cid root = t.flush();
+  const auto& after = t.commit_stats();
+  EXPECT_EQ(after.leaf_rehashes - before.leaf_rehashes, 1u);
+  EXPECT_EQ(root, reference_root(t));
+}
+
+TEST(StateCommitment, SnapshotCopyInheritsCacheWithFreshStats) {
+  StateTree t;
+  for (int i = 0; i < 16; ++i) {
+    t.set(Address::id(i), ActorEntry{kCodeAccount, TokenAmount::whole(2), 0, {}});
+  }
+  const Cid root = t.flush();
+  StateTree snap = t.snapshot();
+  // Copies start with zeroed stats (per-block delta scraping relies on it)
+  // but carry the commitment cache: their first clean flush is a hit.
+  EXPECT_EQ(snap.commit_stats().flushes, 0u);
+  EXPECT_EQ(snap.flush(), root);
+  EXPECT_EQ(snap.commit_stats().flush_cache_hits, 1u);
+  EXPECT_EQ(snap.commit_stats().leaf_rehashes, 0u);
+  EXPECT_EQ(snap.journal_depth(), 0u);
+}
+
+TEST(StateCommitment, ProveReusesCachedTree) {
+  StateTree t;
+  for (int i = 0; i < 33; ++i) {  // odd count: exercises promoted nodes
+    t.set(Address::id(i), ActorEntry{kCodeAccount, TokenAmount::whole(1),
+                                     static_cast<std::uint64_t>(i), {}});
+  }
+  const Cid root = t.flush();
+  const auto before = t.commit_stats();
+  for (int i = 0; i < 33; ++i) {
+    auto proof = t.prove(Address::id(i));
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(StateTree::verify_entry(root, Address::id(i),
+                                        *t.get(Address::id(i)), proof.value()));
+  }
+  // Proving from a clean tree does no hashing beyond the cached levels.
+  EXPECT_EQ(t.commit_stats().leaf_rehashes, before.leaf_rehashes);
+  EXPECT_EQ(t.commit_stats().node_hashes, before.node_hashes);
+  EXPECT_FALSE(t.prove(Address::id(999)).ok());
+}
+
+TEST(StateCommitment, NestedJournalMarksRevertIndependently) {
+  StateTree t;
+  t.set(Address::id(1), ActorEntry{kCodeAccount, TokenAmount::whole(5), 0, {}});
+  t.journal_reset();
+  const Cid base = t.flush();
+
+  const auto outer = t.journal_mark();
+  t.get_or_create(Address::id(1)).balance = TokenAmount::whole(6);
+  const auto inner = t.journal_mark();
+  t.set(Address::id(2), ActorEntry{kCodeAccount, TokenAmount::whole(1), 0, {}});
+  t.journal_revert(inner);  // inner send failed
+  EXPECT_FALSE(t.has(Address::id(2)));
+  EXPECT_EQ(t.get(Address::id(1))->balance, TokenAmount::whole(6));
+  t.journal_revert(outer);  // outer message failed too
+  EXPECT_EQ(t.get(Address::id(1))->balance, TokenAmount::whole(5));
+  EXPECT_EQ(t.flush(), base);
+  EXPECT_GE(t.commit_stats().journal_reverts, 2u);
 }
 
 // ------------------------------------------------------------ executor

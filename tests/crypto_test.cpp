@@ -299,5 +299,104 @@ INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
                                            33, 64, 100));
 
+// ------------------------------------------------- incremental Merkle
+
+std::vector<Digest> leaf_digests_of(const std::vector<Bytes>& leaves) {
+  std::vector<Digest> digests;
+  digests.reserve(leaves.size());
+  for (const auto& leaf : leaves) digests.push_back(merkle_leaf_hash(leaf));
+  return digests;
+}
+
+class IncrementalMerkleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalMerkleSweep, AssignMatchesBatchTree) {
+  const int n = GetParam();
+  const auto leaves = make_leaves(n);
+  IncrementalMerkleTree inc;
+  inc.assign(leaf_digests_of(leaves));
+  EXPECT_EQ(inc.root(), MerkleTree::root_of(leaves));
+  EXPECT_EQ(inc.leaf_count(), static_cast<std::size_t>(n));
+}
+
+TEST_P(IncrementalMerkleSweep, PointUpdatesMatchRebuild) {
+  const int n = GetParam();
+  auto leaves = make_leaves(n);
+  IncrementalMerkleTree inc;
+  inc.assign(leaf_digests_of(leaves));
+  // Mutate every third leaf (always including the last: the promoted-node
+  // path on odd layers) and update them in one sorted batch.
+  std::vector<std::pair<std::size_t, Digest>> changes;
+  for (int i = 0; i < n; i += 3) {
+    leaves[static_cast<std::size_t>(i)].push_back(0xAB);
+    changes.emplace_back(static_cast<std::size_t>(i),
+                         merkle_leaf_hash(leaves[static_cast<std::size_t>(i)]));
+  }
+  if (n > 1 && (n - 1) % 3 != 0) {
+    leaves[static_cast<std::size_t>(n - 1)].push_back(0xCD);
+    changes.emplace_back(
+        static_cast<std::size_t>(n - 1),
+        merkle_leaf_hash(leaves[static_cast<std::size_t>(n - 1)]));
+  }
+  const std::uint64_t before = inc.node_hashes();
+  inc.update(changes);
+  EXPECT_EQ(inc.root(), MerkleTree::root_of(leaves)) << "n=" << n;
+  if (n > 1) {
+    // O(k log N) bound: each changed path is at most ceil(log2 n) nodes.
+    std::size_t levels = 0;
+    for (std::size_t width = static_cast<std::size_t>(n); width > 1;
+         width = (width + 1) / 2) {
+      ++levels;
+    }
+    EXPECT_LE(inc.node_hashes() - before, changes.size() * levels);
+  }
+}
+
+TEST_P(IncrementalMerkleSweep, ProofsMatchBatchTree) {
+  const int n = GetParam();
+  const auto leaves = make_leaves(n);
+  IncrementalMerkleTree inc;
+  inc.assign(leaf_digests_of(leaves));
+  MerkleTree batch(leaves);
+  for (int i = 0; i < n; ++i) {
+    const auto proof = inc.prove(static_cast<std::size_t>(i));
+    EXPECT_EQ(proof, batch.prove(static_cast<std::size_t>(i)));
+    EXPECT_TRUE(MerkleTree::verify(inc.root(),
+                                   leaves[static_cast<std::size_t>(i)], proof))
+        << "n=" << n << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IncrementalMerkleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           33, 64, 100));
+
+TEST(IncrementalMerkle, EmptyAndReassign) {
+  IncrementalMerkleTree inc;
+  EXPECT_EQ(inc.root(), Digest{});
+  EXPECT_EQ(inc.leaf_count(), 0u);
+  const auto leaves = make_leaves(6);
+  inc.assign(leaf_digests_of(leaves));
+  EXPECT_EQ(inc.root(), MerkleTree::root_of(leaves));
+  inc.assign({});
+  EXPECT_EQ(inc.root(), Digest{});
+  EXPECT_EQ(inc.leaf_count(), 0u);
+}
+
+TEST(IncrementalMerkle, SiblingUpdatesShareOneParentHash) {
+  // Updating both children of one node must hash their shared ancestors
+  // once, not twice: 8 leaves -> paths of 3, two sibling leaves share all
+  // 3 interior nodes.
+  auto leaves = make_leaves(8);
+  IncrementalMerkleTree inc;
+  inc.assign(leaf_digests_of(leaves));
+  leaves[4].push_back(0x01);
+  leaves[5].push_back(0x02);
+  const std::uint64_t before = inc.node_hashes();
+  inc.update({{4, merkle_leaf_hash(leaves[4])}, {5, merkle_leaf_hash(leaves[5])}});
+  EXPECT_EQ(inc.node_hashes() - before, 3u);
+  EXPECT_EQ(inc.root(), MerkleTree::root_of(leaves));
+}
+
 }  // namespace
 }  // namespace hc::crypto
