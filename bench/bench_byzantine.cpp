@@ -39,16 +39,18 @@ chaos::RunnerConfig byz_config() {
 class ByzantineSidecar {
  public:
   void capture(const chaos::RunResult& r) {
-    runs_.emplace_back(r.scenario + "/seed-" + std::to_string(r.seed),
-                       r.metrics_json);
+    runs_.push_back({r.scenario + "/seed-" + std::to_string(r.seed), r.seed,
+                     r.metrics_json});
   }
 
   ~ByzantineSidecar() {
     if (runs_.empty()) return;
-    std::string json = "{\n  \"bench\": \"byzantine\",\n  \"runs\": [\n";
+    std::string json = "{\n  \"bench\": \"byzantine\",\n  \"meta\": " +
+                       bench_meta_json(start_) + ",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < runs_.size(); ++i) {
-      json += "    {\"label\": \"" + obs::json_escape(runs_[i].first) +
-              "\", \"metrics\": " + runs_[i].second + "}";
+      json += "    {\"label\": \"" + obs::json_escape(runs_[i].label) +
+              "\", \"seed\": " + std::to_string(runs_[i].seed) +
+              ", \"metrics\": " + runs_[i].metrics + "}";
       json += (i + 1 < runs_.size()) ? ",\n" : "\n";
     }
     json += "  ]\n}\n";
@@ -56,7 +58,14 @@ class ByzantineSidecar {
   }
 
  private:
-  std::vector<std::pair<std::string, std::string>> runs_;
+  struct Run {
+    std::string label;
+    std::uint64_t seed = 0;
+    std::string metrics;
+  };
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::vector<Run> runs_;
 };
 
 ByzantineSidecar sidecar;

@@ -37,16 +37,18 @@ chaos::RunnerConfig chaos_config() {
 class ChaosSidecar {
  public:
   void capture(const chaos::RunResult& r) {
-    runs_.emplace_back(r.scenario + "/seed-" + std::to_string(r.seed),
-                       r.metrics_json);
+    runs_.push_back({r.scenario + "/seed-" + std::to_string(r.seed), r.seed,
+                     r.metrics_json});
   }
 
   ~ChaosSidecar() {
     if (runs_.empty()) return;
-    std::string json = "{\n  \"bench\": \"chaos\",\n  \"runs\": [\n";
+    std::string json = "{\n  \"bench\": \"chaos\",\n  \"meta\": " +
+                       bench_meta_json(start_) + ",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < runs_.size(); ++i) {
-      json += "    {\"label\": \"" + obs::json_escape(runs_[i].first) +
-              "\", \"metrics\": " + runs_[i].second + "}";
+      json += "    {\"label\": \"" + obs::json_escape(runs_[i].label) +
+              "\", \"seed\": " + std::to_string(runs_[i].seed) +
+              ", \"metrics\": " + runs_[i].metrics + "}";
       json += (i + 1 < runs_.size()) ? ",\n" : "\n";
     }
     json += "  ]\n}\n";
@@ -54,7 +56,14 @@ class ChaosSidecar {
   }
 
  private:
-  std::vector<std::pair<std::string, std::string>> runs_;
+  struct Run {
+    std::string label;
+    std::uint64_t seed = 0;
+    std::string metrics;
+  };
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::vector<Run> runs_;
 };
 
 ChaosSidecar sidecar;

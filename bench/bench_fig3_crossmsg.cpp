@@ -72,7 +72,8 @@ void run_topdown(benchmark::State& state) {
     state.counters["latency_sim_ms"] =
         static_cast<double>(world.h.scheduler().now() - t0) / 1000.0;
     state.counters["depth"] = depth;
-    exporter().capture(world.h, "topdown/depth=" + std::to_string(depth));
+    exporter().capture(world.h, "topdown/depth=" + std::to_string(depth),
+                       2000 + static_cast<std::uint64_t>(depth));
   }
 }
 
@@ -131,8 +132,11 @@ void run_bottomup(benchmark::State& state) {
         static_cast<double>(world.h.scheduler().now() - t0) / 1000.0;
     state.counters["depth"] = depth;
     state.counters["period"] = period;
-    exporter().capture(world.h, "bottomup/depth=" + std::to_string(depth) +
-                                    ",period=" + std::to_string(period));
+    exporter().capture(world.h,
+                       "bottomup/depth=" + std::to_string(depth) +
+                           ",period=" + std::to_string(period),
+                       3000 + static_cast<std::uint64_t>(depth) * 100 +
+                           period);
   }
 }
 
@@ -198,7 +202,7 @@ void run_path(benchmark::State& state) {
     }
     state.counters["latency_sim_ms"] =
         static_cast<double>(h.scheduler().now() - t0) / 1000.0;
-    exporter().capture(h, "path/A-to-B");
+    exporter().capture(h, "path/A-to-B", 4000);
   }
 }
 

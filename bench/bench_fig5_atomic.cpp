@@ -12,6 +12,11 @@
 namespace hc::bench {
 namespace {
 
+ObsExporter& exporter() {
+  static ObsExporter e("fig5_atomic");
+  return e;
+}
+
 struct AtomicWorld {
   runtime::Hierarchy h;
   std::vector<runtime::Subnet*> homes;
@@ -143,6 +148,11 @@ void run_commit(benchmark::State& state) {
     state.counters["depth"] = depth;
     state.counters["committed"] =
         decision.value() == actors::AtomicStatus::kCommitted ? 1 : 0;
+    exporter().capture(w.h,
+                       "commit/parties=" + std::to_string(parties) +
+                           ",depth=" + std::to_string(depth),
+                       6000 + static_cast<std::uint64_t>(parties) * 10 +
+                           static_cast<std::uint64_t>(depth));
   }
 }
 
@@ -179,6 +189,7 @@ void run_abort(benchmark::State& state) {
     state.counters["total_sim_ms"] =
         static_cast<double>(w.h.scheduler().now() - t0) / 1000.0;
     state.counters["committed"] = 0;
+    exporter().capture(w.h, "abort/parties=2,depth=1", 6100);
   }
 }
 

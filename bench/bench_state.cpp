@@ -39,17 +39,24 @@ const std::vector<std::int64_t>& flush_buckets_us() {
 /// registry must outlive the destructor that reads it).
 struct StateSidecar {
   obs::MetricsRegistry reg;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
 
   ~StateSidecar() {
-    const std::string json = "{\n  \"bench\": \"state\",\n  \"runs\": [\n    "
-                             "{\"label\": \"all\", \"metrics\": " +
-                             obs::metrics_to_json(reg) + "}\n  ]\n}\n";
+    const std::string json =
+        "{\n  \"bench\": \"state\",\n  \"meta\": " + bench_meta_json(start) +
+        ",\n  \"runs\": [\n    "
+        "{\"label\": \"all\", \"seed\": 0, \"metrics\": " +
+        obs::metrics_to_json(reg) + "}\n  ]\n}\n";
     (void)obs::write_text_file("BENCH_state.metrics.json", json);
     (void)obs::write_text_file("BENCH_state.prom",
                                obs::metrics_to_prometheus(reg));
   }
 };
 StateSidecar sidecar;
+
+// Profile sidecar + hotspot table (state/flush phase) at exit.
+ObsExporter profile_sidecar("state");
 
 obs::MetricsRegistry& registry() { return sidecar.reg; }
 

@@ -2,14 +2,16 @@
 # Full check: Debug build with ASan+UBSan and the whole test suite, then a
 # ThreadSanitizer build (TSan cannot combine with ASan) running the
 # parallel-determinism suite and the chaos/Byzantine smokes at multiple
-# worker-thread counts.
-# Usage: scripts/check.sh [build-dir] [tsan-build-dir]
-#        (defaults: build-asan, build-tsan)
+# worker-thread counts, then a plain optimized build running the profiler
+# smoke and the bench-baseline regression gate (DESIGN.md §13).
+# Usage: scripts/check.sh [build-dir] [tsan-build-dir] [perf-build-dir]
+#        (defaults: build-asan, build-tsan, build-perf)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 TSAN_DIR="${2:-build-tsan}"
+PERF_DIR="${3:-build-perf}"
 
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
@@ -60,3 +62,25 @@ ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
   -R '^ParallelDeterminism\.'
 ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ChaosSweep\.'
 ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ByzantineSmoke\.'
+
+# ---- Profiler smoke + perf regression gate (DESIGN.md §13) ---------------
+# Plain optimized build (no sanitizers — they would swamp the wall-clock
+# attribution). A cheap fig1 subset runs single-threaded; the profiler
+# sidecars must parse and meet the coverage/overhead bounds, and the
+# simulated-time metrics must match the committed baseline within 10%
+# (they are deterministic per seed, so on unchanged code the deltas are
+# exactly zero).
+cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$PERF_DIR" -j "$(nproc)" --target bench_fig1_scaling
+
+PERF_OUT="$PERF_DIR/perf-gate"
+rm -rf "$PERF_OUT" && mkdir -p "$PERF_OUT"
+(cd "$PERF_OUT" && \
+ ../bench/bench_fig1_scaling --threads 1 \
+   --benchmark_filter='run_scaling/subnets:(0|2)/')
+
+python3 scripts/profile_smoke.py \
+  "$PERF_OUT/BENCH_fig1_scaling.profile.json" \
+  "$PERF_OUT/BENCH_fig1_scaling.folded"
+python3 scripts/bench_diff.py \
+  BENCH_fig1.json "$PERF_OUT/BENCH_fig1_scaling.metrics.json"

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a bench's profiler sidecars (ISSUE 6 acceptance criteria).
+
+Usage:
+    profile_smoke.py BENCH_<name>.profile.json BENCH_<name>.folded \\
+        [--coverage 0.6] [--max-overhead 0.05]
+
+Checks:
+    1. The profile has a non-empty phase table (top-N hotspots exist).
+    2. Every folded-stack line parses as "path;seg;... <int ns>" and the
+       paths correspond to phases present in the profile.
+    3. The top-3 phases' self time covers >= --coverage of attributed
+       wall time (default 0.6): attribution is meaningful, not smeared.
+    4. The profiler's estimated overhead is <= --max-overhead of
+       attributed runtime (default 5%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> int:
+    print(f"profile_smoke: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("profile_json")
+    ap.add_argument("folded")
+    ap.add_argument("--coverage", type=float, default=0.6,
+                    help="min top-3 self-time share of attributed time")
+    ap.add_argument("--max-overhead", type=float, default=0.05,
+                    help="max profiler overhead as share of attributed time")
+    args = ap.parse_args()
+
+    with open(args.profile_json, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    profile = doc.get("profile", doc)  # tolerate a bare profile_to_json blob
+
+    phases = profile.get("phases", [])
+    if not phases:
+        return fail(f"{args.profile_json} has an empty phase table")
+    attributed = profile.get("attributed_ns", 0)
+    if attributed <= 0:
+        return fail("attributed_ns is not positive")
+
+    phase_names = {p["name"] for p in phases}
+    n_lines = 0
+    folded_self = 0
+    with open(args.folded, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            path, sep, ns = line.rpartition(" ")
+            if not sep or not path:
+                return fail(f"{args.folded}:{lineno}: no 'path ns' split: "
+                            f"{line!r}")
+            try:
+                ns_val = int(ns)
+            except ValueError:
+                return fail(f"{args.folded}:{lineno}: non-integer sample "
+                            f"count {ns!r}")
+            if ns_val <= 0:
+                return fail(f"{args.folded}:{lineno}: non-positive self "
+                            f"time {ns_val}")
+            for seg in path.split(";"):
+                if seg not in phase_names:
+                    return fail(f"{args.folded}:{lineno}: unknown phase "
+                                f"{seg!r} in stack {path!r}")
+            n_lines += 1
+            folded_self += ns_val
+    if n_lines == 0:
+        return fail(f"{args.folded} is empty")
+    if folded_self != attributed:
+        return fail(f"folded self-time sum {folded_self} != "
+                    f"attributed_ns {attributed}")
+
+    top3 = sum(p["self_ns"] for p in phases[:3])
+    coverage = top3 / attributed
+    overhead = profile.get("overhead_ns_est", 0) / attributed
+    top_names = [p["name"] for p in phases[:3]]
+    print(f"profile_smoke: {len(phases)} phases, {n_lines} folded stacks, "
+          f"top-3 {top_names} cover {coverage:.1%} of "
+          f"{attributed / 1e6:.1f} ms attributed, "
+          f"overhead est {overhead:.2%}")
+    if coverage < args.coverage:
+        return fail(f"top-3 coverage {coverage:.1%} < {args.coverage:.0%}")
+    if overhead > args.max_overhead:
+        return fail(f"estimated overhead {overhead:.2%} > "
+                    f"{args.max_overhead:.0%}")
+    print("profile_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

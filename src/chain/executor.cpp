@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/hash.hpp"
+#include "obs/profile.hpp"
 
 namespace hc::chain {
 
@@ -292,6 +293,9 @@ Receipt Executor::apply_implicit(StateTree& tree, const Message& msg,
 
 std::vector<Receipt> Executor::apply_block(StateTree& tree,
                                            const Block& block) const {
+  static const obs::PhaseId execute_phase =
+      obs::Profiler::instance().phase("chain/execute");
+  obs::ProfileScope prof(execute_phase);
   ExecutionContext ctx;
   ctx.height = block.header.height;
   ctx.miner = block.header.miner;

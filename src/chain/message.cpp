@@ -1,5 +1,6 @@
 #include "crypto/sigcache.hpp"
 #include "chain/message.hpp"
+#include "obs/profile.hpp"
 
 namespace hc::chain {
 
@@ -32,6 +33,9 @@ Result<Message> Message::decode_from(Decoder& d) {
 Cid Message::cid() const { return Cid::of(CidCodec::kMessage, encode(*this)); }
 
 SignedMessage SignedMessage::sign(Message msg, const crypto::KeyPair& key) {
+  static const obs::PhaseId sign_phase =
+      obs::Profiler::instance().phase("crypto/sign");
+  obs::ProfileScope prof(sign_phase);
   SignedMessage sm;
   sm.message = std::move(msg);
   sm.pubkey = key.public_key();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile.hpp"
+
 namespace hc::chain {
 
 StateTree::StateTree(const StateTree& other)
@@ -210,6 +212,11 @@ Cid StateTree::flush() const {
     ++stats_.flush_cache_hits;
     return cached_root_;
   }
+  // Cache hits above stay unprofiled (they are a compare + return); only
+  // real re-hash work is attributed to state/flush.
+  static const obs::PhaseId flush_phase =
+      obs::Profiler::instance().phase("state/flush");
+  obs::ProfileScope prof(flush_phase);
   if (structure_dirty_) {
     rebuild_structure();
   } else {

@@ -22,6 +22,8 @@ EngineMetrics::EngineMetrics(const EngineContext& ctx,
   view_changes_ = &metrics.counter("consensus_view_changes_total", labels);
   timeouts_ = &metrics.counter("consensus_timeouts_total", labels);
   catchups_ = &metrics.counter("consensus_catchup_requests_total", labels);
+  step_phase_ = obs::Profiler::instance().phase("consensus/" +
+                                                std::string(engine) + "/step");
 }
 
 std::optional<std::size_t> ValidatorSet::index_of(

@@ -16,6 +16,7 @@
 #include "crypto/schnorr.hpp"
 #include "net/network.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -125,11 +126,19 @@ class EngineMetrics {
   /// Asked peers for missed blocks.
   void catch_up() { catchups_->inc(); }
 
+  /// Interned "consensus/<engine>/step" profiler phase. Engines open a
+  /// ProfileScope on this around message handling and timer-driven
+  /// production so the wall-clock profiler can attribute consensus cost
+  /// per engine (DESIGN.md §13). Wall time only — never part of the
+  /// deterministic metric/trace exports.
+  [[nodiscard]] obs::PhaseId step_phase() const { return step_phase_; }
+
  private:
   obs::Counter* rounds_;
   obs::Counter* view_changes_;
   obs::Counter* timeouts_;
   obs::Counter* catchups_;
+  obs::PhaseId step_phase_;
 };
 
 class Engine {

@@ -61,6 +61,7 @@ void PowerLottery::stop() {
 
 void PowerLottery::tick() {
   if (!running_) return;
+  obs::ProfileScope prof(metrics_.step_phase());
   maybe_propose();
   timer_ =
       ctx_.scheduler->schedule(cfg_.block_time / 4, [this] { tick(); });
@@ -113,6 +114,7 @@ void PowerLottery::maybe_propose() {
 void PowerLottery::on_message(net::NodeId from, const Bytes& payload) {
   (void)from;
   if (!running_) return;
+  obs::ProfileScope prof(metrics_.step_phase());
   auto decoded = decode<WireMsg>(payload);
   if (!decoded || decoded.value().kind != WireKind::kBlock) return;
   WireMsg msg = std::move(decoded).value();

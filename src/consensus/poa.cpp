@@ -26,6 +26,7 @@ void PoaRoundRobin::stop() {
 
 void PoaRoundRobin::tick() {
   if (!running_) return;
+  obs::ProfileScope prof(metrics_.step_phase());
   // Stall detection: if the chain has not advanced for a few ticks and it
   // is not our turn, ask peers whether we are behind.
   if (ctx_.source->head_height() == last_seen_head_) {
@@ -60,6 +61,7 @@ void PoaRoundRobin::tick() {
 void PoaRoundRobin::on_message(net::NodeId from, const Bytes& payload) {
   (void)from;
   if (!running_) return;
+  obs::ProfileScope prof(metrics_.step_phase());
   auto decoded = decode<WireMsg>(payload);
   if (!decoded) return;
   WireMsg msg = std::move(decoded).value();

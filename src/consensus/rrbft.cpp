@@ -48,6 +48,7 @@ void RoundRobinBft::start_round(std::uint32_t round) {
     const sim::Duration delay = round == 0 ? cfg_.block_time : 0;
     ctx_.scheduler->schedule(delay, guarded([this, epoch, round] {
       if (!running_ || timer_epoch_ != epoch) return;
+      obs::ProfileScope prof(metrics_.step_phase());
       chain::Block block = ctx_.source->build_block(
           Address::key(ctx_.key.public_key().to_bytes()));
       broadcast(WireMsg::make(WireKind::kProposal, height_, round,
@@ -81,6 +82,7 @@ void RoundRobinBft::on_message(net::NodeId from, const Bytes& payload) {
 }
 
 void RoundRobinBft::handle(WireMsg msg) {
+  obs::ProfileScope prof(metrics_.step_phase());
   if (!msg.verify()) return;
   if (msg.height < height_) return;
   if (msg.height > height_) {

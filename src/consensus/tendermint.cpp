@@ -65,6 +65,7 @@ void Tendermint::start_round(std::uint32_t round) {
     const chain::Epoch height = height_;
     ctx_.scheduler->schedule(delay, guarded([this, epoch, round, height] {
       if (!running_ || timer_epoch_ != epoch || height != height_) return;
+      obs::ProfileScope prof(metrics_.step_phase());
       chain::Block block =
           locked_block_.has_value()
               ? *locked_block_
@@ -99,6 +100,7 @@ void Tendermint::on_message(net::NodeId from, const Bytes& payload) {
 }
 
 void Tendermint::handle(WireMsg msg) {
+  obs::ProfileScope prof(metrics_.step_phase());
   if (!msg.verify()) return;
   if (msg.kind == WireKind::kBlock) {
     on_committed_block(std::move(msg));

@@ -3,6 +3,7 @@
 #include "common/hash.hpp"
 #include "crypto/schnorr.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 
 namespace hc::crypto {
 
@@ -85,7 +86,15 @@ bool verify_cached(const PublicKey& pub, BytesView message,
   const std::uint64_t key = SigCache::key(message, pk, sg);
   bool result = false;
   if (SigCache::instance().lookup(key, result)) return result;
-  result = verify(pub, message, sig);
+  {
+    // Only the miss path pays real Schnorr math; cache hits above stay
+    // unprofiled so the crypto/verify phase measures verification cost,
+    // not hash-map lookups.
+    static const obs::PhaseId verify_phase =
+        obs::Profiler::instance().phase("crypto/verify");
+    obs::ProfileScope prof(verify_phase);
+    result = verify(pub, message, sig);
+  }
   SigCache::instance().store(key, result);
   return result;
 }

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
+
 namespace hc::net {
 
 namespace {
@@ -203,6 +205,9 @@ void Network::deliver_direct(NodeId from, NodeId to,
     if (node.down || !node.on_direct) return;
     stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
     m_delivered_->inc();
+    static const obs::PhaseId deliver_phase =
+        obs::Profiler::instance().phase("net/deliver");
+    obs::ProfileScope prof(deliver_phase);
     node.on_direct(from, *payload);
   });
 }
@@ -333,6 +338,9 @@ void Network::schedule_gossip_hop(NodeId to, const std::string& topic,
     if (node.on_topic) {
       stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
       m_delivered_->inc();
+      static const obs::PhaseId deliver_phase =
+          obs::Profiler::instance().phase("net/deliver");
+      obs::ProfileScope prof(deliver_phase);
       node.on_topic(origin, topic, *payload);
     }
     if (hops_left <= 0) return;

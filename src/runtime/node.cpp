@@ -5,6 +5,7 @@
 
 #include "actors/methods.hpp"
 #include "common/log.hpp"
+#include "obs/profile.hpp"
 
 namespace hc::runtime {
 
@@ -360,6 +361,9 @@ std::vector<chain::Message> SubnetNode::gather_cross_messages() {
 }
 
 chain::Block SubnetNode::build_block(const Address& miner) {
+  static const obs::PhaseId build_phase =
+      obs::Profiler::instance().phase("chain/build");
+  obs::ProfileScope prof(build_phase);
   chain::Block block;
   block.header.miner = miner;
   block.header.height = store_->height() + 1;
@@ -472,6 +476,9 @@ Status SubnetNode::validate_cross_messages(const chain::Block& block) {
 }
 
 Status SubnetNode::validate_block(const chain::Block& block) {
+  static const obs::PhaseId validate_phase =
+      obs::Profiler::instance().phase("chain/validate");
+  obs::ProfileScope prof(validate_phase);
   if (block.header.height != store_->height() + 1) {
     return Error(Errc::kStateConflict, "height does not extend head");
   }
@@ -498,6 +505,9 @@ Status SubnetNode::validate_block(const chain::Block& block) {
 }
 
 void SubnetNode::commit_block(chain::Block block, Bytes proof) {
+  static const obs::PhaseId commit_phase =
+      obs::Profiler::instance().phase("chain/commit");
+  obs::ProfileScope prof(commit_phase);
   chain::StateTree tree = store_->state().snapshot();
   std::vector<chain::Receipt> receipts = executor_.apply_block(tree, block);
   const chain::Epoch height = block.header.height;

@@ -19,7 +19,8 @@ ParallelExecutor::ParallelExecutor(Scheduler& sched, std::size_t threads,
                                    Duration lookahead)
     : sched_(sched),
       threads_(std::max<std::size_t>(threads, 1)),
-      lookahead_(std::max<Duration>(lookahead, 1)) {
+      lookahead_(std::max<Duration>(lookahead, 1)),
+      dispatch_phase_(obs::Profiler::instance().phase("scheduler/dispatch")) {
   for (std::size_t i = 0; i + 1 < threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
@@ -87,13 +88,21 @@ std::size_t ParallelExecutor::run_until(Time deadline) {
 
 bool ParallelExecutor::drain_exclusive(Time bound, std::size_t& ran) {
   Scheduler::Lane& lane0 = *sched_.lanes_[0];
+  // Deferred profiling scope: entered only once work is found, so the
+  // (very frequent) empty polls of the window loop are not charged.
+  obs::ProfileScope prof;
   bool any = false;
   for (;;) {
     Scheduler::skip_cancelled(lane0);
     if (lane0.heap.empty() || lane0.heap.front().when > bound) break;
+    if (!prof.active()) prof.enter(dispatch_phase_);
     sched_.run_top(lane0, /*exclusive=*/true);
     ++ran;
     any = true;
+  }
+  if (prof.active()) {
+    if (lane_wall_ns_.empty()) lane_wall_ns_.resize(1, 0);
+    lane_wall_ns_[0] += prof.ns_since_enter();
   }
   return any;
 }
@@ -101,6 +110,7 @@ bool ParallelExecutor::drain_exclusive(Time bound, std::size_t& ran) {
 std::size_t ParallelExecutor::parallel_pass(Time w_end, bool inclusive) {
   const std::size_t lane_count = sched_.lanes_.size();
   if (lane_events_.size() < lane_count) lane_events_.resize(lane_count, 0);
+  if (lane_wall_ns_.size() < lane_count) lane_wall_ns_.resize(lane_count, 0);
   // Driver-side pre-scan: find the lanes that actually have runnable work.
   // Dispatching the pool for a window where at most one lane runs pays the
   // wake/park round-trip for nothing, and such windows dominate sparse
@@ -123,15 +133,15 @@ std::size_t ParallelExecutor::parallel_pass(Time w_end, bool inclusive) {
     // Inline path: identical semantics, no thread handoff. Lane order is
     // irrelevant for the result (lanes are independent within a window).
     if (active == 1) {
-      const std::size_t n =
-          run_lane_window(*sched_.lanes_[last_active], w_end, inclusive);
+      const std::size_t n = run_lane_window(*sched_.lanes_[last_active],
+                                            w_end, inclusive, last_active);
       lane_events_[last_active] += n;
       return n;
     }
     std::size_t ran = 0;
     for (std::size_t i = 1; i < lane_count; ++i) {
-      const std::size_t n = run_lane_window(*sched_.lanes_[i], w_end,
-                                            inclusive);
+      const std::size_t n =
+          run_lane_window(*sched_.lanes_[i], w_end, inclusive, i);
       lane_events_[i] += n;
       ran += n;
     }
@@ -206,8 +216,8 @@ void ParallelExecutor::process_lanes(std::size_t part) {
   // warm in its owner's cache across windows.
   std::size_t ran = 0;
   for (std::size_t i = 1 + part; i < lane_count_; i += threads_) {
-    const std::size_t n = run_lane_window(*sched_.lanes_[i], window_end_,
-                                          inclusive_);
+    const std::size_t n =
+        run_lane_window(*sched_.lanes_[i], window_end_, inclusive_, i);
     lane_events_[i] += n;
     ran += n;
   }
@@ -215,16 +225,25 @@ void ParallelExecutor::process_lanes(std::size_t part) {
 }
 
 std::size_t ParallelExecutor::run_lane_window(Scheduler::Lane& lane,
-                                              Time w_end, bool inclusive) {
+                                              Time w_end, bool inclusive,
+                                              std::size_t lane_idx) {
   std::size_t ran = 0;
+  // Deferred scope: lanes with no runnable event this window cost nothing.
+  // Everything an event does nests under scheduler/dispatch in the scope
+  // tree, so dispatch self-time is the event-loop machinery plus any
+  // uninstrumented event work.
+  obs::ProfileScope prof;
   for (;;) {
     Scheduler::skip_cancelled(lane);
     if (lane.heap.empty()) break;
     const Time when = lane.heap.front().when;
     if (inclusive ? when > w_end : when >= w_end) break;
+    if (!prof.active()) prof.enter(dispatch_phase_);
     sched_.run_top(lane, /*exclusive=*/false);
     ++ran;
   }
+  // Sticky ownership (see process_lanes) makes this write race-free.
+  if (prof.active()) lane_wall_ns_[lane_idx] += prof.ns_since_enter();
   return ran;
 }
 

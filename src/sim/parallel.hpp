@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "sim/clock.hpp"
 #include "sim/scheduler.hpp"
 
@@ -60,11 +61,21 @@ class ParallelExecutor {
     return lane_events_;
   }
 
+  /// Diagnostics: wall-clock ns spent executing each lane's events
+  /// (index = lane/domain id; [0] = the exclusive driver lane). Same
+  /// write discipline as lane_events(): one sticky owner per lane, read
+  /// from driver context. Cheap per-domain cost attribution for the
+  /// profiler sidecars; values are wall time and therefore NOT part of
+  /// any deterministic export.
+  [[nodiscard]] const std::vector<std::int64_t>& lane_wall_ns() const {
+    return lane_wall_ns_;
+  }
+
  private:
   void worker_loop(std::size_t part);
   void process_lanes(std::size_t part);
   std::size_t run_lane_window(Scheduler::Lane& lane, Time w_end,
-                              bool inclusive);
+                              bool inclusive, std::size_t lane_idx);
   bool drain_exclusive(Time bound, std::size_t& ran);
   std::size_t parallel_pass(Time w_end, bool inclusive);
   void barrier(Time w_end);
@@ -100,6 +111,9 @@ class ParallelExecutor {
   /// Written once per (window, lane) by the lane's sticky owner; sized on
   /// the driver thread before dispatch.
   std::vector<std::uint64_t> lane_events_;
+  std::vector<std::int64_t> lane_wall_ns_;
+  /// Interned "scheduler/dispatch" phase (obs profiler; see DESIGN.md §13).
+  obs::PhaseId dispatch_phase_;
 };
 
 }  // namespace hc::sim

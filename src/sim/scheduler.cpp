@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "obs/profile.hpp"
+
 namespace hc::sim {
 
 thread_local Scheduler::LaneCtx Scheduler::t_lane_ctx_;
@@ -145,10 +147,15 @@ Scheduler::Lane* Scheduler::find_next_lane() {
 }
 
 std::size_t Scheduler::run_until(Time deadline) {
+  static const obs::PhaseId dispatch_phase =
+      obs::Profiler::instance().phase("scheduler/dispatch");
   std::size_t ran = 0;
+  // Deferred scope: a run_until that finds no runnable event costs nothing.
+  obs::ProfileScope prof;
   for (;;) {
     Lane* lane = find_next_lane();
     if (lane == nullptr || lane->heap.front().when > deadline) break;
+    if (!prof.active()) prof.enter(dispatch_phase);
     run_top(*lane, /*exclusive=*/true);
     ++ran;
   }

@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -171,6 +173,98 @@ TEST(Export, PrometheusHistogramIsCumulativeWithInf) {
   EXPECT_NE(p.find("lat_us_bucket{subnet=\"/root\",le=\"+Inf\"} 3"),
             std::string::npos);
   EXPECT_NE(p.find("lat_us_count{subnet=\"/root\"} 3"), std::string::npos);
+}
+
+TEST(Export, PrometheusSanitizersHandleHostileNames) {
+  EXPECT_EQ(prometheus_sanitize_name("lat_us"), "lat_us");  // idempotent
+  EXPECT_EQ(prometheus_sanitize_name("9abc"), "_9abc");
+  EXPECT_EQ(prometheus_sanitize_name("ns:lat us\n"), "ns:lat_us_");
+  EXPECT_EQ(prometheus_sanitize_name(""), "_");
+  EXPECT_EQ(prometheus_sanitize_label("subnet"), "subnet");
+  EXPECT_EQ(prometheus_sanitize_label("sub:net"), "sub_net");  // no ':' here
+  EXPECT_EQ(prometheus_sanitize_label("bad key!"), "bad_key_");
+  EXPECT_EQ(prometheus_escape_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  // UTF-8 label values pass through verbatim per the exposition spec.
+  EXPECT_EQ(prometheus_escape_value("/root/caf\xc3\xa9"), "/root/caf\xc3\xa9");
+}
+
+TEST(Export, PrometheusSurvivesHostileRegistryContent) {
+  MetricsRegistry reg;
+  reg.counter("1 bad\nname", {{"bad key!", "va\"l\\ue\nnewline"}}).inc(2);
+  reg.gauge("queue depth", {}).set(7);
+  reg.histogram("lat(us)", {{"sub:net", "/ro\"ot"}}, {10}).observe(5);
+  const std::string p = metrics_to_prometheus(reg);
+  // Family and label names are sanitized, values escaped.
+  EXPECT_NE(p.find("# TYPE _1_bad_name counter"), std::string::npos);
+  EXPECT_NE(p.find("_1_bad_name{bad_key_=\"va\\\"l\\\\ue\\nnewline\"} 2"),
+            std::string::npos);
+  EXPECT_NE(p.find("queue_depth 7"), std::string::npos);
+  EXPECT_NE(p.find("lat_us__bucket{sub_net=\"/ro\\\"ot\",le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(p.find("lat_us__count{sub_net=\"/ro\\\"ot\"} 1"),
+            std::string::npos);
+  // No raw hostile bytes survive anywhere in a metric-name position:
+  // every sample line's name prefix is in the Prometheus charset.
+  EXPECT_EQ(p.find("1 bad"), std::string::npos);
+  EXPECT_EQ(p.find("bad key!"), std::string::npos);
+  EXPECT_EQ(p.find("queue depth"), std::string::npos);
+  EXPECT_EQ(p.find("lat(us)"), std::string::npos);
+  std::size_t pos = 0;
+  while (pos < p.size()) {
+    std::size_t eol = p.find('\n', pos);
+    if (eol == std::string::npos) eol = p.size();
+    const std::string line = p.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    EXPECT_EQ(prometheus_sanitize_name(name), name) << line;
+  }
+}
+
+// Satellite: instruments updated concurrently from worker lanes must merge
+// into exactly the bytes a single-threaded run would export. Counters and
+// histogram buckets commute; the trace exporter canonicalizes span order.
+TEST(Export, ConcurrentLaneExportsMatchSequentialByteForByte) {
+  constexpr int kLanes = 4;
+  constexpr int kIters = 64;
+  auto record = [](Obs& o, int lane, int i) {
+    const std::string lane_s = std::to_string(lane);
+    // Shared instruments (real cross-lane contention)...
+    o.metrics.counter("msgs_total", {}).inc();
+    o.metrics.histogram("shared_lat_us", {}, {10, 100, 1000})
+        .observe((lane * kIters + i) % 1500);
+    // ...and per-lane labelsets racing on the registry's find-or-create.
+    o.metrics.counter("lane_msgs_total", {{"lane", lane_s}}).inc();
+    const std::size_t span = o.tracer.begin("work", "lane-" + lane_s);
+    o.tracer.end(span);
+    const std::string key = "flow/" + lane_s + "/" + std::to_string(i);
+    o.tracer.flow_begin(key, "xfer", "lane-" + lane_s);
+    o.tracer.flow_end(key);
+  };
+
+  Obs concurrent;
+  std::vector<std::thread> lanes;
+  lanes.reserve(kLanes);
+  for (int lane = 0; lane < kLanes; ++lane) {
+    lanes.emplace_back([&, lane] {
+      for (int i = 0; i < kIters; ++i) record(concurrent, lane, i);
+    });
+  }
+  for (auto& t : lanes) t.join();
+
+  Obs sequential;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    for (int i = 0; i < kIters; ++i) record(sequential, lane, i);
+  }
+
+  EXPECT_EQ(metrics_to_json(concurrent.metrics),
+            metrics_to_json(sequential.metrics));
+  EXPECT_EQ(metrics_to_prometheus(concurrent.metrics),
+            metrics_to_prometheus(sequential.metrics));
+  EXPECT_EQ(trace_to_chrome_json(concurrent.tracer),
+            trace_to_chrome_json(sequential.tracer));
 }
 
 // Minimal structural check of the Chrome trace: balanced braces/brackets
