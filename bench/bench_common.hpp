@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -116,6 +117,12 @@ inline consensus::EngineConfig subnet_engine(
 /// Saturating transfer load on one subnet: a pool of self-signing users
 /// paying each other round-robin. Nonces are tracked locally so messages
 /// can be pipelined beyond the chain's confirmation latency.
+///
+/// Admission control (DESIGN.md §14): a submit refused with kOverloaded is
+/// retried in-lane with exponential backoff (base·2^attempt, no RNG, so
+/// schedules stay byte-identical at any thread count). The already-signed
+/// message is resubmitted as-is — nonces are consumed at signing time, so
+/// dropping it would wedge every later nonce of that sender.
 class LoadGenerator {
  public:
   LoadGenerator(runtime::Subnet& subnet, std::size_t n_users,
@@ -149,20 +156,44 @@ class LoadGenerator {
       m.value = TokenAmount::atto(1);
       m.gas_limit = 1u << 22;
       m.gas_price = TokenAmount::atto(1);
-      node.post(0, [&node, key = keys_[u], m = std::move(m)]() mutable {
-        (void)node.submit_message(chain::SignedMessage::sign(std::move(m), key));
+      node.post(0, [this, &node, key = keys_[u], m = std::move(m)]() mutable {
+        submit_retry(node, chain::SignedMessage::sign(std::move(m), key), 0);
       });
     }
   }
 
   [[nodiscard]] std::size_t submitted() const { return next_user_; }
+  /// Submissions re-posted after a kOverloaded refusal.
+  [[nodiscard]] std::uint64_t retried() const {
+    return retried_.load(std::memory_order_relaxed);
+  }
 
  private:
+  static constexpr sim::Duration kRetryBase = 20 * sim::kMillisecond;
+  static constexpr std::uint32_t kMaxBackoffShift = 6;  // cap: base * 64
+
+  /// Runs in the node's lane. Only kOverloaded triggers a retry: other
+  /// failures (bad signature, duplicate) are permanent. Retries never give
+  /// up — a client abandoning a signed nonce would wedge every later nonce
+  /// of that sender — but the delay cap keeps the retry traffic polite.
+  void submit_retry(runtime::SubnetNode& node, chain::SignedMessage msg,
+                    std::uint32_t attempt) {
+    const Status st = node.submit_message(msg);
+    if (st.ok() || st.error().code() != Errc::kOverloaded) return;
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    const sim::Duration delay = kRetryBase
+                                << std::min(attempt, kMaxBackoffShift);
+    node.post(delay, [this, &node, msg = std::move(msg), attempt]() mutable {
+      submit_retry(node, std::move(msg), attempt + 1);
+    });
+  }
+
   runtime::Subnet& subnet_;
   std::vector<crypto::KeyPair> keys_;
   std::vector<Address> addrs_;
   std::vector<std::uint64_t> nonces_;
   std::size_t next_user_ = 0;
+  std::atomic<std::uint64_t> retried_{0};
 };
 
 /// Fund a list of addresses inside `subnet` via top-down cross-msgs.

@@ -32,6 +32,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ChaosSweep\.'
 # proof assembly), so memory bugs there surface here first.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 
+# Overload smoke (DESIGN.md §14): the bounded-mempool admission/eviction
+# properties, the policy-vs-fault drop split in the network queue, and the
+# 10x surge scenario — whose invariant report asserts every queue peak
+# stayed under its cap — all under the sanitizers, since shedding exercises
+# the eviction/erase paths most likely to hide a use-after-free.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'MempoolOverload|OverloadSurge|NetQueue'
+
 # State-commitment stage (DESIGN.md §12): the differential suite drives
 # random mutate/remove/journal-revert/snapshot sequences against a
 # from-scratch Merkle rebuild, and the incremental-tree sweeps hammer the
@@ -71,7 +79,8 @@ ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 # (they are deterministic per seed, so on unchanged code the deltas are
 # exactly zero).
 cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$PERF_DIR" -j "$(nproc)" --target bench_fig1_scaling
+cmake --build "$PERF_DIR" -j "$(nproc)" --target bench_fig1_scaling \
+  --target bench_overload
 
 PERF_OUT="$PERF_DIR/perf-gate"
 rm -rf "$PERF_OUT" && mkdir -p "$PERF_OUT"
@@ -84,3 +93,11 @@ python3 scripts/profile_smoke.py \
   "$PERF_OUT/BENCH_fig1_scaling.folded"
 python3 scripts/bench_diff.py \
   BENCH_fig1.json "$PERF_OUT/BENCH_fig1_scaling.metrics.json"
+
+# Overload regression gate (DESIGN.md §14): the full 1x/4x/10x sweep. The
+# bench itself fails the run if any queue peak exceeds its cap; bench_diff
+# then holds committed throughput, event count and commit p99 (admitted
+# traffic must stay fast under surge) to the committed baseline.
+(cd "$PERF_OUT" && ../bench/bench_overload --threads 1)
+python3 scripts/bench_diff.py \
+  BENCH_overload.json "$PERF_OUT/BENCH_overload.metrics.json"

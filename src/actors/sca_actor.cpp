@@ -18,11 +18,30 @@ Bytes registry_key(const Cid& cid) {
 }  // namespace
 
 Bytes make_sca_ctor_state(const core::SubnetId& self,
-                          std::uint32_t checkpoint_period) {
+                          std::uint32_t checkpoint_period,
+                          std::uint64_t topdown_window_cap,
+                          chain::Epoch breaker_stall_epochs) {
   ScaState state;
   state.self = self;
   state.checkpoint_period = checkpoint_period;
+  state.topdown_window_cap = topdown_window_cap;
+  state.breaker_stall_epochs = breaker_stall_epochs;
   return encode(state);
+}
+
+bool breaker_open(const ScaState& s, const SubnetEntry& child,
+                  chain::Epoch now) {
+  if (s.topdown_window_cap > 0 &&
+      child.topdown_since_checkpoint >= s.topdown_window_cap) {
+    return true;
+  }
+  if (s.breaker_stall_epochs > 0) {
+    // A child that never checkpointed measures staleness from genesis.
+    const chain::Epoch basis =
+        child.last_checkpoint_epoch >= 0 ? child.last_checkpoint_epoch : 0;
+    if (now - basis > s.breaker_stall_epochs) return true;
+  }
+  return false;
 }
 
 Result<Bytes> ScaActor::invoke(chain::Runtime& rt, chain::MethodNum method,
@@ -196,6 +215,22 @@ Status ScaActor::route_out(Rt& rt, ScaState& s, core::CrossMsg cross) {
       return Error(Errc::kUnavailable,
                    "child subnet toward destination is not active");
     }
+    // Circuit breaker (DESIGN.md §14): shed BEFORE consuming a nonce or
+    // minting circulating supply, so a shed message leaves no trace in the
+    // child's total order and the firewall bound is untouched. The caller's
+    // failure path emits the paper's revert cross-msg (§IV) for forwarded
+    // hops, or reverts the sender's funds locally for fresh sends.
+    if (breaker_open(s, *child, rt.current_epoch())) {
+      ++child->topdown_shed;
+      rt.emit_event("sca/topdown-shed", encode(cross));
+      return Error(Errc::kOverloaded,
+                   "top-down breaker open toward " + child->id.to_string() +
+                       " (backlog " +
+                       std::to_string(child->topdown_since_checkpoint) +
+                       ", last checkpoint epoch " +
+                       std::to_string(child->last_checkpoint_epoch) + ")");
+    }
+    ++child->topdown_since_checkpoint;
     cross.nonce = child->topdown_nonce++;
     child->circulating_supply += cross.msg.value;
     const Bytes payload = encode(cross);
@@ -307,6 +342,9 @@ Result<Bytes> ScaActor::commit_child_checkpoint(Rt& rt, ScaState& s,
   const Cid cid = cp.cid();
   entry->checkpoints.push_back(cid);
   entry->last_checkpoint_epoch = cp.epoch;
+  // A fresh checkpoint acknowledges the child's progress: the top-down
+  // backlog window restarts and the circuit breaker (if open) closes.
+  entry->topdown_since_checkpoint = 0;
 
   // Aggregate into our own next checkpoint's children tree.
   auto child_it = std::find_if(

@@ -39,6 +39,13 @@ struct SubnetEntry {
   /// Addresses that already recovered stranded funds (paper §III-C);
   /// prevents double claims.
   std::vector<Address> recovered;
+  /// Top-down msgs admitted since this child's last committed checkpoint —
+  /// the unacknowledged backlog the circuit breaker bounds (DESIGN.md §14).
+  /// Reset when the child's next checkpoint commits.
+  std::uint64_t topdown_since_checkpoint = 0;
+  /// Top-down msgs refused by the breaker (shed before consuming a nonce
+  /// or minting circulating supply, so the firewall bound is untouched).
+  std::uint64_t topdown_shed = 0;
 
   void encode_to(Encoder& e) const;
   [[nodiscard]] static Result<SubnetEntry> decode_from(Decoder& d);
@@ -158,6 +165,15 @@ struct ScaState {
   core::SubnetId self;
   /// This subnet's own checkpoint period (epochs).
   std::uint32_t checkpoint_period = 10;
+  /// Circuit breaker (DESIGN.md §14): max top-down msgs admitted per child
+  /// between its checkpoints (0 = unbounded). While a child's
+  /// `topdown_since_checkpoint` is at the cap, further top-down msgs toward
+  /// it are shed with kOverloaded and revert to their source (paper §IV).
+  std::uint64_t topdown_window_cap = 0;
+  /// Breaker staleness trip: shed top-down msgs toward a child whose last
+  /// committed checkpoint lags the current epoch by more than this many
+  /// epochs (0 = disabled).
+  chain::Epoch breaker_stall_epochs = 0;
 
   // ------------------------------------------------ children (as parent)
   std::map<Address, SubnetEntry> subnets;  // keyed by SA address

@@ -43,6 +43,7 @@ void SubnetEntry::encode_to(Encoder& e) const {
   e.varint(topdown_nonce).vec(topdown_queue).vec(checkpoints);
   e.i64(last_checkpoint_epoch);
   e.vec(recovered);
+  e.varint(topdown_since_checkpoint).varint(topdown_shed);
 }
 
 Result<SubnetEntry> SubnetEntry::decode_from(Decoder& d) {
@@ -59,6 +60,8 @@ Result<SubnetEntry> SubnetEntry::decode_from(Decoder& d) {
   HC_TRY(checkpoints, d.vec<Cid>());
   HC_TRY(epoch, d.i64());
   HC_TRY(recovered, d.vec<Address>());
+  HC_TRY(since_cp, d.varint());
+  HC_TRY(shed, d.varint());
   s.id = std::move(id);
   s.sa = sa;
   s.status = static_cast<core::SubnetStatus>(status);
@@ -70,6 +73,8 @@ Result<SubnetEntry> SubnetEntry::decode_from(Decoder& d) {
   s.checkpoints = std::move(checkpoints);
   s.last_checkpoint_epoch = epoch;
   s.recovered = std::move(recovered);
+  s.topdown_since_checkpoint = since_cp;
+  s.topdown_shed = shed;
   return s;
 }
 
@@ -142,6 +147,7 @@ void ScaState::encode_to(Encoder& e) const {
   }
   e.vec(snapshots);
   e.vec(fraud_digests).vec(slash_records);
+  e.varint(topdown_window_cap).i64(breaker_stall_epochs);
 }
 
 Result<ScaState> ScaState::decode_from(Decoder& d) {
@@ -206,6 +212,10 @@ Result<ScaState> ScaState::decode_from(Decoder& d) {
   HC_TRY(slash_records, d.vec<SlashRecord>());
   s.fraud_digests = std::move(fraud_digests);
   s.slash_records = std::move(slash_records);
+  HC_TRY(td_cap, d.varint());
+  HC_TRY(stall_epochs, d.i64());
+  s.topdown_window_cap = td_cap;
+  s.breaker_stall_epochs = stall_epochs;
   return s;
 }
 

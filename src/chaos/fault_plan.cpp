@@ -29,6 +29,8 @@ const char* to_string(FaultEvent::Kind kind) {
       return "byzantine";
     case FaultEvent::Kind::kClearByzantine:
       return "clear-byzantine";
+    case FaultEvent::Kind::kSurge:
+      return "surge";
   }
   return "unknown";
 }
@@ -135,6 +137,17 @@ FaultPlan& FaultPlan::clear_byzantine(sim::Duration at, NodeRef n) {
   return push(e);
 }
 
+FaultPlan& FaultPlan::surge(sim::Duration at, NodeRef n, std::size_t senders,
+                            std::size_t messages_each) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultEvent::Kind::kSurge;
+  e.a = n;
+  e.surge_senders = senders;
+  e.surge_messages = messages_each;
+  return push(e);
+}
+
 sim::Duration FaultPlan::horizon() const {
   sim::Duration h = 0;
   for (const auto& e : events_) h = std::max(h, e.at);
@@ -201,6 +214,35 @@ void apply(const FaultEvent& e, runtime::Hierarchy& h) {
             e.kind == FaultEvent::Kind::kByzantine
                 ? e.behavior
                 : runtime::ByzantineBehavior::kNone);
+      }
+      break;
+    }
+    case FaultEvent::Kind::kSurge: {
+      if (e.a.subnet >= h.subnets().size()) break;
+      runtime::Subnet& subnet = *h.subnets()[e.a.subnet];
+      if (!subnet.alive(e.a.node)) break;
+      runtime::SubnetNode& node = subnet.node(e.a.node);
+      // Sign + submit inside the node's lane (post), like LoadGenerator:
+      // the surge is per-subnet work and must replay identically at any
+      // thread count. Senders are unfunded — the point is admission
+      // pressure; whatever is admitted and included simply fails to pay.
+      for (std::size_t s = 0; s < e.surge_senders; ++s) {
+        const auto key = crypto::KeyPair::from_label(
+            "chaos/surge/" + std::to_string(e.a.subnet) + "/" +
+            std::to_string(s));
+        const Address from = Address::key(key.public_key().to_bytes());
+        node.post(0, [&node, key, from, n = e.surge_messages] {
+          for (std::size_t i = 0; i < n; ++i) {
+            chain::Message m;
+            m.from = from;
+            m.to = from;
+            m.nonce = i;
+            m.gas_limit = 1u << 22;
+            m.gas_price = TokenAmount::atto(1);
+            (void)node.submit_message(
+                chain::SignedMessage::sign(std::move(m), key));
+          }
+        });
       }
       break;
     }

@@ -40,6 +40,7 @@ struct FaultEvent {
     kDropRate,
     kByzantine,
     kClearByzantine,
+    kSurge,
   };
 
   sim::Duration at = 0;  ///< Offset from the instant the plan is armed.
@@ -52,6 +53,10 @@ struct FaultEvent {
   double drop_rate = 0.0;
   /// Adversary behavior armed on `a` (kByzantine only).
   runtime::ByzantineBehavior behavior = runtime::ByzantineBehavior::kNone;
+  /// Surge shape (kSurge only): `surge_senders` fresh unfunded identities
+  /// each submit `surge_messages` consecutive-nonce messages at `a`.
+  std::size_t surge_senders = 0;
+  std::size_t surge_messages = 0;
 };
 
 [[nodiscard]] const char* to_string(FaultEvent::Kind kind);
@@ -80,6 +85,12 @@ class FaultPlan {
                        runtime::ByzantineBehavior behavior);
   /// Restore validator `n` to honest behavior.
   FaultPlan& clear_byzantine(sim::Duration at, NodeRef n);
+  /// Flood validator `n` with `senders` x `messages_each` signed messages
+  /// from fresh unfunded identities (an admission-control surge, DESIGN.md
+  /// §14). Submission runs in the node's own scheduler lane, so the surge
+  /// replays byte-identically at any thread count.
+  FaultPlan& surge(sim::Duration at, NodeRef n, std::size_t senders,
+                   std::size_t messages_each);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

@@ -159,6 +159,44 @@ bool quiescent(const runtime::Hierarchy& hierarchy) {
 
 InvariantReport check_invariants(const runtime::Hierarchy& hierarchy) {
   InvariantReport report;
+
+  // ---- bounded queues (DESIGN.md §14): no buffer ever outgrew its cap.
+  // Peaks are high-water marks, so a transient breach during the fault
+  // window is caught even after the pools drain.
+  const runtime::HierarchyConfig& hcfg = hierarchy.config();
+  if (hcfg.mempool.max_messages > 0) {
+    for (const auto& subnet : hierarchy.subnets()) {
+      for (std::size_t i = 0; i < subnet->size(); ++i) {
+        if (!subnet->alive(i)) continue;
+        const std::size_t peak =
+            std::max(subnet->node(i).mempool_size(),
+                     subnet->node(i).mempool_shed_stats().peak_items);
+        if (peak > hcfg.mempool.max_messages) {
+          report.violations.push_back(
+              subnet->id.to_string() + " node " + std::to_string(i) +
+              ": mempool peak " + std::to_string(peak) + " exceeds cap " +
+              std::to_string(hcfg.mempool.max_messages));
+        }
+      }
+    }
+  }
+  const net::NodeQueuePolicy& nq = hcfg.gossip.node_queue;
+  if (nq.enabled()) {
+    const net::Network::Stats net_stats = hierarchy.network().stats();
+    if (nq.max_depth > 0 && net_stats.queue_peak_depth > nq.max_depth) {
+      report.violations.push_back(
+          "network: delivery queue peak depth " +
+          std::to_string(net_stats.queue_peak_depth) + " exceeds cap " +
+          std::to_string(nq.max_depth));
+    }
+    if (nq.max_bytes > 0 && net_stats.queue_peak_bytes > nq.max_bytes) {
+      report.violations.push_back(
+          "network: delivery queue peak bytes " +
+          std::to_string(net_stats.queue_peak_bytes) + " exceeds cap " +
+          std::to_string(nq.max_bytes));
+    }
+  }
+
   for (const auto& subnet : hierarchy.subnets()) {
     const std::string tag = subnet->id.to_string();
     if (subnet->alive_count() == 0) {

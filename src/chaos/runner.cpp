@@ -214,6 +214,7 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
   cfg.root_validators = config_.root_validators;
   cfg.root_engine = chaos_engine(config_);
   cfg.threads = config_.threads;
+  cfg.mempool = config_.mempool;
   runtime::Hierarchy h(cfg);
 
   // ---- topology: children under the root, optional nested grandchild.
@@ -454,6 +455,18 @@ std::vector<Scenario> ChaosRunner::standard_scenarios() {
            p.node_fault(cfg.fault_window / 8, NodeRef{0, s}, f);
            p.clear_node_fault(3 * cfg.fault_window / 4, NodeRef{0, s});
          }
+         return p;
+       },
+       {}});
+
+  out.push_back(
+      {"surge-overload",
+       "flood the first child's mempools well past their caps; bounded "
+       "pools shed deterministically while real traffic still settles",
+       [](const RunnerConfig& cfg) {
+         FaultPlan p;
+         p.surge(cfg.fault_window / 8, NodeRef{1, 0}, cfg.surge_senders,
+                 cfg.surge_messages);
          return p;
        },
        {}});

@@ -41,6 +41,16 @@ struct RunnerConfig {
   std::size_t transfer_rounds = 2;
   TokenAmount transfer = TokenAmount::whole(3);
 
+  // ---- overload (DESIGN.md §14)
+  /// Mempool capacity installed on every node. The defaults sit far above
+  /// anything the standard workload queues, so only the surge scenario
+  /// (and any caller opting into tighter caps) ever sheds.
+  chain::MempoolConfig mempool{512, 128, 1024};
+  /// Surge shape: senders x messages flooded at the first child's node 0
+  /// by the surge-overload scenario.
+  std::size_t surge_senders = 8;
+  std::size_t surge_messages = 200;
+
   // ---- byzantine expectations
   /// Stake each child validator joins with (collateral at risk per head).
   TokenAmount validator_stake = TokenAmount::whole(5);

@@ -1,0 +1,17 @@
+#include "common/capacity.hpp"
+
+namespace hc::common {
+
+const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kByteCap: return "byte-cap";
+    case ShedReason::kPerSenderCap: return "sender-cap";
+    case ShedReason::kNonceGap: return "nonce-gap";
+    case ShedReason::kBreakerOpen: return "breaker-open";
+    case ShedReason::kEvicted: return "evicted";
+  }
+  return "unknown";
+}
+
+}  // namespace hc::common

@@ -1,0 +1,74 @@
+// Shared overload-control vocabulary (DESIGN.md §14).
+//
+// Every bounded buffer in the stack — mempool, gossip delivery queues,
+// checkpoint-evidence windows, SCA top-down windows — expresses its limits
+// as a CapacityPolicy and accounts what it refuses or evicts in a ShedStats
+// ledger keyed by ShedReason. Keeping the vocabulary in one place makes the
+// shed counters comparable across layers and keeps eviction deterministic:
+// a policy only says *how much* fits; each buffer defines a total order over
+// its contents and always sheds the minimum of that order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hc::common {
+
+/// Why a message/item was refused admission or evicted. Used as the
+/// "reason" label on shed counters so policy drops are distinguishable
+/// from fault drops in every export.
+enum class ShedReason : std::uint8_t {
+  kQueueFull = 0,   ///< buffer at max_items; lowest-priority resident kept out
+  kByteCap,         ///< buffer at max_bytes
+  kPerSenderCap,    ///< one sender exceeded its pending allowance
+  kNonceGap,        ///< nonce too far beyond the sender's next nonce
+  kBreakerOpen,     ///< circuit breaker open for the destination path
+  kEvicted,         ///< resident item displaced by a higher-priority arrival
+};
+
+inline constexpr std::size_t kShedReasonCount = 6;
+
+[[nodiscard]] const char* to_string(ShedReason reason);
+
+/// A capacity cap. All limits are inclusive; 0 means "unbounded" so a
+/// default-constructed policy changes nothing.
+struct CapacityPolicy {
+  std::size_t max_items = 0;
+  std::size_t max_bytes = 0;
+
+  [[nodiscard]] bool bounded() const { return max_items > 0 || max_bytes > 0; }
+  /// Would a buffer currently holding `items` admit one more?
+  [[nodiscard]] bool admits_item(std::size_t items) const {
+    return max_items == 0 || items < max_items;
+  }
+  /// Would a buffer currently holding `bytes` admit `add` more bytes?
+  [[nodiscard]] bool admits_bytes(std::size_t bytes, std::size_t add) const {
+    return max_bytes == 0 || bytes + add <= max_bytes;
+  }
+};
+
+/// Per-buffer shed ledger. Buffers live in one scheduler lane, so plain
+/// integers suffice; cross-lane aggregates go through obs counters instead.
+struct ShedStats {
+  std::uint64_t shed[kShedReasonCount] = {};
+  std::size_t peak_items = 0;
+  std::size_t peak_bytes = 0;
+
+  void count(ShedReason reason) {
+    ++shed[static_cast<std::size_t>(reason)];
+  }
+  [[nodiscard]] std::uint64_t by(ShedReason reason) const {
+    return shed[static_cast<std::size_t>(reason)];
+  }
+  void observe(std::size_t items, std::size_t bytes) {
+    if (items > peak_items) peak_items = items;
+    if (bytes > peak_bytes) peak_bytes = bytes;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t v : shed) n += v;
+    return n;
+  }
+};
+
+}  // namespace hc::common

@@ -20,6 +20,7 @@ std::string_view errc_name(Errc code) {
     case Errc::kAborted: return "kAborted";
     case Errc::kExhausted: return "kExhausted";
     case Errc::kInternal: return "kInternal";
+    case Errc::kOverloaded: return "kOverloaded";
   }
   return "kUnknown";
 }

@@ -28,6 +28,7 @@ enum class Errc {
   kAborted,           // e.g., atomic execution aborted
   kExhausted,         // e.g., out of gas
   kInternal,
+  kOverloaded,        // capacity cap hit; retry after backoff (DESIGN.md §14)
 };
 
 /// Human-readable name for an error category.

@@ -33,6 +33,15 @@ std::uint64_t link_key(NodeId from, NodeId to) {
 /// Probability that at least one of two independent events fires.
 double combine_prob(double a, double b) { return 1.0 - (1.0 - a) * (1.0 - b); }
 
+/// Raise an atomic high-water mark. Max is order-insensitive, so the
+/// resulting peak is identical across worker counts.
+void raise_peak(std::atomic<std::uint64_t>& peak, std::uint64_t value) {
+  std::uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 const char* to_string(DropReason reason) {
@@ -45,8 +54,17 @@ const char* to_string(DropReason reason) {
       return "partition";
     case DropReason::kLinkRule:
       return "link-rule";
+    case DropReason::kNodeQueueCap:
+      return "node-queue-cap";
+    case DropReason::kTopicQueueCap:
+      return "topic-queue-cap";
   }
   return "unknown";
+}
+
+bool is_policy_shed(DropReason reason) {
+  return reason == DropReason::kNodeQueueCap ||
+         reason == DropReason::kTopicQueueCap;
 }
 
 Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
@@ -76,7 +94,15 @@ Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
         "GossipConfig::max_hops must be >= 1 (messages need at least one "
         "hop to reach a subscriber)");
   }
-  for (std::uint8_t r = 0; r < 4; ++r) {
+  if (config_.node_queue.bounded() && !config_.node_queue.enabled()) {
+    throw std::invalid_argument(
+        "NodeQueuePolicy sets queue caps without a service_time — an inline "
+        "network has no queue to bound");
+  }
+  if (config_.node_queue.service_time < 0) {
+    throw std::invalid_argument("NodeQueuePolicy::service_time must be >= 0");
+  }
+  for (std::uint8_t r = 0; r < kDropReasonCount; ++r) {
     m_dropped_by_reason_[r] = &obs_->metrics.counter(
         "net_messages_dropped_total",
         obs::Labels{{"reason", to_string(static_cast<DropReason>(r))}});
@@ -183,6 +209,12 @@ void Network::count_drop(DropReason reason) {
     case DropReason::kLinkRule:
       stats_.dropped_link_rule.fetch_add(1, std::memory_order_relaxed);
       break;
+    case DropReason::kNodeQueueCap:
+      stats_.dropped_node_queue_cap.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DropReason::kTopicQueueCap:
+      stats_.dropped_topic_queue_cap.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
 }
 
@@ -196,19 +228,117 @@ sim::Duration Network::transmission_delay(NodeId from, NodeId to,
   return delay;
 }
 
-void Network::deliver_direct(NodeId from, NodeId to,
-                             std::shared_ptr<const Bytes> payload,
-                             sim::Duration delay) {
-  h_direct_latency_->observe(delay);
-  scheduler_.schedule_in(node_domain(to), delay, [this, from, to, payload] {
-    Node& node = nodes_[to];
-    if (node.down || !node.on_direct) return;
+void Network::run_direct_delivery(NodeId to, NodeId from,
+                                  const Bytes& payload) {
+  Node& node = nodes_[to];
+  if (node.down || !node.on_direct) return;
+  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  m_delivered_->inc();
+  static const obs::PhaseId deliver_phase =
+      obs::Profiler::instance().phase("net/deliver");
+  obs::ProfileScope prof(deliver_phase);
+  node.on_direct(from, payload);
+}
+
+void Network::run_gossip_delivery(NodeId to, const std::string& topic,
+                                  const std::shared_ptr<const Bytes>& payload,
+                                  NodeId origin, std::uint64_t msg_id,
+                                  int hops_left) {
+  Node& node = nodes_[to];
+  if (node.on_topic) {
     stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
     m_delivered_->inc();
     static const obs::PhaseId deliver_phase =
         obs::Profiler::instance().phase("net/deliver");
     obs::ProfileScope prof(deliver_phase);
-    node.on_direct(from, *payload);
+    node.on_topic(origin, topic, *payload);
+  }
+  if (hops_left <= 0) return;
+  if (auto mit = node.mesh.find(topic); mit != node.mesh.end()) {
+    for (NodeId peer : mit->second) {
+      if (peer == origin) continue;
+      gossip_deliver(to, peer, topic, payload, origin, msg_id, hops_left - 1);
+    }
+  }
+}
+
+void Network::enqueue_delivery(NodeId to, QueuedDelivery d) {
+  Node& node = nodes_[to];
+  const NodeQueuePolicy& policy = config_.node_queue;
+  const std::size_t add = d.payload->size();
+  if (policy.max_depth > 0 && node.queue.size() >= policy.max_depth) {
+    count_drop(DropReason::kNodeQueueCap);
+    return;
+  }
+  if (policy.max_bytes > 0 && node.queue_bytes + add > policy.max_bytes) {
+    count_drop(DropReason::kNodeQueueCap);
+    return;
+  }
+  if (d.is_gossip) {
+    auto& depth = node.topic_depth[d.topic];
+    if (policy.topic_max_depth > 0 && depth >= policy.topic_max_depth) {
+      count_drop(DropReason::kTopicQueueCap);
+      return;
+    }
+    ++depth;
+  }
+  node.queue_bytes += add;
+  node.queue.push_back(std::move(d));
+  raise_peak(stats_.queue_peak_depth, node.queue.size());
+  raise_peak(stats_.queue_peak_bytes, node.queue_bytes);
+  if (!node.draining) {
+    node.draining = true;
+    scheduler_.schedule_in(node_domain(to), policy.service_time,
+                           [this, to] { drain_queue(to); });
+  }
+}
+
+void Network::drain_queue(NodeId to) {
+  Node& node = nodes_[to];
+  if (node.queue.empty()) {
+    node.draining = false;
+    return;
+  }
+  QueuedDelivery d = std::move(node.queue.front());
+  node.queue.pop_front();
+  node.queue_bytes -= d.payload->size();
+  if (d.is_gossip) {
+    auto it = node.topic_depth.find(d.topic);
+    if (it != node.topic_depth.end() && --it->second == 0) {
+      node.topic_depth.erase(it);
+    }
+  }
+  if (!node.down) {
+    if (d.is_gossip) {
+      run_gossip_delivery(to, d.topic, d.payload, d.from, d.msg_id,
+                          d.hops_left);
+    } else {
+      run_direct_delivery(to, d.from, *d.payload);
+    }
+  }
+  if (node.queue.empty()) {
+    node.draining = false;
+    return;
+  }
+  scheduler_.schedule_in(node_domain(to), config_.node_queue.service_time,
+                         [this, to] { drain_queue(to); });
+}
+
+void Network::deliver_direct(NodeId from, NodeId to,
+                             std::shared_ptr<const Bytes> payload,
+                             sim::Duration delay) {
+  h_direct_latency_->observe(delay);
+  scheduler_.schedule_in(node_domain(to), delay, [this, from, to, payload] {
+    if (config_.node_queue.enabled()) {
+      if (nodes_[to].down) return;
+      QueuedDelivery d;
+      d.is_gossip = false;
+      d.from = from;
+      d.payload = payload;
+      enqueue_delivery(to, std::move(d));
+      return;
+    }
+    run_direct_delivery(to, from, *payload);
   });
 }
 
@@ -330,27 +460,26 @@ void Network::schedule_gossip_hop(NodeId to, const std::string& topic,
                                                   origin, msg_id, hops_left] {
     Node& node = nodes_[to];
     if (node.down) return;
+    // Dedup before the queue caps: a copy of an already-seen message never
+    // consumes queue space, and marking it seen here keeps the dedup cache
+    // semantics identical whether or not queueing is enabled.
     if (!node.seen.insert(msg_id).second) {
       stats_.gossip_duplicates.fetch_add(1, std::memory_order_relaxed);
       m_duplicates_->inc();
       return;
     }
-    if (node.on_topic) {
-      stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
-      m_delivered_->inc();
-      static const obs::PhaseId deliver_phase =
-          obs::Profiler::instance().phase("net/deliver");
-      obs::ProfileScope prof(deliver_phase);
-      node.on_topic(origin, topic, *payload);
+    if (config_.node_queue.enabled()) {
+      QueuedDelivery d;
+      d.is_gossip = true;
+      d.from = origin;
+      d.topic = topic;
+      d.payload = payload;
+      d.msg_id = msg_id;
+      d.hops_left = hops_left;
+      enqueue_delivery(to, std::move(d));
+      return;
     }
-    if (hops_left <= 0) return;
-    if (auto mit = node.mesh.find(topic); mit != node.mesh.end()) {
-      for (NodeId peer : mit->second) {
-        if (peer == origin) continue;
-        gossip_deliver(to, peer, topic, payload, origin, msg_id,
-                       hops_left - 1);
-      }
-    }
+    run_gossip_delivery(to, topic, payload, origin, msg_id, hops_left);
   });
 }
 
@@ -393,10 +522,18 @@ Network::Stats Network::stats() const {
       stats_.dropped_partition.load(std::memory_order_relaxed);
   out.dropped_link_rule =
       stats_.dropped_link_rule.load(std::memory_order_relaxed);
+  out.dropped_node_queue_cap =
+      stats_.dropped_node_queue_cap.load(std::memory_order_relaxed);
+  out.dropped_topic_queue_cap =
+      stats_.dropped_topic_queue_cap.load(std::memory_order_relaxed);
   out.messages_duplicated =
       stats_.messages_duplicated.load(std::memory_order_relaxed);
   out.gossip_duplicates =
       stats_.gossip_duplicates.load(std::memory_order_relaxed);
+  out.queue_peak_depth =
+      stats_.queue_peak_depth.load(std::memory_order_relaxed);
+  out.queue_peak_bytes =
+      stats_.queue_peak_bytes.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -409,8 +546,12 @@ void Network::reset_stats() {
   stats_.dropped_node_down.store(0, std::memory_order_relaxed);
   stats_.dropped_partition.store(0, std::memory_order_relaxed);
   stats_.dropped_link_rule.store(0, std::memory_order_relaxed);
+  stats_.dropped_node_queue_cap.store(0, std::memory_order_relaxed);
+  stats_.dropped_topic_queue_cap.store(0, std::memory_order_relaxed);
   stats_.messages_duplicated.store(0, std::memory_order_relaxed);
   stats_.gossip_duplicates.store(0, std::memory_order_relaxed);
+  stats_.queue_peak_depth.store(0, std::memory_order_relaxed);
+  stats_.queue_peak_bytes.store(0, std::memory_order_relaxed);
 }
 
 void Network::set_node_down(NodeId node, bool down) {
@@ -471,6 +612,12 @@ void Network::reset_node(NodeId node) {
   n.on_topic = nullptr;
   n.seen.clear();
   n.mesh.clear();
+  // Crash loses queued-but-unserviced deliveries. `draining` is left as-is:
+  // an in-flight drain event finds the queue empty and clears it, and new
+  // arrivals meanwhile ride that same pending drain.
+  n.queue.clear();
+  n.queue_bytes = 0;
+  n.topic_depth.clear();
   // Withdraw from every topic (and re-knit the meshes left behind).
   for (auto& [topic, t] : topics_) {
     auto& subs = t.subscribers;

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -44,14 +45,41 @@ namespace hc::net {
 
 using sim::NodeId;
 
+/// Bounded per-receiver delivery queue (DESIGN.md §14). With a non-zero
+/// `service_time` every arriving transmission lands in the destination
+/// node's queue and is processed one per service interval; arrivals beyond
+/// the caps are shed with a policy DropReason (kNodeQueueCap /
+/// kTopicQueueCap), distinguishable from fault drops. All queue state lives
+/// in the receiver's event lane, so shedding is deterministic at any worker
+/// count. The default (`service_time == 0`) keeps the historical inline
+/// delivery path, byte-identical to the unqueued network.
+struct NodeQueuePolicy {
+  /// Max queued deliveries per node (0 = unbounded).
+  std::size_t max_depth = 0;
+  /// Max queued payload bytes per node (0 = unbounded).
+  std::size_t max_bytes = 0;
+  /// Max queued gossip deliveries per (node, topic) (0 = unbounded).
+  std::size_t topic_max_depth = 0;
+  /// Per-delivery processing interval; 0 disables queueing entirely.
+  sim::Duration service_time = 0;
+
+  [[nodiscard]] bool enabled() const { return service_time > 0; }
+  [[nodiscard]] bool bounded() const {
+    return max_depth > 0 || max_bytes > 0 || topic_max_depth > 0;
+  }
+};
+
 /// Tuning knobs for the gossip mesh. Validated by Network's constructor:
 /// a zero mesh degree or a hop budget below 1 would silently disconnect the
-/// mesh, so both are rejected with std::invalid_argument.
+/// mesh, so both are rejected with std::invalid_argument — as is a queue
+/// cap without a service time (an inline network has no queue to bound).
 struct GossipConfig {
   /// Mesh degree: peers a node eagerly forwards to per topic (>= 1).
   std::size_t mesh_degree = 6;
   /// Hop budget: messages stop propagating after this many hops (>= 1).
   int max_hops = 16;
+  /// Per-receiver delivery queue caps (disabled by default).
+  NodeQueuePolicy node_queue;
 };
 
 /// A fault rule applied to transmissions on one directed link (or to every
@@ -76,15 +104,24 @@ struct LinkFault {
   }
 };
 
-/// Why a transmission was dropped (Stats and metric label).
+/// Why a transmission was dropped (Stats and metric label). The first four
+/// are *fault* drops (injected failures); the queue-cap reasons are
+/// *policy sheds* — deliberate, deterministic load shedding (DESIGN.md §14).
 enum class DropReason : std::uint8_t {
-  kRandomLoss = 0,  // global drop rate
-  kNodeDown = 1,    // sender or receiver marked down
-  kPartition = 2,   // endpoints in different partition groups
-  kLinkRule = 3,    // per-link / per-node fault rule
+  kRandomLoss = 0,     // global drop rate
+  kNodeDown = 1,       // sender or receiver marked down
+  kPartition = 2,      // endpoints in different partition groups
+  kLinkRule = 3,       // per-link / per-node fault rule
+  kNodeQueueCap = 4,   // receiver's delivery queue at depth/byte cap (policy)
+  kTopicQueueCap = 5,  // receiver's per-topic gossip queue at cap (policy)
 };
 
+inline constexpr std::size_t kDropReasonCount = 6;
+
 [[nodiscard]] const char* to_string(DropReason reason);
+/// True for deliberate load-shedding reasons (queue caps), false for
+/// injected fault drops.
+[[nodiscard]] bool is_policy_shed(DropReason reason);
 
 class Network {
  public:
@@ -188,8 +225,25 @@ class Network {
     std::uint64_t dropped_node_down = 0;
     std::uint64_t dropped_partition = 0;
     std::uint64_t dropped_link_rule = 0;
+    // Policy sheds (deliberate, deterministic — not injected faults):
+    std::uint64_t dropped_node_queue_cap = 0;
+    std::uint64_t dropped_topic_queue_cap = 0;
     std::uint64_t messages_duplicated = 0;  // fault-injected extra copies
     std::uint64_t gossip_duplicates = 0;    // dedup hits at receivers
+    // High-water marks across all per-node delivery queues (0 when the
+    // queue policy is disabled).
+    std::uint64_t queue_peak_depth = 0;
+    std::uint64_t queue_peak_bytes = 0;
+
+    /// Deliberate load shedding (queue caps).
+    [[nodiscard]] std::uint64_t policy_sheds() const {
+      return dropped_node_queue_cap + dropped_topic_queue_cap;
+    }
+    /// Injected fault drops (loss, down nodes, partitions, link rules).
+    [[nodiscard]] std::uint64_t fault_drops() const {
+      return dropped_random_loss + dropped_node_down + dropped_partition +
+             dropped_link_rule;
+    }
   };
   /// Snapshot of the (internally atomic) transport counters. Sums are
   /// order-insensitive, so snapshots taken outside windows are identical
@@ -197,12 +251,33 @@ class Network {
   [[nodiscard]] Stats stats() const;
   void reset_stats();
 
+  /// Current delivery-queue occupancy of one node (0 when queueing is
+  /// disabled). Reads lane-local state: call from the node's lane or from
+  /// driver context with lanes parked (tests, invariant checks).
+  [[nodiscard]] std::size_t queue_depth(NodeId node) const {
+    return nodes_.at(node).queue.size();
+  }
+  [[nodiscard]] std::size_t queue_bytes(NodeId node) const {
+    return nodes_.at(node).queue_bytes;
+  }
+
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
 
   /// The observability context this network reports into (never null).
   [[nodiscard]] obs::Obs& obs() { return *obs_; }
 
  private:
+  /// One delivery parked in a receiver's bounded queue. `from` is the
+  /// direct-send sender or the gossip origin.
+  struct QueuedDelivery {
+    bool is_gossip = false;
+    NodeId from = 0;
+    std::string topic;
+    std::shared_ptr<const Bytes> payload;
+    std::uint64_t msg_id = 0;
+    int hops_left = 0;
+  };
+
   struct Node {
     DirectHandler on_direct;
     TopicHandler on_topic;
@@ -211,6 +286,12 @@ class Network {
     std::unordered_set<std::uint64_t> seen;
     // Mesh peers per topic.
     std::unordered_map<std::string, std::vector<NodeId>> mesh;
+    // Bounded delivery queue (NodeQueuePolicy). All three fields are
+    // touched only from this node's event lane.
+    std::deque<QueuedDelivery> queue;
+    std::size_t queue_bytes = 0;
+    std::unordered_map<std::string, std::size_t> topic_depth;
+    bool draining = false;
   };
 
   struct Topic {
@@ -248,6 +329,16 @@ class Network {
                            std::shared_ptr<const Bytes> payload, NodeId origin,
                            std::uint64_t msg_id, int hops_left,
                            sim::Duration delay);
+  // Bounded-queue path (receiver lane only). enqueue_delivery applies the
+  // caps and sheds; drain_queue services one delivery per interval; the
+  // run_* helpers hold the actual handler-invocation logic shared with the
+  // inline (service_time == 0) path.
+  void enqueue_delivery(NodeId to, QueuedDelivery d);
+  void drain_queue(NodeId to);
+  void run_direct_delivery(NodeId to, NodeId from, const Bytes& payload);
+  void run_gossip_delivery(NodeId to, const std::string& topic,
+                           const std::shared_ptr<const Bytes>& payload,
+                           NodeId origin, std::uint64_t msg_id, int hops_left);
 
   /// Stats mirror with atomic fields; updated from worker lanes.
   struct AtomicStats {
@@ -259,8 +350,14 @@ class Network {
     std::atomic<std::uint64_t> dropped_node_down{0};
     std::atomic<std::uint64_t> dropped_partition{0};
     std::atomic<std::uint64_t> dropped_link_rule{0};
+    std::atomic<std::uint64_t> dropped_node_queue_cap{0};
+    std::atomic<std::uint64_t> dropped_topic_queue_cap{0};
     std::atomic<std::uint64_t> messages_duplicated{0};
     std::atomic<std::uint64_t> gossip_duplicates{0};
+    // CAS-max high-water marks; max is order-insensitive, so these stay
+    // identical across worker counts just like the sums.
+    std::atomic<std::uint64_t> queue_peak_depth{0};
+    std::atomic<std::uint64_t> queue_peak_bytes{0};
   };
 
   sim::Scheduler& scheduler_;
@@ -293,7 +390,7 @@ class Network {
   obs::Counter* m_bytes_;
   obs::Counter* m_delivered_;
   obs::Counter* m_dropped_;
-  obs::Counter* m_dropped_by_reason_[4];
+  obs::Counter* m_dropped_by_reason_[kDropReasonCount];
   obs::Counter* m_duplicated_;
   obs::Counter* m_duplicates_;
   obs::Histogram* h_direct_latency_;

@@ -30,7 +30,9 @@ namespace {
 
 /// Genesis state shared by every chain: Init actor + SCA.
 chain::StateTree base_genesis(const core::SubnetId& self,
-                              std::uint32_t checkpoint_period) {
+                              std::uint32_t checkpoint_period,
+                              std::uint64_t topdown_window_cap,
+                              chain::Epoch breaker_stall_epochs) {
   chain::StateTree tree;
   chain::ActorEntry init;
   init.code = chain::kCodeInit;
@@ -38,7 +40,8 @@ chain::StateTree base_genesis(const core::SubnetId& self,
   tree.set(chain::kInitAddr, init);
   chain::ActorEntry sca;
   sca.code = chain::kCodeSca;
-  sca.state = actors::make_sca_ctor_state(self, checkpoint_period);
+  sca.state = actors::make_sca_ctor_state(
+      self, checkpoint_period, topdown_window_cap, breaker_stall_epochs);
   tree.set(chain::kScaAddr, sca);
   return tree;
 }
@@ -100,7 +103,8 @@ Hierarchy::Hierarchy(HierarchyConfig config)
   }
 
   chain::StateTree genesis =
-      base_genesis(root->id, config_.root_params.checkpoint_period);
+      base_genesis(root->id, config_.root_params.checkpoint_period,
+                   config_.topdown_window_cap, config_.breaker_stall_epochs);
   chain::ActorEntry faucet_entry;
   faucet_entry.code = chain::kCodeAccount;
   faucet_entry.balance = config_.faucet_balance;
@@ -121,6 +125,7 @@ Hierarchy::Hierarchy(HierarchyConfig config)
     nc.params = config_.root_params;
     nc.engine = config_.root_engine;
     nc.domain = root->domain;
+    nc.mempool = config_.mempool;
     root->nodes.push_back(std::make_unique<SubnetNode>(
         scheduler_, network_, registry_, nc, k, validators,
         genesis.snapshot()));
@@ -353,7 +358,8 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
   child->validator_keys = keys;
 
   chain::StateTree genesis =
-      base_genesis(child->id, params.checkpoint_period);
+      base_genesis(child->id, params.checkpoint_period,
+                   config_.topdown_window_cap, config_.breaker_stall_epochs);
   child->genesis = genesis.snapshot();
   const auto validators = make_validator_set(keys);
   for (std::size_t i = 0; i < n_validators; ++i) {
@@ -363,6 +369,7 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
     nc.engine = engine;
     nc.sa_in_parent = sa_addr;
     nc.domain = child->domain;
+    nc.mempool = config_.mempool;
     auto node = std::make_unique<SubnetNode>(scheduler_, network_, registry_,
                                              nc, keys[i], validators,
                                              genesis.snapshot());
@@ -440,6 +447,7 @@ Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
   nc.sa_in_parent = subnet.sa;
   nc.reuse_net_id = subnet.node_ids.at(i);
   nc.domain = subnet.domain;
+  nc.mempool = config_.mempool;
   auto node = std::make_unique<SubnetNode>(
       scheduler_, network_, registry_, nc, subnet.validator_keys.at(i),
       make_validator_set(subnet.validator_keys), subnet.genesis.snapshot());

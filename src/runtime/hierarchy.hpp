@@ -23,6 +23,16 @@ struct HierarchyConfig {
   sim::LatencyModel latency = sim::LatencyModel::lan();
   net::GossipConfig gossip;
 
+  /// Mempool capacity policy installed on every node of every subnet
+  /// (defaults keep pools unbounded except for the nonce-gap window;
+  /// DESIGN.md §14).
+  chain::MempoolConfig mempool;
+
+  /// Top-down circuit breaker (SCA, DESIGN.md §14), baked into every
+  /// chain's genesis SCA state. 0 disables each trip condition.
+  std::uint64_t topdown_window_cap = 0;
+  chain::Epoch breaker_stall_epochs = 0;
+
   /// Rootnet parameters (consensus type; checkpoint fields unused at root).
   core::SubnetParams root_params;
   std::size_t root_validators = 4;
@@ -103,6 +113,7 @@ class Hierarchy {
   [[nodiscard]] Subnet& root() { return *root_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const net::Network& network() const { return network_; }
   /// The windowed executor run_for/run_until drive time through.
   [[nodiscard]] sim::ParallelExecutor& executor() { return executor_; }
   /// Metrics + traces for this hierarchy. Owned (not the process default),
@@ -174,6 +185,10 @@ class Hierarchy {
   [[nodiscard]] const chain::ActorRegistry& registry() const {
     return registry_;
   }
+
+  /// The configuration this hierarchy was built with (invariant checks
+  /// compare observed queue depths against its caps).
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
 
  private:
   /// Install the cross-subnet latency override (when configured) between

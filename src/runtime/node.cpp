@@ -70,7 +70,9 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
       validators_(std::move(validators)),
       net_id_(config_.reuse_net_id.has_value() ? *config_.reuse_net_id
                                                : network.add_node()),
+      mempool_(config_.mempool),
       executor_(registry_, chain::GasSchedule{}),
+      watcher_(config_.watcher_max_epochs),
       retry_rng_(0x9e3779b97f4a7c15ULL ^ net_id_),
       obs_(network.obs()) {
   const obs::Labels node_labels{{"node", std::to_string(net_id_)},
@@ -97,7 +99,14 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
       &m.counter("state_leaf_rehashes_total", node_labels);
   c_state_flush_hits_ =
       &m.counter("state_flush_cache_hits_total", node_labels);
+  for (std::size_t r = 0; r < common::kShedReasonCount; ++r) {
+    obs::Labels labels = node_labels;
+    labels.add("reason",
+               common::to_string(static_cast<common::ShedReason>(r)));
+    c_mempool_shed_[r] = &m.counter("node_mempool_shed_total", labels);
+  }
   g_mempool_ = &m.gauge("mempool_size", node_labels);
+  g_mempool_peak_ = &m.gauge("mempool_peak_size", node_labels);
   h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
   chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
   store_ = std::make_unique<chain::ChainStore>(std::move(genesis),
@@ -174,7 +183,21 @@ NodeStats SubnetNode::stats() const {
   s.pulls_sent = c_pulls_sent_->value();
   s.pushes_sent = c_pushes_sent_->value();
   s.resolves_served = c_resolves_served_->value();
+  const common::ShedStats& shed = mempool_.shed_stats();
+  s.mempool_evicted = shed.by(common::ShedReason::kEvicted);
+  s.mempool_shed = shed.total() - s.mempool_evicted;
   return s;
+}
+
+void SubnetNode::sync_mempool_obs() {
+  const common::ShedStats& shed = mempool_.shed_stats();
+  for (std::size_t r = 0; r < common::kShedReasonCount; ++r) {
+    const std::uint64_t delta = shed.shed[r] - mempool_obs_synced_.shed[r];
+    if (delta > 0) c_mempool_shed_[r]->inc(delta);
+  }
+  mempool_obs_synced_ = shed;
+  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
+  g_mempool_peak_->set(static_cast<std::int64_t>(shed.peak_items));
 }
 
 void SubnetNode::record_state_stats(const chain::StateTree& tree) {
@@ -201,8 +224,12 @@ Status SubnetNode::submit_message(chain::SignedMessage msg) {
     }
   }
   const Bytes wire = encode(msg);
-  HC_TRY_STATUS(mempool_.add(std::move(msg)));
-  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
+  const std::uint64_t next_nonce = account_nonce(msg.message.from);
+  const Status admitted = mempool_.add(std::move(msg), next_nonce);
+  sync_mempool_obs();
+  // Backpressure: kOverloaded propagates to the caller, who is expected to
+  // retry with exponential backoff (DESIGN.md §14).
+  HC_TRY_STATUS(admitted);
   network_.publish(net_id_, Topics::msgs(config_.subnet), wire);
   return ok_status();
 }
@@ -526,7 +553,7 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
 
   mempool_.remove_included(committed.messages);
   mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
-  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
+  sync_mempool_obs();
 
   // Refresh the pending parent view once snapshots are in use (first
   // publish_view() call enables them); flipped at the next barrier.
@@ -784,9 +811,25 @@ void SubnetNode::push_own_batches(const core::Checkpoint& cp) {
 
 void SubnetNode::request_missing_batches() {
   const actors::ScaState my_sca = sca_state();
+  const chain::Epoch head = store_->height();
+  // Keep only retry state for batches still missing; resolved or executed
+  // entries drop out so the map stays bounded by the pending set.
+  std::set<Bytes> missing;
+  std::size_t issued = 0;
   for (const auto& pending : my_sca.pending_bottomup) {
     if (pending.executed) continue;
     if (resolved_.has(pending.meta.msgs_cid)) continue;
+    const Bytes key = registry_key(pending.meta.msgs_cid);
+    missing.insert(key);
+    // Backoff per batch CID: the first pull goes out immediately; while a
+    // batch stays unresolved, later pulls follow the arm_retry schedule
+    // instead of re-flooding the resolve topic every commit. At most
+    // kMaxInflightPulls fresh pulls per commit bound the burst.
+    RetryState& retry = pull_retry_[key];
+    if (retry.attempts > 0 && head < retry.next_height) continue;
+    if (issued >= kMaxInflightPulls) continue;
+    ++issued;
+    arm_retry(retry, head);
     ResolutionMsg pull;
     pull.kind = ResolutionKind::kPull;
     pull.cid = pending.meta.msgs_cid;
@@ -794,6 +837,9 @@ void SubnetNode::request_missing_batches() {
     network_.publish(net_id_, Topics::resolve(pending.meta.from),
                      encode(pull));
     c_pulls_sent_->inc();
+  }
+  for (auto it = pull_retry_.begin(); it != pull_retry_.end();) {
+    it = missing.contains(it->first) ? std::next(it) : pull_retry_.erase(it);
   }
 }
 
@@ -1122,8 +1168,11 @@ void SubnetNode::maybe_submit_fraud_proofs() {
 void SubnetNode::handle_msgs_topic(const Bytes& payload) {
   auto msg = decode<chain::SignedMessage>(payload);
   if (!msg) return;
-  (void)mempool_.add(std::move(msg).value());
-  g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
+  const std::uint64_t next_nonce = account_nonce(msg.value().message.from);
+  // Gossip has no caller to backpressure; refused admissions only feed the
+  // reason-labelled shed counters.
+  (void)mempool_.add(std::move(msg).value(), next_nonce);
+  sync_mempool_obs();
 }
 
 void SubnetNode::handle_sigs_topic(const Bytes& payload) {

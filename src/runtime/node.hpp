@@ -32,6 +32,12 @@ struct NodeConfig {
   consensus::EngineConfig engine;
   std::size_t max_user_msgs_per_block = 500;
   std::size_t max_cross_msgs_per_block = 200;
+  /// Mempool caps (DESIGN.md §14). Defaults enforce only the nonce-gap
+  /// admission window; benches and chaos runs tighten the totals.
+  chain::MempoolConfig mempool;
+  /// Max distinct epochs of checkpoint-signature evidence the fraud
+  /// watcher retains (0 = unbounded; see CheckpointWatcher).
+  std::size_t watcher_max_epochs = 64;
   /// Push batches to destination subnets when checkpoints are cut
   /// (paper §IV-C push approach). Pull always remains available.
   bool push_resolution = true;
@@ -58,6 +64,10 @@ struct NodeStats {
   std::uint64_t pulls_sent = 0;
   std::uint64_t pushes_sent = 0;
   std::uint64_t resolves_served = 0;
+  /// Mempool admissions refused with kOverloaded (all shed reasons).
+  std::uint64_t mempool_shed = 0;
+  /// Residents displaced by higher-priority arrivals.
+  std::uint64_t mempool_evicted = 0;
 };
 
 class SubnetNode final : public consensus::BlockSource {
@@ -130,6 +140,17 @@ class SubnetNode final : public consensus::BlockSource {
     return Address::key(key_.public_key().to_bytes());
   }
   [[nodiscard]] storage::ContentStore& content_store() { return resolved_; }
+
+  /// Mempool occupancy/caps/shed ledger, exposed for invariant checks and
+  /// benches (read from this node's lane, or driver context with lanes
+  /// parked).
+  [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
+  [[nodiscard]] const chain::MempoolConfig& mempool_config() const {
+    return mempool_.config();
+  }
+  [[nodiscard]] const common::ShedStats& mempool_shed_stats() const {
+    return mempool_.shed_stats();
+  }
 
   /// Adjust the block-size ceiling (benches model per-chain capacity).
   void set_max_user_msgs_per_block(std::size_t n) {
@@ -217,6 +238,10 @@ class SubnetNode final : public consensus::BlockSource {
   void push_own_batches(const core::Checkpoint& cp);
   void request_missing_batches();
 
+  /// Mirror the mempool's shed ledger into the reason-labelled obs
+  /// counters and refresh the occupancy gauges. Lane-local (cheap deltas).
+  void sync_mempool_obs();
+
   [[nodiscard]] bool is_validator() const;
 
   /// The state tree the parent-facing _view accessors read from.
@@ -280,6 +305,12 @@ class SubnetNode final : public consensus::BlockSource {
   void arm_retry(RetryState& retry, chain::Epoch head);
   std::map<chain::Epoch, RetryState> submit_retry_;
   std::map<chain::Epoch, RetryState> share_retry_;
+  /// Per-unresolved-batch pull backoff, keyed by msgs_cid digest. Bounds
+  /// the resolution-request flood under overload: at most
+  /// kMaxInflightPulls fresh pulls per commit, each CID retried on the
+  /// arm_retry schedule instead of every block (DESIGN.md §14).
+  std::map<Bytes, RetryState> pull_retry_;
+  static constexpr std::size_t kMaxInflightPulls = 4;
 
   // ----------------------------------------------------- fraud watchdog
   CheckpointWatcher watcher_;
@@ -322,8 +353,14 @@ class SubnetNode final : public consensus::BlockSource {
   /// StateTree::commit_stats() after every propose/validate/commit flush.
   obs::Counter* c_state_leaf_rehashes_;
   obs::Counter* c_state_flush_hits_;
+  /// Reason-labelled mempool shed counters ({node, subnet, reason}),
+  /// mirrored from Mempool::shed_stats() by sync_mempool_obs().
+  obs::Counter* c_mempool_shed_[common::kShedReasonCount];
   obs::Gauge* g_mempool_;
+  obs::Gauge* g_mempool_peak_;
   obs::Histogram* h_commit_latency_;
+  /// Last-synced copy of the mempool shed ledger (delta source).
+  common::ShedStats mempool_obs_synced_;
 
   /// Add one tree's accumulated commitment stats to the node counters.
   void record_state_stats(const chain::StateTree& tree);

@@ -26,8 +26,25 @@ const char* to_string(ByzantineBehavior b) {
   return "unknown";
 }
 
+bool CheckpointWatcher::reserve_epoch(chain::Epoch epoch) {
+  if (max_epochs_ == 0 || evidence_.contains(epoch)) return true;
+  while (evidence_.size() >= max_epochs_) {
+    auto oldest = evidence_.begin();
+    if (oldest->first >= epoch) {
+      // The arrival is older than everything retained: shed it rather
+      // than displacing fresher evidence.
+      ++evidence_evicted_;
+      return false;
+    }
+    evidence_.erase(oldest);
+    ++evidence_evicted_;
+  }
+  return true;
+}
+
 std::vector<core::FraudProof> CheckpointWatcher::record_checkpoint(
     const core::Checkpoint& cp) {
+  if (!reserve_epoch(cp.epoch)) return {};
   auto& ev = evidence_[cp.epoch];
   const Bytes key = cid_key(cp.cid());
   if (ev.contents.contains(key)) return {};
@@ -38,6 +55,7 @@ std::vector<core::FraudProof> CheckpointWatcher::record_checkpoint(
 std::vector<core::FraudProof> CheckpointWatcher::record_share(
     chain::Epoch epoch, const Cid& cid, const crypto::PublicKey& signer,
     const crypto::Signature& signature) {
+  if (!reserve_epoch(epoch)) return {};
   auto& ev = evidence_[epoch];
   ev.sigs[cid_key(cid)][signer.to_bytes()] =
       core::CheckpointSignature{signer, signature};

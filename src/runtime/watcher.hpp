@@ -13,6 +13,7 @@
 // SCA's job (fraud digests + slash records).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <utility>
@@ -41,6 +42,16 @@ enum class ByzantineBehavior : std::uint8_t {
 
 class CheckpointWatcher {
  public:
+  CheckpointWatcher() = default;
+  /// `max_epochs` caps how many distinct epochs of evidence are retained
+  /// at once (0 = unbounded). When a new epoch would exceed the cap the
+  /// oldest tracked epoch is evicted — deterministic, since the evidence
+  /// map is ordered — and counted in `evidence_evicted()`. Protects the
+  /// watcher from unbounded growth when parent acceptance stalls and the
+  /// prune_below horizon stops advancing (DESIGN.md §14).
+  explicit CheckpointWatcher(std::size_t max_epochs)
+      : max_epochs_(max_epochs) {}
+
   /// Record checkpoint content attributable to its cid. Returns any fraud
   /// proofs this observation completes.
   [[nodiscard]] std::vector<core::FraudProof> record_checkpoint(
@@ -62,6 +73,15 @@ class CheckpointWatcher {
     return reported_.size();
   }
 
+  /// Distinct epochs currently holding evidence.
+  [[nodiscard]] std::size_t evidence_epochs() const {
+    return evidence_.size();
+  }
+  /// Epochs evicted by the retention cap (not by prune_below).
+  [[nodiscard]] std::uint64_t evidence_evicted() const {
+    return evidence_evicted_;
+  }
+
  private:
   struct EpochEvidence {
     /// cid digest bytes -> checkpoint content (once attributable).
@@ -74,6 +94,13 @@ class CheckpointWatcher {
   /// reported whose contents are both known; assemble one proof per pair.
   [[nodiscard]] std::vector<core::FraudProof> try_assemble(chain::Epoch epoch);
 
+  /// Make room for evidence at `epoch` under the retention cap, evicting
+  /// the oldest tracked epochs if needed. Returns false when the arrival
+  /// itself is older than everything retained and must be shed instead.
+  [[nodiscard]] bool reserve_epoch(chain::Epoch epoch);
+
+  std::size_t max_epochs_ = 0;
+  std::uint64_t evidence_evicted_ = 0;
   std::map<chain::Epoch, EpochEvidence> evidence_;
   /// (epoch, signer key bytes) pairs already covered by an emitted proof.
   std::set<std::pair<chain::Epoch, Bytes>> reported_;

@@ -2,6 +2,7 @@
 // propagation/dedup, fault injection (drops, crashes, partitions).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -342,6 +343,81 @@ TEST_F(NetFixture, DropsAreAttributedToTheirReason) {
   EXPECT_EQ(net.stats().dropped_link_rule, 1u);
   EXPECT_EQ(net.stats().dropped_random_loss, 1u);
   EXPECT_EQ(net.stats().messages_dropped, 4u);
+}
+
+TEST(NetQueue, PolicyShedsAreSeparatedFromFaultDrops) {
+  // One fault drop (down endpoint) and a flood past a bounded delivery
+  // queue must land in DIFFERENT ledgers: sheds are deliberate policy,
+  // drops are injected faults (DESIGN.md §14).
+  sim::Scheduler sched;
+  GossipConfig gc;
+  gc.node_queue.max_depth = 4;
+  gc.node_queue.service_time = 100;
+  Network net(sched, sim::LatencyModel(1000, 0), /*seed=*/1, gc);
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  int delivered = 0;
+  net.set_direct_handler(b, [&](NodeId, const Bytes&) { ++delivered; });
+
+  net.set_node_down(b, true);
+  net.send(a, b, to_bytes("to-down"));
+  sched.run_all();
+  net.set_node_down(b, false);
+
+  // Zero jitter: all 12 arrive at the same instant, but the queue admits
+  // only max_depth of them; the rest are shed at the receiver.
+  for (int i = 0; i < 12; ++i) {
+    net.send(a, b, to_bytes("m" + std::to_string(i)));
+  }
+  sched.run_all();
+
+  const auto s = net.stats();
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(s.dropped_node_queue_cap, 8u);
+  EXPECT_EQ(s.dropped_node_down, 1u);
+  EXPECT_EQ(s.policy_sheds(), 8u);
+  EXPECT_EQ(s.fault_drops(), 1u);
+  EXPECT_EQ(s.messages_dropped, 9u);  // total still covers both ledgers
+  EXPECT_EQ(s.queue_peak_depth, 4u);
+  EXPECT_TRUE(is_policy_shed(DropReason::kNodeQueueCap));
+  EXPECT_TRUE(is_policy_shed(DropReason::kTopicQueueCap));
+  EXPECT_FALSE(is_policy_shed(DropReason::kNodeDown));
+  EXPECT_FALSE(is_policy_shed(DropReason::kRandomLoss));
+}
+
+TEST(NetQueue, TopicCapShedsGossipButLeavesDirectTrafficAlone) {
+  sim::Scheduler sched;
+  GossipConfig gc;
+  gc.node_queue.topic_max_depth = 2;
+  gc.node_queue.service_time = 100;
+  Network net(sched, sim::LatencyModel(1000, 0), /*seed=*/1, gc);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 2; ++i) ids.push_back(net.add_node());
+  int gossiped = 0;
+  int direct = 0;
+  net.subscribe(ids[0], "t");
+  net.subscribe(ids[1], "t");
+  net.set_topic_handler(
+      ids[1], [&](NodeId, const std::string&, const Bytes&) { ++gossiped; });
+  net.set_direct_handler(ids[1], [&](NodeId, const Bytes&) { ++direct; });
+  for (int i = 0; i < 6; ++i) {
+    net.publish(ids[0], "t", to_bytes("g" + std::to_string(i)));
+    net.send(ids[0], ids[1], to_bytes("d" + std::to_string(i)));
+  }
+  sched.run_all();
+  EXPECT_EQ(gossiped, 2);
+  EXPECT_EQ(direct, 6);  // per-topic cap never touches direct sends
+  EXPECT_EQ(net.stats().dropped_topic_queue_cap, 4u);
+  EXPECT_EQ(net.stats().policy_sheds(), 4u);
+  EXPECT_EQ(net.stats().fault_drops(), 0u);
+}
+
+TEST(NetQueue, CapsWithoutServiceTimeAreRejected) {
+  sim::Scheduler sched;
+  GossipConfig gc;
+  gc.node_queue.max_depth = 8;  // bounded but service_time == 0
+  EXPECT_THROW(Network(sched, sim::LatencyModel(1000, 0), 1, gc),
+               std::invalid_argument);
 }
 
 TEST_F(NetFixture, ResetNodeForgetsSubscriptionsAndHandlers) {

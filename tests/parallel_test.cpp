@@ -92,6 +92,15 @@ TEST(ParallelDeterminism, DupReorderRoot) {
       11);
 }
 
+TEST(ParallelDeterminism, SurgeOverload) {
+  // Overload shedding is part of the deterministic surface: the surge,
+  // every mempool eviction, and every kOverloaded rejection must replay
+  // bit-for-bit at any worker count (DESIGN.md §14).
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "surge-overload"),
+      11);
+}
+
 TEST(ParallelDeterminism, ByzantineEquivocate) {
   expect_thread_invariant(
       find_scenario(ChaosRunner::byzantine_scenarios(), "byz-equivocate"),
