@@ -40,6 +40,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'MempoolOverload|OverloadSurge|NetQueue'
 
+# Recovery smoke (DESIGN.md §15): the durable-log corruption/property
+# cases, the WAL round-trips, the engine vote-restore suite and the full
+# crash/restart recovery scenarios — all under the sanitizers. Recovery
+# parses CRC-framed bytes off a (simulated) damaged disk and rebuilds
+# chain state from them, which is exactly where an out-of-bounds read or
+# use-after-free of a torn frame would hide.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'DurableLog|DurableStore|Wal\.|VoteRestore|DurableRecovery'
+
 # State-commitment stage (DESIGN.md §12): the differential suite drives
 # random mutate/remove/journal-revert/snapshot sequences against a
 # from-scratch Merkle rebuild, and the incremental-tree sweeps hammer the
@@ -80,7 +89,7 @@ ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 # exactly zero).
 cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$PERF_DIR" -j "$(nproc)" --target bench_fig1_scaling \
-  --target bench_overload
+  --target bench_overload --target bench_recovery
 
 PERF_OUT="$PERF_DIR/perf-gate"
 rm -rf "$PERF_OUT" && mkdir -p "$PERF_OUT"
@@ -101,3 +110,12 @@ python3 scripts/bench_diff.py \
 (cd "$PERF_OUT" && ../bench/bench_overload --threads 1)
 python3 scripts/bench_diff.py \
   BENCH_overload.json "$PERF_OUT/BENCH_overload.metrics.json"
+
+# Recovery regression gate (DESIGN.md §15): WAL-replay vs disk-lost restart
+# across chain lengths. The bench itself fails the run if a wal-replay
+# recovery falls short of the pre-crash height (or a disk-lost one claims a
+# recovered chain); bench_diff then holds event count and commit p99 —
+# which bounds the simulated resync time — to the committed baseline.
+(cd "$PERF_OUT" && ../bench/bench_recovery --threads 1)
+python3 scripts/bench_diff.py \
+  BENCH_recovery.json "$PERF_OUT/BENCH_recovery.metrics.json"

@@ -41,10 +41,16 @@ FaultPlan& FaultPlan::push(FaultEvent event) {
 }
 
 FaultPlan& FaultPlan::crash(sim::Duration at, NodeRef n) {
+  return crash(at, n, storage::DiskFault{});
+}
+
+FaultPlan& FaultPlan::crash(sim::Duration at, NodeRef n,
+                            storage::DiskFault disk) {
   FaultEvent e;
   e.at = at;
   e.kind = FaultEvent::Kind::kCrash;
   e.a = n;
+  e.disk = disk;
   return push(e);
 }
 
@@ -168,7 +174,7 @@ void apply(const FaultEvent& e, runtime::Hierarchy& h) {
   net::Network& net = h.network();
   switch (e.kind) {
     case FaultEvent::Kind::kCrash:
-      (void)h.crash_node(*h.subnets().at(e.a.subnet), e.a.node);
+      (void)h.crash_node(*h.subnets().at(e.a.subnet), e.a.node, e.disk);
       break;
     case FaultEvent::Kind::kRestart:
       (void)h.restart_node(*h.subnets().at(e.a.subnet), e.a.node);

@@ -48,6 +48,9 @@ struct FaultEvent {
   NodeRef a;  ///< Target (crash/restart/node/byzantine fault, link source).
   NodeRef b;  ///< Link destination (link-fault kinds only).
   net::LinkFault fault;
+  /// Disk outcome at crash time (kCrash only; DESIGN.md §15). Ignored by
+  /// Hierarchy unless durability is enabled. Default = power-loss model.
+  storage::DiskFault disk;
   /// Partition groups; slots absent from every group stay connected.
   std::vector<std::vector<NodeRef>> groups;
   double drop_rate = 0.0;
@@ -66,6 +69,9 @@ struct FaultEvent {
 class FaultPlan {
  public:
   FaultPlan& crash(sim::Duration at, NodeRef n);
+  /// Crash with an explicit disk outcome: torn tail, bit flip, total loss
+  /// (storage::DiskFault::Kind). Only meaningful with durability enabled.
+  FaultPlan& crash(sim::Duration at, NodeRef n, storage::DiskFault disk);
   FaultPlan& restart(sim::Duration at, NodeRef n);
   /// Install a rule on the directed link a -> b (a "gray link" when the
   /// rule is mostly drop).

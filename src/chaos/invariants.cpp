@@ -180,6 +180,30 @@ InvariantReport check_invariants(const runtime::Hierarchy& hierarchy) {
       }
     }
   }
+  if (hcfg.content_store.bounded()) {
+    for (const auto& subnet : hierarchy.subnets()) {
+      for (std::size_t i = 0; i < subnet->size(); ++i) {
+        if (!subnet->alive(i)) continue;
+        const common::ShedStats& shed =
+            subnet->node(i).content_store().shed_stats();
+        const common::CapacityPolicy& cap = hcfg.content_store;
+        if (cap.max_items > 0 && shed.peak_items > cap.max_items) {
+          report.violations.push_back(
+              subnet->id.to_string() + " node " + std::to_string(i) +
+              ": content store peak items " +
+              std::to_string(shed.peak_items) + " exceeds cap " +
+              std::to_string(cap.max_items));
+        }
+        if (cap.max_bytes > 0 && shed.peak_bytes > cap.max_bytes) {
+          report.violations.push_back(
+              subnet->id.to_string() + " node " + std::to_string(i) +
+              ": content store peak bytes " +
+              std::to_string(shed.peak_bytes) + " exceeds cap " +
+              std::to_string(cap.max_bytes));
+        }
+      }
+    }
+  }
   const net::NodeQueuePolicy& nq = hcfg.gossip.node_queue;
   if (nq.enabled()) {
     const net::Network::Stats net_stats = hierarchy.network().stats();
@@ -264,6 +288,46 @@ InvariantReport check_invariants(const runtime::Hierarchy& hierarchy) {
     // ---- firewall / supply conservation (paper §II)
     if (!supply_balanced(*subnet, &why)) {
       report.violations.push_back(tag + ": " + why);
+    }
+  }
+
+  // ---- durability & recovery (DESIGN.md §15), only with disks in play.
+  // (a) A recovered replica's chain extends its replayed prefix: the WAL
+  //     never resurrects blocks past the live head.
+  // (b) Damage is DETECTED, never silently applied: every live WAL is a
+  //     fully valid frame sequence (recovery truncated torn/corrupt tails
+  //     at restart; post-restart appends extend the valid prefix).
+  if (hcfg.durability.enabled) {
+    for (const auto& subnet : hierarchy.subnets()) {
+      const std::string tag = subnet->id.to_string();
+      for (std::size_t i = 0; i < subnet->size(); ++i) {
+        if (!subnet->alive(i)) continue;
+        const runtime::SubnetNode& node = subnet->node(i);
+        if (node.recovered_height() > node.chain().height()) {
+          report.violations.push_back(
+              tag + " node " + std::to_string(i) + ": recovered height " +
+              std::to_string(node.recovered_height()) +
+              " exceeds live height " +
+              std::to_string(node.chain().height()));
+        }
+        const storage::DurableStore* disk = hierarchy.find_disk(*subnet, i);
+        const storage::DurableLog* wal =
+            disk == nullptr ? nullptr : disk->find("wal");
+        if (wal == nullptr) {
+          report.violations.push_back(tag + " node " + std::to_string(i) +
+                                      ": durability enabled but no WAL");
+          continue;
+        }
+        storage::DurableLog::RecoverStats stats;
+        (void)wal->recover(&stats);
+        if (stats.corrupt_records > 0 || stats.torn_tail) {
+          report.violations.push_back(
+              tag + " node " + std::to_string(i) +
+              ": live WAL holds undetected damage (" +
+              std::to_string(stats.corrupt_records) + " corrupt, torn=" +
+              (stats.torn_tail ? "yes" : "no") + ")");
+        }
+      }
     }
   }
   return report;

@@ -215,6 +215,9 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
   cfg.root_engine = chaos_engine(config_);
   cfg.threads = config_.threads;
   cfg.mempool = config_.mempool;
+  cfg.content_store = config_.content_store;
+  cfg.durability.enabled = config_.durability;
+  cfg.durability.fsync_every_blocks = config_.wal_fsync_every_blocks;
   runtime::Hierarchy h(cfg);
 
   // ---- topology: children under the root, optional nested grandchild.
@@ -346,6 +349,23 @@ RunResult ChaosRunner::run(const Scenario& scenario, std::uint64_t seed) {
   out.report = check_invariants(h);
   if (scenario.byzantine.has_value()) {
     check_byzantine(h, config_, *scenario.byzantine, out.report);
+  } else {
+    // Fault-only scenarios must end with ZERO slash records. The sharp
+    // edge is crash/restart under durability: a recovered validator that
+    // forgot its pre-crash votes could sign a conflicting checkpoint and
+    // be slashed for equivocating with itself (DESIGN.md §15).
+    for (std::size_t s = 1; s < h.subnets().size(); ++s) {
+      runtime::Subnet& subnet = *h.subnets()[s];
+      const auto parent_sca = subnet.parent->api_node().sca_state();
+      for (const auto& r : parent_sca.slash_records) {
+        if (r.subnet == subnet.id) {
+          out.report.violations.push_back(
+              subnet.id.to_string() +
+              ": validator slashed in a fault-only scenario "
+              "(self-equivocation after restart?)");
+        }
+      }
+    }
   }
 
   // ---- deterministic exports: same seed => byte-identical.
@@ -572,6 +592,95 @@ std::vector<Scenario> ChaosRunner::byzantine_scenarios() {
     s.byzantine = ByzantineExpectation{{NodeRef{3, 0}}, {}};
     out.push_back(std::move(s));
   }
+
+  return out;
+}
+
+std::vector<Scenario> ChaosRunner::recovery_scenarios() {
+  using storage::DiskFault;
+  std::vector<Scenario> out;
+
+  // Crash one checkpoint signer of the first child with a given disk
+  // outcome, restart it mid-window. Offsets match crash-signer so the two
+  // sets stay comparable.
+  const auto signer_crash = [](DiskFault::Kind kind) {
+    return [kind](const RunnerConfig& cfg) {
+      DiskFault f;
+      f.kind = kind;
+      FaultPlan p;
+      p.crash(cfg.fault_window / 8, NodeRef{1, cfg.child_validators - 1}, f);
+      p.restart(cfg.fault_window / 2,
+                NodeRef{1, cfg.child_validators - 1});
+      return p;
+    };
+  };
+
+  out.push_back(
+      {"recover-disk-intact",
+       "crash a child signer with a lucky disk (everything reached the "
+       "medium); restart must replay the full WAL and rejoin",
+       signer_crash(DiskFault::Kind::kKeepAll), {}});
+
+  out.push_back(
+      {"recover-power-loss",
+       "crash a child signer losing the un-fsynced suffix; restart "
+       "recovers the fsynced prefix and catches the rest up over the net",
+       signer_crash(DiskFault::Kind::kLoseSuffix), {}});
+
+  out.push_back(
+      {"recover-torn-tail",
+       "crash leaves a torn half-written frame at the WAL tail; recovery "
+       "must detect it, truncate, and never apply the torn record",
+       signer_crash(DiskFault::Kind::kTornTail), {}});
+
+  out.push_back(
+      {"recover-bit-flip",
+       "one seeded bit flips on the medium (fsynced region included); the "
+       "CRC catches it and recovery keeps only the prefix before the "
+       "damaged frame",
+       signer_crash(DiskFault::Kind::kBitFlip), {}});
+
+  out.push_back(
+      {"recover-disk-lost",
+       "the disk comes back empty; the validator rebuilds from genesis "
+       "via network catch-up, and must still never double-sign",
+       signer_crash(DiskFault::Kind::kLoseDisk), {}});
+
+  out.push_back(
+      {"recover-root-view",
+       "crash the root validator serving parent views, torn WAL tail; "
+       "children must keep checkpointing through the replicas and the "
+       "recovered root must converge",
+       [](const RunnerConfig& cfg) {
+         DiskFault f;
+         f.kind = DiskFault::Kind::kTornTail;
+         FaultPlan p;
+         p.crash(cfg.fault_window / 8, NodeRef{0, 0}, f);
+         p.restart(cfg.fault_window / 2, NodeRef{0, 0});
+         return p;
+       },
+       {}});
+
+  out.push_back(
+      {"recover-double",
+       "two validators of the same child crash with different disk "
+       "outcomes and restart in the same epoch; both must recover without "
+       "conflicting with their pre-crash votes or each other",
+       [](const RunnerConfig& cfg) {
+         DiskFault lose;
+         lose.kind = DiskFault::Kind::kLoseSuffix;
+         DiskFault torn;
+         torn.kind = DiskFault::Kind::kTornTail;
+         FaultPlan p;
+         p.crash(cfg.fault_window / 8, NodeRef{1, 0}, lose);
+         p.crash(cfg.fault_window / 6,
+                 NodeRef{1, cfg.child_validators - 1}, torn);
+         p.restart(cfg.fault_window / 2, NodeRef{1, 0});
+         p.restart(cfg.fault_window / 2,
+                   NodeRef{1, cfg.child_validators - 1});
+         return p;
+       },
+       {}});
 
   return out;
 }

@@ -51,6 +51,19 @@ struct RunnerConfig {
   std::size_t surge_senders = 8;
   std::size_t surge_messages = 200;
 
+  // ---- durability (DESIGN.md §15)
+  /// Give every validator a durable WAL; crash_node damages the disk per
+  /// the scenario's DiskFault and restart_node recovers by WAL replay.
+  /// Off by default so the pre-durability scenario sets keep their exact
+  /// behavior; the recovery scenario set requires it.
+  bool durability = false;
+  /// Lazy fsync cadence for block records when durability is on.
+  std::uint32_t wal_fsync_every_blocks = 4;
+  /// Resolved-content cache cap installed on every node (0 = unbounded).
+  /// The recovery sweep bounds it; the bounded-queues invariant then
+  /// asserts the observed peaks.
+  common::CapacityPolicy content_store;
+
   // ---- byzantine expectations
   /// Stake each child validator joins with (collateral at risk per head).
   TokenAmount validator_stake = TokenAmount::whole(5);
@@ -132,6 +145,14 @@ class ChaosRunner {
   /// depth-2 equivocation. The depth-2 scenario requires `nested = 1`; the
   /// collapse scenario requires `children >= 2`.
   [[nodiscard]] static std::vector<Scenario> byzantine_scenarios();
+
+  /// Crash/recovery scenarios over durable disks (DESIGN.md §15): disk
+  /// intact, power loss (un-fsynced suffix gone), torn tail, bit-flip
+  /// corruption, total disk loss, and a double restart within one subnet.
+  /// Require `durability = true`; the runner asserts the §15 recovery
+  /// invariants plus zero slash records (an honest validator must never be
+  /// slashed for "equivocating with its pre-crash self").
+  [[nodiscard]] static std::vector<Scenario> recovery_scenarios();
 
   [[nodiscard]] const RunnerConfig& config() const { return config_; }
 

@@ -94,6 +94,25 @@ struct EngineConfig {
   sim::Duration timeout_base = 2 * sim::kSecond;
 };
 
+/// Write-ahead persistence for an engine's voting/production state
+/// (DESIGN.md §15). persist() must make the bytes durable BEFORE the
+/// caller lets the corresponding signed vote, ACK or block leave the node
+/// — that ordering is the write-ahead barrier that lets a restarted
+/// validator know exactly what its pre-crash self signed, so it never
+/// signs a conflicting message at the same (height, round). Records are
+/// last-wins: recovered() returns only the newest persisted state.
+class VoteStore {
+ public:
+  virtual ~VoteStore() = default;
+
+  /// Durably record (and fsync) the engine's current vote state.
+  virtual void persist(BytesView state) = 0;
+
+  /// The last state persisted before the crash this node recovered from;
+  /// nullopt on a fresh (or disk-lost) start.
+  [[nodiscard]] virtual std::optional<Bytes> recovered() const = 0;
+};
+
 /// Everything an engine needs from its environment.
 struct EngineContext {
   sim::Scheduler* scheduler = nullptr;
@@ -103,6 +122,8 @@ struct EngineContext {
   crypto::KeyPair key = crypto::KeyPair::from_label("unset");
   ValidatorSet validators;
   BlockSource* source = nullptr;
+  /// Write-ahead vote persistence; nullptr = volatile (no durability).
+  VoteStore* votes = nullptr;
   std::uint64_t rng_seed = 0;
   /// Metrics/trace sink; nullptr falls back to obs::default_obs().
   obs::Obs* obs = nullptr;

@@ -48,6 +48,16 @@ PowerLottery::PowerLottery(EngineContext context, EngineConfig config)
 
 void PowerLottery::start() {
   running_ = true;
+  if (ctx_.votes != nullptr) {
+    if (const auto blob = ctx_.votes->recovered()) {
+      if (auto st = decode<LotteryVoteState>(*blob)) {
+        // Never propose again for a height the pre-crash self already
+        // mined (its block may survive only in peers' chains).
+        proposed_height_ =
+            std::max(proposed_height_, st.value().proposed_height);
+      }
+    }
+  }
   slot_start_ = ctx_.scheduler->now();
   slot_height_ = ctx_.source->head_height() + 1;
   // Poll at half-block granularity: drives both leading and fallbacks.
@@ -92,6 +102,10 @@ void PowerLottery::maybe_propose() {
   if (ctx_.scheduler->now() < due) return;
 
   proposed_height_ = next;
+  if (ctx_.votes != nullptr) {
+    // Write-ahead: durable before the signed block leaves the node.
+    ctx_.votes->persist(encode(LotteryVoteState{proposed_height_}));
+  }
   metrics_.round();
   // A non-zero rank proposing means the expected leader stayed silent past
   // its slot — the fallback ladder is this engine's view-change analogue.

@@ -17,6 +17,21 @@
 
 namespace hc::consensus {
 
+/// Durable production state (DESIGN.md §15): the highest height this miner
+/// already proposed a signed block for. Persisted before each proposal so
+/// a restarted miner never signs a second block for the same height.
+struct LotteryVoteState {
+  chain::Epoch proposed_height = 0;
+
+  void encode_to(Encoder& e) const { e.i64(proposed_height); }
+  static Result<LotteryVoteState> decode_from(Decoder& d) {
+    LotteryVoteState s;
+    HC_TRY(proposed_height, d.i64());
+    s.proposed_height = proposed_height;
+    return s;
+  }
+};
+
 class PowerLottery final : public Engine {
  public:
   PowerLottery(EngineContext context, EngineConfig config);

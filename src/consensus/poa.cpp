@@ -16,6 +16,16 @@ const Validator& PoaRoundRobin::leader(chain::Epoch height) const {
 
 void PoaRoundRobin::start() {
   running_ = true;
+  if (ctx_.votes != nullptr) {
+    if (const auto blob = ctx_.votes->recovered()) {
+      if (auto st = decode<PoaVoteState>(*blob)) {
+        // Never produce again for a height the pre-crash self already
+        // signed a block for (the block may live on only in peers'
+        // chains if the crash ate the un-fsynced tail).
+        last_produced_ = std::max(last_produced_, st.value().last_produced);
+      }
+    }
+  }
   timer_ = ctx_.scheduler->schedule(cfg_.block_time, [this] { tick(); });
 }
 
@@ -44,6 +54,10 @@ void PoaRoundRobin::tick() {
       ctx_.scheduler->now() >= no_produce_before_ &&
       leader(next).key == ctx_.key.public_key()) {
     last_produced_ = next;
+    if (ctx_.votes != nullptr) {
+      // Write-ahead: durable before the signed block leaves the node.
+      ctx_.votes->persist(encode(PoaVoteState{last_produced_}));
+    }
     metrics_.round();
     chain::Block block = ctx_.source->build_block(
         Address::key(ctx_.key.public_key().to_bytes()));

@@ -15,6 +15,22 @@
 
 namespace hc::consensus {
 
+/// Durable production state (DESIGN.md §15): the highest height this
+/// authority already produced a signed block for. Persisted before each
+/// production so a restarted leader never signs a second, different block
+/// for a height its pre-crash self already served.
+struct PoaVoteState {
+  chain::Epoch last_produced = 0;
+
+  void encode_to(Encoder& e) const { e.i64(last_produced); }
+  static Result<PoaVoteState> decode_from(Decoder& d) {
+    PoaVoteState s;
+    HC_TRY(last_produced, d.i64());
+    s.last_produced = last_produced;
+    return s;
+  }
+};
+
 class PoaRoundRobin final : public Engine {
  public:
   PoaRoundRobin(EngineContext context, EngineConfig config);

@@ -15,7 +15,24 @@ const Validator& RoundRobinBft::leader(chain::Epoch height,
 
 void RoundRobinBft::start() {
   running_ = true;
+  if (ctx_.votes != nullptr) {
+    if (const auto blob = ctx_.votes->recovered()) {
+      if (auto st = decode<RrBftVoteState>(*blob)) {
+        restored_ = std::move(st).value();
+      }
+    }
+  }
   new_height();
+}
+
+void RoundRobinBft::persist_votes() {
+  if (ctx_.votes == nullptr) return;
+  RrBftVoteState st;
+  st.height = height_;
+  st.round = round_;
+  st.proposed = proposed_this_round_;
+  st.acked = acked_this_round_;
+  ctx_.votes->persist(encode(st));
 }
 
 void RoundRobinBft::stop() {
@@ -29,13 +46,43 @@ void RoundRobinBft::new_height() {
   acks_.clear();
   std::vector<WireMsg> replay;
   replay.swap(future_);
-  start_round(0);
+  if (restored_.has_value() && restored_->height < height_) restored_.reset();
+  if (restored_.has_value() && restored_->height == height_) {
+    resume_round();
+  } else {
+    start_round(0);
+  }
   for (auto& m : replay) handle(std::move(m));
+}
+
+void RoundRobinBft::resume_round() {
+  // Rejoin the round the pre-crash self signed in. The persisted flags
+  // gate the proposal and ACK paths, so nothing is re-signed; the
+  // leader-failure timeout then advances to round+1 as usual.
+  const RrBftVoteState st = *restored_;
+  restored_.reset();
+  round_ = st.round;
+  proposed_this_round_ = st.proposed;
+  acked_this_round_ = st.acked;
+  metrics_.round();
+  const std::uint64_t epoch = ++timer_epoch_;
+  const std::uint32_t round = round_;
+  const sim::Duration timeout =
+      cfg_.block_time + cfg_.timeout_base +
+      static_cast<sim::Duration>(round) * (cfg_.timeout_base / 2);
+  ctx_.scheduler->schedule(timeout, guarded([this, epoch, round] {
+    if (!running_ || timer_epoch_ != epoch) return;
+    if (round == round_) {
+      metrics_.timeout();
+      start_round(round + 1);
+    }
+  }));
 }
 
 void RoundRobinBft::start_round(std::uint32_t round) {
   if (!running_) return;
   round_ = round;
+  proposed_this_round_ = false;
   acked_this_round_ = false;
   metrics_.round();
   if (round > 0) metrics_.view_change();
@@ -48,9 +95,12 @@ void RoundRobinBft::start_round(std::uint32_t round) {
     const sim::Duration delay = round == 0 ? cfg_.block_time : 0;
     ctx_.scheduler->schedule(delay, guarded([this, epoch, round] {
       if (!running_ || timer_epoch_ != epoch) return;
+      if (behind_restored()) return;  // passive until past pre-crash votes
       obs::ProfileScope prof(metrics_.step_phase());
       chain::Block block = ctx_.source->build_block(
           Address::key(ctx_.key.public_key().to_bytes()));
+      proposed_this_round_ = true;
+      persist_votes();  // write-ahead: durable before the proposal is out
       broadcast(WireMsg::make(WireKind::kProposal, height_, round,
                               block.cid(), encode(block), ctx_.key));
     }));
@@ -84,9 +134,19 @@ void RoundRobinBft::on_message(net::NodeId from, const Bytes& payload) {
 void RoundRobinBft::handle(WireMsg msg) {
   obs::ProfileScope prof(metrics_.step_phase());
   if (!msg.verify()) return;
-  if (msg.height < height_) return;
+  if (msg.height < height_) {
+    // A proposal or ACK below our height means a live validator is behind
+    // (typically crash-restarted with a lost chain tail): serve it the
+    // committed blocks. Stale kBlock relays don't indicate anyone behind.
+    if (msg.kind != WireKind::kBlock) serve_catch_up(msg.height);
+    return;
+  }
   if (msg.height > height_) {
     if (future_.size() < 4096) future_.push_back(std::move(msg));
+    return;
+  }
+  if (msg.kind == WireKind::kBlock) {
+    on_committed_block(msg);
     return;
   }
   if (msg.kind == WireKind::kProposal) {
@@ -94,10 +154,17 @@ void RoundRobinBft::handle(WireMsg msg) {
     auto block = decode<chain::Block>(msg.block);
     if (!block || block.value().cid() != msg.block_cid) return;
     proposals_[msg.round] = std::move(block).value();
-    if (msg.round == round_ && !acked_this_round_ &&
+    // Round synchronization: a valid proposal from THE leader of a later
+    // round pulls us forward. A restarted validator rejoins at its
+    // persisted round while peers timed out far past it; without the jump
+    // the two sides chase round counters and never overlap. Acking a round
+    // we never signed in is safe — the jump only skips rounds forward.
+    if (msg.round > round_) start_round(msg.round);
+    if (msg.round == round_ && !acked_this_round_ && !behind_restored() &&
         ctx_.validators.index_of(ctx_.key.public_key()).has_value() &&
         ctx_.source->validate_block(proposals_[msg.round]).ok()) {
       acked_this_round_ = true;
+      persist_votes();  // write-ahead: durable before the ACK is out
       broadcast(WireMsg::make(WireKind::kAck, height_, msg.round,
                               msg.block_cid, {}, ctx_.key));
     }
@@ -131,7 +198,59 @@ void RoundRobinBft::maybe_commit(std::uint32_t round, const Cid& cid) {
     cert.signers.push_back(ctx_.validators.members()[index].key);
     cert.signatures.push_back(sig);
   }
-  ctx_.source->commit_block(std::move(block), encode(cert));
+  const Bytes proof = encode(cert);
+  ctx_.source->commit_block(std::move(block), proof);
+
+  // Catch-up announce: a peer that missed the ACK quorum (down, partitioned,
+  // or freshly restarted) commits from the certificate alone.
+  WireMsg announce = WireMsg::make(WireKind::kBlock, cert.height, round, cid,
+                                   encode(pit->second), ctx_.key);
+  announce.extra = proof;
+  ctx_.network->publish(ctx_.node, ctx_.topic, encode(announce));
+
+  new_height();
+}
+
+void RoundRobinBft::serve_catch_up(chain::Epoch from) {
+  // One batch per block time: every peer sees every stale message, and an
+  // unthrottled response would answer each straggler with a full batch.
+  const sim::Time now = ctx_.scheduler->now();
+  if (last_catch_up_serve_ >= 0 &&
+      now < last_catch_up_serve_ + cfg_.block_time) {
+    return;
+  }
+  last_catch_up_serve_ = now;
+  metrics_.catch_up();
+  constexpr chain::Epoch kMaxServe = 8;
+  const chain::Epoch to =
+      std::min(ctx_.source->head_height(), from + kMaxServe - 1);
+  for (chain::Epoch h = from; h <= to; ++h) {
+    auto block = ctx_.source->block_at(h);
+    const Bytes proof = ctx_.source->proof_at(h);
+    if (!block.has_value() || proof.empty()) continue;
+    WireMsg relay = WireMsg::make(WireKind::kBlock, h, 0, block->cid(),
+                                  encode(*block), ctx_.key);
+    relay.extra = proof;
+    ctx_.network->publish(ctx_.node, ctx_.topic, encode(relay));
+  }
+}
+
+void RoundRobinBft::on_committed_block(const WireMsg& msg) {
+  if (msg.height != ctx_.source->head_height() + 1) return;
+  auto cert_r = decode<QuorumCert>(msg.extra);
+  if (!cert_r) return;
+  const QuorumCert cert = std::move(cert_r).value();
+  if (cert.block_cid != msg.block_cid || cert.height != msg.height) return;
+  for (const auto& key : cert.signers) {
+    if (!ctx_.validators.index_of(key).has_value()) return;
+  }
+  if (!cert.verify(WireKind::kAck, ctx_.validators.quorum())) return;
+  auto block_r = decode<chain::Block>(msg.block);
+  if (!block_r || block_r.value().cid() != msg.block_cid) return;
+  chain::Block block = std::move(block_r).value();
+  if (block.header.parent != ctx_.source->head_cid()) return;
+  if (!ctx_.source->validate_block(block).ok()) return;
+  ctx_.source->commit_block(std::move(block), msg.extra);
   new_height();
 }
 

@@ -17,6 +17,32 @@
 
 namespace hc::consensus {
 
+/// Durable vote state (DESIGN.md §15), persisted through the VoteStore
+/// before each proposal/ACK broadcast so a restarted validator never
+/// re-signs differently at a (height, round) it already signed in.
+struct RrBftVoteState {
+  chain::Epoch height = 0;
+  std::uint32_t round = 0;
+  bool proposed = false;
+  bool acked = false;
+
+  void encode_to(Encoder& e) const {
+    e.i64(height).u32(round).u8(proposed ? 1 : 0).u8(acked ? 1 : 0);
+  }
+  static Result<RrBftVoteState> decode_from(Decoder& d) {
+    RrBftVoteState s;
+    HC_TRY(height, d.i64());
+    s.height = height;
+    HC_TRY(round, d.u32());
+    s.round = round;
+    HC_TRY(proposed, d.u8());
+    s.proposed = proposed != 0;
+    HC_TRY(acked, d.u8());
+    s.acked = acked != 0;
+    return s;
+  }
+};
+
 class RoundRobinBft final : public Engine {
  public:
   RoundRobinBft(EngineContext context, EngineConfig config);
@@ -38,6 +64,21 @@ class RoundRobinBft final : public Engine {
   void broadcast(WireMsg msg);
   void handle(WireMsg msg);
   void maybe_commit(std::uint32_t round, const Cid& cid);
+  /// Re-broadcast committed blocks (with their ACK quorum certificates)
+  /// from `from` on, for a peer observed signing at an already-committed
+  /// height — e.g. a crash-restarted validator whose chain tail was lost.
+  void serve_catch_up(chain::Epoch from);
+  /// Commit a caught-up block on the strength of its certificate alone.
+  void on_committed_block(const WireMsg& msg);
+
+  /// Write-ahead barrier: durably record the current vote state before a
+  /// signed broadcast (no-op without a VoteStore).
+  void persist_votes();
+  /// Rejoin the restored in-flight round without re-signing anything.
+  void resume_round();
+  [[nodiscard]] bool behind_restored() const {
+    return restored_.has_value() && height_ < restored_->height;
+  }
 
   EngineContext ctx_;
   EngineConfig cfg_;
@@ -46,10 +87,15 @@ class RoundRobinBft final : public Engine {
   chain::Epoch height_ = 0;
   std::uint32_t round_ = 0;
   std::uint64_t timer_epoch_ = 0;
+  bool proposed_this_round_ = false;
   bool acked_this_round_ = false;
+  /// Vote state recovered from the WAL (see TendermintVoteState docs).
+  std::optional<RrBftVoteState> restored_;
   std::map<std::uint32_t, chain::Block> proposals_;
   std::map<std::uint32_t, std::map<Cid, VoteSet>> acks_;
   std::vector<WireMsg> future_;
+  /// Throttle for serve_catch_up (at most one batch per block time).
+  sim::Time last_catch_up_serve_ = -1;
 };
 
 }  // namespace hc::consensus

@@ -22,7 +22,27 @@ sim::Duration Tendermint::timeout_for(std::uint32_t round) const {
 
 void Tendermint::start() {
   running_ = true;
+  if (ctx_.votes != nullptr) {
+    if (const auto blob = ctx_.votes->recovered()) {
+      if (auto st = decode<TendermintVoteState>(*blob)) {
+        restored_ = std::move(st).value();
+      }
+    }
+  }
   new_height();
+}
+
+void Tendermint::persist_votes() {
+  if (ctx_.votes == nullptr) return;
+  TendermintVoteState st;
+  st.height = height_;
+  st.round = round_;
+  st.proposed = proposed_this_round_;
+  st.prevoted = prevoted_this_round_;
+  st.precommitted = precommitted_this_round_;
+  st.locked_round = locked_round_;
+  if (locked_block_.has_value()) st.locked_block = encode(*locked_block_);
+  ctx_.votes->persist(encode(st));
 }
 
 void Tendermint::stop() {
@@ -40,14 +60,53 @@ void Tendermint::new_height() {
   // Replay buffered future-height messages after the state reset.
   std::vector<WireMsg> replay;
   replay.swap(future_);
-  start_round(0);
+  if (restored_.has_value() && restored_->height < height_) restored_.reset();
+  if (restored_.has_value() && restored_->height == height_) {
+    resume_round();
+  } else {
+    start_round(0);
+  }
   for (auto& m : replay) handle(std::move(m));
+}
+
+void Tendermint::resume_round() {
+  // Rejoin the round the pre-crash self was voting in. The persisted flags
+  // gate every signing path, so nothing already signed is re-sent (let
+  // alone re-signed differently); a single round timeout then advances to
+  // round+1, where voting restarts fresh.
+  const TendermintVoteState st = *restored_;
+  restored_.reset();
+  if (!st.locked_block.empty()) {
+    if (auto b = decode<chain::Block>(st.locked_block)) {
+      locked_block_ = std::move(b).value();
+      locked_round_ = st.locked_round;
+    }
+  }
+  round_ = st.round;
+  proposed_this_round_ = st.proposed;
+  prevoted_this_round_ = st.prevoted;
+  precommitted_this_round_ = st.precommitted;
+  step_ = st.precommitted ? Step::kPrecommit
+          : st.prevoted   ? Step::kPrevote
+                          : Step::kPropose;
+  metrics_.round();
+  const std::uint64_t epoch = ++timer_epoch_;
+  const std::uint32_t round = round_;
+  ctx_.scheduler->schedule(cfg_.block_time + timeout_for(round),
+                           guarded([this, epoch, round] {
+    if (!running_ || timer_epoch_ != epoch) return;
+    if (round == round_) {
+      metrics_.timeout();
+      start_round(round + 1);
+    }
+  }));
 }
 
 void Tendermint::start_round(std::uint32_t round) {
   if (!running_) return;
   round_ = round;
   step_ = Step::kPropose;
+  proposed_this_round_ = false;
   prevoted_this_round_ = false;
   precommitted_this_round_ = false;
   metrics_.round();
@@ -65,12 +124,15 @@ void Tendermint::start_round(std::uint32_t round) {
     const chain::Epoch height = height_;
     ctx_.scheduler->schedule(delay, guarded([this, epoch, round, height] {
       if (!running_ || timer_epoch_ != epoch || height != height_) return;
+      if (behind_restored()) return;  // passive until past pre-crash votes
       obs::ProfileScope prof(metrics_.step_phase());
       chain::Block block =
           locked_block_.has_value()
               ? *locked_block_
               : ctx_.source->build_block(
                     Address::key(ctx_.key.public_key().to_bytes()));
+      proposed_this_round_ = true;
+      persist_votes();  // write-ahead: durable before the proposal is out
       broadcast(WireMsg::make(WireKind::kProposal, height_, round,
                               block.cid(), encode(block), ctx_.key));
     }));
@@ -139,6 +201,7 @@ void Tendermint::on_proposal(WireMsg msg) {
 
 void Tendermint::do_prevote(std::uint32_t round) {
   if (prevoted_this_round_ || round != round_) return;
+  if (behind_restored()) return;  // passive until past pre-crash votes
   prevoted_this_round_ = true;
   step_ = Step::kPrevote;
 
@@ -153,6 +216,7 @@ void Tendermint::do_prevote(std::uint32_t round) {
       vote = proposal.cid();
     }
   }
+  persist_votes();  // write-ahead: durable before the vote is out
   broadcast(WireMsg::make(WireKind::kPrevote, height_, round, vote, {},
                           ctx_.key));
 
@@ -195,8 +259,10 @@ void Tendermint::on_prevote(const WireMsg& msg) {
 
 void Tendermint::do_precommit(std::uint32_t round, const Cid& cid) {
   if (precommitted_this_round_ || round != round_) return;
+  if (behind_restored()) return;  // passive until past pre-crash votes
   precommitted_this_round_ = true;
   step_ = Step::kPrecommit;
+  persist_votes();  // write-ahead: durable before the vote is out
   broadcast(
       WireMsg::make(WireKind::kPrecommit, height_, round, cid, {}, ctx_.key));
 

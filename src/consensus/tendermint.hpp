@@ -18,6 +18,48 @@
 
 namespace hc::consensus {
 
+/// Durable vote state (DESIGN.md §15): everything a restarted validator
+/// needs to avoid re-signing differently at a (height, round) its
+/// pre-crash self already signed in. Persisted through the EngineContext
+/// VoteStore before each proposal/prevote/precommit broadcast, last-wins.
+struct TendermintVoteState {
+  chain::Epoch height = 0;
+  std::uint32_t round = 0;
+  bool proposed = false;
+  bool prevoted = false;
+  bool precommitted = false;
+  std::int64_t locked_round = -1;
+  Bytes locked_block;  ///< encoded chain::Block; empty = no lock
+
+  void encode_to(Encoder& e) const {
+    e.i64(height)
+        .u32(round)
+        .u8(proposed ? 1 : 0)
+        .u8(prevoted ? 1 : 0)
+        .u8(precommitted ? 1 : 0)
+        .i64(locked_round)
+        .bytes(locked_block);
+  }
+  static Result<TendermintVoteState> decode_from(Decoder& d) {
+    TendermintVoteState s;
+    HC_TRY(height, d.i64());
+    s.height = height;
+    HC_TRY(round, d.u32());
+    s.round = round;
+    HC_TRY(proposed, d.u8());
+    s.proposed = proposed != 0;
+    HC_TRY(prevoted, d.u8());
+    s.prevoted = prevoted != 0;
+    HC_TRY(precommitted, d.u8());
+    s.precommitted = precommitted != 0;
+    HC_TRY(locked_round, d.i64());
+    s.locked_round = locked_round;
+    HC_TRY(locked_block, d.bytes());
+    s.locked_block = std::move(locked_block);
+    return s;
+  }
+};
+
 class Tendermint final : public Engine {
  public:
   Tendermint(EngineContext context, EngineConfig config);
@@ -60,6 +102,17 @@ class Tendermint final : public Engine {
   void do_precommit(std::uint32_t round, const Cid& cid);
   void try_commit(std::uint32_t round, const Cid& cid);
 
+  /// Write-ahead barrier: durably record the current vote state (no-op
+  /// without a VoteStore). Called BEFORE any signed broadcast.
+  void persist_votes();
+  /// Rejoin the restored in-flight round without re-signing anything.
+  void resume_round();
+  /// True while the chain is still below a height the pre-crash self
+  /// voted at (lost un-fsynced tail): stay passive, catch up only.
+  [[nodiscard]] bool behind_restored() const {
+    return restored_.has_value() && height_ < restored_->height;
+  }
+
   [[nodiscard]] std::size_t count_votes(
       const std::map<std::uint32_t, std::map<Cid, VoteSet>>& votes,
       std::uint32_t round, const Cid& cid) const;
@@ -79,8 +132,12 @@ class Tendermint final : public Engine {
   std::map<std::uint32_t, std::map<Cid, VoteSet>> precommits_;
   std::optional<chain::Block> locked_block_;
   std::int64_t locked_round_ = -1;
+  bool proposed_this_round_ = false;
   bool prevoted_this_round_ = false;
   bool precommitted_this_round_ = false;
+  /// Vote state recovered from the WAL, held until the chain reaches its
+  /// height (then consumed by resume_round) or passes it (then dropped).
+  std::optional<TendermintVoteState> restored_;
 
   /// Messages for future heights, replayed after commit.
   std::vector<WireMsg> future_;

@@ -60,6 +60,16 @@ sim::Duration executor_lookahead(const HierarchyConfig& cfg) {
   return cfg.latency.min_delay();
 }
 
+/// FNV-1a over a string; part of the deterministic disk-fault seed
+/// derivation (no OS entropy anywhere in the crash path).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
 consensus::ValidatorSet make_validator_set(
     const std::vector<crypto::KeyPair>& keys) {
   std::vector<consensus::Validator> members;
@@ -119,16 +129,19 @@ Hierarchy::Hierarchy(HierarchyConfig config)
 
   root->genesis = genesis.snapshot();
   const auto validators = make_validator_set(root->validator_keys);
-  for (const auto& k : root->validator_keys) {
+  for (std::size_t i = 0; i < root->validator_keys.size(); ++i) {
     NodeConfig nc;
     nc.subnet = root->id;
     nc.params = config_.root_params;
     nc.engine = config_.root_engine;
     nc.domain = root->domain;
     nc.mempool = config_.mempool;
+    nc.content_store = config_.content_store;
+    nc.disk = disk_for(*root, i);
+    nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
     root->nodes.push_back(std::make_unique<SubnetNode>(
-        scheduler_, network_, registry_, nc, k, validators,
-        genesis.snapshot()));
+        scheduler_, network_, registry_, nc, root->validator_keys[i],
+        validators, genesis.snapshot()));
     root->node_ids.push_back(root->nodes.back()->net_id());
   }
   for (auto& n : root->nodes) n->start();
@@ -370,6 +383,9 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
     nc.sa_in_parent = sa_addr;
     nc.domain = child->domain;
     nc.mempool = config_.mempool;
+    nc.content_store = config_.content_store;
+    nc.disk = disk_for(*child, i);
+    nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
     auto node = std::make_unique<SubnetNode>(scheduler_, network_, registry_,
                                              nc, keys[i], validators,
                                              genesis.snapshot());
@@ -396,7 +412,26 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
   return out;
 }
 
+storage::DurableStore* Hierarchy::disk_for(const Subnet& subnet,
+                                           std::size_t i) {
+  if (!config_.durability.enabled) return nullptr;
+  return &disks_[subnet.id.to_string() + "#" + std::to_string(i)];
+}
+
+const storage::DurableStore* Hierarchy::find_disk(const Subnet& subnet,
+                                                  std::size_t i) const {
+  const auto it = disks_.find(subnet.id.to_string() + "#" + std::to_string(i));
+  return it == disks_.end() ? nullptr : &it->second;
+}
+
 Status Hierarchy::crash_node(Subnet& subnet, std::size_t i) {
+  // Default power-loss model: the disk survives minus its un-fsynced
+  // suffix (storage::DiskFault::Kind::kLoseSuffix).
+  return crash_node(subnet, i, storage::DiskFault{});
+}
+
+Status Hierarchy::crash_node(Subnet& subnet, std::size_t i,
+                             storage::DiskFault fault) {
   if (i >= subnet.nodes.size()) {
     return Error(Errc::kInvalidArgument, "no such validator slot");
   }
@@ -423,12 +458,23 @@ Status Hierarchy::crash_node(Subnet& subnet, std::size_t i) {
     }
   }
 
-  // Fail-stop with state loss: the endpoint goes dark and the network
-  // forgets everything it knew about it (subscriptions, gossip dedup).
+  // Fail-stop: the endpoint goes dark and the network forgets everything
+  // it knew about it (subscriptions, gossip dedup). In-memory state dies
+  // with the node; with durability enabled the disk survives below.
   const net::NodeId id = subnet.node_ids.at(i);
   network_.set_node_down(id, true);
   network_.reset_node(id);
   subnet.nodes[i].reset();
+
+  if (storage::DurableStore* disk = disk_for(subnet, i)) {
+    // Crash-time damage, deterministically seeded: same config seed, same
+    // crash order => byte-identical medium at any thread count.
+    ++crash_counter_;
+    fault.seed ^= config_.seed ^
+                  fnv1a(subnet.id.to_string() + "#" + std::to_string(i)) ^
+                  (crash_counter_ * 0x9e3779b97f4a7c15ull);
+    disk->crash(fault);
+  }
   return ok_status();
 }
 
@@ -448,6 +494,9 @@ Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
   nc.reuse_net_id = subnet.node_ids.at(i);
   nc.domain = subnet.domain;
   nc.mempool = config_.mempool;
+  nc.content_store = config_.content_store;
+  nc.disk = disk_for(subnet, i);
+  nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
   auto node = std::make_unique<SubnetNode>(
       scheduler_, network_, registry_, nc, subnet.validator_keys.at(i),
       make_validator_set(subnet.validator_keys), subnet.genesis.snapshot());

@@ -28,6 +28,11 @@ struct HierarchyConfig {
   /// DESIGN.md §14).
   chain::MempoolConfig mempool;
 
+  /// Resolved-content cache cap installed on every node (DESIGN.md §14);
+  /// default unbounded. Chaos runs bound it and assert the observed peaks
+  /// in the bounded-queues invariant.
+  common::CapacityPolicy content_store;
+
   /// Top-down circuit breaker (SCA, DESIGN.md §14), baked into every
   /// chain's genesis SCA state. 0 disables each trip condition.
   std::uint64_t topdown_window_cap = 0;
@@ -46,6 +51,21 @@ struct HierarchyConfig {
   /// so 1- and N-thread runs of the same seed replay byte-identically
   /// (DESIGN.md §11).
   std::size_t threads = 1;
+
+  /// Durability (DESIGN.md §15): when enabled, every validator gets a
+  /// simulated durable medium owned by the hierarchy. Nodes write-ahead
+  /// log committed blocks, checkpoint cuts and consensus vote state;
+  /// crash_node applies a disk fault (default: lose the un-fsynced
+  /// suffix) instead of total state loss, and restart_node recovers by
+  /// WAL replay + network tail catch-up instead of a genesis rebuild.
+  /// Off by default: volatile topologies stay byte-identical to
+  /// pre-durability builds.
+  struct Durability {
+    bool enabled = false;
+    /// Lazy fsync cadence for block records (vote state always fsyncs).
+    std::uint32_t fsync_every_blocks = 4;
+  };
+  Durability durability;
 
   /// Optional latency override installed on every cross-subnet node pair.
   /// Models the paper's deployment (co-located subnet validators, WAN
@@ -166,7 +186,17 @@ class Hierarchy {
   /// state, and destroys the node. Child subnet nodes whose trusted parent
   /// view pointed at it are re-pointed to an alive replica (or detached if
   /// none is left). Idempotent errors: out-of-range / already crashed.
+  /// With durability enabled the validator's disk survives with the
+  /// default power-loss fault (un-fsynced suffix lost).
   Status crash_node(Subnet& subnet, std::size_t i);
+
+  /// Crash with an explicit disk outcome (DESIGN.md §15): kKeepAll /
+  /// kLoseSuffix / kTornTail / kBitFlip damage the medium in place;
+  /// kLoseDisk models total medium loss (restart rebuilds from genesis
+  /// and catches up over the network). The fault seed is mixed with a
+  /// deterministic per-crash derivation, so same-seed runs replay the
+  /// same damage. No-op on the disk when durability is disabled.
+  Status crash_node(Subnet& subnet, std::size_t i, storage::DiskFault fault);
 
   /// Restart a previously crashed validator: rebuilds the node from the
   /// subnet's genesis snapshot under the SAME key and transport id, brings
@@ -190,6 +220,15 @@ class Hierarchy {
   /// compare observed queue depths against its caps).
   [[nodiscard]] const HierarchyConfig& config() const { return config_; }
 
+  /// The durable medium of validator slot `i` of `subnet`, created on
+  /// first use. nullptr when durability is disabled. Exposed so recovery
+  /// tests and invariants can inspect WAL contents.
+  [[nodiscard]] storage::DurableStore* disk_for(const Subnet& subnet,
+                                                std::size_t i);
+  /// Const lookup variant: nullptr when the slot never had a disk.
+  [[nodiscard]] const storage::DurableStore* find_disk(const Subnet& subnet,
+                                                       std::size_t i) const;
+
  private:
   /// Install the cross-subnet latency override (when configured) between
   /// `id` and every node of every OTHER subnet spawned so far.
@@ -205,6 +244,12 @@ class Hierarchy {
   std::vector<std::unique_ptr<Subnet>> subnets_;
   Subnet* root_ = nullptr;
   std::uint64_t label_counter_ = 0;
+  /// Per-validator durable media, keyed "subnet-id#slot" (stable across
+  /// crash/restart cycles — that is the point). Populated lazily, only
+  /// when durability is enabled.
+  std::map<std::string, storage::DurableStore> disks_;
+  /// Monotone crash ordinal, mixed into derived disk-fault seeds.
+  std::uint64_t crash_counter_ = 0;
 };
 
 }  // namespace hc::runtime

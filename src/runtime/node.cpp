@@ -108,9 +108,27 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   g_mempool_ = &m.gauge("mempool_size", node_labels);
   g_mempool_peak_ = &m.gauge("mempool_peak_size", node_labels);
   h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
+  resolved_.set_policy(config_.content_store);
   chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
   store_ = std::make_unique<chain::ChainStore>(std::move(genesis),
                                                std::move(genesis_state));
+
+  boot_time_ = scheduler_.now();
+  if (config_.disk != nullptr) {
+    c_wal_appends_ = &m.counter("wal_appends_total", node_labels);
+    c_wal_fsyncs_ = &m.counter("wal_fsyncs_total", node_labels);
+    c_recovery_replayed_ =
+        &m.counter("recovery_replayed_records_total", node_labels);
+    c_recovery_truncated_bytes_ =
+        &m.counter("recovery_truncated_tail_bytes_total", node_labels);
+    c_recovery_corrupt_ =
+        &m.counter("recovery_corrupt_records_total", node_labels);
+    h_recovery_resync_ =
+        &m.histogram("recovery_resync_latency_us", subnet_labels);
+    wal_ = &config_.disk->log("wal");
+    recover_from_wal();
+    resync_pending_ = config_.reuse_net_id.has_value();
+  }
 
   consensus::EngineContext ectx;
   ectx.scheduler = &scheduler_;
@@ -120,6 +138,7 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   ectx.key = key_;
   ectx.validators = validators_;
   ectx.source = this;
+  if (wal_ != nullptr) ectx.votes = this;
   ectx.obs = &obs_;
   ectx.scope = config_.subnet.to_string();
   engine_ =
@@ -551,6 +570,15 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
   proofs_.resize(static_cast<std::size_t>(height));
   proofs_[static_cast<std::size_t>(height - 1)] = std::move(proof);
 
+  wal_append_block(committed,
+                   proofs_[static_cast<std::size_t>(height - 1)]);
+  if (resync_pending_ && height > recovered_height_) {
+    // First live commit past the recovered head: the restarted replica has
+    // fully rejoined (WAL replay + network tail catch-up).
+    resync_pending_ = false;
+    h_recovery_resync_->observe(scheduler_.now() - boot_time_);
+  }
+
   mempool_.remove_included(committed.messages);
   mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
   sync_mempool_obs();
@@ -579,6 +607,93 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
   if (receipts_.size() > 64) receipts_.erase(receipts_.begin());
 
   after_commit(committed, receipts);
+}
+
+// --------------------------------------------------------- durability §15
+
+void SubnetNode::recover_from_wal() {
+  const std::vector<storage::WalRecord> records =
+      storage::wal_recover(*wal_, &recovery_stats_);
+  for (const storage::WalRecord& rec : records) {
+    switch (rec.type) {
+      case storage::WalRecordType::kBlock: {
+        auto block_r = decode<chain::Block>(rec.payload);
+        if (!block_r) break;
+        chain::Block block = std::move(block_r).value();
+        // Replay is a strict prefix: any gap (e.g. a dropped record) stops
+        // block application; later records for higher heights are skipped.
+        if (block.header.height != store_->height() + 1) break;
+        const auto height = static_cast<std::size_t>(block.header.height);
+        chain::StateTree tree = store_->state().snapshot();
+        (void)executor_.apply_block(tree, block);
+        if (Status ok = store_->append(std::move(block), std::move(tree));
+            !ok) {
+          break;
+        }
+        proofs_.resize(height);
+        proofs_[height - 1] = rec.aux;
+        break;
+      }
+      case storage::WalRecordType::kCheckpoint: {
+        if (auto cp_r = decode<core::Checkpoint>(rec.payload)) {
+          const core::Checkpoint cp = std::move(cp_r).value();
+          // Restores the sign/submit duty; epochs the parent has since
+          // accepted get pruned by the first maybe_submit_checkpoint().
+          cut_checkpoints_[cp.epoch] = cp;
+        }
+        break;
+      }
+      case storage::WalRecordType::kVoteState:
+        recovered_votes_ = rec.payload;  // last record wins
+        break;
+    }
+  }
+  record_state_stats(store_->state());
+  recovered_height_ = store_->height();
+  // Physically drop the damaged tail (torn/corrupt frames must never sit
+  // under fresh appends) and barrier the surviving prefix.
+  wal_->truncate(wal_->size_bytes() - recovery_stats_.truncated_bytes);
+  wal_->fsync();
+  if (!records.empty()) c_recovery_replayed_->inc(records.size());
+  if (recovery_stats_.truncated_bytes > 0) {
+    c_recovery_truncated_bytes_->inc(recovery_stats_.truncated_bytes);
+  }
+  if (recovery_stats_.corrupt_records > 0) {
+    c_recovery_corrupt_->inc(recovery_stats_.corrupt_records);
+  }
+}
+
+void SubnetNode::persist(BytesView state) {
+  if (wal_ == nullptr) return;
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kVoteState;
+  rec.height = static_cast<std::uint64_t>(store_->height());
+  rec.payload.assign(state.begin(), state.end());
+  storage::wal_append(*wal_, rec);
+  // Write-ahead barrier: the vote state must reach the medium BEFORE the
+  // signed message leaves this node. Also flushes lazily pending blocks.
+  wal_->fsync();
+  wal_unsynced_blocks_ = 0;
+  c_wal_appends_->inc();
+  c_wal_fsyncs_->inc();
+}
+
+void SubnetNode::wal_append_block(const chain::Block& block,
+                                  const Bytes& proof) {
+  if (wal_ == nullptr) return;
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kBlock;
+  rec.height = static_cast<std::uint64_t>(block.header.height);
+  rec.payload = encode(block);
+  rec.aux = proof;
+  storage::wal_append(*wal_, rec);
+  c_wal_appends_->inc();
+  if (++wal_unsynced_blocks_ >=
+      std::max<std::uint32_t>(1, config_.wal_fsync_every_blocks)) {
+    wal_->fsync();
+    c_wal_fsyncs_->inc();
+    wal_unsynced_blocks_ = 0;
+  }
 }
 
 // ---------------------------------------------------------- observability
@@ -752,6 +867,14 @@ void SubnetNode::after_commit(const chain::Block& block,
       const core::Checkpoint cp = std::move(cp_r).value();
       c_checkpoints_cut_->inc();
       cut_checkpoints_[cp.epoch] = cp;
+      if (wal_ != nullptr) {
+        storage::WalRecord rec;
+        rec.type = storage::WalRecordType::kCheckpoint;
+        rec.height = static_cast<std::uint64_t>(cp.epoch);
+        rec.payload = event.payload;
+        storage::wal_append(*wal_, rec);
+        c_wal_appends_->inc();  // fsynced lazily with the block cadence
+      }
       // Every full node attributes its own deterministic cut content to
       // its cid; gossiped shares attach to it in the watcher.
       on_fraud_proofs(watcher_.record_checkpoint(cp));
@@ -971,6 +1094,25 @@ void SubnetNode::maybe_submit_checkpoint() {
 void SubnetNode::maybe_regossip_share() {
   if (!is_validator() || cut_checkpoints_.empty()) return;
   const chain::Epoch epoch = cut_checkpoints_.begin()->first;
+  if (wal_ != nullptr && !sig_shares_[epoch].contains(
+                             key_.public_key().to_bytes()) &&
+      byzantine_ != ByzantineBehavior::kWithhold) {
+    // Recovered duty (§15): WAL replay restored this cut but our share
+    // died with the process (the constructor replays silently). Re-sign
+    // the SAME cid — byte-identical signature, idempotent, NOT
+    // equivocation — so small validator sets can still reach threshold.
+    const core::Checkpoint& cp = cut_checkpoints_.begin()->second;
+    SigShare share;
+    share.epoch = cp.epoch;
+    share.checkpoint_cid = cp.cid();
+    share.signer = key_.public_key();
+    share.signature = key_.sign(core::SignedCheckpoint::signing_payload(cp));
+    sig_shares_[epoch][share.signer.to_bytes()] = share;
+    on_fraud_proofs(watcher_.record_share(share.epoch, share.checkpoint_cid,
+                                          share.signer, share.signature));
+    network_.publish(net_id_, Topics::signatures(config_.subnet),
+                     encode(SigGossip{share, std::nullopt}));
+  }
   auto shares_it = sig_shares_.find(epoch);
   if (shares_it == sig_shares_.end()) return;
   auto own_it = shares_it->second.find(key_.public_key().to_bytes());

@@ -22,7 +22,9 @@
 #include "core/params.hpp"
 #include "runtime/resolution.hpp"
 #include "runtime/watcher.hpp"
+#include "storage/durable.hpp"
 #include "storage/store.hpp"
+#include "storage/wal.hpp"
 
 namespace hc::runtime {
 
@@ -35,6 +37,10 @@ struct NodeConfig {
   /// Mempool caps (DESIGN.md §14). Defaults enforce only the nonce-gap
   /// admission window; benches and chaos runs tighten the totals.
   chain::MempoolConfig mempool;
+  /// Cap on the resolved cross-msg content cache (DESIGN.md §14): evicted
+  /// batches are re-fetchable through the resolution protocol, so the
+  /// store degrades to a bounded cache. 0 fields = unbounded.
+  common::CapacityPolicy content_store;
   /// Max distinct epochs of checkpoint-signature evidence the fraud
   /// watcher retains (0 = unbounded; see CheckpointWatcher).
   std::size_t watcher_max_epochs = 64;
@@ -51,6 +57,13 @@ struct NodeConfig {
   /// the root/global lane. Hierarchy assigns one domain per subnet so the
   /// ParallelExecutor can run subnets concurrently (DESIGN.md §11).
   sim::DomainId domain = 0;
+  /// Simulated durable medium for this validator (DESIGN.md §15). Owned by
+  /// the Hierarchy so it survives crash_node/restart_node; nullptr runs the
+  /// node fully volatile (the pre-durability behavior, still the default).
+  storage::DurableStore* disk = nullptr;
+  /// Commit WAL records are fsynced every N blocks (lazy batching); vote
+  /// state is ALWAYS fsynced before the signed message leaves the node.
+  std::uint32_t wal_fsync_every_blocks = 4;
 };
 
 /// Counter snapshot exposed for benches and tests; backed by the metrics
@@ -70,7 +83,8 @@ struct NodeStats {
   std::uint64_t mempool_evicted = 0;
 };
 
-class SubnetNode final : public consensus::BlockSource {
+class SubnetNode final : public consensus::BlockSource,
+                         public consensus::VoteStore {
  public:
   SubnetNode(sim::Scheduler& scheduler, net::Network& network,
              const chain::ActorRegistry& registry, NodeConfig config,
@@ -186,6 +200,28 @@ class SubnetNode final : public consensus::BlockSource {
     return store_->state_at(height, executor_);
   }
 
+  // -------------------------------------------------- durability (§15)
+  /// Chain height reconstructed from the WAL at construction (0 = nothing
+  /// replayed: fresh boot, volatile node, or lost disk).
+  [[nodiscard]] chain::Epoch recovered_height() const {
+    return recovered_height_;
+  }
+  /// WAL replay outcome of this node's construction (all zero when no
+  /// disk was attached). Exposed for recovery tests and invariants.
+  [[nodiscard]] const storage::DurableLog::RecoverStats& recovery_stats()
+      const {
+    return recovery_stats_;
+  }
+
+  // ------------------------------------------------ VoteStore interface
+  // The consensus engine's write-ahead barrier: persist() lands the vote
+  // state in the WAL and fsyncs BEFORE the signed vote leaves the node;
+  // recovered() surfaces the last vote-state record replayed at boot.
+  void persist(BytesView state) override;
+  [[nodiscard]] std::optional<Bytes> recovered() const override {
+    return recovered_votes_;
+  }
+
   // ------------------------------------------------- BlockSource interface
   [[nodiscard]] chain::Block build_block(const Address& miner) override;
   [[nodiscard]] Status validate_block(const chain::Block& block) override;
@@ -246,6 +282,14 @@ class SubnetNode final : public consensus::BlockSource {
 
   /// The state tree the parent-facing _view accessors read from.
   [[nodiscard]] const chain::StateTree& view_tree() const;
+
+  /// Replay the WAL (blocks, checkpoints, vote state) into a freshly built
+  /// genesis store, then physically truncate the damaged tail. Runs in the
+  /// constructor, before the engine exists; no gossip, no signing.
+  void recover_from_wal();
+  /// Append a committed block (+ proof) to the WAL, fsyncing lazily every
+  /// `wal_fsync_every_blocks` commits.
+  void wal_append_block(const chain::Block& block, const Bytes& proof);
 
   /// Feed the tracer and latency histograms from a freshly committed block:
   /// opens/closes the cross-net and checkpoint pipeline flows derived from
@@ -333,6 +377,22 @@ class SubnetNode final : public consensus::BlockSource {
 
   bool running_ = false;
 
+  // ------------------------------------------------------ durability §15
+  /// Borrowed WAL (nullptr = volatile node). Points into config_.disk,
+  /// which the Hierarchy keeps alive across crashes.
+  storage::DurableLog* wal_ = nullptr;
+  /// Last kVoteState payload replayed at boot (last-wins).
+  std::optional<Bytes> recovered_votes_;
+  /// Head height right after WAL replay (0 = nothing replayed).
+  chain::Epoch recovered_height_ = 0;
+  storage::DurableLog::RecoverStats recovery_stats_;
+  /// Block records appended since the last fsync barrier.
+  std::uint32_t wal_unsynced_blocks_ = 0;
+  /// True for nodes rebuilt via restart (reuse_net_id): the first commit
+  /// past recovered_height_ closes the resync latency measurement.
+  bool resync_pending_ = false;
+  sim::Time boot_time_ = 0;
+
   // ------------------------------------------------------- observability
   // Shared with every node of the hierarchy via the network's Obs; counter
   // handles are resolved once in the constructor (see src/obs/).
@@ -359,6 +419,16 @@ class SubnetNode final : public consensus::BlockSource {
   obs::Gauge* g_mempool_;
   obs::Gauge* g_mempool_peak_;
   obs::Histogram* h_commit_latency_;
+  /// Durability counters ({node, subnet}); resolved only when a disk is
+  /// attached, so volatile topologies keep their metrics export (and chaos
+  /// fingerprints) byte-identical to the pre-durability builds.
+  obs::Counter* c_wal_appends_ = nullptr;
+  obs::Counter* c_wal_fsyncs_ = nullptr;
+  obs::Counter* c_recovery_replayed_ = nullptr;
+  obs::Counter* c_recovery_truncated_bytes_ = nullptr;
+  obs::Counter* c_recovery_corrupt_ = nullptr;
+  /// Sim-time from restart to the first commit past the recovered head.
+  obs::Histogram* h_recovery_resync_ = nullptr;
   /// Last-synced copy of the mempool shed ledger (delta source).
   common::ShedStats mempool_obs_synced_;
 

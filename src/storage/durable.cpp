@@ -1,0 +1,199 @@
+#include "storage/durable.hpp"
+
+#include <array>
+
+namespace hc::storage {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer); the fault machinery
+/// needs only a couple of independent draws per crash, so a full RNG
+/// stream (and the hc_sim dependency it would bring) is unnecessary.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t read_u32(const Bytes& buf, std::size_t at) {
+  return (static_cast<std::uint32_t>(buf[at]) << 24) |
+         (static_cast<std::uint32_t>(buf[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[at + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[at + 3]);
+}
+
+void push_u32(Bytes& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+const char* to_string(DiskFault::Kind kind) {
+  switch (kind) {
+    case DiskFault::Kind::kKeepAll:
+      return "keep-all";
+    case DiskFault::Kind::kLoseSuffix:
+      return "lose-suffix";
+    case DiskFault::Kind::kTornTail:
+      return "torn-tail";
+    case DiskFault::Kind::kBitFlip:
+      return "bit-flip";
+    case DiskFault::Kind::kLoseDisk:
+      return "lose-disk";
+  }
+  return "unknown";
+}
+
+void DurableLog::append(BytesView payload) {
+  push_u32(file_, static_cast<std::uint32_t>(payload.size()));
+  push_u32(file_, crc32(payload));
+  file_.insert(file_.end(), payload.begin(), payload.end());
+  ++appends_;
+}
+
+void DurableLog::fsync() {
+  durable_ = file_.size();
+  ++fsyncs_;
+}
+
+void DurableLog::crash(const DiskFault& fault) {
+  switch (fault.kind) {
+    case DiskFault::Kind::kKeepAll:
+      break;
+    case DiskFault::Kind::kLoseSuffix:
+      file_.resize(durable_);
+      break;
+    case DiskFault::Kind::kTornTail: {
+      // Keep a strict partial prefix of the un-fsynced suffix: the medium
+      // got some of the write out before power failed. An empty suffix
+      // (everything fsynced) tears nothing.
+      const std::size_t suffix = file_.size() - durable_;
+      if (suffix > 1) {
+        const std::size_t cut = 1 + mix64(fault.seed) % (suffix - 1);
+        file_.resize(durable_ + cut);
+      } else {
+        file_.resize(durable_);
+      }
+      break;
+    }
+    case DiskFault::Kind::kBitFlip: {
+      if (!file_.empty()) {
+        const std::uint64_t r = mix64(fault.seed);
+        file_[r % file_.size()] ^=
+            static_cast<std::uint8_t>(1u << ((r >> 32) % 8));
+      }
+      break;
+    }
+    case DiskFault::Kind::kLoseDisk:
+      file_.clear();
+      break;
+  }
+  // Whatever survived the crash IS the medium's content now.
+  durable_ = file_.size();
+}
+
+std::vector<Bytes> DurableLog::recover(RecoverStats* stats) const {
+  std::vector<Bytes> out;
+  RecoverStats local;
+  std::size_t pos = 0;
+  while (pos < file_.size()) {
+    if (file_.size() - pos < kFrameHeader) {
+      local.torn_tail = true;
+      break;
+    }
+    const std::uint32_t len = read_u32(file_, pos);
+    const std::uint32_t want = read_u32(file_, pos + 4);
+    if (file_.size() - pos - kFrameHeader < len) {
+      // Truncated payload: either a genuinely torn write or a bit flip in
+      // the length field; both must stop the scan here.
+      local.torn_tail = true;
+      break;
+    }
+    const BytesView payload(file_.data() + pos + kFrameHeader, len);
+    if (crc32(payload) != want) {
+      ++local.corrupt_records;
+      break;
+    }
+    out.emplace_back(payload.begin(), payload.end());
+    ++local.records;
+    pos += kFrameHeader + len;
+  }
+  local.truncated_bytes = file_.size() - pos;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+void DurableLog::wipe() {
+  file_.clear();
+  durable_ = 0;
+}
+
+void DurableLog::truncate(std::size_t bytes) {
+  if (bytes < file_.size()) file_.resize(bytes);
+  if (durable_ > file_.size()) durable_ = file_.size();
+}
+
+DurableLog& DurableStore::log(const std::string& name) { return logs_[name]; }
+
+const DurableLog* DurableStore::find(const std::string& name) const {
+  auto it = logs_.find(name);
+  return it == logs_.end() ? nullptr : &it->second;
+}
+
+void DurableStore::crash(const DiskFault& fault) {
+  for (auto& [name, log] : logs_) {
+    DiskFault forked = fault;
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+      h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+    }
+    forked.seed = fault.seed ^ h;
+    log.crash(forked);
+  }
+}
+
+bool DurableStore::empty() const {
+  for (const auto& [name, log] : logs_) {
+    if (!log.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t DurableStore::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [name, log] : logs_) n += log.size_bytes();
+  return n;
+}
+
+void DurableStore::wipe() {
+  for (auto& [name, log] : logs_) log.wipe();
+}
+
+}  // namespace hc::storage

@@ -2,10 +2,51 @@
 
 namespace hc::storage {
 
+// ------------------------------------------------------------ ContentStore
+
+void ContentStore::set_policy(common::CapacityPolicy policy) {
+  policy_ = policy;
+  make_room(0, 0);
+  shed_.observe(blobs_.size(), total_bytes_);
+}
+
+void ContentStore::make_room(std::size_t incoming_bytes,
+                             std::size_t incoming_items) {
+  if (!policy_.bounded()) return;
+  while (!order_.empty() &&
+         ((policy_.max_items > 0 &&
+           blobs_.size() + incoming_items > policy_.max_items) ||
+          (policy_.max_bytes > 0 &&
+           total_bytes_ + incoming_bytes > policy_.max_bytes))) {
+    const Cid victim = order_.front();
+    order_.pop_front();
+    auto it = blobs_.find(victim);
+    if (it == blobs_.end()) continue;
+    total_bytes_ -= it->second.size();
+    blobs_.erase(it);
+    shed_.count(common::ShedReason::kEvicted);
+  }
+}
+
+void ContentStore::record(const Cid& cid, std::size_t bytes) {
+  order_.push_back(cid);
+  total_bytes_ += bytes;
+  shed_.observe(blobs_.size(), total_bytes_);
+}
+
 Cid ContentStore::put(CidCodec codec, Bytes content) {
   const Cid cid = Cid::of(codec, content);
-  auto [it, inserted] = blobs_.emplace(cid, std::move(content));
-  if (inserted) total_bytes_ += it->second.size();
+  if (blobs_.contains(cid)) return cid;
+  const std::size_t bytes = content.size();
+  make_room(bytes, 1);
+  if (policy_.max_bytes > 0 && bytes > policy_.max_bytes) {
+    // A single blob larger than the whole cache can never fit; the caller
+    // still gets the CID (content stays re-fetchable via resolution).
+    shed_.count(common::ShedReason::kByteCap);
+    return cid;
+  }
+  blobs_.emplace(cid, std::move(content));
+  record(cid, bytes);
   return cid;
 }
 
@@ -15,8 +56,15 @@ Status ContentStore::put_verified(const Cid& expected, Bytes content) {
     return Error(Errc::kInvalidArgument,
                  "content does not match CID " + expected.to_string());
   }
-  auto [it, inserted] = blobs_.emplace(actual, std::move(content));
-  if (inserted) total_bytes_ += it->second.size();
+  if (blobs_.contains(actual)) return ok_status();
+  const std::size_t bytes = content.size();
+  make_room(bytes, 1);
+  if (policy_.max_bytes > 0 && bytes > policy_.max_bytes) {
+    shed_.count(common::ShedReason::kByteCap);
+    return ok_status();  // verified, just not cacheable at this cap
+  }
+  blobs_.emplace(actual, std::move(content));
+  record(actual, bytes);
   return ok_status();
 }
 
@@ -28,8 +76,51 @@ std::optional<Bytes> ContentStore::get(const Cid& cid) const {
   return it->second;
 }
 
+// ---------------------------------------------------------------- KvStore
+
+void KvStore::set_policy(common::CapacityPolicy policy) {
+  policy_ = policy;
+  make_room(0, 0);
+  shed_.observe(entries_.size(), total_bytes_);
+}
+
+void KvStore::make_room(std::size_t incoming_bytes,
+                        std::size_t incoming_items) {
+  if (!policy_.bounded()) return;
+  while (!order_.empty() &&
+         ((policy_.max_items > 0 &&
+           entries_.size() + incoming_items > policy_.max_items) ||
+          (policy_.max_bytes > 0 &&
+           total_bytes_ + incoming_bytes > policy_.max_bytes))) {
+    const Bytes victim = order_.front();
+    order_.pop_front();
+    auto it = entries_.find(victim);
+    if (it == entries_.end()) continue;  // erased earlier; stale order entry
+    total_bytes_ -= it->first.size() + it->second.size();
+    entries_.erase(it);
+    shed_.count(common::ShedReason::kEvicted);
+  }
+}
+
 void KvStore::put(const Bytes& key, Bytes value) {
-  entries_[key] = std::move(value);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    total_bytes_ -= it->second.size();
+    total_bytes_ += value.size();
+    it->second = std::move(value);
+    shed_.observe(entries_.size(), total_bytes_);
+    return;
+  }
+  const std::size_t bytes = key.size() + value.size();
+  make_room(bytes, 1);
+  if (policy_.max_bytes > 0 && bytes > policy_.max_bytes) {
+    shed_.count(common::ShedReason::kByteCap);
+    return;
+  }
+  entries_.emplace(key, std::move(value));
+  order_.push_back(key);
+  total_bytes_ += bytes;
+  shed_.observe(entries_.size(), total_bytes_);
 }
 
 std::optional<Bytes> KvStore::get(const Bytes& key) const {
@@ -40,6 +131,11 @@ std::optional<Bytes> KvStore::get(const Bytes& key) const {
 
 bool KvStore::has(const Bytes& key) const { return entries_.contains(key); }
 
-void KvStore::erase(const Bytes& key) { entries_.erase(key); }
+void KvStore::erase(const Bytes& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  total_bytes_ -= it->first.size() + it->second.size();
+  entries_.erase(it);  // order_ entry goes stale; make_room skips it
+}
 
 }  // namespace hc::storage

@@ -4,12 +4,21 @@
 // SCA ... keeps a registry with all CIDs for CrossMsgMetas propagated (i.e.,
 // a content-addressable key-value store)"), block/checkpoint stores, and
 // the atomic-execution state exchange.
+//
+// Both stores accept an optional common::CapacityPolicy (DESIGN.md §14):
+// when bounded, admission past the cap evicts the OLDEST resident (stable
+// insertion order, so eviction is deterministic) and the displacement is
+// accounted in a reason-labelled ShedStats ledger. CAS entries are safe to
+// evict — content is re-fetchable through the resolution protocol — so the
+// policy turns the store into a bounded cache rather than refusing puts.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/capacity.hpp"
 #include "common/cid.hpp"
 #include "common/result.hpp"
 
@@ -32,9 +41,25 @@ class ContentStore {
   [[nodiscard]] std::size_t size() const { return blobs_.size(); }
   [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
 
+  /// Install a capacity cap (0 fields = unbounded). Existing residents are
+  /// trimmed immediately if they already exceed the new cap.
+  void set_policy(common::CapacityPolicy policy);
+  [[nodiscard]] const common::CapacityPolicy& policy() const {
+    return policy_;
+  }
+  [[nodiscard]] const common::ShedStats& shed_stats() const { return shed_; }
+
  private:
+  /// Evict oldest residents until `incoming_items` more entries totalling
+  /// `incoming_bytes` fit (0/0 = trim to the current policy).
+  void make_room(std::size_t incoming_bytes, std::size_t incoming_items);
+  void record(const Cid& cid, std::size_t bytes);
+
   std::unordered_map<Cid, Bytes> blobs_;
+  std::deque<Cid> order_;  // insertion order; front = eviction candidate
   std::size_t total_bytes_ = 0;
+  common::CapacityPolicy policy_;
+  common::ShedStats shed_;
 };
 
 /// Simple byte-keyed KV store with string-namespaced views.
@@ -45,6 +70,14 @@ class KvStore {
   [[nodiscard]] bool has(const Bytes& key) const;
   void erase(const Bytes& key);
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
+
+  /// Install a capacity cap (0 fields = unbounded); trims immediately.
+  void set_policy(common::CapacityPolicy policy);
+  [[nodiscard]] const common::CapacityPolicy& policy() const {
+    return policy_;
+  }
+  [[nodiscard]] const common::ShedStats& shed_stats() const { return shed_; }
 
  private:
   struct BytesHash {
@@ -54,7 +87,13 @@ class KvStore {
       return h;
     }
   };
+  void make_room(std::size_t incoming_bytes, std::size_t incoming_items);
+
   std::unordered_map<Bytes, Bytes, BytesHash> entries_;
+  std::deque<Bytes> order_;  // insertion order; front = eviction candidate
+  std::size_t total_bytes_ = 0;
+  common::CapacityPolicy policy_;
+  common::ShedStats shed_;
 };
 
 }  // namespace hc::storage

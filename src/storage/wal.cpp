@@ -1,0 +1,33 @@
+#include "storage/wal.hpp"
+
+namespace hc::storage {
+
+void wal_append(DurableLog& log, const WalRecord& record) {
+  log.append(encode(record));
+}
+
+std::vector<WalRecord> wal_recover(const DurableLog& log,
+                                   DurableLog::RecoverStats* stats) {
+  DurableLog::RecoverStats local;
+  const std::vector<Bytes> frames = log.recover(&local);
+  std::vector<WalRecord> out;
+  out.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    auto decoded = decode<WalRecord>(frames[i]);
+    if (!decoded) {
+      // Framed correctly but undecodable: treat like corruption and drop
+      // this record and everything after it (replay must stay a prefix).
+      local.records = i;
+      ++local.corrupt_records;
+      for (std::size_t j = i; j < frames.size(); ++j) {
+        local.truncated_bytes += frames[j].size() + 8;
+      }
+      break;
+    }
+    out.push_back(std::move(decoded).value());
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace hc::storage

@@ -68,6 +68,69 @@ TEST(ChaosSweep, FaultCountersAndTraceMarkersAreRecorded) {
   EXPECT_NE(r.metrics_json.find("reason=random-loss"), std::string::npos);
 }
 
+// ------------------------------------------------- durable recovery (§15)
+
+RunnerConfig recovery_runner_config() {
+  RunnerConfig cfg = fast_runner_config();
+  cfg.durability = true;
+  // Bound the resolved-content cache too: the bounded_queues invariant then
+  // asserts the recorded peaks stayed under these caps.
+  cfg.content_store.max_items = 4096;
+  cfg.content_store.max_bytes = 4u << 20;
+  return cfg;
+}
+
+TEST(ChaosSweep, RecoveryScenariosHoldInvariantsAcrossSeeds) {
+  ChaosRunner runner(recovery_runner_config());
+  const auto scenarios = ChaosRunner::recovery_scenarios();
+  ASSERT_GE(scenarios.size(), 6u);
+  const auto results = runner.sweep(scenarios, {7, 1234});
+  ASSERT_EQ(results.size(), scenarios.size() * 2);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.converged) << r.summary();
+    EXPECT_TRUE(r.report.ok()) << r.summary();
+  }
+}
+
+TEST(ChaosSweep, RecoveryRunsAreByteIdenticalPerSeed) {
+  // Disk-fault dice (torn-tail split point, bit-flip position) are part of
+  // the deterministic surface: same seed, same damage, same recovery.
+  ChaosRunner runner(recovery_runner_config());
+  const auto scenarios = ChaosRunner::recovery_scenarios();
+  const auto it = std::find_if(scenarios.begin(), scenarios.end(),
+                               [](const Scenario& s) {
+                                 return s.name == "recover-torn-tail";
+                               });
+  ASSERT_NE(it, scenarios.end());
+  const RunResult a = runner.run(*it, 42);
+  const RunResult b = runner.run(*it, 42);
+  ASSERT_TRUE(a.ok()) << a.summary();
+  EXPECT_EQ(a.state_roots, b.state_roots);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  const RunResult c = runner.run(*it, 43);
+  ASSERT_TRUE(c.ok()) << c.summary();
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(ChaosSweep, RecoveryMetricsAreExported) {
+  ChaosRunner runner(recovery_runner_config());
+  const auto scenarios = ChaosRunner::recovery_scenarios();
+  const auto it = std::find_if(scenarios.begin(), scenarios.end(),
+                               [](const Scenario& s) {
+                                 return s.name == "recover-power-loss";
+                               });
+  ASSERT_NE(it, scenarios.end());
+  const RunResult r = runner.run(*it, 7);
+  ASSERT_TRUE(r.ok()) << r.summary();
+  EXPECT_NE(r.metrics_json.find("wal_appends_total"), std::string::npos);
+  EXPECT_NE(r.metrics_json.find("wal_fsyncs_total"), std::string::npos);
+  EXPECT_NE(r.metrics_json.find("recovery_replayed_records_total"),
+            std::string::npos);
+  EXPECT_NE(r.metrics_json.find("recovery_resync_latency_us"),
+            std::string::npos);
+}
+
 TEST(ChaosSweep, NestedHierarchySurvivesSignerCrash) {
   RunnerConfig cfg = fast_runner_config();
   cfg.children = 1;

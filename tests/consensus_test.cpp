@@ -9,6 +9,8 @@
 #include "chain/chainstore.hpp"
 #include "consensus/engine.hpp"
 #include "consensus/lottery.hpp"
+#include "consensus/poa.hpp"
+#include "consensus/rrbft.hpp"
 #include "consensus/tendermint.hpp"
 
 namespace hc::consensus {
@@ -68,6 +70,25 @@ class EmptySource final : public BlockSource {
   std::vector<Bytes> proofs_;
 };
 
+/// In-memory VoteStore double. persist() records the latest state;
+/// reboot() makes it visible through recovered(), the way a real restart
+/// surfaces the last fsynced WAL vote record.
+class MemVoteStore final : public VoteStore {
+ public:
+  void persist(BytesView state) override {
+    saved_ = Bytes(state.begin(), state.end());
+    ++persists_;
+  }
+  [[nodiscard]] std::optional<Bytes> recovered() const override {
+    return recovered_;
+  }
+  void reboot() { recovered_ = saved_; }
+
+  Bytes saved_;
+  std::optional<Bytes> recovered_;
+  int persists_ = 0;
+};
+
 /// A cluster of validators running one engine type.
 struct Cluster {
   sim::Scheduler sched;
@@ -77,11 +98,15 @@ struct Cluster {
   std::vector<crypto::KeyPair> keys;
   ValidatorSet validators;
   std::vector<std::unique_ptr<EmptySource>> sources;
+  std::vector<std::unique_ptr<MemVoteStore>> votes;
   std::vector<std::unique_ptr<Engine>> engines;
   std::vector<net::NodeId> ids;
+  core::ConsensusType type_;
+  bool durable_ = false;
 
   Cluster(core::ConsensusType type, int n,
-          std::vector<std::uint64_t> powers = {}) {
+          std::vector<std::uint64_t> powers = {}, bool durable = false)
+      : type_(type), durable_(durable) {
     std::vector<Validator> members;
     for (int i = 0; i < n; ++i) {
       keys.push_back(
@@ -94,27 +119,56 @@ struct Cluster {
     for (int i = 0; i < n; ++i) {
       ids.push_back(net.add_node());
       sources.push_back(std::make_unique<EmptySource>());
-      EngineContext ctx;
-      ctx.scheduler = &sched;
-      ctx.network = &net;
-      ctx.node = ids.back();
-      ctx.topic = "subnet/test/consensus";
-      ctx.key = keys[static_cast<std::size_t>(i)];
-      ctx.validators = validators;
-      ctx.source = sources.back().get();
-      ctx.rng_seed = static_cast<std::uint64_t>(i);
-      EngineConfig cfg;
-      cfg.block_time = 100 * sim::kMillisecond;
-      cfg.timeout_base = 200 * sim::kMillisecond;
-      engines.push_back(make_engine(type, std::move(ctx), cfg));
-      net.subscribe(ids.back(), "subnet/test/consensus");
+      votes.push_back(std::make_unique<MemVoteStore>());
       const std::size_t self = static_cast<std::size_t>(i);
+      engines.push_back(make_engine(type, make_context(self), engine_cfg()));
+      net.subscribe(ids.back(), "subnet/test/consensus");
       net.set_topic_handler(ids.back(),
                             [this, self](net::NodeId from, const std::string&,
                                          const Bytes& payload) {
-                              engines[self]->on_message(from, payload);
+                              if (engines[self]) {
+                                engines[self]->on_message(from, payload);
+                              }
                             });
     }
+  }
+
+  [[nodiscard]] static EngineConfig engine_cfg() {
+    EngineConfig cfg;
+    cfg.block_time = 100 * sim::kMillisecond;
+    cfg.timeout_base = 200 * sim::kMillisecond;
+    return cfg;
+  }
+
+  [[nodiscard]] EngineContext make_context(std::size_t i) {
+    EngineContext ctx;
+    ctx.scheduler = &sched;
+    ctx.network = &net;
+    ctx.node = ids[i];
+    ctx.topic = "subnet/test/consensus";
+    ctx.key = keys[i];
+    ctx.validators = validators;
+    ctx.source = sources[i].get();
+    if (durable_) ctx.votes = votes[i].get();
+    ctx.rng_seed = static_cast<std::uint64_t>(i);
+    return ctx;
+  }
+
+  /// Crash validator i: silence its endpoint and destroy the engine —
+  /// every in-memory round, lock and timer dies with it.
+  void crash(std::size_t i) {
+    engines[i]->stop();
+    engines[i].reset();
+    net.set_node_down(ids[i], true);
+  }
+
+  /// Restart validator i from its vote store: a fresh engine whose
+  /// recovered() yields what the pre-crash self last persisted.
+  void restart(std::size_t i) {
+    votes[i]->reboot();
+    net.set_node_down(ids[i], false);
+    engines[i] = make_engine(type_, make_context(i), engine_cfg());
+    engines[i]->start();
   }
 
   void start_all() {
@@ -358,6 +412,96 @@ TEST(Rrbft, ProofsAreQuorumCerts) {
     ++checked;
   }
   EXPECT_GT(checked, 0);
+}
+
+// ----------------------------------------------- durable vote state (§15)
+
+TEST(VoteRestore, PoaNeverReproducesARestoredHeight) {
+  // A single validator leads every height. With a restored production
+  // height of 5 and an empty chain (lazy block fsync lost the tail, the
+  // always-fsynced vote record survived), it must stay silent: producing
+  // heights 1..5 again could conflict with blocks only peers still hold.
+  Cluster c(core::ConsensusType::kPoaRoundRobin, 1, {}, /*durable=*/true);
+  c.votes[0]->recovered_ = encode(PoaVoteState{5});
+  c.start_all();
+  c.sched.run_until(5 * sim::kSecond);
+  EXPECT_EQ(c.sources[0]->head_height(), 0);
+}
+
+TEST(VoteRestore, LotteryNeverReproposesARestoredHeight) {
+  Cluster c(core::ConsensusType::kPowerLottery, 1, {}, /*durable=*/true);
+  c.votes[0]->recovered_ = encode(LotteryVoteState{5});
+  c.start_all();
+  c.sched.run_until(5 * sim::kSecond);
+  EXPECT_EQ(c.sources[0]->head_height(), 0);
+}
+
+TEST(VoteRestore, PoaPersistsBeforeProducing) {
+  Cluster c(core::ConsensusType::kPoaRoundRobin, 4, {}, /*durable=*/true);
+  c.start_all();
+  c.sched.run_until(3 * sim::kSecond);
+  ASSERT_GE(c.min_height(), 4);
+  // Every validator produced at least once, and wrote ahead each time.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(c.votes[i]->persists_, 0) << "validator " << i;
+    auto st = decode<PoaVoteState>(c.votes[i]->saved_);
+    ASSERT_TRUE(st.ok());
+    EXPECT_GT(st.value().last_produced, 0u);
+  }
+}
+
+TEST(VoteRestore, TendermintQuorumCrashRestartResumes) {
+  // Crash TWO of four validators (no quorum survives, the chain halts) and
+  // restart both from their vote stores. Progress after the restart proves
+  // the recovered validators rejoined; convergence proves the restored
+  // locks kept them from contradicting any pre-crash precommit.
+  Cluster c(core::ConsensusType::kTendermint, 4, {}, /*durable=*/true);
+  c.start_all();
+  c.sched.run_until(3 * sim::kSecond);
+  ASSERT_GE(c.min_height(), 1);
+  EXPECT_GT(c.votes[2]->persists_, 0);
+  EXPECT_GT(c.votes[3]->persists_, 0);
+  c.crash(2);
+  c.crash(3);
+  c.sched.run_until(8 * sim::kSecond);
+  chain::Epoch during = 0;
+  for (const auto& s : c.sources) {
+    during = std::max(during, s->head_height());
+  }
+
+  c.restart(2);
+  c.restart(3);
+  c.sched.run_until(40 * sim::kSecond);
+  chain::Epoch after = 0;
+  for (const auto& s : c.sources) {
+    after = std::max(after, s->head_height());
+  }
+  EXPECT_GT(after, during);
+  EXPECT_TRUE(c.converged_to(c.min_height()));
+}
+
+TEST(VoteRestore, RrbftQuorumCrashRestartResumes) {
+  Cluster c(core::ConsensusType::kRoundRobinBft, 4, {}, /*durable=*/true);
+  c.start_all();
+  c.sched.run_until(3 * sim::kSecond);
+  ASSERT_GE(c.min_height(), 1);
+  c.crash(1);
+  c.crash(2);
+  c.sched.run_until(8 * sim::kSecond);
+  chain::Epoch during = 0;
+  for (const auto& s : c.sources) {
+    during = std::max(during, s->head_height());
+  }
+
+  c.restart(1);
+  c.restart(2);
+  c.sched.run_until(40 * sim::kSecond);
+  chain::Epoch after = 0;
+  for (const auto& s : c.sources) {
+    after = std::max(after, s->head_height());
+  }
+  EXPECT_GT(after, during);
+  EXPECT_TRUE(c.converged_to(c.min_height()));
 }
 
 // ----------------------------------------------------------- validator set

@@ -34,13 +34,21 @@ Scenario find_scenario(const std::vector<Scenario>& scenarios,
   return {};
 }
 
+RunnerConfig recovery_config(std::size_t threads) {
+  RunnerConfig cfg = fast_config(threads);
+  cfg.durability = true;
+  return cfg;
+}
+
 /// Run `scenario` sequentially, then at 2 and 4 worker threads, and demand
 /// bit-for-bit equality of every deterministic artifact.
-void expect_thread_invariant(const Scenario& scenario, std::uint64_t seed) {
-  const RunResult ref = ChaosRunner(fast_config(1)).run(scenario, seed);
+void expect_thread_invariant_cfg(RunnerConfig (*make)(std::size_t),
+                                 const Scenario& scenario,
+                                 std::uint64_t seed) {
+  const RunResult ref = ChaosRunner(make(1)).run(scenario, seed);
   ASSERT_TRUE(ref.ok()) << "1-thread reference failed: " << ref.summary();
   for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
-    const RunResult r = ChaosRunner(fast_config(threads)).run(scenario, seed);
+    const RunResult r = ChaosRunner(make(threads)).run(scenario, seed);
     ASSERT_TRUE(r.ok()) << scenario.name << " @" << threads << " threads: "
                         << r.summary();
     EXPECT_EQ(ref.state_roots, r.state_roots)
@@ -52,6 +60,10 @@ void expect_thread_invariant(const Scenario& scenario, std::uint64_t seed) {
         << scenario.name << ": fingerprint diverged at " << threads
         << " threads";
   }
+}
+
+void expect_thread_invariant(const Scenario& scenario, std::uint64_t seed) {
+  expect_thread_invariant_cfg(fast_config, scenario, seed);
 }
 
 TEST(ParallelDeterminism, Baseline) {
@@ -104,6 +116,24 @@ TEST(ParallelDeterminism, SurgeOverload) {
 TEST(ParallelDeterminism, ByzantineEquivocate) {
   expect_thread_invariant(
       find_scenario(ChaosRunner::byzantine_scenarios(), "byz-equivocate"),
+      11);
+}
+
+TEST(ParallelDeterminism, RecoverTornTail) {
+  // Durable WAL appends, seeded disk damage, recovery replay and the
+  // resync histogram all join the deterministic surface (DESIGN.md §15):
+  // the whole crash/recover cycle must replay bit-for-bit at any worker
+  // count.
+  expect_thread_invariant_cfg(
+      recovery_config,
+      find_scenario(ChaosRunner::recovery_scenarios(), "recover-torn-tail"),
+      11);
+}
+
+TEST(ParallelDeterminism, RecoverDiskLost) {
+  expect_thread_invariant_cfg(
+      recovery_config,
+      find_scenario(ChaosRunner::recovery_scenarios(), "recover-disk-lost"),
       11);
 }
 

@@ -340,5 +340,141 @@ TEST(RecoveryIntegration, KillSubnetAndRecoverStrandedFunds) {
             root_before + TokenAmount::whole(39));
 }
 
+// ------------------------------------- durable crash recovery (§15)
+
+runtime::HierarchyConfig durable_cfg(std::uint64_t seed) {
+  runtime::HierarchyConfig cfg;
+  cfg.seed = seed;
+  cfg.latency = sim::LatencyModel(2 * sim::kMillisecond, sim::kMillisecond);
+  cfg.root_params.consensus = core::ConsensusType::kPoaRoundRobin;
+  cfg.root_params.min_validator_stake = TokenAmount::whole(5);
+  cfg.root_params.min_collateral = TokenAmount::whole(10);
+  cfg.root_params.checkpoint_period = 5;
+  cfg.root_validators = 3;
+  cfg.root_engine.block_time = 100 * sim::kMillisecond;
+  cfg.durability.enabled = true;
+  return cfg;
+}
+
+struct DurableWorld {
+  runtime::Hierarchy h;
+  runtime::Subnet* child = nullptr;
+
+  explicit DurableWorld(std::uint64_t seed) : h(durable_cfg(seed)) {
+    consensus::EngineConfig fast;
+    fast.block_time = 100 * sim::kMillisecond;
+    auto c = h.spawn_subnet(h.root(), "dur", h.config().root_params, 3,
+                            TokenAmount::whole(6), fast);
+    EXPECT_TRUE(c.ok());
+    child = c.value();
+  }
+
+  [[nodiscard]] chain::Epoch parent_checkpoint_epoch() {
+    const auto sca = h.root().node(0).sca_state();
+    const auto it = sca.subnets.find(child->sa);
+    return it == sca.subnets.end() ? 0 : it->second.last_checkpoint_epoch;
+  }
+
+  /// Every alive child validator reports the same head as validator 0.
+  [[nodiscard]] bool child_converged() const {
+    const auto head = child->api_node().chain().head().cid();
+    for (std::size_t i = 0; i < child->size(); ++i) {
+      if (!child->alive(i)) return false;
+      if (child->node(i).chain().head().cid() != head) return false;
+    }
+    return true;
+  }
+};
+
+TEST(DurableRecovery, WalReplayRestartRejoinsAndIsNotSlashed) {
+  DurableWorld w(101);
+  ASSERT_TRUE(w.h.run_until([&] { return w.parent_checkpoint_epoch() >= 5; },
+                            60 * sim::kSecond));
+  const chain::Epoch pre_crash = w.child->node(2).chain().height();
+  ASSERT_GT(pre_crash, 0);
+
+  storage::DiskFault intact;
+  intact.kind = storage::DiskFault::Kind::kKeepAll;
+  ASSERT_TRUE(w.h.crash_node(*w.child, 2, intact).ok());
+  w.h.run_for(2 * sim::kSecond);
+  ASSERT_TRUE(w.h.restart_node(*w.child, 2).ok());
+
+  // The WAL held every committed block: recovery replays the whole chain
+  // without touching the network.
+  const auto& node = w.child->node(2);
+  EXPECT_GE(node.recovered_height(), pre_crash);
+  EXPECT_GT(node.recovery_stats().records, 0u);
+  EXPECT_EQ(node.recovery_stats().corrupt_records, 0u);
+  EXPECT_FALSE(node.recovery_stats().torn_tail);
+
+  ASSERT_TRUE(w.h.run_until(
+      [&] {
+        return w.child_converged() &&
+               w.child->node(2).chain().height() > pre_crash;
+      },
+      60 * sim::kSecond));
+  // Its pre-crash production record survived: rejoining must not have
+  // produced anything conflicting, so no fraud was ever provable.
+  EXPECT_TRUE(w.h.root().node(0).sca_state().slash_records.empty());
+}
+
+TEST(DurableRecovery, RestartWhileParentPartitionedRecoversLocally) {
+  DurableWorld w(102);
+  ASSERT_TRUE(w.h.run_until([&] { return w.parent_checkpoint_epoch() >= 5; },
+                            60 * sim::kSecond));
+
+  storage::DiskFault torn;
+  torn.kind = storage::DiskFault::Kind::kTornTail;
+  ASSERT_TRUE(w.h.crash_node(*w.child, 1, torn).ok());
+  // Cut the whole child subnet off from its parent BEFORE the restart:
+  // WAL replay must need no network at all.
+  w.h.network().set_partition({w.child->node_ids});
+  w.h.run_for(2 * sim::kSecond);
+  ASSERT_TRUE(w.h.restart_node(*w.child, 1).ok());
+  EXPECT_GT(w.child->node(1).recovered_height(), 0);
+  EXPECT_GT(w.child->node(1).recovery_stats().records, 0u);
+
+  w.h.run_for(2 * sim::kSecond);
+  const chain::Epoch at_heal = w.parent_checkpoint_epoch();
+  w.h.network().heal_partition();
+
+  // After heal the checkpoint pipeline resumes past the partition gap.
+  ASSERT_TRUE(w.h.run_until(
+      [&] { return w.parent_checkpoint_epoch() > at_heal; },
+      120 * sim::kSecond));
+  ASSERT_TRUE(
+      w.h.run_until([&] { return w.child_converged(); }, 60 * sim::kSecond));
+  EXPECT_TRUE(w.h.root().node(0).sca_state().slash_records.empty());
+}
+
+TEST(DurableRecovery, TwoValidatorsRestartSameEpochWithoutConflict) {
+  DurableWorld w(103);
+  ASSERT_TRUE(w.h.run_until([&] { return w.parent_checkpoint_epoch() >= 5; },
+                            60 * sim::kSecond));
+
+  storage::DiskFault lose;  // power-loss model
+  storage::DiskFault flip;
+  flip.kind = storage::DiskFault::Kind::kBitFlip;
+  ASSERT_TRUE(w.h.crash_node(*w.child, 1, lose).ok());
+  ASSERT_TRUE(w.h.crash_node(*w.child, 2, flip).ok());
+  w.h.run_for(2 * sim::kSecond);  // one of three: PoA stalls at most heights
+
+  // Both restart at the same instant and replay whatever their disks kept.
+  ASSERT_TRUE(w.h.restart_node(*w.child, 1).ok());
+  ASSERT_TRUE(w.h.restart_node(*w.child, 2).ok());
+
+  const chain::Epoch stalled = w.child->api_node().chain().height();
+  ASSERT_TRUE(w.h.run_until(
+      [&] {
+        return w.child_converged() &&
+               w.child->api_node().chain().height() > stalled + 5;
+      },
+      120 * sim::kSecond));
+  ASSERT_TRUE(w.h.run_until(
+      [&] { return w.parent_checkpoint_epoch() > stalled; },
+      120 * sim::kSecond));
+  EXPECT_TRUE(w.h.root().node(0).sca_state().slash_records.empty());
+}
+
 }  // namespace
 }  // namespace hc::testing
