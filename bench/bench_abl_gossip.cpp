@@ -37,7 +37,7 @@ void run_gossip(benchmark::State& state) {
       net.subscribe(ids.back(), "abl");
       net.set_topic_handler(ids.back(),
                             [&](net::NodeId, const std::string&,
-                                const Bytes&) {
+                                const net::Envelope&) {
                               ++delivered;
                               last_delivery = sched.now();
                             });

@@ -120,6 +120,14 @@ def main() -> int:
              sum_counter(f, "sim_events_run_total"), "higher"),
             ("p99_us", histogram_p99(b, "block_commit_latency_us"),
              histogram_p99(f, "block_commit_latency_us"), "higher"),
+            # Memory/zero-copy signals (DESIGN.md §16). Absent families are
+            # skipped, so baselines predating them still gate the rest.
+            ("alloc_bytes", sum_counter(b, "alloc_bytes_total"),
+             sum_counter(f, "alloc_bytes_total"), "higher"),
+            ("decode_misses", sum_counter(b, "payload_decode_misses_total"),
+             sum_counter(f, "payload_decode_misses_total"), "higher"),
+            ("decode_hits", sum_counter(b, "payload_decode_hits_total"),
+             sum_counter(f, "payload_decode_hits_total"), "lower"),
         ]
         for name, old, new, bad_direction in checks:
             if old is None or new is None:

@@ -89,7 +89,7 @@ ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 # exactly zero).
 cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$PERF_DIR" -j "$(nproc)" --target bench_fig1_scaling \
-  --target bench_overload --target bench_recovery
+  --target bench_overload --target bench_recovery --target bench_hotpath
 
 PERF_OUT="$PERF_DIR/perf-gate"
 rm -rf "$PERF_OUT" && mkdir -p "$PERF_OUT"
@@ -119,3 +119,13 @@ python3 scripts/bench_diff.py \
 (cd "$PERF_OUT" && ../bench/bench_recovery --threads 1)
 python3 scripts/bench_diff.py \
   BENCH_recovery.json "$PERF_OUT/BENCH_recovery.metrics.json"
+
+# Hot-path memory gate (DESIGN.md §16): saturating load on a small
+# hierarchy. The bench itself fails when the envelope decode cache never
+# hits or physical bytes exceed logical bytes; bench_diff then holds arena
+# demand (alloc_bytes_total) and the decode hit/miss counts — deterministic
+# per seed, so unchanged code diffs exactly zero — to the committed
+# baseline.
+(cd "$PERF_OUT" && ../bench/bench_hotpath --threads 1)
+python3 scripts/bench_diff.py \
+  BENCH_hotpath.json "$PERF_OUT/BENCH_hotpath.metrics.json"

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/hash.hpp"
+#include "crypto/batchverify.hpp"
 #include "obs/profile.hpp"
 
 namespace hc::chain {
@@ -216,6 +217,11 @@ Receipt Executor::invoke_message(StateTree& tree, const Message& msg,
 
 Receipt Executor::apply(StateTree& tree, const SignedMessage& sm,
                         const ExecutionContext& ctx) const {
+  return apply(tree, sm, ctx, sm.verify_with(arena_));
+}
+
+Receipt Executor::apply(StateTree& tree, const SignedMessage& sm,
+                        const ExecutionContext& ctx, bool sig_valid) const {
   const Message& msg = sm.message;
   Receipt receipt;
 
@@ -234,7 +240,7 @@ Receipt Executor::apply(StateTree& tree, const SignedMessage& sm,
     return receipt;
   }
 
-  if (!sm.verify()) {
+  if (!sig_valid) {
     receipt.exit = ExitCode::kSysInvalidSignature;
     receipt.error = "envelope signature invalid";
     return receipt;
@@ -306,9 +312,27 @@ std::vector<Receipt> Executor::apply_block(StateTree& tree,
   for (const auto& cm : block.cross_messages) {
     receipts.push_back(apply_implicit(tree, cm, ctx));
   }
-  for (const auto& sm : block.messages) {
-    receipts.push_back(apply(tree, sm, ctx));
+
+  // Batched signature pre-pass: every signing payload is encoded into the
+  // block arena (one counting pass + one bump allocation each, no heap),
+  // then the whole block resolves against the SigCache in one shard-grouped
+  // pass with real Schnorr math only for misses.
+  std::vector<char> sig_ok(block.messages.size(), 0);
+  if (!block.messages.empty()) {
+    crypto::BatchVerifier batch;
+    for (const auto& sm : block.messages) {
+      batch.add(sm.pubkey, arena_.encode_obj(sm.message), sm.signature);
+    }
+    const std::vector<bool> verified = batch.flush();
+    for (std::size_t i = 0; i < block.messages.size(); ++i) {
+      sig_ok[i] =
+          (verified[i] && block.messages[i].sender_matches_key()) ? 1 : 0;
+    }
   }
+  for (std::size_t i = 0; i < block.messages.size(); ++i) {
+    receipts.push_back(apply(tree, block.messages[i], ctx, sig_ok[i] != 0));
+  }
+  arena_.reset();
   return receipts;
 }
 

@@ -21,6 +21,7 @@
 #include "chain/message.hpp"
 #include "chain/receipt.hpp"
 #include "chain/state.hpp"
+#include "common/arena.hpp"
 
 namespace hc::chain {
 
@@ -40,6 +41,13 @@ class Executor {
   Receipt apply(StateTree& tree, const SignedMessage& sm,
                 const ExecutionContext& ctx) const;
 
+  /// Same, with the signature outcome precomputed by a batch pre-pass
+  /// (apply_block verifies a whole block's signatures through one
+  /// BatchVerifier before executing). Semantics are identical to apply():
+  /// the intrinsic-gas check still precedes the signature check.
+  Receipt apply(StateTree& tree, const SignedMessage& sm,
+                const ExecutionContext& ctx, bool sig_valid) const;
+
   /// Apply a protocol-injected message (cross-msg / reward). No signature,
   /// no nonce, no fee; minting allowed from kSystemAddr.
   Receipt apply_implicit(StateTree& tree, const Message& msg,
@@ -51,6 +59,11 @@ class Executor {
   std::vector<Receipt> apply_block(StateTree& tree, const Block& block) const;
 
   [[nodiscard]] const GasSchedule& schedule() const { return schedule_; }
+
+  /// Per-block transient arena (signature payloads, scratch). Reset at the
+  /// end of every apply_block; exposed so the owning node can flush its
+  /// allocation stats into obs counters at deterministic points.
+  [[nodiscard]] Arena& arena() const { return arena_; }
 
   /// Internal invocation path shared by top-level apply and nested sends.
   /// Exposed for the Runtime implementation; not part of the public API.
@@ -67,6 +80,10 @@ class Executor {
 
   const ActorRegistry& registry_;
   GasSchedule schedule_;
+  // Mutable: apply_block is logically const (the VM has no state of its
+  // own) but reuses this scratch arena across blocks. Executors are
+  // lane-local, never shared across threads.
+  mutable Arena arena_;
 };
 
 }  // namespace hc::chain

@@ -18,7 +18,9 @@ void Mempool::erase_one(const Address& sender, std::uint64_t nonce) {
 }
 
 Status Mempool::add(SignedMessage msg, std::uint64_t next_nonce) {
-  if (!msg.verify()) {
+  const bool sig_ok = msg.verify_with(arena_);
+  arena_.reset();
+  if (!sig_ok) {
     return Error(Errc::kInvalidSignature, "mempool rejects unsigned message");
   }
   const std::uint64_t nonce = msg.message.nonce;

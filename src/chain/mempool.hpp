@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "chain/message.hpp"
+#include "common/arena.hpp"
 #include "common/capacity.hpp"
 #include "common/result.hpp"
 
@@ -73,6 +74,10 @@ class Mempool {
   /// higher-priority arrivals. peak_items tracks the high-water size.
   [[nodiscard]] const common::ShedStats& shed_stats() const { return shed_; }
 
+  /// Admission scratch arena (signature payload re-encodes). Exposed so the
+  /// owning node can flush allocation stats to obs at deterministic points.
+  [[nodiscard]] Arena& arena() { return arena_; }
+
  private:
   /// Priority key for eviction: evict the *smallest* under (gas_price asc,
   /// sender desc, nonce desc). Higher nonce of the same sender is always
@@ -91,6 +96,9 @@ class Mempool {
   std::map<Address, std::map<std::uint64_t, SignedMessage>> pending_;
   std::size_t size_ = 0;
   common::ShedStats shed_;
+  // Scratch for per-admission transients; reset after every add(). Small
+  // chunks: an admission encodes exactly one signing payload.
+  Arena arena_{4 * 1024};
 };
 
 }  // namespace hc::chain

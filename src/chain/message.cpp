@@ -44,8 +44,17 @@ SignedMessage SignedMessage::sign(Message msg, const crypto::KeyPair& key) {
 }
 
 bool SignedMessage::verify() const {
-  if (message.from != Address::key(pubkey.to_bytes())) return false;
+  if (!sender_matches_key()) return false;
   return crypto::verify_cached(pubkey, encode(message), signature);
+}
+
+bool SignedMessage::verify_with(Arena& arena) const {
+  if (!sender_matches_key()) return false;
+  return crypto::verify_cached(pubkey, arena.encode_obj(message), signature);
+}
+
+bool SignedMessage::sender_matches_key() const {
+  return message.from == Address::key(pubkey.to_bytes());
 }
 
 void SignedMessage::encode_to(Encoder& e) const {

@@ -220,6 +220,19 @@ InvariantReport check_invariants(const runtime::Hierarchy& hierarchy) {
           std::to_string(nq.max_bytes));
     }
   }
+  {
+    // The per-node gossip dedup set is generational (hot/cold), so its
+    // resident size must never exceed two generations regardless of how
+    // much traffic the run pushed through.
+    const net::Network::Stats net_stats = hierarchy.network().stats();
+    constexpr std::uint64_t kSeenCap = 2 * net::Network::SeenSet::kSeenHotMax;
+    if (net_stats.seen_peak_entries > kSeenCap) {
+      report.violations.push_back(
+          "network: gossip seen-set peak " +
+          std::to_string(net_stats.seen_peak_entries) +
+          " exceeds generational bound " + std::to_string(kSeenCap));
+    }
+  }
 
   for (const auto& subnet : hierarchy.subnets()) {
     const std::string tag = subnet->id.to_string();

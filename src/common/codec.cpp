@@ -1,29 +1,62 @@
 #include "common/codec.hpp"
 
+#include <cassert>
+
 namespace hc {
 
+std::atomic<std::uint64_t>& codec_realloc_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+void Encoder::put_byte(std::uint8_t b) { put(&b, 1); }
+
+void Encoder::put(const std::uint8_t* p, std::size_t n) {
+  if (n == 0) return;
+  if (counting_) {
+    size_ += n;
+    return;
+  }
+  if (ext_ != nullptr) {
+    assert(size_ + n <= ext_cap_ && "external encode buffer undersized");
+    std::memcpy(ext_ + size_, p, n);
+    size_ += n;
+    return;
+  }
+  if (buf_.size() + n > buf_.capacity() && buf_.capacity() != 0) {
+    codec_realloc_count().fetch_add(1, std::memory_order_relaxed);
+  }
+  buf_.insert(buf_.end(), p, p + n);
+  size_ = buf_.size();
+}
+
 Encoder& Encoder::u8(std::uint8_t v) {
-  buf_.push_back(v);
+  put_byte(v);
   return *this;
 }
 
 Encoder& Encoder::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)};
+  put(b, 2);
   return *this;
 }
 
 Encoder& Encoder::u32(std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
   }
+  put(b, 4);
   return *this;
 }
 
 Encoder& Encoder::u64(std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
   }
+  put(b, 8);
   return *this;
 }
 
@@ -32,11 +65,14 @@ Encoder& Encoder::i64(std::int64_t v) {
 }
 
 Encoder& Encoder::varint(std::uint64_t v) {
+  std::uint8_t b[10];
+  std::size_t n = 0;
   while (v >= 0x80) {
-    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    b[n++] = static_cast<std::uint8_t>(v) | 0x80;
     v >>= 7;
   }
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  b[n++] = static_cast<std::uint8_t>(v);
+  put(b, n);
   return *this;
 }
 
@@ -49,12 +85,12 @@ Encoder& Encoder::bytes(BytesView v) {
 
 Encoder& Encoder::str(std::string_view v) {
   varint(v.size());
-  buf_.insert(buf_.end(), v.begin(), v.end());
+  put(reinterpret_cast<const std::uint8_t*>(v.data()), v.size());
   return *this;
 }
 
 Encoder& Encoder::raw(BytesView v) {
-  buf_.insert(buf_.end(), v.begin(), v.end());
+  put(v.data(), v.size());
   return *this;
 }
 

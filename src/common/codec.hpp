@@ -8,7 +8,9 @@
 // LEB128 varints for counts, and length-prefixed byte strings.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <string>
 #include <type_traits>
@@ -19,9 +21,35 @@
 
 namespace hc {
 
+/// Times an owned-mode Encoder buffer grew past already-reserved capacity.
+/// The zero-copy hot path pre-sizes every encode (encoded_size() counting
+/// pass + a single exact reservation), so on pre-sized paths this counter
+/// must stay flat — the codec property tests assert exactly that.
+[[nodiscard]] std::atomic<std::uint64_t>& codec_realloc_count();
+
 /// Append-only encoder. Methods return *this to allow chaining.
+///
+/// Three sink modes share one encode_to() traversal:
+///  - owned (default): appends into an internal Bytes buffer;
+///  - counting (Encoder::sizer()): writes nothing, only tracks size() —
+///    the first pass of a size-precomputed encode;
+///  - external (Encoder(out, cap)): writes into caller storage previously
+///    sized by a counting pass (arena blocks, exactly-reserved vectors).
 class Encoder {
  public:
+  Encoder() = default;
+
+  /// Counting encoder: size() advances, no bytes are stored.
+  [[nodiscard]] static Encoder sizer() {
+    Encoder e;
+    e.counting_ = true;
+    return e;
+  }
+
+  /// External-buffer encoder; writing past `cap` is a programming error
+  /// (the counting pass determines `cap` exactly).
+  Encoder(std::uint8_t* out, std::size_t cap) : ext_(out), ext_cap_(cap) {}
+
   Encoder& u8(std::uint8_t v);
   Encoder& u16(std::uint16_t v);   // big-endian
   Encoder& u32(std::uint32_t v);   // big-endian
@@ -50,11 +78,26 @@ class Encoder {
     return *this;
   }
 
+  /// Bytes produced so far (all modes).
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Reserve capacity ahead of appends (owned mode only; no-op otherwise).
+  void reserve(std::size_t n) {
+    if (!counting_ && ext_ == nullptr) buf_.reserve(n);
+  }
+
   [[nodiscard]] const Bytes& data() const& { return buf_; }
   [[nodiscard]] Bytes&& take() && { return std::move(buf_); }
 
  private:
-  Bytes buf_;
+  void put(const std::uint8_t* p, std::size_t n);
+  void put_byte(std::uint8_t b);
+
+  Bytes buf_;                        // owned mode storage
+  std::uint8_t* ext_ = nullptr;      // external mode destination
+  std::size_t ext_cap_ = 0;
+  std::size_t size_ = 0;             // bytes produced (all modes)
+  bool counting_ = false;
 };
 
 /// Bounds-checked decoder over a byte view.
@@ -122,12 +165,23 @@ class Decoder {
   return v;
 }
 
-/// Encode a single encodable object to bytes.
+/// Exact encoded size of an object (counting traversal; allocation-free).
+template <typename T>
+[[nodiscard]] std::size_t encoded_size(const T& v) {
+  Encoder e = Encoder::sizer();
+  e.obj(v);
+  return e.size();
+}
+
+/// Encode a single encodable object to bytes. Two-pass: a counting
+/// traversal sizes the buffer, then a second pass fills it — exactly one
+/// allocation, never a realloc, regardless of object shape.
 template <typename T>
 [[nodiscard]] Bytes encode(const T& v) {
-  Encoder e;
+  Bytes out(encoded_size(v));
+  Encoder e(out.data(), out.size());
   e.obj(v);
-  return std::move(e).take();
+  return out;
 }
 
 /// Decode a single object, requiring the input to be fully consumed.

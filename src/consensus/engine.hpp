@@ -171,7 +171,9 @@ class Engine {
   /// Stop producing/voting (a crashed or stopped validator).
   virtual void stop() = 0;
   /// Deliver a consensus wire message published on the consensus topic.
-  virtual void on_message(net::NodeId from, const Bytes& payload) = 0;
+  /// The envelope's decoded-object cache means the N validators of a
+  /// subnet parse each proposal/vote once between them.
+  virtual void on_message(net::NodeId from, const net::Envelope& payload) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 

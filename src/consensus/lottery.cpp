@@ -125,13 +125,13 @@ void PowerLottery::maybe_propose() {
   try_commit_pending();
 }
 
-void PowerLottery::on_message(net::NodeId from, const Bytes& payload) {
+void PowerLottery::on_message(net::NodeId from, const net::Envelope& payload) {
   (void)from;
   if (!running_) return;
   obs::ProfileScope prof(metrics_.step_phase());
-  auto decoded = decode<WireMsg>(payload);
-  if (!decoded || decoded.value().kind != WireKind::kBlock) return;
-  WireMsg msg = std::move(decoded).value();
+  auto decoded = payload.decoded<WireMsg>();
+  if (!decoded || decoded.value()->kind != WireKind::kBlock) return;
+  WireMsg msg = *decoded.value();  // shared decode, private mutable copy
   if (!msg.verify()) return;
   auto block_r = decode<chain::Block>(msg.block);
   if (!block_r || block_r.value().cid() != msg.block_cid) return;

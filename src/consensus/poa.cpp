@@ -72,13 +72,14 @@ void PoaRoundRobin::tick() {
   timer_ = ctx_.scheduler->schedule(cfg_.block_time, [this] { tick(); });
 }
 
-void PoaRoundRobin::on_message(net::NodeId from, const Bytes& payload) {
+void PoaRoundRobin::on_message(net::NodeId from,
+                               const net::Envelope& payload) {
   (void)from;
   if (!running_) return;
   obs::ProfileScope prof(metrics_.step_phase());
-  auto decoded = decode<WireMsg>(payload);
+  auto decoded = payload.decoded<WireMsg>();
   if (!decoded) return;
-  WireMsg msg = std::move(decoded).value();
+  WireMsg msg = *decoded.value();  // shared decode, private mutable copy
   if (!msg.verify()) return;
 
   if (msg.kind == WireKind::kAck) {

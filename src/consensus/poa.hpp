@@ -37,7 +37,7 @@ class PoaRoundRobin final : public Engine {
 
   void start() override;
   void stop() override;
-  void on_message(net::NodeId from, const Bytes& payload) override;
+  void on_message(net::NodeId from, const net::Envelope& payload) override;
   [[nodiscard]] std::string_view name() const override {
     return "poa-round-robin";
   }

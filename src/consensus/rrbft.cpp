@@ -123,12 +123,13 @@ void RoundRobinBft::broadcast(WireMsg msg) {
   handle(std::move(msg));
 }
 
-void RoundRobinBft::on_message(net::NodeId from, const Bytes& payload) {
+void RoundRobinBft::on_message(net::NodeId from,
+                               const net::Envelope& payload) {
   (void)from;
   if (!running_) return;
-  auto decoded = decode<WireMsg>(payload);
+  auto decoded = payload.decoded<WireMsg>();
   if (!decoded) return;
-  handle(std::move(decoded).value());
+  handle(*decoded.value());  // shared decode, private mutable copy
 }
 
 void RoundRobinBft::handle(WireMsg msg) {

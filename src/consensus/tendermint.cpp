@@ -153,12 +153,12 @@ void Tendermint::broadcast(WireMsg msg) {
   handle(std::move(msg));  // gossip does not self-deliver
 }
 
-void Tendermint::on_message(net::NodeId from, const Bytes& payload) {
+void Tendermint::on_message(net::NodeId from, const net::Envelope& payload) {
   (void)from;
   if (!running_) return;
-  auto decoded = decode<WireMsg>(payload);
+  auto decoded = payload.decoded<WireMsg>();
   if (!decoded) return;
-  handle(std::move(decoded).value());
+  handle(*decoded.value());  // shared decode, private mutable copy
 }
 
 void Tendermint::handle(WireMsg msg) {

@@ -66,7 +66,7 @@ class Tendermint final : public Engine {
 
   void start() override;
   void stop() override;
-  void on_message(net::NodeId from, const Bytes& payload) override;
+  void on_message(net::NodeId from, const net::Envelope& payload) override;
   [[nodiscard]] std::string_view name() const override { return "tendermint"; }
 
   /// Rounds this node has burned waiting for silent/faulty proposers —

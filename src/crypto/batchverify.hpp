@@ -1,0 +1,49 @@
+// Batched signature verification through the sharded SigCache.
+//
+// The hot path verifies signatures in clusters with known boundaries: all
+// SignedMessages of a block at proposal/validation/commit, all checkpoint
+// shares of a window. Verifying them one at a time pays one SigCache shard
+// lock round-trip per signature; a BatchVerifier instead collects the whole
+// cluster, resolves every cached outcome in one shard-grouped lookup pass
+// (each shard mutex taken at most once), runs real Schnorr math only for
+// the misses inside a single profiled region, and writes the new outcomes
+// back in one shard-grouped store pass.
+//
+// Results are positional and deterministic: flush() returns outcomes in
+// add() order, and the underlying math is the same deterministic per-triple
+// verify() as the scalar path, so batch and scalar verification agree
+// bit-for-bit (parallel determinism gates depend on this).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace hc::crypto {
+
+class BatchVerifier {
+ public:
+  /// Queue a (pubkey, message, signature) triple. `message` is NOT copied —
+  /// the view must stay valid until flush() (arena-backed payloads satisfy
+  /// this: the owner resets its arena only after the block's flush).
+  void add(const PublicKey& pub, BytesView message, const Signature& sig);
+
+  /// Verify everything queued since the last flush. Returns one outcome per
+  /// add(), in order, and leaves the verifier empty for reuse.
+  [[nodiscard]] std::vector<bool> flush();
+
+  [[nodiscard]] std::size_t pending() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    PublicKey pub;
+    BytesView message;
+    Signature sig;
+    std::uint64_t key;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hc::crypto

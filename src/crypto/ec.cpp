@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cassert>
+#include <cstdint>
+#include <vector>
 
 namespace hc::crypto {
 
@@ -192,30 +194,169 @@ Point Point::add(const Point& other) const {
   return Point(x3, y3, z3);
 }
 
+Point Point::add_affine(const U256& x, const U256& y) const {
+  if (is_infinity()) return Point(x, y, U256(1));
+  // madd-2007-bl specialization of add() for Z2 == 1.
+  const U256 z1z1 = fp::sqr(z_);
+  const U256 u2 = fp::mul(x, z1z1);
+  const U256 s2 = fp::mul(y, fp::mul(z1z1, z_));
+  const U256 h = fp::sub(u2, x_);
+  const U256 r = fp::sub(s2, y_);
+  if (h.is_zero()) {
+    if (r.is_zero()) return doubled();
+    return Point();  // P + (-P) = infinity
+  }
+  const U256 h2 = fp::sqr(h);
+  const U256 h3 = fp::mul(h2, h);
+  const U256 u1h2 = fp::mul(x_, h2);
+  U256 x3 = fp::sub(fp::sqr(r), h3);
+  x3 = fp::sub(x3, fp::add(u1h2, u1h2));
+  const U256 y3 = fp::sub(fp::mul(r, fp::sub(u1h2, x3)), fp::mul(y_, h3));
+  const U256 z3 = fp::mul(h, z_);
+  return Point(x3, y3, z3);
+}
+
+Point Point::negated() const {
+  return Point(x_, fp::sub(U256(), y_), z_);
+}
+
+namespace {
+
+/// One normalized entry of the fixed-base comb table.
+struct AffineEntry {
+  U256 x;
+  U256 y;
+};
+
+}  // namespace
+
+/// Builds the mul_generator comb: 32 byte windows * 255 multiples
+/// (entry [j][v-1] = v * 2^(8j) * G), all normalized to affine with ONE
+/// shared field inversion (Montgomery's trick) so process start-up stays
+/// in the low milliseconds. Friend of Point for raw Jacobian access.
+struct GenTableBuilder {
+  static constexpr std::size_t kWindows = 32;
+  static constexpr std::size_t kPerWindow = 255;
+
+  [[nodiscard]] static std::vector<AffineEntry> build() {
+    std::vector<Point> jac;
+    jac.reserve(kWindows * kPerWindow);
+    Point base = Point::generator();  // 2^(8j) * G for the current window
+    for (std::size_t j = 0; j < kWindows; ++j) {
+      Point acc = base;
+      for (std::size_t v = 1; v <= kPerWindow; ++v) {
+        jac.push_back(acc);
+        acc = acc.add(base);
+      }
+      base = acc;  // 256 * (2^(8j) * G) = 2^(8(j+1)) * G
+    }
+    // Batch inversion: prefix[i] = Z_0 * ... * Z_i, one inv, walk back.
+    std::vector<U256> prefix(jac.size());
+    U256 running(1);
+    for (std::size_t i = 0; i < jac.size(); ++i) {
+      running = fp::mul(running, jac[i].z_);
+      prefix[i] = running;
+    }
+    U256 inv_all = fp::inv(running);
+    std::vector<AffineEntry> out(jac.size());
+    for (std::size_t i = jac.size(); i-- > 0;) {
+      const U256 zinv =
+          i == 0 ? inv_all : fp::mul(inv_all, prefix[i - 1]);
+      inv_all = fp::mul(inv_all, jac[i].z_);
+      const U256 zinv2 = fp::sqr(zinv);
+      out[i].x = fp::mul(jac[i].x_, zinv2);
+      out[i].y = fp::mul(jac[i].y_, fp::mul(zinv2, zinv));
+    }
+    return out;
+  }
+
+  [[nodiscard]] static const std::vector<AffineEntry>& table() {
+    static const std::vector<AffineEntry> t = build();
+    return t;
+  }
+};
+
+namespace {
+
+/// Width-5 wNAF digits of k, least significant first. Digits are odd in
+/// {-15..15}; the carry from folding a negative digit can push one bit
+/// past 2^256, hence the 5-limb scratch.
+int wnaf_digits(const U256& k, std::array<std::int8_t, 260>& digits) {
+  std::uint64_t limbs[5] = {k.limb(0), k.limb(1), k.limb(2), k.limb(3), 0};
+  const auto is_zero = [&] {
+    return (limbs[0] | limbs[1] | limbs[2] | limbs[3] | limbs[4]) == 0;
+  };
+  const auto shr1 = [&] {
+    for (int i = 0; i < 4; ++i) {
+      limbs[i] = (limbs[i] >> 1) | (limbs[i + 1] << 63);
+    }
+    limbs[4] >>= 1;
+  };
+  int count = 0;
+  while (!is_zero()) {
+    std::int8_t d = 0;
+    if ((limbs[0] & 1) != 0) {
+      const auto low = static_cast<int>(limbs[0] & 31u);
+      d = static_cast<std::int8_t>(low > 16 ? low - 32 : low);
+      if (d > 0) {
+        // Subtract d (fits in the low limb; k is odd so k >= d).
+        std::uint64_t borrow = static_cast<std::uint64_t>(d);
+        for (int i = 0; i < 5 && borrow != 0; ++i) {
+          const std::uint64_t before = limbs[i];
+          limbs[i] -= borrow;
+          borrow = before < borrow ? 1 : 0;
+        }
+      } else {
+        std::uint64_t carry = static_cast<std::uint64_t>(-d);
+        for (int i = 0; i < 5 && carry != 0; ++i) {
+          limbs[i] += carry;
+          carry = limbs[i] < carry ? 1 : 0;
+        }
+      }
+    }
+    digits[static_cast<std::size_t>(count++)] = d;
+    shr1();
+  }
+  return count;
+}
+
+}  // namespace
+
 Point Point::mul(const U256& k) const {
+  if (is_infinity() || k.is_zero()) return Point();
+  // Odd multiples 1P, 3P, ..., 15P.
+  std::array<Point, 8> odd;
+  odd[0] = *this;
+  const Point twice = doubled();
+  for (std::size_t i = 1; i < odd.size(); ++i) {
+    odd[i] = odd[i - 1].add(twice);
+  }
+  std::array<std::int8_t, 260> digits{};
+  const int count = wnaf_digits(k, digits);
   Point acc;  // infinity
-  const int top = k.top_bit();
-  for (int i = top; i >= 0; --i) {
+  for (int i = count - 1; i >= 0; --i) {
     acc = acc.doubled();
-    if (k.bit(i)) acc = acc.add(*this);
+    const int d = digits[static_cast<std::size_t>(i)];
+    if (d > 0) {
+      acc = acc.add(odd[static_cast<std::size_t>((d - 1) / 2)]);
+    } else if (d < 0) {
+      acc = acc.add(odd[static_cast<std::size_t>((-d - 1) / 2)].negated());
+    }
   }
   return acc;
 }
 
 Point Point::mul_generator(const U256& k) {
-  // gpow[i] = 2^i * G, computed once.
-  static const std::array<Point, 256> gpow = [] {
-    std::array<Point, 256> table{};
-    table[0] = generator();
-    for (std::size_t i = 1; i < 256; ++i) {
-      table[i] = table[i - 1].doubled();
-    }
-    return table;
-  }();
+  const std::vector<AffineEntry>& table = GenTableBuilder::table();
   Point acc;  // infinity
-  const int top = k.top_bit();
-  for (int i = 0; i <= top; ++i) {
-    if (k.bit(i)) acc = acc.add(gpow[static_cast<std::size_t>(i)]);
+  for (std::size_t j = 0; j < GenTableBuilder::kWindows; ++j) {
+    const std::uint64_t v = (k.limb(static_cast<int>(j / 8)) >>
+                             ((j % 8) * 8)) & 0xFFu;
+    if (v != 0) {
+      const AffineEntry& e =
+          table[j * GenTableBuilder::kPerWindow + (v - 1)];
+      acc = acc.add_affine(e.x, e.y);
+    }
   }
   return acc;
 }

@@ -56,12 +56,21 @@ class Point {
 
   [[nodiscard]] Point doubled() const;
   [[nodiscard]] Point add(const Point& other) const;
-  /// Scalar multiplication k * this (double-and-add, MSB first).
+  /// Mixed addition with an affine point (implicit Z == 1): 8M + 3S versus
+  /// the 12M + 4S of the general Jacobian add. The workhorse of the
+  /// fixed-base table walk in mul_generator().
+  [[nodiscard]] Point add_affine(const U256& x, const U256& y) const;
+  /// Group negation (X, -Y, Z).
+  [[nodiscard]] Point negated() const;
+  /// Scalar multiplication k * this (width-5 wNAF: a shared doubling chain
+  /// plus one add per ~6 scalar bits against 8 precomputed odd multiples).
   [[nodiscard]] Point mul(const U256& k) const;
 
-  /// k * G using a precomputed table of G's doublings (~3x faster than the
-  /// generic mul; signing and the s*G term of verification are hot paths —
-  /// consensus engines sign every vote).
+  /// k * G via a fixed-base comb: 32 byte-indexed windows of precomputed
+  /// affine multiples (v * 2^(8j) * G), so a full-width scalar costs at
+  /// most 32 mixed additions and no doublings. Signing and the s*G term
+  /// of verification are the simulation's hottest code paths — consensus
+  /// engines sign every vote and every user message verifies once.
   [[nodiscard]] static Point mul_generator(const U256& k);
 
   /// Affine coordinates; nullopt for infinity. Costs one field inversion.
@@ -78,6 +87,8 @@ class Point {
   [[nodiscard]] bool equals(const Point& other) const;
 
  private:
+  friend struct GenTableBuilder;  // batch-normalizes the fixed-base table
+
   Point(const U256& x, const U256& y, const U256& z) : x_(x), y_(y), z_(z) {}
 
   U256 x_;

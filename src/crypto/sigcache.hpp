@@ -41,6 +41,19 @@ class SigCache {
   /// Record an outcome.
   void store(std::uint64_t key, bool result);
 
+  /// Batched lookup for `n` keys: sets `present[i]` / `results[i]` (0/1)
+  /// per key. Keys are grouped by shard first so each shard mutex is taken
+  /// at most once per call, instead of once per signature as with lookup()
+  /// in a loop — the cache-side half of BatchVerifier's per-block pass.
+  void lookup_batch(const std::uint64_t* keys, std::size_t n,
+                    std::uint8_t* present, std::uint8_t* results) const;
+
+  /// Batched store; same shard-grouped single-lock discipline. Entries with
+  /// `skip[i]` nonzero are ignored (already-cached hits from the lookup
+  /// pass). `skip` may be null to store everything.
+  void store_batch(const std::uint64_t* keys, const std::uint8_t* results,
+                   const std::uint8_t* skip, std::size_t n);
+
   [[nodiscard]] std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
   }

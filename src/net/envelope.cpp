@@ -1,0 +1,68 @@
+#include "net/envelope.hpp"
+
+#include <atomic>
+
+#include "obs/obs.hpp"
+
+namespace hc::net {
+
+namespace {
+
+std::atomic<std::uint64_t> g_decode_hits{0};
+std::atomic<std::uint64_t> g_decode_misses{0};
+std::atomic<bool> g_cache_enabled{true};
+
+// Process-wide registry, like SigCache's hit/miss counters: envelope cache
+// tallies must never enter per-run metric exports or replay fingerprints,
+// because a cross-lane insertion race can legally turn one miss+hit into
+// two misses without changing any simulation output.
+obs::Counter& hits_counter() {
+  static obs::Counter& c =
+      obs::default_obs().metrics.counter("payload_decode_hits_total");
+  return c;
+}
+
+obs::Counter& misses_counter() {
+  static obs::Counter& c =
+      obs::default_obs().metrics.counter("payload_decode_misses_total");
+  return c;
+}
+
+}  // namespace
+
+const Digest& Envelope::content_hash() const {
+  std::lock_guard<std::mutex> lk(state_->m);
+  if (!state_->hash_ready) {
+    state_->hash = Sha256::hash(state_->payload);
+    state_->hash_ready = true;
+  }
+  return state_->hash;
+}
+
+void Envelope::count_hit() {
+  g_decode_hits.fetch_add(1, std::memory_order_relaxed);
+  hits_counter().inc();
+}
+
+void Envelope::count_miss() {
+  g_decode_misses.fetch_add(1, std::memory_order_relaxed);
+  misses_counter().inc();
+}
+
+std::uint64_t Envelope::decode_hits() {
+  return g_decode_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Envelope::decode_misses() {
+  return g_decode_misses.load(std::memory_order_relaxed);
+}
+
+void Envelope::set_cache_enabled(bool enabled) {
+  g_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Envelope::cache_enabled() {
+  return g_cache_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace hc::net

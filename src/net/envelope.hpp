@@ -1,0 +1,113 @@
+// Decode-once gossip envelope.
+//
+// A published payload fans out to every subscriber of a topic, hop by hop.
+// Before envelopes, each of the N receiving replicas re-ran decode<T> (and
+// any content hashing) on its own copy of the bytes — O(N) redundant parses
+// of identical input per publish. An Envelope wraps the payload in shared,
+// immutable state carrying:
+//   - the raw bytes (materialized exactly once, at publish/send time —
+//     the "physical" bytes of net accounting; every forwarded hop is a
+//     pointer copy, accounted as "logical" bytes),
+//   - a lazily-computed-once content hash,
+//   - a type-erased decoded-object cache: the first decoded<T>() pays the
+//     parse, every later replica gets the same shared immutable object.
+//
+// Thread safety / determinism: a subnet's topic delivers within a single
+// scheduler lane, so in steady state the cache sees a strict miss-then-hits
+// sequence and the hit/miss counters are reproducible. The mutex makes
+// cross-lane envelopes (direct sends, multi-subnet topics) race-safe: on an
+// insertion race both sides decode the same deterministic value and the
+// first insert wins, so every reader observes one object identity. The
+// hit/miss counters live in the process-wide obs registry (like SigCache's)
+// precisely so racy interleavings can never perturb per-run metric exports
+// or replay fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/hash.hpp"
+#include "common/result.hpp"
+
+namespace hc::net {
+
+class Envelope {
+ public:
+  /// Empty envelope (no payload); decoded() and bytes() are invalid until
+  /// assigned from a real one.
+  Envelope() = default;
+
+  /// Materialize an envelope from owned payload bytes.
+  explicit Envelope(Bytes payload)
+      : state_(std::make_shared<State>(std::move(payload))) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] const Bytes& bytes() const { return state_->payload; }
+  [[nodiscard]] std::size_t size() const {
+    return state_ ? state_->payload.size() : 0;
+  }
+
+  /// SHA-256 of the payload, computed on first use and memoized.
+  [[nodiscard]] const Digest& content_hash() const;
+
+  /// Decode the payload as T, sharing one immutable decoded object across
+  /// every replica holding this envelope. Failures are not cached (they are
+  /// the malformed-input cold path).
+  template <typename T>
+  [[nodiscard]] Result<std::shared_ptr<const T>> decoded() const {
+    const std::type_index key(typeid(T));
+    if (cache_enabled()) {
+      std::lock_guard<std::mutex> lk(state_->m);
+      if (auto it = state_->cache.find(key); it != state_->cache.end()) {
+        count_hit();
+        return std::static_pointer_cast<const T>(it->second);
+      }
+    }
+    // Parse outside the lock — this is the expensive part, and decoding is
+    // deterministic, so a racing lane produces an identical value.
+    auto r = hc::decode<T>(state_->payload);
+    count_miss();
+    if (!r) return r.error();
+    auto obj = std::make_shared<const T>(std::move(r).value());
+    if (!cache_enabled()) return obj;
+    std::lock_guard<std::mutex> lk(state_->m);
+    auto [it, inserted] = state_->cache.emplace(key, obj);
+    if (!inserted) return std::static_pointer_cast<const T>(it->second);
+    return obj;
+  }
+
+  /// Process-wide decode-cache tallies (mirrored into the default obs
+  /// registry as payload_decode_{hits,misses}_total).
+  [[nodiscard]] static std::uint64_t decode_hits();
+  [[nodiscard]] static std::uint64_t decode_misses();
+
+  /// Test hook: disable the decoded-object cache process-wide (every call
+  /// re-parses). The cache is a pure optimization — runs must be
+  /// byte-identical with it off — and the determinism tests prove exactly
+  /// that by diffing same-seed fingerprints across this toggle.
+  static void set_cache_enabled(bool enabled);
+  [[nodiscard]] static bool cache_enabled();
+
+ private:
+  struct State {
+    explicit State(Bytes p) : payload(std::move(p)) {}
+    const Bytes payload;
+    mutable std::mutex m;
+    mutable bool hash_ready = false;
+    mutable Digest hash{};
+    mutable std::map<std::type_index, std::shared_ptr<const void>> cache;
+  };
+
+  static void count_hit();
+  static void count_miss();
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hc::net

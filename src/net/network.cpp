@@ -76,6 +76,7 @@ Network::Network(sim::Scheduler& scheduler, sim::LatencyModel latency,
       obs_(&obs::obs_or_default(obs)),
       m_sent_(&obs_->metrics.counter("net_messages_sent_total")),
       m_bytes_(&obs_->metrics.counter("net_bytes_sent_total")),
+      m_bytes_physical_(&obs_->metrics.counter("net_bytes_physical_total")),
       m_delivered_(&obs_->metrics.counter("net_messages_delivered_total")),
       m_dropped_(&obs_->metrics.counter("net_messages_dropped_total")),
       m_duplicated_(&obs_->metrics.counter("net_messages_duplicated_total")),
@@ -241,9 +242,8 @@ void Network::run_direct_delivery(NodeId to, NodeId from,
 }
 
 void Network::run_gossip_delivery(NodeId to, const std::string& topic,
-                                  const std::shared_ptr<const Bytes>& payload,
-                                  NodeId origin, std::uint64_t msg_id,
-                                  int hops_left) {
+                                  const Envelope& payload, NodeId origin,
+                                  std::uint64_t msg_id, int hops_left) {
   Node& node = nodes_[to];
   if (node.on_topic) {
     stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
@@ -251,7 +251,7 @@ void Network::run_gossip_delivery(NodeId to, const std::string& topic,
     static const obs::PhaseId deliver_phase =
         obs::Profiler::instance().phase("net/deliver");
     obs::ProfileScope prof(deliver_phase);
-    node.on_topic(origin, topic, *payload);
+    node.on_topic(origin, topic, payload);
   }
   if (hops_left <= 0) return;
   if (auto mit = node.mesh.find(topic); mit != node.mesh.end()) {
@@ -265,7 +265,7 @@ void Network::run_gossip_delivery(NodeId to, const std::string& topic,
 void Network::enqueue_delivery(NodeId to, QueuedDelivery d) {
   Node& node = nodes_[to];
   const NodeQueuePolicy& policy = config_.node_queue;
-  const std::size_t add = d.payload->size();
+  const std::size_t add = d.payload.size();
   if (policy.max_depth > 0 && node.queue.size() >= policy.max_depth) {
     count_drop(DropReason::kNodeQueueCap);
     return;
@@ -301,7 +301,7 @@ void Network::drain_queue(NodeId to) {
   }
   QueuedDelivery d = std::move(node.queue.front());
   node.queue.pop_front();
-  node.queue_bytes -= d.payload->size();
+  node.queue_bytes -= d.payload.size();
   if (d.is_gossip) {
     auto it = node.topic_depth.find(d.topic);
     if (it != node.topic_depth.end() && --it->second == 0) {
@@ -313,7 +313,7 @@ void Network::drain_queue(NodeId to) {
       run_gossip_delivery(to, d.topic, d.payload, d.from, d.msg_id,
                           d.hops_left);
     } else {
-      run_direct_delivery(to, d.from, *d.payload);
+      run_direct_delivery(to, d.from, d.payload.bytes());
     }
   }
   if (node.queue.empty()) {
@@ -324,41 +324,44 @@ void Network::drain_queue(NodeId to) {
                          [this, to] { drain_queue(to); });
 }
 
-void Network::deliver_direct(NodeId from, NodeId to,
-                             std::shared_ptr<const Bytes> payload,
+void Network::deliver_direct(NodeId from, NodeId to, Envelope payload,
                              sim::Duration delay) {
   h_direct_latency_->observe(delay);
-  scheduler_.schedule_in(node_domain(to), delay, [this, from, to, payload] {
-    if (config_.node_queue.enabled()) {
-      if (nodes_[to].down) return;
-      QueuedDelivery d;
-      d.is_gossip = false;
-      d.from = from;
-      d.payload = payload;
-      enqueue_delivery(to, std::move(d));
-      return;
-    }
-    run_direct_delivery(to, from, *payload);
-  });
+  scheduler_.schedule_in(
+      node_domain(to), delay, [this, from, to, payload = std::move(payload)] {
+        if (config_.node_queue.enabled()) {
+          if (nodes_[to].down) return;
+          QueuedDelivery d;
+          d.is_gossip = false;
+          d.from = from;
+          d.payload = payload;
+          enqueue_delivery(to, std::move(d));
+          return;
+        }
+        run_direct_delivery(to, from, payload.bytes());
+      });
 }
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
   assert(from < nodes_.size() && to < nodes_.size());
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
+  // A direct send materializes exactly one copy; logical == physical here.
+  stats_.bytes_physical.fetch_add(payload.size(), std::memory_order_relaxed);
   m_sent_->inc();
   m_bytes_->inc(payload.size());
+  m_bytes_physical_->inc(payload.size());
   const LinkFault fault = effective_fault(from, to);
   if (auto reason = transmission_drop(from, to, fault); reason.has_value()) {
     count_drop(*reason);
     return;
   }
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
-  deliver_direct(from, to, shared, transmission_delay(from, to, fault));
+  Envelope env(std::move(payload));
+  deliver_direct(from, to, env, transmission_delay(from, to, fault));
   if (fault.duplicate > 0.0 && rng().chance(fault.duplicate)) {
     stats_.messages_duplicated.fetch_add(1, std::memory_order_relaxed);
     m_duplicated_->inc();
-    deliver_direct(from, to, shared, transmission_delay(from, to, fault));
+    deliver_direct(from, to, env, transmission_delay(from, to, fault));
   }
 }
 
@@ -422,8 +425,10 @@ void Network::publish(NodeId from, const std::string& topic, Bytes payload) {
 
   const std::uint64_t msg_id =
       next_msg_seq_.fetch_add(1, std::memory_order_relaxed);
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  const std::size_t payload_size = payload.size();
+  Envelope env(std::move(payload));  // the one materialization of this publish
   nodes_[from].seen.insert(msg_id);  // don't deliver to self later
+  raise_peak(stats_.seen_peak_entries, nodes_[from].seen.size());
 
   // Initial push: to the publisher's mesh if subscribed, otherwise to a
   // random sample of subscribers (a boundary node publishing into a foreign
@@ -445,29 +450,36 @@ void Network::publish(NodeId from, const std::string& topic, Bytes payload) {
     }
     targets.assign(chosen.begin(), chosen.end());
   }
+  if (!targets.empty()) {
+    // Physical bytes: counted once per publish (each hop below re-counts
+    // the payload as logical bytes only — the fan-out is pointer copies).
+    stats_.bytes_physical.fetch_add(payload_size, std::memory_order_relaxed);
+    m_bytes_physical_->inc(payload_size);
+  }
   for (NodeId peer : targets) {
-    gossip_deliver(from, peer, topic, shared, from, msg_id,
-                   config_.max_hops);
+    gossip_deliver(from, peer, topic, env, from, msg_id, config_.max_hops);
   }
 }
 
 void Network::schedule_gossip_hop(NodeId to, const std::string& topic,
-                                  std::shared_ptr<const Bytes> payload,
-                                  NodeId origin, std::uint64_t msg_id,
-                                  int hops_left, sim::Duration delay) {
+                                  Envelope payload, NodeId origin,
+                                  std::uint64_t msg_id, int hops_left,
+                                  sim::Duration delay) {
   h_gossip_latency_->observe(delay);
-  scheduler_.schedule_in(node_domain(to), delay, [this, to, topic, payload,
+  scheduler_.schedule_in(node_domain(to), delay, [this, to, topic,
+                                                  payload = std::move(payload),
                                                   origin, msg_id, hops_left] {
     Node& node = nodes_[to];
     if (node.down) return;
     // Dedup before the queue caps: a copy of an already-seen message never
     // consumes queue space, and marking it seen here keeps the dedup cache
     // semantics identical whether or not queueing is enabled.
-    if (!node.seen.insert(msg_id).second) {
+    if (!node.seen.insert(msg_id)) {
       stats_.gossip_duplicates.fetch_add(1, std::memory_order_relaxed);
       m_duplicates_->inc();
       return;
     }
+    raise_peak(stats_.seen_peak_entries, node.seen.size());
     if (config_.node_queue.enabled()) {
       QueuedDelivery d;
       d.is_gossip = true;
@@ -484,13 +496,12 @@ void Network::schedule_gossip_hop(NodeId to, const std::string& topic,
 }
 
 void Network::gossip_deliver(NodeId from, NodeId to, const std::string& topic,
-                             std::shared_ptr<const Bytes> payload,
-                             NodeId origin, std::uint64_t msg_id,
-                             int hops_left) {
+                             const Envelope& payload, NodeId origin,
+                             std::uint64_t msg_id, int hops_left) {
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_sent.fetch_add(payload->size(), std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
   m_sent_->inc();
-  m_bytes_->inc(payload->size());
+  m_bytes_->inc(payload.size());
   const LinkFault fault = effective_fault(from, to);
   if (auto reason = transmission_drop(from, to, fault); reason.has_value()) {
     count_drop(*reason);
@@ -510,6 +521,7 @@ Network::Stats Network::stats() const {
   Stats out;
   out.messages_sent = stats_.messages_sent.load(std::memory_order_relaxed);
   out.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  out.bytes_physical = stats_.bytes_physical.load(std::memory_order_relaxed);
   out.messages_delivered =
       stats_.messages_delivered.load(std::memory_order_relaxed);
   out.messages_dropped =
@@ -534,12 +546,15 @@ Network::Stats Network::stats() const {
       stats_.queue_peak_depth.load(std::memory_order_relaxed);
   out.queue_peak_bytes =
       stats_.queue_peak_bytes.load(std::memory_order_relaxed);
+  out.seen_peak_entries =
+      stats_.seen_peak_entries.load(std::memory_order_relaxed);
   return out;
 }
 
 void Network::reset_stats() {
   stats_.messages_sent.store(0, std::memory_order_relaxed);
   stats_.bytes_sent.store(0, std::memory_order_relaxed);
+  stats_.bytes_physical.store(0, std::memory_order_relaxed);
   stats_.messages_delivered.store(0, std::memory_order_relaxed);
   stats_.messages_dropped.store(0, std::memory_order_relaxed);
   stats_.dropped_random_loss.store(0, std::memory_order_relaxed);
@@ -552,6 +567,7 @@ void Network::reset_stats() {
   stats_.gossip_duplicates.store(0, std::memory_order_relaxed);
   stats_.queue_peak_depth.store(0, std::memory_order_relaxed);
   stats_.queue_peak_bytes.store(0, std::memory_order_relaxed);
+  stats_.seen_peak_entries.store(0, std::memory_order_relaxed);
 }
 
 void Network::set_node_down(NodeId node, bool down) {

@@ -36,6 +36,7 @@
 
 #include "common/bytes.hpp"
 #include "common/hash.hpp"
+#include "net/envelope.hpp"
 #include "obs/obs.hpp"
 #include "sim/latency.hpp"
 #include "sim/rng.hpp"
@@ -127,8 +128,11 @@ class Network {
  public:
   using DirectHandler =
       std::function<void(NodeId from, const Bytes& payload)>;
-  using TopicHandler = std::function<void(NodeId from, const std::string& topic,
-                                          const Bytes& payload)>;
+  /// Gossip deliveries hand subscribers the shared Envelope: N replicas of
+  /// a topic decode a payload once between them (Envelope::decoded), and
+  /// forwarded hops are pointer copies, not byte copies.
+  using TopicHandler = std::function<void(
+      NodeId from, const std::string& topic, const Envelope& payload)>;
 
   /// `obs` routes network metrics into a registry; nullptr falls back to
   /// the process-wide obs::default_obs(). Throws std::invalid_argument for
@@ -217,7 +221,13 @@ class Network {
 
   struct Stats {
     std::uint64_t messages_sent = 0;       // transmissions attempted
+    // Logical bytes: payload size counted once per transmission (every
+    // gossip hop), the pre-envelope semantics of net_bytes_sent_total.
     std::uint64_t bytes_sent = 0;
+    // Physical bytes: payload size counted once per materialization (one
+    // publish/send), however many hops fan out afterwards as pointer
+    // copies. Always <= bytes_sent when anything was transmitted.
+    std::uint64_t bytes_physical = 0;
     std::uint64_t messages_delivered = 0;  // handler invocations
     std::uint64_t messages_dropped = 0;    // lost to faults (total)
     // messages_dropped split by cause:
@@ -234,6 +244,9 @@ class Network {
     // queue policy is disabled).
     std::uint64_t queue_peak_depth = 0;
     std::uint64_t queue_peak_bytes = 0;
+    // High-water mark of any node's gossip dedup set (hot + cold
+    // generations); bounded by construction at 2 * kSeenHotMax.
+    std::uint64_t seen_peak_entries = 0;
 
     /// Deliberate load shedding (queue caps).
     [[nodiscard]] std::uint64_t policy_sheds() const {
@@ -273,17 +286,63 @@ class Network {
     bool is_gossip = false;
     NodeId from = 0;
     std::string topic;
-    std::shared_ptr<const Bytes> payload;
+    Envelope payload;
     std::uint64_t msg_id = 0;
     int hops_left = 0;
   };
 
+ public:
+  /// Generational gossip dedup set (same hot/cold discipline as SigCache):
+  /// inserts land in `hot`; when hot reaches kSeenHotMax it ages into
+  /// `cold` and the previous cold generation is dropped, bounding a node's
+  /// dedup memory at 2 * kSeenHotMax ids regardless of run length. The
+  /// duplicate-arrival window of a message (max_hops x per-hop latency) is
+  /// far shorter than the time to see 2 * kSeenHotMax fresh ids, so an id
+  /// is only ever evicted long after its last copy stopped circulating.
+  class SeenSet {
+   public:
+    static constexpr std::size_t kSeenHotMax = 4096;
+
+    /// Record `id`; returns true when it was not already present.
+    bool insert(std::uint64_t id) {
+      if (hot_.contains(id)) return false;
+      if (cold_.contains(id)) {
+        hot_.insert(id);  // promote: still circulating
+        rotate_if_full();
+        return false;
+      }
+      hot_.insert(id);
+      rotate_if_full();
+      return true;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+      return hot_.size() + cold_.size();
+    }
+    void clear() {
+      hot_.clear();
+      cold_.clear();
+    }
+
+   private:
+    void rotate_if_full() {
+      if (hot_.size() >= kSeenHotMax) {
+        cold_ = std::move(hot_);
+        hot_.clear();
+      }
+    }
+
+    std::unordered_set<std::uint64_t> hot_;
+    std::unordered_set<std::uint64_t> cold_;
+  };
+
+ private:
   struct Node {
     DirectHandler on_direct;
     TopicHandler on_topic;
     bool down = false;
-    // Per-topic set of seen gossip message ids (dedup).
-    std::unordered_set<std::uint64_t> seen;
+    // Seen gossip message ids (dedup), bounded generationally.
+    SeenSet seen;
     // Mesh peers per topic.
     std::unordered_map<std::string, std::vector<NodeId>> mesh;
     // Bounded delivery queue (NodeQueuePolicy). All three fields are
@@ -319,14 +378,13 @@ class Network {
   [[nodiscard]] sim::Duration transmission_delay(NodeId from, NodeId to,
                                                  const LinkFault& fault);
   void rebuild_meshes(const std::string& topic);
-  void deliver_direct(NodeId from, NodeId to,
-                      std::shared_ptr<const Bytes> payload,
+  void deliver_direct(NodeId from, NodeId to, Envelope payload,
                       sim::Duration delay);
   void gossip_deliver(NodeId from, NodeId to, const std::string& topic,
-                      std::shared_ptr<const Bytes> payload, NodeId origin,
+                      const Envelope& payload, NodeId origin,
                       std::uint64_t msg_id, int hops_left);
   void schedule_gossip_hop(NodeId to, const std::string& topic,
-                           std::shared_ptr<const Bytes> payload, NodeId origin,
+                           Envelope payload, NodeId origin,
                            std::uint64_t msg_id, int hops_left,
                            sim::Duration delay);
   // Bounded-queue path (receiver lane only). enqueue_delivery applies the
@@ -337,13 +395,14 @@ class Network {
   void drain_queue(NodeId to);
   void run_direct_delivery(NodeId to, NodeId from, const Bytes& payload);
   void run_gossip_delivery(NodeId to, const std::string& topic,
-                           const std::shared_ptr<const Bytes>& payload,
-                           NodeId origin, std::uint64_t msg_id, int hops_left);
+                           const Envelope& payload, NodeId origin,
+                           std::uint64_t msg_id, int hops_left);
 
   /// Stats mirror with atomic fields; updated from worker lanes.
   struct AtomicStats {
     std::atomic<std::uint64_t> messages_sent{0};
     std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_physical{0};
     std::atomic<std::uint64_t> messages_delivered{0};
     std::atomic<std::uint64_t> messages_dropped{0};
     std::atomic<std::uint64_t> dropped_random_loss{0};
@@ -358,6 +417,7 @@ class Network {
     // identical across worker counts just like the sums.
     std::atomic<std::uint64_t> queue_peak_depth{0};
     std::atomic<std::uint64_t> queue_peak_bytes{0};
+    std::atomic<std::uint64_t> seen_peak_entries{0};
   };
 
   sim::Scheduler& scheduler_;
@@ -388,6 +448,7 @@ class Network {
   // Registry-backed mirrors of Stats, resolved once at construction.
   obs::Counter* m_sent_;
   obs::Counter* m_bytes_;
+  obs::Counter* m_bytes_physical_;
   obs::Counter* m_delivered_;
   obs::Counter* m_dropped_;
   obs::Counter* m_dropped_by_reason_[kDropReasonCount];

@@ -5,6 +5,7 @@
 
 #include "actors/methods.hpp"
 #include "common/log.hpp"
+#include "crypto/batchverify.hpp"
 #include "obs/profile.hpp"
 
 namespace hc::runtime {
@@ -107,6 +108,7 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   }
   g_mempool_ = &m.gauge("mempool_size", node_labels);
   g_mempool_peak_ = &m.gauge("mempool_peak_size", node_labels);
+  c_alloc_bytes_ = &m.counter("alloc_bytes_total", node_labels);
   h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
   resolved_.set_policy(config_.content_store);
   chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
@@ -153,7 +155,7 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   network_.subscribe(net_id_, Topics::resolve(config_.subnet));
   network_.set_topic_handler(
       net_id_, [this](net::NodeId from, const std::string& topic,
-                      const Bytes& payload) {
+                      const net::Envelope& payload) {
         if (topic == Topics::consensus(config_.subnet)) {
           engine_->on_message(from, payload);
         } else if (topic == Topics::msgs(config_.subnet)) {
@@ -217,6 +219,12 @@ void SubnetNode::sync_mempool_obs() {
   mempool_obs_synced_ = shed;
   g_mempool_->set(static_cast<std::int64_t>(mempool_.size()));
   g_mempool_peak_->set(static_cast<std::int64_t>(shed.peak_items));
+}
+
+void SubnetNode::sync_arena_obs() {
+  const std::uint64_t demand = executor_.arena().take_bytes_requested() +
+                               mempool_.arena().take_bytes_requested();
+  if (demand > 0) c_alloc_bytes_->inc(demand);
 }
 
 void SubnetNode::record_state_stats(const chain::StateTree& tree) {
@@ -535,15 +543,28 @@ Status SubnetNode::validate_block(const chain::Block& block) {
     return Error(Errc::kInvalidArgument, "msgs root mismatch");
   }
   HC_TRY_STATUS(validate_cross_messages(block));
-  for (const auto& sm : block.messages) {
-    if (!sm.verify()) {
-      return Error(Errc::kInvalidSignature, "unsigned user message in block");
+  if (!block.messages.empty()) {
+    // One batched pass through the sharded signature cache instead of a
+    // per-message lookup; payload re-encodes live in the executor's arena.
+    Arena& arena = executor_.arena();
+    crypto::BatchVerifier batch;
+    for (const auto& sm : block.messages) {
+      batch.add(sm.pubkey, arena.encode_obj(sm.message), sm.signature);
+    }
+    const std::vector<bool> verified = batch.flush();
+    arena.reset();
+    for (std::size_t i = 0; i < block.messages.size(); ++i) {
+      if (!verified[i] || !block.messages[i].sender_matches_key()) {
+        return Error(Errc::kInvalidSignature,
+                     "unsigned user message in block");
+      }
     }
   }
   chain::StateTree tree = store_->state().snapshot();
   (void)executor_.apply_block(tree, block);
   const bool root_ok = tree.flush() == block.header.state_root;
   record_state_stats(tree);
+  sync_arena_obs();
   if (!root_ok) {
     return Error(Errc::kInvalidArgument, "state root mismatch");
   }
@@ -582,6 +603,7 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
   mempool_.remove_included(committed.messages);
   mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
   sync_mempool_obs();
+  sync_arena_obs();
 
   // Refresh the pending parent view once snapshots are in use (first
   // publish_view() call enables them); flipped at the next barrier.
@@ -1307,20 +1329,22 @@ void SubnetNode::maybe_submit_fraud_proofs() {
 
 // ---------------------------------------------------------------- topics
 
-void SubnetNode::handle_msgs_topic(const Bytes& payload) {
-  auto msg = decode<chain::SignedMessage>(payload);
+void SubnetNode::handle_msgs_topic(const net::Envelope& payload) {
+  auto msg = payload.decoded<chain::SignedMessage>();
   if (!msg) return;
-  const std::uint64_t next_nonce = account_nonce(msg.value().message.from);
+  const std::uint64_t next_nonce = account_nonce(msg.value()->message.from);
   // Gossip has no caller to backpressure; refused admissions only feed the
-  // reason-labelled shed counters.
-  (void)mempool_.add(std::move(msg).value(), next_nonce);
+  // reason-labelled shed counters. The mempool takes ownership, so copy out
+  // of the shared decode (still one parse for N subscribers).
+  (void)mempool_.add(*msg.value(), next_nonce);
   sync_mempool_obs();
+  sync_arena_obs();
 }
 
-void SubnetNode::handle_sigs_topic(const Bytes& payload) {
-  auto gossip_r = decode<SigGossip>(payload);
+void SubnetNode::handle_sigs_topic(const net::Envelope& payload) {
+  auto gossip_r = payload.decoded<SigGossip>();
   if (!gossip_r) return;
-  const SigGossip gossip = std::move(gossip_r).value();
+  const SigGossip& gossip = *gossip_r.value();
   const SigShare& share = gossip.share;
   if (!validators_.index_of(share.signer).has_value()) return;
   // Shares sign the cid digest, so they verify against the cid they CLAIM
@@ -1353,34 +1377,37 @@ void SubnetNode::handle_sigs_topic(const Bytes& payload) {
   maybe_submit_checkpoint();
 }
 
-void SubnetNode::handle_resolve_topic(const Bytes& payload) {
-  auto msg_r = decode<ResolutionMsg>(payload);
+void SubnetNode::handle_resolve_topic(const net::Envelope& payload) {
+  auto msg_r = payload.decoded<ResolutionMsg>();
   if (!msg_r) return;
-  ResolutionMsg msg = std::move(msg_r).value();
-  switch (msg.kind) {
+  const std::shared_ptr<const ResolutionMsg> msg = msg_r.value();
+  switch (msg->kind) {
     case ResolutionKind::kPush:
     case ResolutionKind::kResolve: {
       // Self-authenticating: only content hashing to the CID is stored.
-      (void)resolved_.put_verified(msg.cid, std::move(msg.content));
+      // The store aliases the shared decoded object (zero-copy: N replicas
+      // and the content store reference one materialization).
+      (void)resolved_.put_verified(
+          msg->cid, std::shared_ptr<const Bytes>(msg, &msg->content));
       break;
     }
     case ResolutionKind::kPull: {
       // Serve from the on-chain registry (paper §IV-C) or local cache.
       Bytes content;
       const actors::ScaState my_sca = sca_state();
-      auto it = my_sca.msg_registry.find(registry_key(msg.cid));
+      auto it = my_sca.msg_registry.find(registry_key(msg->cid));
       if (it != my_sca.msg_registry.end()) {
         content = it->second;
-      } else if (auto cached = resolved_.get(msg.cid); cached.has_value()) {
-        content = std::move(*cached);
+      } else if (auto cached = resolved_.get_shared(msg->cid)) {
+        content = *cached;
       } else {
         return;
       }
       ResolutionMsg resolve;
       resolve.kind = ResolutionKind::kResolve;
-      resolve.cid = msg.cid;
+      resolve.cid = msg->cid;
       resolve.content = std::move(content);
-      network_.publish(net_id_, Topics::resolve(msg.reply_to),
+      network_.publish(net_id_, Topics::resolve(msg->reply_to),
                        encode(resolve));
       c_resolves_served_->inc();
       break;

@@ -248,9 +248,9 @@ class SubnetNode final : public consensus::BlockSource,
   void after_commit(const chain::Block& block,
                     const std::vector<chain::Receipt>& receipts);
 
-  void handle_msgs_topic(const Bytes& payload);
-  void handle_sigs_topic(const Bytes& payload);
-  void handle_resolve_topic(const Bytes& payload);
+  void handle_msgs_topic(const net::Envelope& payload);
+  void handle_sigs_topic(const net::Envelope& payload);
+  void handle_resolve_topic(const net::Envelope& payload);
 
   void maybe_submit_checkpoint();
   /// While the earliest cut checkpoint stays unaccepted, periodically
@@ -277,6 +277,10 @@ class SubnetNode final : public consensus::BlockSource,
   /// Mirror the mempool's shed ledger into the reason-labelled obs
   /// counters and refresh the occupancy gauges. Lane-local (cheap deltas).
   void sync_mempool_obs();
+
+  /// Flush the executor/mempool arenas' cumulative allocation demand into
+  /// `alloc_bytes_total`. Called at the deterministic arena reset points.
+  void sync_arena_obs();
 
   [[nodiscard]] bool is_validator() const;
 
@@ -418,6 +422,9 @@ class SubnetNode final : public consensus::BlockSource,
   obs::Counter* c_mempool_shed_[common::kShedReasonCount];
   obs::Gauge* g_mempool_;
   obs::Gauge* g_mempool_peak_;
+  /// Cumulative arena allocation demand ({node, subnet}), flushed from the
+  /// executor's and mempool's Arena stats by sync_arena_obs().
+  obs::Counter* c_alloc_bytes_;
   obs::Histogram* h_commit_latency_;
   /// Durability counters ({node, subnet}); resolved only when a disk is
   /// attached, so volatile topologies keep their metrics export (and chaos

@@ -22,7 +22,7 @@ void ContentStore::make_room(std::size_t incoming_bytes,
     order_.pop_front();
     auto it = blobs_.find(victim);
     if (it == blobs_.end()) continue;
-    total_bytes_ -= it->second.size();
+    total_bytes_ -= it->second->size();
     blobs_.erase(it);
     shed_.count(common::ShedReason::kEvicted);
   }
@@ -45,19 +45,25 @@ Cid ContentStore::put(CidCodec codec, Bytes content) {
     shed_.count(common::ShedReason::kByteCap);
     return cid;
   }
-  blobs_.emplace(cid, std::move(content));
+  blobs_.emplace(cid, std::make_shared<const Bytes>(std::move(content)));
   record(cid, bytes);
   return cid;
 }
 
 Status ContentStore::put_verified(const Cid& expected, Bytes content) {
-  const Cid actual = Cid::of(expected.codec(), content);
+  return put_verified(expected,
+                      std::make_shared<const Bytes>(std::move(content)));
+}
+
+Status ContentStore::put_verified(const Cid& expected,
+                                  std::shared_ptr<const Bytes> content) {
+  const Cid actual = Cid::of(expected.codec(), *content);
   if (actual != expected) {
     return Error(Errc::kInvalidArgument,
                  "content does not match CID " + expected.to_string());
   }
   if (blobs_.contains(actual)) return ok_status();
-  const std::size_t bytes = content.size();
+  const std::size_t bytes = content->size();
   make_room(bytes, 1);
   if (policy_.max_bytes > 0 && bytes > policy_.max_bytes) {
     shed_.count(common::ShedReason::kByteCap);
@@ -73,6 +79,12 @@ bool ContentStore::has(const Cid& cid) const { return blobs_.contains(cid); }
 std::optional<Bytes> ContentStore::get(const Cid& cid) const {
   auto it = blobs_.find(cid);
   if (it == blobs_.end()) return std::nullopt;
+  return *it->second;
+}
+
+std::shared_ptr<const Bytes> ContentStore::get_shared(const Cid& cid) const {
+  auto it = blobs_.find(cid);
+  if (it == blobs_.end()) return nullptr;
   return it->second;
 }
 

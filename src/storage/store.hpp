@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -35,8 +36,17 @@ class ContentStore {
   /// Fails with kInvalidArgument when the bytes do not hash to `expected`.
   Status put_verified(const Cid& expected, Bytes content);
 
+  /// Zero-copy variant: share already-materialized bytes (e.g. a field of
+  /// a gossip envelope's decoded object, via the shared_ptr aliasing
+  /// constructor) instead of copying them into the store.
+  Status put_verified(const Cid& expected,
+                      std::shared_ptr<const Bytes> content);
+
   [[nodiscard]] bool has(const Cid& cid) const;
   [[nodiscard]] std::optional<Bytes> get(const Cid& cid) const;
+  /// Zero-copy read: the returned pointer shares ownership with the store
+  /// (and stays valid across eviction). Null when absent.
+  [[nodiscard]] std::shared_ptr<const Bytes> get_shared(const Cid& cid) const;
 
   [[nodiscard]] std::size_t size() const { return blobs_.size(); }
   [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
@@ -55,7 +65,9 @@ class ContentStore {
   void make_room(std::size_t incoming_bytes, std::size_t incoming_items);
   void record(const Cid& cid, std::size_t bytes);
 
-  std::unordered_map<Cid, Bytes> blobs_;
+  // Shared immutable blobs: a resident can alias a gossip envelope's
+  // decoded object (zero-copy put) and outlive eviction via get_shared().
+  std::unordered_map<Cid, std::shared_ptr<const Bytes>> blobs_;
   std::deque<Cid> order_;  // insertion order; front = eviction candidate
   std::size_t total_bytes_ = 0;
   common::CapacityPolicy policy_;

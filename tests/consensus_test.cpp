@@ -125,7 +125,7 @@ struct Cluster {
       net.subscribe(ids.back(), "subnet/test/consensus");
       net.set_topic_handler(ids.back(),
                             [this, self](net::NodeId from, const std::string&,
-                                         const Bytes& payload) {
+                                         const net::Envelope& payload) {
                               if (engines[self]) {
                                 engines[self]->on_message(from, payload);
                               }

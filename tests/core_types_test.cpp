@@ -127,6 +127,33 @@ TEST(CrossMsgOps, BatchCidIsContentAddressed) {
   EXPECT_EQ(batch.total_value(), TokenAmount::whole(4));
 }
 
+TEST(CrossMsgOps, LargeBatchEncodeIsReallocFree) {
+  // The two-pass encode (counting sizer -> exact single allocation) must
+  // hold for deeply nested objects: a batch big enough that a growing
+  // owned buffer would have reallocated many times.
+  CrossMsgBatch batch;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    CrossMsg m;
+    m.from_subnet = SubnetId::root().child(kSaA);
+    m.to_subnet = SubnetId::root().child(kSaC);
+    m.msg.from = Address::id(i);
+    m.msg.to = Address::id(i + 1);
+    m.msg.nonce = i;
+    m.msg.value = TokenAmount::atto(i);
+    m.nonce = i;
+    batch.msgs.push_back(std::move(m));
+  }
+  const std::uint64_t before = codec_realloc_count().load();
+  const Bytes wire = encode(batch);
+  EXPECT_EQ(codec_realloc_count().load(), before)
+      << "encode() of a large batch grew its buffer instead of "
+         "pre-sizing it";
+  EXPECT_EQ(wire.size(), encoded_size(batch));
+  auto back = decode<CrossMsgBatch>(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), batch);
+}
+
 TEST(CrossMsgOps, MetaCodecRoundTrip) {
   CrossMsgMeta meta;
   meta.from = SubnetId::root().child(kSaA);

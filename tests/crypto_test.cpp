@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "common/bytes.hpp"
+#include "crypto/batchverify.hpp"
 #include "crypto/ec.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/schnorr.hpp"
+#include "crypto/sigcache.hpp"
 #include "crypto/u256.hpp"
 
 namespace hc::crypto {
@@ -396,6 +398,85 @@ TEST(IncrementalMerkle, SiblingUpdatesShareOneParentHash) {
   inc.update({{4, merkle_leaf_hash(leaves[4])}, {5, merkle_leaf_hash(leaves[5])}});
   EXPECT_EQ(inc.node_hashes() - before, 3u);
   EXPECT_EQ(inc.root(), MerkleTree::root_of(leaves));
+}
+
+// ----------------------------------------------------------- batch verify
+
+TEST(BatchVerify, MixedValidAndInvalidFlags) {
+  std::vector<KeyPair> keys;
+  std::vector<Bytes> msgs;
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back(KeyPair::from_label("batch-" + std::to_string(i)));
+    msgs.push_back(to_bytes("payload-" + std::to_string(i)));
+    sigs.push_back(keys.back().sign(msgs.back()));
+  }
+  // Corrupt two entries: a flipped signature bit and a swapped message.
+  Bytes raw = sigs[2].to_bytes();
+  raw[95] ^= 1;
+  sigs[2] = Signature::from_bytes(raw).value();
+  msgs[5] = to_bytes("not-what-was-signed");
+
+  BatchVerifier batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.add(keys[static_cast<std::size_t>(i)].public_key(),
+              msgs[static_cast<std::size_t>(i)],
+              sigs[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(batch.pending(), 8u);
+  const std::vector<bool> ok = batch.flush();
+  ASSERT_EQ(ok.size(), 8u);
+  EXPECT_EQ(batch.pending(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    const bool expected = (i != 2 && i != 5);
+    EXPECT_EQ(ok[static_cast<std::size_t>(i)], expected) << "entry " << i;
+    // Batched outcomes must agree with the scalar path exactly.
+    EXPECT_EQ(verify(keys[static_cast<std::size_t>(i)].public_key(),
+                     msgs[static_cast<std::size_t>(i)],
+                     sigs[static_cast<std::size_t>(i)]),
+              expected);
+  }
+}
+
+TEST(BatchVerify, EmptyFlushIsEmpty) {
+  BatchVerifier batch;
+  EXPECT_TRUE(batch.flush().empty());
+}
+
+TEST(BatchVerify, SecondFlushServedFromCache) {
+  const KeyPair kp = KeyPair::from_label("batch-cache");
+  const Bytes msg = to_bytes("cached-once");
+  const Signature sig = kp.sign(msg);
+
+  BatchVerifier first;
+  first.add(kp.public_key(), msg, sig);
+  ASSERT_EQ(first.flush(), std::vector<bool>{true});
+
+  // Same triple again: the batched lookup must hit, so the process-wide
+  // miss count stays put.
+  const std::uint64_t misses = SigCache::instance().misses();
+  BatchVerifier second;
+  second.add(kp.public_key(), msg, sig);
+  EXPECT_EQ(second.flush(), std::vector<bool>{true});
+  EXPECT_EQ(SigCache::instance().misses(), misses);
+}
+
+TEST(BatchVerify, NegativeOutcomesAreCachedToo) {
+  const KeyPair kp = KeyPair::from_label("batch-neg");
+  const Bytes msg = to_bytes("never-signed");
+  Bytes raw = kp.sign(msg).to_bytes();
+  raw[64] ^= 1;  // corrupt R
+  const Signature bad = Signature::from_bytes(raw).value();
+
+  BatchVerifier first;
+  first.add(kp.public_key(), msg, bad);
+  ASSERT_EQ(first.flush(), std::vector<bool>{false});
+
+  const std::uint64_t misses = SigCache::instance().misses();
+  BatchVerifier second;
+  second.add(kp.public_key(), msg, bad);
+  EXPECT_EQ(second.flush(), std::vector<bool>{false});
+  EXPECT_EQ(SigCache::instance().misses(), misses);
 }
 
 }  // namespace

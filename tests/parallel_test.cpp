@@ -10,6 +10,7 @@
 #include <string>
 
 #include "chaos/runner.hpp"
+#include "net/envelope.hpp"
 
 namespace hc::chaos {
 namespace {
@@ -64,6 +65,39 @@ void expect_thread_invariant_cfg(RunnerConfig (*make)(std::size_t),
 
 void expect_thread_invariant(const Scenario& scenario, std::uint64_t seed) {
   expect_thread_invariant_cfg(fast_config, scenario, seed);
+}
+
+TEST(ParallelDeterminism, EnvelopeDecodeCacheIsTransparent) {
+  // The decode-once envelope cache is a pure optimization: a same-seed run
+  // with the cache disabled (every replica re-parses) must be byte-
+  // identical to the cached run across state roots, the full metrics
+  // export and the fingerprint.
+  const Scenario scenario =
+      find_scenario(ChaosRunner::standard_scenarios(), "baseline");
+  const RunResult cached = ChaosRunner(fast_config(1)).run(scenario, 21);
+  ASSERT_TRUE(cached.ok()) << cached.summary();
+
+  struct CacheOff {
+    CacheOff() { net::Envelope::set_cache_enabled(false); }
+    ~CacheOff() { net::Envelope::set_cache_enabled(true); }
+  } off_guard;
+  const RunResult uncached = ChaosRunner(fast_config(1)).run(scenario, 21);
+  ASSERT_TRUE(uncached.ok()) << uncached.summary();
+
+  EXPECT_EQ(cached.state_roots, uncached.state_roots);
+  EXPECT_EQ(cached.metrics_json, uncached.metrics_json);
+  EXPECT_EQ(cached.fingerprint, uncached.fingerprint);
+}
+
+TEST(ParallelDeterminism, EnvelopeDecodeSharingAcrossThreads) {
+  // 1/2/4-thread byte-identity with the decode cache live: worker lanes
+  // racing decoded<T>() insertions (cross-subnet resolution envelopes) must
+  // not perturb any deterministic artifact — and the cache must actually be
+  // exercised, or this test would vacuously pass on a dead cache.
+  const std::uint64_t hits_before = net::Envelope::decode_hits();
+  expect_thread_invariant(
+      find_scenario(ChaosRunner::standard_scenarios(), "baseline"), 23);
+  EXPECT_GT(net::Envelope::decode_hits(), hits_before);
 }
 
 TEST(ParallelDeterminism, Baseline) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "storage/durable.hpp"
@@ -45,6 +46,39 @@ TEST(ContentStore, PutVerifiedAcceptsMatchingContent) {
   const Cid cid = Cid::of(CidCodec::kCrossMsgs, content);
   EXPECT_TRUE(cas.put_verified(cid, content).ok());
   EXPECT_TRUE(cas.has(cid));
+}
+
+TEST(ContentStore, SharedPutAliasesWithoutCopying) {
+  // Zero-copy path: the store keeps the caller's buffer alive instead of
+  // copying it, and get_shared() hands back the very same allocation.
+  ContentStore cas;
+  auto owner = std::make_shared<const Bytes>(to_bytes("one materialization"));
+  const Cid cid = Cid::of(CidCodec::kCrossMsgs, *owner);
+  EXPECT_TRUE(cas.put_verified(cid, owner).ok());
+  auto shared = cas.get_shared(cid);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared.get(), owner.get());  // same buffer, not a copy
+  EXPECT_EQ(cas.total_bytes(), owner->size());
+  // Copy-returning get() still works against the shared resident.
+  auto copy = cas.get(cid);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(*copy, *owner);
+  EXPECT_EQ(cas.get_shared(Cid::of(CidCodec::kRaw, to_bytes("ghost"))),
+            nullptr);
+}
+
+TEST(ContentStore, SharedReadSurvivesEviction) {
+  ContentStore cas;
+  common::CapacityPolicy policy;
+  policy.max_items = 1;
+  cas.set_policy(policy);
+  const Bytes first = to_bytes("evict-me");
+  const Cid cid = cas.put(CidCodec::kRaw, first);
+  auto shared = cas.get_shared(cid);
+  ASSERT_NE(shared, nullptr);
+  (void)cas.put(CidCodec::kRaw, to_bytes("displaces"));  // evicts `first`
+  EXPECT_FALSE(cas.has(cid));
+  EXPECT_EQ(*shared, first);  // outstanding reader keeps the bytes alive
 }
 
 TEST(ContentStore, PutVerifiedRejectsForgedContent) {
