@@ -19,9 +19,19 @@ and fails (exit 1) when, beyond --threshold percent (default 10):
     - events rise            (more simulation work for the same run),
     - p99 rises              (commits got slower in simulated time).
 
+Runs may additionally carry a "scale" object (bench_scale, DESIGN.md §17)
+with deterministic memory-footprint fields; when both sides have one, the
+script also gates:
+
+    peak_bytes_per_node  max SubnetNode::mem_bytes() over the run (rise bad)
+    bytes_per_account    peak aggregate node bytes / pre-funded accounts
+
 Sim metrics are deterministic per seed, so on unchanged code the gate
 passes trivially (all deltas are exactly 0). Wall-clock meta fields are
-reported but never gate: they depend on the machine, not the code.
+reported but never gate by default: they depend on the machine, not the
+code. Pass --wall-gate PCT to additionally fail when the fresh file's
+meta.wall_seconds exceeds the baseline's by more than PCT percent — only
+meaningful when both files were produced on comparable hardware.
 """
 
 from __future__ import annotations
@@ -31,13 +41,14 @@ import json
 import sys
 
 
-def load_runs(path: str) -> dict[str, dict]:
+def load_doc(path: str) -> tuple[dict[str, dict], dict]:
+    """Runs keyed by label (the full run objects) plus the meta block."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     runs = {}
     for run in doc.get("runs", []):
-        runs[run["label"]] = run.get("metrics", {})
-    return runs
+        runs[run["label"]] = run
+    return runs, doc.get("meta", {})
 
 
 def sum_counter(metrics: dict, family: str) -> int | None:
@@ -93,10 +104,16 @@ def main() -> int:
     ap.add_argument("fresh")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="max tolerated regression in percent (default 10)")
+    ap.add_argument("--wall-gate", type=float, default=None, metavar="PCT",
+                    help="also fail when fresh meta.wall_seconds exceeds the "
+                         "baseline's by more than PCT percent (off by "
+                         "default: wall clock is machine-dependent)")
     args = ap.parse_args()
 
-    base = load_runs(args.baseline)
-    fresh = load_runs(args.fresh)
+    base_doc, base_meta = load_doc(args.baseline)
+    fresh_doc, fresh_meta = load_doc(args.fresh)
+    base = {k: v.get("metrics", {}) for k, v in base_doc.items()}
+    fresh = {k: v.get("metrics", {}) for k, v in fresh_doc.items()}
     labels = sorted(set(base) & set(fresh))
     if not labels:
         print(f"bench_diff: no common run labels between {args.baseline} "
@@ -129,6 +146,15 @@ def main() -> int:
             ("decode_hits", sum_counter(b, "payload_decode_hits_total"),
              sum_counter(f, "payload_decode_hits_total"), "lower"),
         ]
+        # Memory-footprint gate (DESIGN.md §17): deterministic logical
+        # sizes from bench_scale's "scale" object. Only gated when both
+        # sides carry the object, so older baselines still gate the rest.
+        b_scale = base_doc[label].get("scale", {})
+        f_scale = fresh_doc[label].get("scale", {})
+        for field in ("peak_bytes_per_node", "bytes_per_account"):
+            checks.append((field, b_scale.get(field), f_scale.get(field),
+                           "higher"))
+
         for name, old, new, bad_direction in checks:
             if old is None or new is None:
                 continue
@@ -141,6 +167,20 @@ def main() -> int:
                   f"({delta:+7.2f}%) {marker}")
             if regressed:
                 failures.append((label, name, delta))
+
+    # Opt-in wall-clock gate: one number per file (the meta block), not per
+    # run. Reported either way so perf drift is visible in the log.
+    base_wall = base_meta.get("wall_seconds")
+    fresh_wall = fresh_meta.get("wall_seconds")
+    if base_wall is not None and fresh_wall is not None:
+        delta = pct_change(base_wall, fresh_wall)
+        gated = args.wall_gate is not None
+        regressed = gated and delta > args.wall_gate
+        marker = "FAIL" if regressed else ("ok" if gated else "info")
+        print(f"  {'(meta)':48s} {'wall_s':10s} {base_wall:>14.3f} -> "
+              f"{fresh_wall:>14.3f} ({delta:+7.2f}%) {marker}")
+        if regressed:
+            failures.append(("(meta)", "wall_seconds", delta))
 
     if failures:
         print(f"\nbench_diff: {len(failures)} regression(s) beyond "

@@ -57,6 +57,18 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure \
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'StateCommitment|IncrementalMerkle'
 
+# Scale smoke (DESIGN.md §17): the interned-identity invariants (hash,
+# codec, growth bounds), the static-tree boot + retention/viewer-gating
+# suite, and the trimmed 85-subnet city bench — all under ASan. The intern
+# table is lock-free chunked storage and the flyweight paths share one
+# genesis tree across replicas, exactly where a dangling entry or
+# use-after-free of a pruned block would hide.
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'InternIdentity|InternGrowth|StaticTree|ChainStoreRetention'
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_scale
+(cd "$BUILD_DIR" && ./bench/bench_scale --threads 1 \
+   --benchmark_filter='run_city/fanout:4')
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # ---- ThreadSanitizer stage (DESIGN.md §11) -------------------------------
@@ -77,6 +89,10 @@ cmake --build "$TSAN_DIR" -j "$(nproc)"
 
 ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
   -R '^ParallelDeterminism\.'
+# Intern determinism (DESIGN.md §17): concurrent interning from worker
+# lanes must be race-free AND unobservable (byte-identical fingerprints at
+# 1/2/4 threads).
+ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^InternDeterminism\.'
 ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ChaosSweep\.'
 ctest --test-dir "$TSAN_DIR" --output-on-failure -R '^ByzantineSmoke\.'
 
@@ -129,3 +145,18 @@ python3 scripts/bench_diff.py \
 (cd "$PERF_OUT" && ../bench/bench_hotpath --threads 1)
 python3 scripts/bench_diff.py \
   BENCH_hotpath.json "$PERF_OUT/BENCH_hotpath.metrics.json"
+
+# City-scale memory gate (DESIGN.md §17): the full 1111-subnet / 10⁶-
+# account boot plus the 85-subnet trim. bench_diff holds the deterministic
+# footprint (peak bytes/node, bytes/account) and committed/event counts to
+# the committed baseline, and — since both files come from this machine
+# class — gates the wall clock too (generous 75%: the city must never get
+# an order of magnitude slower to boot).
+cmake --build "$PERF_DIR" -j "$(nproc)" --target bench_scale
+(cd "$PERF_OUT" && ../bench/bench_scale --threads 1)
+python3 scripts/bench_diff.py --wall-gate 75 \
+  BENCH_scale.json "$PERF_OUT/BENCH_scale.json"
+# The city boot is deliberately flat (five phases share the time), so the
+# profiler smoke runs with a looser top-3 coverage bound than fig1's.
+python3 scripts/profile_smoke.py --coverage 0.5 \
+  "$PERF_OUT/BENCH_scale.profile.json" "$PERF_OUT/BENCH_scale.folded"

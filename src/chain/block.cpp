@@ -39,6 +39,18 @@ Digest Block::compute_msgs_root() const {
   return crypto::MerkleTree::root_of(leaves);
 }
 
+std::size_t Block::mem_bytes() const {
+  std::size_t total =
+      sizeof(Block) + header.ticket.size() + header.proof.size();
+  for (const auto& sm : messages) {
+    total += sizeof(sm) + sm.message.params.size();
+  }
+  for (const auto& m : cross_messages) {
+    total += sizeof(m) + m.params.size();
+  }
+  return total;
+}
+
 void Block::encode_to(Encoder& e) const {
   e.obj(header).vec(messages).vec(cross_messages);
 }

@@ -43,6 +43,11 @@ struct Block {
   /// Recompute the merkle root over both message sections.
   [[nodiscard]] Digest compute_msgs_root() const;
 
+  /// Deterministic logical footprint: fixed struct sizes plus dynamic
+  /// payloads (params, ticket, proof). Feeds the chain store's retention
+  /// accounting (DESIGN.md §17); never allocator capacities.
+  [[nodiscard]] std::size_t mem_bytes() const;
+
   void encode_to(Encoder& e) const;
   [[nodiscard]] static Result<Block> decode_from(Decoder& d);
   [[nodiscard]] Cid cid() const { return header.cid(); }

@@ -246,6 +246,21 @@ Result<crypto::MerkleProof> StateTree::prove(const Address& addr) const {
   return tree_.prove(static_cast<std::size_t>(pos - order_.begin()));
 }
 
+std::size_t StateTree::mem_bytes() const {
+  std::size_t total = sizeof(StateTree);
+  for (const auto& [addr, entry] : actors_) {
+    total += sizeof(addr) + sizeof(entry) + entry.state.size();
+  }
+  for (const auto& j : journal_) {
+    total += sizeof(j) + (j.prior ? j.prior->state.size() : 0);
+  }
+  total += order_.size() * sizeof(Address);
+  // The incremental tree holds one digest per node over ~2N nodes.
+  total += 2 * order_.size() * sizeof(Digest);
+  total += dirty_.size() * sizeof(Address);
+  return total;
+}
+
 bool StateTree::verify_entry(const Cid& root, const Address& addr,
                              const ActorEntry& entry,
                              const crypto::MerkleProof& proof) {

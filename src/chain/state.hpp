@@ -171,6 +171,13 @@ class StateTree {
   /// Leaves whose content changed since the last flush (diagnostics).
   [[nodiscard]] std::size_t dirty_count() const { return dirty_.size(); }
 
+  /// Deterministic logical memory footprint: per-actor fixed overhead plus
+  /// dynamic payloads (serialized actor state, journal priors) plus the
+  /// commitment cache's dominant terms. Logical sizes only — never
+  /// allocator capacities — so same-seed runs report the same number
+  /// (city-scale accounting, DESIGN.md §17).
+  [[nodiscard]] std::size_t mem_bytes() const;
+
   /// Commitment-cost accounting since this instance was constructed or
   /// copied (copies start at zero). Scraped into the obs counters
   /// state_leaf_rehashes_total / state_flush_cache_hits_total by the node.

@@ -4,68 +4,76 @@
 
 namespace hc::core {
 
-SubnetId SubnetId::child(const Address& sa) const {
-  assert(sa.valid() && "child subnet requires a valid SA address");
-  SubnetId c = *this;
-  c.path_.push_back(sa);
-  return c;
-}
-
-std::optional<SubnetId> SubnetId::parent() const {
-  if (path_.empty()) return std::nullopt;
-  SubnetId p = *this;
-  p.path_.pop_back();
-  return p;
-}
-
 bool SubnetId::is_prefix_of(const SubnetId& other) const {
-  if (path_.size() > other.path_.size()) return false;
-  return std::equal(path_.begin(), path_.end(), other.path_.begin());
+  const auto& interner = SubnetInterner::instance();
+  const std::uint32_t my_depth = interner.entry(ref_).depth;
+  SubnetRef r = other.ref_;
+  std::uint32_t d = interner.entry(r).depth;
+  if (my_depth > d) return false;
+  while (d > my_depth) {
+    r = interner.entry(r).parent;
+    --d;
+  }
+  return r == ref_;
 }
 
 SubnetId SubnetId::common_ancestor(const SubnetId& a, const SubnetId& b) {
-  SubnetId out;
-  const std::size_t limit = std::min(a.path_.size(), b.path_.size());
-  for (std::size_t i = 0; i < limit && a.path_[i] == b.path_[i]; ++i) {
-    out.path_.push_back(a.path_[i]);
+  const auto& interner = SubnetInterner::instance();
+  SubnetRef ra = a.ref_;
+  SubnetRef rb = b.ref_;
+  std::uint32_t da = interner.entry(ra).depth;
+  std::uint32_t db = interner.entry(rb).depth;
+  while (da > db) {
+    ra = interner.entry(ra).parent;
+    --da;
   }
-  return out;
+  while (db > da) {
+    rb = interner.entry(rb).parent;
+    --db;
+  }
+  while (ra != rb) {
+    ra = interner.entry(ra).parent;
+    rb = interner.entry(rb).parent;
+  }
+  return SubnetId(ra);
 }
 
 SubnetId SubnetId::down_toward(const SubnetId& dest) const {
   assert(is_prefix_of(dest) && *this != dest &&
          "down_toward requires a strict descendant");
-  SubnetId next = *this;
-  next.path_.push_back(dest.path_[path_.size()]);
-  return next;
+  const auto& interner = SubnetInterner::instance();
+  const std::uint32_t my_depth = interner.entry(ref_).depth;
+  SubnetRef r = dest.ref_;
+  while (interner.entry(r).depth > my_depth + 1) {
+    r = interner.entry(r).parent;
+  }
+  return SubnetId(r);
 }
 
-std::string SubnetId::to_string() const {
-  std::string out = "/root";
-  for (const auto& a : path_) {
-    out += "/";
-    out += a.to_string();
-  }
-  return out;
+std::strong_ordering operator<=>(const SubnetId& a, const SubnetId& b) {
+  if (a.ref_ == b.ref_) return std::strong_ordering::equal;
+  return a.path() <=> b.path();
 }
 
 void SubnetId::encode_to(Encoder& e) const {
-  e.varint(path_.size());
-  for (const auto& a : path_) e.obj(a);
+  const auto& path = entry_().path;
+  e.varint(path.size());
+  for (const auto& a : path) e.obj(a);
 }
 
 Result<SubnetId> SubnetId::decode_from(Decoder& d) {
   HC_TRY(count, d.varint());
   if (count > 64) return Error(Errc::kDecodeError, "subnet path too deep");
-  SubnetId id;
+  auto& interner = SubnetInterner::instance();
+  SubnetRef r = kRootRef;
   for (std::uint64_t i = 0; i < count; ++i) {
     HC_TRY(addr, d.obj<Address>());
     if (!addr.valid()) {
       return Error(Errc::kDecodeError, "invalid address in subnet path");
     }
-    id.path_.push_back(addr);
+    r = interner.child_of(r, addr);
   }
-  return id;
+  return SubnetId(r);
 }
 
 }  // namespace hc::core

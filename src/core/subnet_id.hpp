@@ -9,6 +9,15 @@
 // An id is the rootnet marker plus the path of Subnet Actor addresses, e.g.
 // "/root/f0100/f0102". The routing helpers (common ancestor, next hop down)
 // implement the path decomposition used by cross-net messages (§IV-A).
+//
+// Representation (DESIGN.md §17): a SubnetId is a 4-byte flyweight handle
+// into the process-wide SubnetInterner. Copying an id copies one word;
+// equality is handle equality (interning canonicalizes paths); hashing
+// returns the precomputed path hash; `to_string()`, `topic()` and `path()`
+// return references to the interned artifacts instead of materializing
+// them per call. Ordering, hashing and the wire codec are all derived from
+// path CONTENT, never from handle values — handle numbering depends on
+// intern order, and nothing observable may.
 #pragma once
 
 #include <compare>
@@ -18,6 +27,7 @@
 
 #include "common/address.hpp"
 #include "common/codec.hpp"
+#include "core/intern.hpp"
 
 namespace hc::core {
 
@@ -29,21 +39,28 @@ class SubnetId {
   /// The rootnet.
   [[nodiscard]] static SubnetId root() { return SubnetId(); }
 
+  /// The id behind an interner handle (must come from the interner).
+  [[nodiscard]] static SubnetId from_ref(SubnetRef r) { return SubnetId(r); }
+
   /// The child of this subnet governed by SA at `sa`.
-  [[nodiscard]] SubnetId child(const Address& sa) const;
+  [[nodiscard]] SubnetId child(const Address& sa) const {
+    return SubnetId(SubnetInterner::instance().child_of(ref_, sa));
+  }
 
   /// Parent id; nullopt for the rootnet.
-  [[nodiscard]] std::optional<SubnetId> parent() const;
+  [[nodiscard]] std::optional<SubnetId> parent() const {
+    if (is_root()) return std::nullopt;
+    return SubnetId(entry_().parent);
+  }
 
-  [[nodiscard]] bool is_root() const { return path_.empty(); }
+  [[nodiscard]] bool is_root() const { return ref_ == kRootRef; }
 
   /// Number of edges from the root (root = 0).
-  [[nodiscard]] std::size_t depth() const { return path_.size(); }
+  [[nodiscard]] std::size_t depth() const { return entry_().depth; }
 
   /// SA address governing this subnet in its parent; invalid for root.
-  [[nodiscard]] Address actor() const {
-    return path_.empty() ? Address() : path_.back();
-  }
+  /// Returns the canonical interned copy (process lifetime).
+  [[nodiscard]] const Address& actor() const { return entry_().actor; }
 
   /// True when `this` is an ancestor of (or equal to) `other`.
   [[nodiscard]] bool is_prefix_of(const SubnetId& other) const;
@@ -56,21 +73,49 @@ class SubnetId {
   /// toward `dest`. Precondition: is_prefix_of(dest) && *this != dest.
   [[nodiscard]] SubnetId down_toward(const SubnetId& dest) const;
 
-  /// "/root/f0100/f0102".
-  [[nodiscard]] std::string to_string() const;
+  /// "/root/f0100/f0102" — interned, no allocation.
+  [[nodiscard]] const std::string& to_string() const { return entry_().str; }
 
-  /// Pubsub topic for this subnet's traffic.
-  [[nodiscard]] std::string topic() const { return "hc" + to_string(); }
+  /// Pubsub topic for this subnet's traffic — interned, no allocation.
+  [[nodiscard]] const std::string& topic() const { return entry_().topic; }
 
-  [[nodiscard]] const std::vector<Address>& path() const { return path_; }
+  /// Derived per-protocol topic ("<topic>/msgs", ...) — interned.
+  [[nodiscard]] const std::string& topic(SubnetTopic t) const {
+    return entry_().sub_topics[static_cast<std::size_t>(t)];
+  }
 
-  friend auto operator<=>(const SubnetId&, const SubnetId&) = default;
+  [[nodiscard]] const std::vector<Address>& path() const {
+    return entry_().path;
+  }
+
+  /// Precomputed FNV-1a fold over the path addresses: byte-identical to
+  /// the values the pre-interning per-probe walk produced, and stable
+  /// across intern order (content-derived).
+  [[nodiscard]] std::size_t hash() const { return entry_().path_hash; }
+
+  /// The interner handle (diagnostics only — order-dependent!).
+  [[nodiscard]] SubnetRef ref() const { return ref_; }
+
+  /// Interning canonicalizes: same path <=> same handle.
+  friend bool operator==(const SubnetId& a, const SubnetId& b) {
+    return a.ref_ == b.ref_;
+  }
+  /// Path-lexicographic, exactly as the vector<Address> representation
+  /// ordered — std::map<SubnetId, ...> iteration feeds deterministic
+  /// encodes and must not depend on intern order.
+  friend std::strong_ordering operator<=>(const SubnetId& a,
+                                          const SubnetId& b);
 
   void encode_to(Encoder& e) const;
   [[nodiscard]] static Result<SubnetId> decode_from(Decoder& d);
 
  private:
-  std::vector<Address> path_;
+  explicit SubnetId(SubnetRef r) : ref_(r) {}
+  [[nodiscard]] const SubnetInterner::Entry& entry_() const {
+    return SubnetInterner::instance().entry(ref_);
+  }
+
+  SubnetRef ref_ = kRootRef;
 };
 
 }  // namespace hc::core
@@ -78,10 +123,6 @@ class SubnetId {
 template <>
 struct std::hash<hc::core::SubnetId> {
   std::size_t operator()(const hc::core::SubnetId& id) const noexcept {
-    std::size_t h = 0xcbf29ce484222325ull;
-    for (const auto& a : id.path()) {
-      h = (h ^ std::hash<hc::Address>{}(a)) * 0x100000001b3ull;
-    }
-    return h;
+    return id.hash();
   }
 };

@@ -6,6 +6,8 @@
 #include "actors/basic.hpp"
 #include "actors/methods.hpp"
 #include "actors/registry.hpp"
+#include "actors/sa_state.hpp"
+#include "actors/sca_state.hpp"
 #include "common/log.hpp"
 
 namespace hc::runtime {
@@ -82,18 +84,15 @@ consensus::ValidatorSet make_validator_set(
 
 }  // namespace
 
-Hierarchy::Hierarchy(HierarchyConfig config)
-    : config_(std::move(config)),
-      network_(scheduler_, config_.latency, config_.seed, config_.gossip,
-               &obs_),
-      executor_(scheduler_, config_.threads, executor_lookahead(config_)),
-      faucet_(crypto::KeyPair::from_label("hc/faucet")) {
+void Hierarchy::init_common() {
   scheduler_.attach_obs(&obs_);
   obs_.tracer.set_clock([this] { return scheduler_.now(); });
   actors::install_standard_actors(registry_);
   // Child nodes read their parent through the view snapshot published at
   // the last barrier (never live state, which another lane may be
-  // mutating); flip every alive node's buffer between windows.
+  // mutating); flip every alive node's buffer between windows. The flip
+  // is viewer-gated: leaves (no attached child readers) skip the snapshot
+  // entirely (DESIGN.md §17).
   executor_.add_barrier_hook([this] {
     for (auto& s : subnets_) {
       for (auto& n : s->nodes) {
@@ -101,6 +100,64 @@ Hierarchy::Hierarchy(HierarchyConfig config)
       }
     }
   });
+}
+
+NodeConfig Hierarchy::node_config(const Subnet& subnet, std::size_t slot) {
+  NodeConfig nc;
+  nc.subnet = subnet.id;
+  nc.params = subnet.params;
+  nc.engine = subnet.engine;
+  nc.sa_in_parent = subnet.sa;
+  nc.domain = subnet.domain;
+  nc.mempool = config_.mempool;
+  nc.content_store = config_.content_store;
+  nc.chain_retention = config_.chain_retention;
+  nc.mem_metrics = config_.mem_metrics;
+  nc.disk = disk_for(subnet, slot);
+  nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
+  return nc;
+}
+
+void Hierarchy::boot_subnet(Subnet& subnet, chain::StateTree genesis) {
+  // Flush ONCE before sharing: flush() mutates the commitment cache, so a
+  // published shared tree must already be warm (every later flush is a
+  // read-only cache hit).
+  (void)genesis.flush();
+  subnet.genesis =
+      std::make_shared<const chain::StateTree>(std::move(genesis));
+  const auto validators = make_validator_set(subnet.validator_keys);
+  for (std::size_t i = 0; i < subnet.validator_keys.size(); ++i) {
+    auto node = std::make_unique<SubnetNode>(
+        scheduler_, network_, registry_, node_config(subnet, i),
+        subnet.validator_keys[i], validators, subnet.genesis);
+    install_cross_latency(node->net_id(), subnet);
+    if (subnet.parent != nullptr) {
+      // Spread parent views across alive parent replicas (paper §II:
+      // child nodes run full nodes on the parent subnet).
+      SubnetNode* view = nullptr;
+      for (std::size_t off = 0; off < subnet.parent->size(); ++off) {
+        const std::size_t slot = (i + off) % subnet.parent->size();
+        if (subnet.parent->alive(slot)) {
+          view = subnet.parent->nodes[slot].get();
+          break;
+        }
+      }
+      node->attach_parent(view);
+    }
+    subnet.nodes.push_back(std::move(node));
+    subnet.node_ids.push_back(subnet.nodes.back()->net_id());
+  }
+  for (auto& n : subnet.nodes) n->start();
+  for (auto& n : subnet.nodes) n->publish_view();
+}
+
+Hierarchy::Hierarchy(HierarchyConfig config)
+    : config_(std::move(config)),
+      network_(scheduler_, config_.latency, config_.seed, config_.gossip,
+               &obs_),
+      executor_(scheduler_, config_.threads, executor_lookahead(config_)),
+      faucet_(crypto::KeyPair::from_label("hc/faucet")) {
+  init_common();
 
   auto root = std::make_unique<Subnet>();
   root->id = core::SubnetId::root();
@@ -127,27 +184,163 @@ Hierarchy::Hierarchy(HierarchyConfig config)
     genesis.set(Address::key(k.public_key().to_bytes()), v);
   }
 
-  root->genesis = genesis.snapshot();
-  const auto validators = make_validator_set(root->validator_keys);
-  for (std::size_t i = 0; i < root->validator_keys.size(); ++i) {
-    NodeConfig nc;
-    nc.subnet = root->id;
-    nc.params = config_.root_params;
-    nc.engine = config_.root_engine;
-    nc.domain = root->domain;
-    nc.mempool = config_.mempool;
-    nc.content_store = config_.content_store;
-    nc.disk = disk_for(*root, i);
-    nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
-    root->nodes.push_back(std::make_unique<SubnetNode>(
-        scheduler_, network_, registry_, nc, root->validator_keys[i],
-        validators, genesis.snapshot()));
-    root->node_ids.push_back(root->nodes.back()->net_id());
-  }
-  for (auto& n : root->nodes) n->start();
-  for (auto& n : root->nodes) n->publish_view();
   root_ = root.get();
   subnets_.push_back(std::move(root));
+  boot_subnet(*root_, std::move(genesis));
+}
+
+// ----------------------------------------------------- static tree (§17)
+
+struct Hierarchy::Staged {
+  std::unique_ptr<Subnet> subnet;
+  chain::StateTree genesis;
+  /// Σ balances in the composed genesis — the circulating supply the
+  /// parent SCA records for this child (firewall bound, paper §II).
+  TokenAmount total;
+  std::vector<Staged> children;
+};
+
+Hierarchy::Hierarchy(HierarchyConfig config, const TreeSpec& spec)
+    : config_(std::move(config)),
+      network_(scheduler_, config_.latency, config_.seed, config_.gossip,
+               &obs_),
+      executor_(scheduler_, config_.threads, executor_lookahead(config_)),
+      faucet_(crypto::KeyPair::from_label("hc/faucet")) {
+  init_common();
+  boot_staged(compose_static(spec, nullptr, Address()));
+}
+
+Hierarchy::Staged Hierarchy::compose_static(const TreeSpec& spec,
+                                            Subnet* parent,
+                                            const Address& sa) {
+  Staged st;
+  st.subnet = std::make_unique<Subnet>();
+  Subnet& s = *st.subnet;
+  s.id = parent == nullptr ? core::SubnetId::root() : parent->id.child(sa);
+  s.sa = sa;
+  s.params = spec.params;
+  s.engine = spec.engine;
+  s.parent = parent;
+  s.domain = scheduler_.add_domain();
+  for (std::size_t i = 0; i < spec.n_validators; ++i) {
+    s.validator_keys.push_back(crypto::KeyPair::from_label(
+        spec.name + "-val-" + std::to_string(i)));
+  }
+
+  // Children compose first: this genesis embeds their registration state
+  // and circulating supply.
+  st.children.reserve(spec.children.size());
+  for (std::size_t k = 0; k < spec.children.size(); ++k) {
+    st.children.push_back(
+        compose_static(spec.children[k], &s, Address::id(100 + k)));
+  }
+
+  chain::StateTree genesis =
+      base_genesis(s.id, spec.params.checkpoint_period,
+                   config_.topdown_window_cap, config_.breaker_stall_epochs);
+  if (parent == nullptr) {
+    // Keep the faucet so make_user()/spawn_subnet() compose with a
+    // statically built tree.
+    chain::ActorEntry faucet_entry;
+    faucet_entry.code = chain::kCodeAccount;
+    faucet_entry.balance = config_.faucet_balance;
+    genesis.set(Address::key(faucet_.public_key().to_bytes()), faucet_entry);
+  }
+  for (const auto& k : s.validator_keys) {
+    chain::ActorEntry v;
+    v.code = chain::kCodeAccount;
+    v.balance = TokenAmount::whole(100);  // gas allowance
+    genesis.set(Address::key(k.public_key().to_bytes()), v);
+  }
+  // Cold account mass: id addresses, no keypairs (1000+j stays clear of
+  // the SA range 100+k for any realistic fan-out).
+  for (std::size_t j = 0; j < spec.accounts; ++j) {
+    chain::ActorEntry a;
+    a.code = chain::kCodeAccount;
+    a.balance = spec.account_balance;
+    genesis.set(Address::id(1000 + j), a);
+  }
+  for (std::size_t i = 0; i < spec.hot_accounts; ++i) {
+    const auto key = crypto::KeyPair::from_label(
+        spec.name + "-hot-" + std::to_string(i));
+    chain::ActorEntry a;
+    a.code = chain::kCodeAccount;
+    a.balance = spec.hot_balance;
+    genesis.set(Address::key(key.public_key().to_bytes()), a);
+  }
+
+  if (!spec.children.empty()) {
+    // Fabricate exactly what the deploy→join→register protocol leaves
+    // behind: a registered SA actor per child plus the SCA's subnet entry
+    // with escrowed collateral and the child's circulating supply. The
+    // Init nonce advances past the fabricated deploys so later dynamic
+    // spawn_subnet() calls get fresh SA addresses.
+    chain::ActorEntry init = *genesis.get(chain::kInitAddr);
+    init.nonce = 100 + spec.children.size();
+    genesis.set(chain::kInitAddr, init);
+
+    chain::ActorEntry sca_entry = *genesis.get(chain::kScaAddr);
+    auto sca_r = decode<actors::ScaState>(sca_entry.state);
+    actors::ScaState sca = std::move(sca_r).value();
+    TokenAmount escrowed;
+    for (std::size_t k = 0; k < spec.children.size(); ++k) {
+      const TreeSpec& child_spec = spec.children[k];
+      const Staged& child = st.children[k];
+      const Address child_sa = Address::id(100 + k);
+
+      actors::SaState sa_state;
+      sa_state.params = child_spec.params;
+      sa_state.subnet_id = child.subnet->id;
+      sa_state.registered = true;
+      for (const auto& key : child.subnet->validator_keys) {
+        sa_state.validators.push_back(
+            actors::ValidatorInfo{key.public_key(), child_spec.stake_each});
+        sa_state.total_stake += child_spec.stake_each;
+      }
+      chain::ActorEntry sa_actor;
+      sa_actor.code = chain::kCodeSubnetActor;
+      sa_actor.state = encode(sa_state);
+      genesis.set(child_sa, sa_actor);
+
+      // Child validators submit checkpoints to this SA as parent-chain
+      // messages paid from their own parent-chain accounts — the join
+      // protocol would have left them funded here, so fabricate that too.
+      for (const auto& key : child.subnet->validator_keys) {
+        const Address addr = Address::key(key.public_key().to_bytes());
+        if (!genesis.has(addr)) {
+          chain::ActorEntry v;
+          v.code = chain::kCodeAccount;
+          v.balance = TokenAmount::whole(100);  // gas allowance
+          genesis.set(addr, v);
+        }
+      }
+
+      actors::SubnetEntry entry;
+      entry.id = child.subnet->id;
+      entry.sa = child_sa;
+      entry.collateral = sa_state.total_stake;
+      entry.min_collateral = child_spec.params.min_collateral;
+      entry.circulating_supply = child.total;
+      sca.subnets[child_sa] = entry;
+      escrowed += sa_state.total_stake + child.total;
+    }
+    sca_entry.state = encode(sca);
+    sca_entry.balance += escrowed;
+    genesis.set(chain::kScaAddr, sca_entry);
+  }
+
+  st.total = genesis.total_balance();
+  st.genesis = std::move(genesis);
+  return st;
+}
+
+void Hierarchy::boot_staged(Staged staged) {
+  Subnet* s = staged.subnet.get();
+  if (s->parent == nullptr) root_ = s;
+  subnets_.push_back(std::move(staged.subnet));
+  boot_subnet(*s, std::move(staged.genesis));
+  // Top-down: children attach their views to the now-running parent nodes.
+  for (auto& child : staged.children) boot_staged(std::move(child));
 }
 
 Hierarchy::~Hierarchy() {
@@ -156,6 +349,10 @@ Hierarchy::~Hierarchy() {
       if (n) n->stop();
     }
   }
+  // Child nodes detach from their parent's viewer count in ~SubnetNode;
+  // destroy deepest-first (creation order is parents-first) so parent_
+  // stays valid while children unwind.
+  while (!subnets_.empty()) subnets_.pop_back();
 }
 
 void Hierarchy::run_for(sim::Duration d) {
@@ -373,42 +570,9 @@ Result<Subnet*> Hierarchy::spawn_subnet(Subnet& parent,
   chain::StateTree genesis =
       base_genesis(child->id, params.checkpoint_period,
                    config_.topdown_window_cap, config_.breaker_stall_epochs);
-  child->genesis = genesis.snapshot();
-  const auto validators = make_validator_set(keys);
-  for (std::size_t i = 0; i < n_validators; ++i) {
-    NodeConfig nc;
-    nc.subnet = child->id;
-    nc.params = params;
-    nc.engine = engine;
-    nc.sa_in_parent = sa_addr;
-    nc.domain = child->domain;
-    nc.mempool = config_.mempool;
-    nc.content_store = config_.content_store;
-    nc.disk = disk_for(*child, i);
-    nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
-    auto node = std::make_unique<SubnetNode>(scheduler_, network_, registry_,
-                                             nc, keys[i], validators,
-                                             genesis.snapshot());
-    install_cross_latency(node->net_id(), *child);
-    // Spread parent views across alive parent replicas (paper §II: child
-    // nodes run full nodes on the parent subnet).
-    SubnetNode* view = nullptr;
-    for (std::size_t off = 0; off < parent.size(); ++off) {
-      const std::size_t slot = (i + off) % parent.size();
-      if (parent.alive(slot)) {
-        view = parent.nodes[slot].get();
-        break;
-      }
-    }
-    node->attach_parent(view);
-    child->nodes.push_back(std::move(node));
-    child->node_ids.push_back(child->nodes.back()->net_id());
-  }
-  for (auto& n : child->nodes) n->start();
-  for (auto& n : child->nodes) n->publish_view();
-
   Subnet* out = child.get();
   subnets_.push_back(std::move(child));
+  boot_subnet(*out, std::move(genesis));
   return out;
 }
 
@@ -486,20 +650,11 @@ Status Hierarchy::restart_node(Subnet& subnet, std::size_t i) {
     return Error(Errc::kInvalidArgument, "validator is not crashed");
   }
 
-  NodeConfig nc;
-  nc.subnet = subnet.id;
-  nc.params = subnet.params;
-  nc.engine = subnet.engine;
-  nc.sa_in_parent = subnet.sa;
+  NodeConfig nc = node_config(subnet, i);
   nc.reuse_net_id = subnet.node_ids.at(i);
-  nc.domain = subnet.domain;
-  nc.mempool = config_.mempool;
-  nc.content_store = config_.content_store;
-  nc.disk = disk_for(subnet, i);
-  nc.wal_fsync_every_blocks = config_.durability.fsync_every_blocks;
   auto node = std::make_unique<SubnetNode>(
       scheduler_, network_, registry_, nc, subnet.validator_keys.at(i),
-      make_validator_set(subnet.validator_keys), subnet.genesis.snapshot());
+      make_validator_set(subnet.validator_keys), subnet.genesis);
   if (subnet.parent != nullptr) {
     SubnetNode* view = nullptr;
     for (std::size_t off = 0; off < subnet.parent->size(); ++off) {

@@ -33,6 +33,16 @@ struct HierarchyConfig {
   /// in the bounded-queues invariant.
   common::CapacityPolicy content_store;
 
+  /// Per-node chain retention window (DESIGN.md §17); default unbounded
+  /// (full history — the pre-§17 behavior). City-scale runs bound it to
+  /// flatten the per-node memory ceiling; the window must exceed worst
+  /// replica lag (catch-up reads pruned blocks).
+  common::CapacityPolicy chain_retention;
+
+  /// Export per-node memory gauges (node_mem_bytes/node_mem_peak_bytes,
+  /// DESIGN.md §17). Off by default: existing exports stay byte-identical.
+  bool mem_metrics = false;
+
   /// Top-down circuit breaker (SCA, DESIGN.md §14), baked into every
   /// chain's genesis SCA state. 0 disables each trip condition.
   std::uint64_t topdown_window_cap = 0;
@@ -95,9 +105,11 @@ class Subnet {
   std::vector<std::unique_ptr<SubnetNode>> nodes;
   /// Transport id per slot, kept across crash/restart cycles.
   std::vector<net::NodeId> node_ids;
-  /// Genesis snapshot; restarted validators replay from here (crash loses
-  /// all local state) and catch up via the consensus catch-up protocol.
-  chain::StateTree genesis;
+  /// Shared immutable genesis (flyweight, DESIGN.md §17): every replica's
+  /// chain store and every restart point at this ONE flushed tree instead
+  /// of private snapshots. Restarted validators replay from here (crash
+  /// loses all local state) and catch up via the catch-up protocol.
+  std::shared_ptr<const chain::StateTree> genesis;
 
   [[nodiscard]] SubnetNode& node(std::size_t i = 0) { return *nodes.at(i); }
   [[nodiscard]] const SubnetNode& node(std::size_t i = 0) const {
@@ -122,9 +134,56 @@ struct User {
   Address addr;
 };
 
+/// Declarative subnet-tree topology for static genesis-time construction
+/// (DESIGN.md §17). One node of the spec = one subnet; the k-th child's SA
+/// address is Address::id(100+k) in its parent chain — exactly what the
+/// parent's Init actor (nonce 100) would have assigned had the subnets
+/// been spawned through the deploy→join→register protocol. Registration
+/// state (SA actor, SCA subnet entry, escrowed collateral + circulating
+/// supply) is fabricated directly into each genesis, so booting a
+/// 1000-subnet city costs seconds instead of simulating thousands of
+/// spawn round-trips.
+struct TreeSpec {
+  std::string name = "root";
+  core::SubnetParams params;
+  consensus::EngineConfig engine;
+  std::size_t n_validators = 1;
+  /// Per-validator collateral recorded in the parent's SA/SCA entries
+  /// (fabricated escrow; nothing to fund or join at runtime).
+  TokenAmount stake_each = TokenAmount::whole(10);
+  /// Pre-funded cold accounts Address::id(1000+j), j < accounts — account
+  /// mass without per-account keypairs (a keyed identity costs ~100× the
+  /// bytes of an id address at 10⁶ scale).
+  std::size_t accounts = 0;
+  TokenAmount account_balance = TokenAmount::whole(1);
+  /// Pre-funded keyed sender accounts for load generators, derived as
+  /// KeyPair::from_label(name + "-hot-" + i) — benches re-derive the same
+  /// keys to sign traffic.
+  std::size_t hot_accounts = 0;
+  TokenAmount hot_balance = TokenAmount::whole(100);
+  std::vector<TreeSpec> children;
+
+  /// Subnets in this spec, self included.
+  [[nodiscard]] std::size_t subnet_count() const {
+    std::size_t n = 1;
+    for (const auto& c : children) n += c.subnet_count();
+    return n;
+  }
+};
+
 class Hierarchy {
  public:
   explicit Hierarchy(HierarchyConfig config);
+
+  /// Static genesis-time boot of a whole subnet tree (DESIGN.md §17):
+  /// ids, validator sets and SA/SCA registration state are fabricated
+  /// into each chain's genesis (see TreeSpec) and every chain boots
+  /// immediately — no spawn protocol, no cross-net funding. The spec
+  /// root replaces config.root_params/root_validators/root_engine. The
+  /// faucet account still exists on the root chain, so make_user() and
+  /// dynamic spawn_subnet() compose with a static tree.
+  Hierarchy(HierarchyConfig config, const TreeSpec& spec);
+
   ~Hierarchy();
 
   Hierarchy(const Hierarchy&) = delete;
@@ -233,6 +292,28 @@ class Hierarchy {
   /// Install the cross-subnet latency override (when configured) between
   /// `id` and every node of every OTHER subnet spawned so far.
   void install_cross_latency(net::NodeId id, const Subnet& home);
+
+  /// Scheduler/obs/actor wiring shared by both constructors.
+  void init_common();
+
+  /// The per-node config every boot path derives from (subnet identity +
+  /// hierarchy-wide policies); restart_node adds reuse_net_id on top.
+  [[nodiscard]] NodeConfig node_config(const Subnet& subnet,
+                                       std::size_t slot);
+
+  /// Boot one composed subnet: flush + share the genesis, construct its
+  /// validator nodes, attach parent views round-robin, start. Shared by
+  /// the root boot, spawn_subnet and the static tree builder.
+  void boot_subnet(Subnet& subnet, chain::StateTree genesis);
+
+  // Static construction (DESIGN.md §17). Staged holds a composed-but-not-
+  // booted subnet; composition runs bottom-up (a parent genesis embeds its
+  // children's registration + circulating supply), boot runs top-down
+  // (children attach views to running parent nodes).
+  struct Staged;
+  [[nodiscard]] Staged compose_static(const TreeSpec& spec, Subnet* parent,
+                                      const Address& sa);
+  void boot_staged(Staged staged);
 
   HierarchyConfig config_;
   obs::Obs obs_;  // declared before network_/scheduler users

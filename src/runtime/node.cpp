@@ -62,7 +62,7 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
                        const chain::ActorRegistry& registry,
                        NodeConfig config, crypto::KeyPair key,
                        consensus::ValidatorSet validators,
-                       chain::StateTree genesis_state)
+                       std::shared_ptr<const chain::StateTree> genesis_state)
     : scheduler_(scheduler),
       network_(network),
       registry_(registry),
@@ -111,9 +111,16 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
   c_alloc_bytes_ = &m.counter("alloc_bytes_total", node_labels);
   h_commit_latency_ = &m.histogram("block_commit_latency_us", subnet_labels);
   resolved_.set_policy(config_.content_store);
-  chain::Block genesis = chain::ChainStore::make_genesis(genesis_state, 0);
+  // The shared genesis arrives pre-flushed (Hierarchy flushes once before
+  // sharing), so this flush inside make_genesis is a cache hit.
+  chain::Block genesis = chain::ChainStore::make_genesis(*genesis_state, 0);
   store_ = std::make_unique<chain::ChainStore>(std::move(genesis),
                                                std::move(genesis_state));
+  store_->set_retention(config_.chain_retention);
+  if (config_.mem_metrics) {
+    g_mem_bytes_ = &m.gauge("node_mem_bytes", node_labels);
+    g_mem_peak_ = &m.gauge("node_mem_peak_bytes", node_labels);
+  }
 
   boot_time_ = scheduler_.now();
   if (config_.disk != nullptr) {
@@ -168,7 +175,37 @@ SubnetNode::SubnetNode(sim::Scheduler& scheduler, net::Network& network,
       });
 }
 
-SubnetNode::~SubnetNode() = default;
+SubnetNode::~SubnetNode() {
+  if (parent_ != nullptr) parent_->remove_viewer();
+}
+
+void SubnetNode::attach_parent(SubnetNode* parent) {
+  if (parent == parent_) return;
+  if (parent_ != nullptr) parent_->remove_viewer();
+  parent_ = parent;
+  if (parent_ != nullptr) parent_->add_viewer();
+}
+
+void SubnetNode::add_viewer() {
+  ++viewers_;
+  // First viewer while windowed snapshots are live: publish immediately
+  // (we are in driver context, lanes parked) so the child never reads
+  // cross-lane live state.
+  if (views_enabled_ && view_published_ == nullptr) {
+    view_pending_ =
+        std::make_shared<const chain::StateTree>(store_->state().snapshot());
+    view_published_ = view_pending_;
+  }
+}
+
+void SubnetNode::remove_viewer() {
+  if (--viewers_ == 0) {
+    // Last reader gone: release both buffers. A later attach re-snapshots
+    // fresh state instead of serving a stale view.
+    view_pending_.reset();
+    view_published_.reset();
+  }
+}
 
 void SubnetNode::post(sim::Duration delay, std::function<void()> fn) {
   sim::Scheduler::DomainScope scope(scheduler_, config_.domain);
@@ -318,11 +355,31 @@ std::optional<actors::SaState> SubnetNode::sa_state_view(
 }
 
 void SubnetNode::publish_view() {
+  views_enabled_ = true;
+  if (viewers_ == 0) return;  // leaf: no child reader, skip the snapshot
   if (view_pending_ == nullptr) {
     view_pending_ =
         std::make_shared<const chain::StateTree>(store_->state().snapshot());
   }
   view_published_ = view_pending_;
+}
+
+std::size_t SubnetNode::mem_bytes() const {
+  std::size_t total = store_->mem_bytes() + resolved_.total_bytes();
+  if (view_published_ != nullptr) total += view_published_->mem_bytes();
+  if (view_pending_ != nullptr && view_pending_ != view_published_) {
+    total += view_pending_->mem_bytes();
+  }
+  return total;
+}
+
+void SubnetNode::refresh_mem_metrics() {
+  const auto bytes = static_cast<std::int64_t>(mem_bytes());
+  g_mem_bytes_->set(bytes);
+  if (bytes > mem_peak_) {
+    mem_peak_ = bytes;
+    g_mem_peak_->set(bytes);
+  }
 }
 
 const std::vector<chain::Receipt>* SubnetNode::receipts_at(
@@ -604,6 +661,9 @@ void SubnetNode::commit_block(chain::Block block, Bytes proof) {
   mempool_.prune_stale([this](const Address& a) { return account_nonce(a); });
   sync_mempool_obs();
   sync_arena_obs();
+  // Height-paced so every replica samples at the same commits regardless
+  // of wall-clock (deterministic exports); O(actors) per sample.
+  if (g_mem_bytes_ != nullptr && height % 8 == 0) refresh_mem_metrics();
 
   // Refresh the pending parent view once snapshots are in use (first
   // publish_view() call enables them); flipped at the next barrier.

@@ -64,6 +64,14 @@ struct NodeConfig {
   /// Commit WAL records are fsynced every N blocks (lazy batching); vote
   /// state is ALWAYS fsynced before the signed message leaves the node.
   std::uint32_t wal_fsync_every_blocks = 4;
+  /// Bounded chain retention (DESIGN.md §17): keep only the newest blocks
+  /// under this cap, pruning history. Catch-up and state_at replay need
+  /// the pruned blocks, so bound only with a window comfortably beyond
+  /// replica lag. 0 fields = unbounded (full history, the default).
+  common::CapacityPolicy chain_retention;
+  /// Export node_mem_bytes / node_mem_peak_bytes gauges (DESIGN.md §17).
+  /// Off by default so existing metric exports stay byte-identical.
+  bool mem_metrics = false;
 };
 
 /// Counter snapshot exposed for benches and tests; backed by the metrics
@@ -86,18 +94,25 @@ struct NodeStats {
 class SubnetNode final : public consensus::BlockSource,
                          public consensus::VoteStore {
  public:
+  /// `genesis_state` is shared immutable (DESIGN.md §17): every replica
+  /// of a subnet points at the same flushed tree; the node copies it once
+  /// into its mutable head state. Callers sharing one tree must flush it
+  /// before sharing and boot nodes from driver context.
   SubnetNode(sim::Scheduler& scheduler, net::Network& network,
              const chain::ActorRegistry& registry, NodeConfig config,
              crypto::KeyPair key, consensus::ValidatorSet validators,
-             chain::StateTree genesis_state);
+             std::shared_ptr<const chain::StateTree> genesis_state);
   ~SubnetNode() override;
 
   SubnetNode(const SubnetNode&) = delete;
   SubnetNode& operator=(const SubnetNode&) = delete;
 
   /// Wire the trusted parent view (must outlive this node; may be nullptr
-  /// while every parent replica is crashed). Root: none.
-  void attach_parent(SubnetNode* parent) { parent_ = parent; }
+  /// while every parent replica is crashed). Root: none. Maintains the
+  /// parent's viewer count — snapshots are only materialized on nodes
+  /// that actually have child readers (DESIGN.md §17). Driver context
+  /// only (lanes parked): may publish a view on the new parent.
+  void attach_parent(SubnetNode* parent);
   [[nodiscard]] SubnetNode* parent_view() const { return parent_; }
 
   void start();
@@ -141,8 +156,22 @@ class SubnetNode final : public consensus::BlockSource,
 
   /// Flip the pending state snapshot into the published parent view.
   /// Called by Hierarchy between execution windows (never concurrently
-  /// with lane callbacks); the first call seeds the view from live state.
+  /// with lane callbacks). Viewer-gated (DESIGN.md §17): a node with no
+  /// attached child readers skips the snapshot entirely — at city scale
+  /// ~90% of subnets are leaves, so their per-window full-state copy
+  /// vanishes. Readers in driver context fall back to live state, which
+  /// post-barrier equals what the snapshot would hold.
   void publish_view();
+
+  /// Nodes currently reading this node as their trusted parent view.
+  [[nodiscard]] std::size_t viewer_count() const {
+    return static_cast<std::size_t>(viewers_);
+  }
+
+  /// Deterministic logical memory footprint of this replica: chain window
+  /// + head state + resolved-content cache + view buffers. The shared
+  /// genesis tree is excluded (counted once per subnet, not per replica).
+  [[nodiscard]] std::size_t mem_bytes() const;
 
   [[nodiscard]] NodeStats stats() const;
   [[nodiscard]] const core::SubnetId& subnet() const {
@@ -321,10 +350,23 @@ class SubnetNode final : public consensus::BlockSource,
   /// Double-buffered parent view (DESIGN.md §11): commit_block refreshes
   /// the pending buffer inside this node's lane, publish_view() flips it
   /// between windows, and readers in other lanes only ever dereference the
-  /// published buffer — which is stable for a whole window. Null until the
-  /// first publish_view(), i.e. for raw single-lane usage.
+  /// published buffer — which is stable for a whole window. Null until a
+  /// child attaches (viewer gating, §17) or for raw single-lane usage.
   std::shared_ptr<const chain::StateTree> view_pending_;
   std::shared_ptr<const chain::StateTree> view_published_;
+  /// Child nodes holding this node as parent view; maintained by
+  /// attach_parent()/~SubnetNode from driver context. Buffers above are
+  /// only materialized while this is > 0.
+  int viewers_ = 0;
+  /// Set by the first publish_view(): snapshots are in use (windowed
+  /// execution), so a late-attaching viewer must be served a snapshot
+  /// immediately instead of waiting for the next barrier.
+  bool views_enabled_ = false;
+  /// Bump the viewer count; publishes an immediate snapshot for the first
+  /// viewer once windowed execution is live.
+  void add_viewer();
+  /// Drop one viewer; the last one releases both view buffers.
+  void remove_viewer();
 
   /// Resolved cross-msg batches (local cache + registry mirror).
   storage::ContentStore resolved_;
@@ -436,6 +478,14 @@ class SubnetNode final : public consensus::BlockSource,
   obs::Counter* c_recovery_corrupt_ = nullptr;
   /// Sim-time from restart to the first commit past the recovered head.
   obs::Histogram* h_recovery_resync_ = nullptr;
+  /// Memory gauges ({node, subnet}); resolved only with
+  /// NodeConfig::mem_metrics, so default exports stay byte-identical
+  /// (same opt-in pattern as the durability counters above).
+  obs::Gauge* g_mem_bytes_ = nullptr;
+  obs::Gauge* g_mem_peak_ = nullptr;
+  std::int64_t mem_peak_ = 0;
+  /// Refresh the memory gauges from mem_bytes() (height-paced).
+  void refresh_mem_metrics();
   /// Last-synced copy of the mempool shed ledger (delta source).
   common::ShedStats mempool_obs_synced_;
 

@@ -50,19 +50,23 @@ struct ResolutionMsg {
   }
 };
 
-/// Topic naming scheme shared by all nodes.
+/// Topic naming scheme shared by all nodes. Every name is interned with
+/// the subnet id (DESIGN.md §17), so publishes and per-delivery dispatch
+/// never build a string.
 struct Topics {
-  [[nodiscard]] static std::string msgs(const core::SubnetId& id) {
-    return id.topic() + "/msgs";
+  [[nodiscard]] static const std::string& msgs(const core::SubnetId& id) {
+    return id.topic(core::SubnetTopic::kMsgs);
   }
-  [[nodiscard]] static std::string consensus(const core::SubnetId& id) {
-    return id.topic() + "/consensus";
+  [[nodiscard]] static const std::string& consensus(
+      const core::SubnetId& id) {
+    return id.topic(core::SubnetTopic::kConsensus);
   }
-  [[nodiscard]] static std::string signatures(const core::SubnetId& id) {
-    return id.topic() + "/sigs";
+  [[nodiscard]] static const std::string& signatures(
+      const core::SubnetId& id) {
+    return id.topic(core::SubnetTopic::kSigs);
   }
-  [[nodiscard]] static std::string resolve(const core::SubnetId& id) {
-    return id.topic() + "/resolve";
+  [[nodiscard]] static const std::string& resolve(const core::SubnetId& id) {
+    return id.topic(core::SubnetTopic::kResolve);
   }
 };
 

@@ -699,5 +699,97 @@ TEST_F(ChainFixture, ChainStoreRejectsStateRootMismatch) {
             Errc::kInvalidArgument);
 }
 
+// --------------------------------------------- chainstore retention (§17)
+
+namespace {
+
+/// Append an empty block on top of `store` (state unchanged).
+Block append_empty(ChainStore& store, const Address& miner) {
+  Block b;
+  b.header.miner = miner;
+  b.header.height = store.height() + 1;
+  b.header.parent = store.head().cid();
+  StateTree next = store.state().snapshot();
+  b.header.state_root = next.flush();
+  b.header.msgs_root = b.compute_msgs_root();
+  EXPECT_TRUE(store.append(b, std::move(next)).ok());
+  return b;
+}
+
+}  // namespace
+
+TEST_F(ChainFixture, ChainStoreRetentionPrunesByItems) {
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore store(genesis, tree.snapshot());
+  store.set_retention({.max_items = 4, .max_bytes = 0});
+
+  Block b1 = append_empty(store, ctx.miner);
+  for (int h = 2; h <= 10; ++h) append_empty(store, ctx.miner);
+
+  EXPECT_EQ(store.height(), 10);
+  EXPECT_EQ(store.base_height(), 7);  // window = heights 7..10
+  EXPECT_EQ(store.block_at(6), nullptr);
+  ASSERT_NE(store.block_at(7), nullptr);
+  EXPECT_EQ(store.block_at(7)->header.height, 7);
+  EXPECT_EQ(store.head().header.height, 10);
+  // The cid index follows the window: pruned blocks are unreachable.
+  EXPECT_EQ(store.block_by_cid(genesis.cid()), nullptr);
+  EXPECT_EQ(store.block_by_cid(b1.cid()), nullptr);
+  EXPECT_NE(store.block_by_cid(store.head().cid()), nullptr);
+  // Live state is untouched by pruning.
+  EXPECT_EQ(store.state().flush(), store.head().header.state_root);
+  // Replay-to-height refuses once the prefix is gone.
+  auto exec = make_executor();
+  auto at = store.state_at(3, exec);
+  ASSERT_FALSE(at.ok());
+  EXPECT_EQ(at.error().code(), Errc::kOutOfRange);
+}
+
+TEST_F(ChainFixture, ChainStoreRetentionPrunesByBytes) {
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore store(genesis, tree.snapshot());
+  const std::size_t unbounded_two = [&] {
+    ChainStore probe(genesis, tree.snapshot());
+    append_empty(probe, ctx.miner);
+    append_empty(probe, ctx.miner);
+    return probe.mem_bytes();
+  }();
+  // Cap below the two-block footprint: the window must slide.
+  store.set_retention({.max_items = 0, .max_bytes = unbounded_two / 2});
+  for (int h = 1; h <= 8; ++h) append_empty(store, ctx.miner);
+  EXPECT_GT(store.base_height(), 0);
+  EXPECT_EQ(store.head().header.height, 8);
+  EXPECT_LE(store.mem_bytes(), unbounded_two);
+}
+
+TEST_F(ChainFixture, ChainStoreRetentionKeepsHeadWhenCapTiny) {
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore store(genesis, tree.snapshot());
+  store.set_retention({.max_items = 1, .max_bytes = 1});
+  for (int h = 1; h <= 3; ++h) append_empty(store, ctx.miner);
+  // Even an impossible cap never drops the head block.
+  EXPECT_EQ(store.head().header.height, 3);
+  EXPECT_EQ(store.base_height(), 3);
+  EXPECT_NE(store.block_at(3), nullptr);
+}
+
+TEST_F(ChainFixture, ChainStoreMemBytesTracksWindow) {
+  Block genesis = ChainStore::make_genesis(tree, 0);
+  ChainStore unbounded(genesis, tree.snapshot());
+  ChainStore bounded(genesis, tree.snapshot());
+  bounded.set_retention({.max_items = 2, .max_bytes = 0});
+  for (int h = 1; h <= 20; ++h) {
+    Block b = append_empty(unbounded, ctx.miner);
+    StateTree next = bounded.state().snapshot();
+    (void)next.flush();
+    ASSERT_TRUE(bounded.append(b, std::move(next)).ok());
+  }
+  // Same chain, bounded window: strictly smaller deterministic footprint.
+  EXPECT_LT(bounded.mem_bytes(), unbounded.mem_bytes());
+  // Unbounded store retains full history and replays fine.
+  auto exec = make_executor();
+  EXPECT_TRUE(unbounded.state_at(10, exec).ok());
+}
+
 }  // namespace
 }  // namespace hc::chain

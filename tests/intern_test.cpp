@@ -1,0 +1,245 @@
+// Interned subnet identities (DESIGN.md §17): handle values depend on
+// intern order, so NOTHING observable may — these tests pin the observable
+// surface (hash, ordering, wire codec, strings) to the content-derived
+// seed behavior, and check the process-wide table stays bounded and
+// thread-invariant under chaos workloads.
+//
+// The interner is a process-wide singleton that only grows, and gtest runs
+// every TEST in one process: growth assertions therefore use size DELTAS
+// around the probed operation, never absolute table sizes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "core/intern.hpp"
+#include "core/subnet_id.hpp"
+
+namespace hc::core {
+namespace {
+
+/// The pre-interning std::hash<SubnetId>: an FNV-1a fold over
+/// std::hash<Address> of each path element, recomputed per probe. The
+/// interner memoizes exactly this value; any drift silently rehashes every
+/// unordered_map keyed by SubnetId.
+std::size_t seed_hash(const std::vector<Address>& path) {
+  std::size_t h = 0xcbf29ce484222325ull;
+  for (const auto& a : path) {
+    h = (h ^ std::hash<Address>{}(a)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Build an id by walking child() down `path` (the hot construction path).
+SubnetId make_id(const std::vector<Address>& path) {
+  SubnetId id = SubnetId::root();
+  for (const auto& a : path) id = id.child(a);
+  return id;
+}
+
+/// The seed wire encoding: varint path length, then each Address object.
+Bytes seed_encoding(const std::vector<Address>& path) {
+  Bytes out = encode_varint(path.size());
+  for (const auto& a : path) {
+    const Bytes addr = encode(a);
+    out.insert(out.end(), addr.begin(), addr.end());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ hash
+
+TEST(InternIdentity, HashMatchesSeedFormula) {
+  const std::vector<Address> path = {Address::id(100), Address::id(102),
+                                     Address::id(7)};
+  const SubnetId id = make_id(path);
+  EXPECT_EQ(id.hash(), seed_hash(path));
+  EXPECT_EQ(std::hash<SubnetId>{}(id), seed_hash(path));
+  // Every prefix hashes per the same formula (parent-pointer reuse must
+  // not change the fold).
+  EXPECT_EQ(id.parent()->hash(),
+            seed_hash({Address::id(100), Address::id(102)}));
+  EXPECT_EQ(SubnetId::root().hash(), std::size_t{0xcbf29ce484222325ull});
+}
+
+TEST(InternIdentity, HashIgnoresInternOrder) {
+  // Fresh addresses so THIS test controls first-intern order: the sibling
+  // interned second must still hash identically to the formula.
+  const Address late = Address::id(910202);
+  const Address early = Address::id(910201);
+  const SubnetId b = make_id({late});
+  const SubnetId a = make_id({early});
+  EXPECT_EQ(a.hash(), seed_hash({early}));
+  EXPECT_EQ(b.hash(), seed_hash({late}));
+  // Handles canonicalize: re-walking the same path yields the same id.
+  EXPECT_EQ(make_id({late}), b);
+  std::unordered_map<SubnetId, int> m;
+  m[a] = 1;
+  m[b] = 2;
+  EXPECT_EQ(m.at(make_id({early})), 1);
+}
+
+TEST(InternIdentity, OrderingIsPathLexicographic) {
+  // Interned deliberately in DESCENDING path order; comparison must sort
+  // by content, not by handle age.
+  const SubnetId c = make_id({Address::id(920001), Address::id(5)});
+  const SubnetId b = make_id({Address::id(920001)});
+  const SubnetId a = make_id({Address::id(920000)});
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // prefix orders before its extension
+  EXPECT_LT(a, c);
+  EXPECT_LT(SubnetId::root(), a);
+  EXPECT_EQ(a <=> a, std::strong_ordering::equal);
+}
+
+// ----------------------------------------------------------------- codec
+
+TEST(InternIdentity, EncodeMatchesSeedLayout) {
+  const std::vector<Address> path = {Address::id(100), Address::id(103)};
+  EXPECT_EQ(encode(make_id(path)), seed_encoding(path));
+  EXPECT_EQ(encode(SubnetId::root()), seed_encoding({}));
+}
+
+TEST(InternIdentity, CodecRoundTrip) {
+  for (const auto& path : std::vector<std::vector<Address>>{
+           {},
+           {Address::id(100)},
+           {Address::id(100), Address::id(101), Address::id(102),
+            Address::id(103)}}) {
+    const SubnetId id = make_id(path);
+    auto back = decode<SubnetId>(encode(id));
+    ASSERT_TRUE(back.ok()) << id.to_string();
+    EXPECT_EQ(back.value(), id);
+    EXPECT_EQ(back.value().to_string(), id.to_string());
+    EXPECT_EQ(back.value().path(), path);
+  }
+}
+
+TEST(InternIdentity, DecodeRejectsOverDeepPath) {
+  Bytes wire = encode_varint(65);
+  for (int i = 0; i < 65; ++i) {
+    const Bytes a = encode(Address::id(100));
+    wire.insert(wire.end(), a.begin(), a.end());
+  }
+  auto r = decode<SubnetId>(wire);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), Errc::kDecodeError);
+}
+
+TEST(InternIdentity, DecodeRejectsTruncatedPath) {
+  const Bytes full = seed_encoding({Address::id(100), Address::id(101)});
+  const Bytes cut(full.begin(), full.end() - 3);
+  EXPECT_FALSE(decode<SubnetId>(cut).ok());
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(InternIdentity, StringsAndTopicsAreInternedOnce) {
+  const SubnetId id = make_id({Address::id(100), Address::id(102)});
+  // Reference stability: repeated calls return THE interned string, not a
+  // fresh materialization.
+  EXPECT_EQ(&id.to_string(), &id.to_string());
+  EXPECT_EQ(&id.topic(), &id.topic());
+  EXPECT_EQ(&id.topic(SubnetTopic::kResolve), &id.topic(SubnetTopic::kResolve));
+  // Content: topic is "hc" + path string; sub-topics extend the topic.
+  EXPECT_EQ(id.topic(), "hc" + id.to_string());
+  for (const auto t : {SubnetTopic::kMsgs, SubnetTopic::kConsensus,
+                       SubnetTopic::kSigs, SubnetTopic::kResolve}) {
+    EXPECT_EQ(id.topic(t).rfind(id.topic() + "/", 0), 0u)
+        << id.topic(t) << " does not extend " << id.topic();
+  }
+  EXPECT_EQ(SubnetId::root().to_string(), "/root");
+}
+
+// ---------------------------------------------------------------- growth
+
+TEST(InternGrowth, ChunkedStorageKeepsReferencesStable) {
+  auto& interner = SubnetInterner::instance();
+  // Force the table across multiple storage blocks (block size 1024) and
+  // verify an early entry's interned artifacts never move.
+  const SubnetId probe = make_id({Address::id(930000)});
+  const std::string* str_before = &probe.to_string();
+  const std::vector<Address>* path_before = &probe.path();
+  const SubnetId parent = make_id({Address::id(930001)});
+  const std::size_t before = interner.size();
+  for (std::uint64_t i = 0; i < 2500; ++i) {
+    (void)parent.child(Address::id(940000 + i));
+  }
+  EXPECT_EQ(interner.size(), before + 2500);
+  EXPECT_EQ(&probe.to_string(), str_before);
+  EXPECT_EQ(&probe.path(), path_before);
+  EXPECT_EQ(probe.hash(), seed_hash({Address::id(930000)}));
+  // Re-interning the same children is free: no growth.
+  const std::size_t grown = interner.size();
+  for (std::uint64_t i = 0; i < 2500; ++i) {
+    (void)parent.child(Address::id(940000 + i));
+  }
+  EXPECT_EQ(interner.size(), grown);
+  EXPECT_GT(interner.approx_bytes(), 0u);
+}
+
+TEST(InternGrowth, ChaosSweepDoesNotLeakInterns) {
+  chaos::RunnerConfig cfg;
+  cfg.children = 2;
+  cfg.nested = 1;
+  cfg.warmup = sim::kSecond;
+  cfg.fault_window = 8 * sim::kSecond;
+  cfg.settle = 180 * sim::kSecond;
+  chaos::Scenario scenario;
+  for (const auto& s : chaos::ChaosRunner::standard_scenarios()) {
+    if (s.name == "crash-signer") scenario = s;
+  }
+  ASSERT_EQ(scenario.name, "crash-signer");
+
+  auto& interner = SubnetInterner::instance();
+  const chaos::RunResult first = chaos::ChaosRunner(cfg).run(scenario, 77);
+  ASSERT_TRUE(first.ok()) << first.summary();
+  const std::size_t after_first = interner.size();
+
+  // A same-seed re-run (spawns, crashes, restarts and all) names exactly
+  // the same subnet paths: the table must not grow by a single entry.
+  const chaos::RunResult second = chaos::ChaosRunner(cfg).run(scenario, 77);
+  ASSERT_TRUE(second.ok()) << second.summary();
+  EXPECT_EQ(interner.size(), after_first);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.state_roots, second.state_roots);
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(InternDeterminism, ThreadCountInvariantWithSpawnsAndCrashes) {
+  // Interning is first-come-first-numbered, so worker threads CAN assign
+  // different handles run-to-run — the fingerprint (state roots + metrics
+  // + trace) proves none of that order ever becomes observable.
+  auto make = [](std::size_t threads) {
+    chaos::RunnerConfig cfg;
+    cfg.children = 2;
+    cfg.nested = 1;
+    cfg.warmup = sim::kSecond;
+    cfg.fault_window = 8 * sim::kSecond;
+    cfg.settle = 180 * sim::kSecond;
+    cfg.threads = threads;
+    return cfg;
+  };
+  chaos::Scenario scenario;
+  for (const auto& s : chaos::ChaosRunner::standard_scenarios()) {
+    if (s.name == "crash-signer") scenario = s;
+  }
+  ASSERT_EQ(scenario.name, "crash-signer");
+
+  const chaos::RunResult ref = chaos::ChaosRunner(make(1)).run(scenario, 31);
+  ASSERT_TRUE(ref.ok()) << ref.summary();
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const chaos::RunResult r =
+        chaos::ChaosRunner(make(threads)).run(scenario, 31);
+    ASSERT_TRUE(r.ok()) << threads << " threads: " << r.summary();
+    EXPECT_EQ(ref.state_roots, r.state_roots) << threads << " threads";
+    EXPECT_EQ(ref.metrics_json, r.metrics_json) << threads << " threads";
+    EXPECT_EQ(ref.fingerprint, r.fingerprint) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace hc::core

@@ -259,9 +259,10 @@ TEST_F(RuntimeFixture, NonValidatorNodeFollowsChain) {
   sca.state = actors::make_sca_ctor_state(child->id, 5);
   genesis.set(chain::kScaAddr, sca);
 
-  SubnetNode observer(h.scheduler(), h.network(), h.registry(), nc,
-                      crypto::KeyPair::from_label("observer"), validators,
-                      std::move(genesis));
+  SubnetNode observer(
+      h.scheduler(), h.network(), h.registry(), nc,
+      crypto::KeyPair::from_label("observer"), validators,
+      std::make_shared<const chain::StateTree>(std::move(genesis)));
   observer.attach_parent(&h.root().node(0));
   observer.start();
   // PoA gossip reaches the observer; it validates and follows.
